@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure at ``smoke`` scale and
+prints the same rows/series the paper reports (visible with ``pytest -s``).
+Pass ``--paper-scale small`` to rerun at the scale behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heuristic_model import HeuristicPredictionModel
+from repro.core.size_model import SizePredictionModel, build_observation_knees
+from repro.experiments.scales import get_scale
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        default="smoke",
+        choices=("smoke", "small", "paper"),
+        help="experiment scale preset used by the benchmark harness",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    return get_scale(request.config.getoption("--paper-scale"))
+
+
+@pytest.fixture(scope="session")
+def observation_knees(scale):
+    return build_observation_knees(scale.size_grid, seed=0)
+
+
+@pytest.fixture(scope="session")
+def size_model(scale, observation_knees):
+    return SizePredictionModel.fit(scale.size_grid, observation_knees)
+
+
+@pytest.fixture(scope="session")
+def heuristic_model(scale):
+    return HeuristicPredictionModel.train(scale.heuristic_grid, seed=0)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+"""Benchmarks regenerating Figs. IV-9 … IV-14 (random-DAG sweeps)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import chapter4 as c4
+from repro.experiments.tables import print_table
+
+FIGURES = {
+    "size": "Fig IV-9",
+    "ccr": "Fig IV-10",
+    "parallelism": "Fig IV-11",
+    "density": "Fig IV-12",
+    "regularity": "Fig IV-13",
+    "mean_comp_cost": "Fig IV-14",
+}
+
+
+@pytest.mark.parametrize("axis", list(FIGURES))
+def test_random_dag_sweep(benchmark, scale, axis):
+    rows = run_once(benchmark, c4.random_dag_sweep, scale, axis)
+    print_table(rows, f"{FIGURES[axis]}: random DAGs varying {axis}")
+    assert rows
+    # greedy-on-VG is the ratio baseline.
+    baseline = [r for r in rows if r["scheme"] == "greedy/vg"]
+    assert all(r["ratio_vs_greedy_vg"] == 1.0 for r in baseline)
+    for value in {r[axis] for r in rows}:
+        sub = {r["scheme"]: r["ratio_vs_greedy_vg"] for r in rows if r[axis] == value}
+        if axis == "parallelism":
+            # Fig. IV-11's claim: at parallelism >= 0.5 the greedy heuristic
+            # on a VG matches MCP on the same VG (the paper's own limitation
+            # applies below 0.5, §IV.3.2.3).
+            if value >= 0.5:
+                # ratio baseline is greedy/vg == 1, so greedy-vs-MCP on the
+                # VG equals 1 / sub["mcp/vg"]; allow 25 % at smoke scale
+                # (the paper reports within 4 % at full scale).
+                assert sub["mcp/vg"] >= 0.8
+        else:
+            # Explicit selection wins: the VG never loses to the universe.
+            assert sub["mcp/vg"] <= sub["mcp/universe"] * 1.05

@@ -1,0 +1,26 @@
+"""Benchmarks regenerating Figs. V-8 … V-11 (clock-rate heterogeneity)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import chapter5 as c5
+from repro.experiments.tables import print_table
+
+
+def test_figs_v8_v11_heterogeneity(benchmark, scale, size_model):
+    rows = run_once(
+        benchmark,
+        c5.heterogeneity_study,
+        size_model,
+        scale,
+        heterogeneities=(0.0, 0.1, 0.3, 0.5),
+    )
+    print_table(rows, "Figs V-8..V-11: clock-rate heterogeneity study")
+    # The homogeneous baseline has zero shift by construction.
+    base = [r for r in rows if r["heterogeneity"] == 0.0]
+    assert all(r["optimal_size_change_pct"] == 0.0 for r in base)
+    # Homogeneous-model predictions degrade gracefully (no blow-up) even at
+    # 0.5 heterogeneity; degradation grows monotonically with heterogeneity
+    # for each DAG size (Fig. V-8's shape).
+    assert all(r["degradation_pct"] <= 60.0 for r in rows)
+    for n in {r["dag_size"] for r in rows}:
+        sub = [r for r in rows if r["dag_size"] == n]
+        assert sub[-1]["degradation_pct"] >= sub[0]["degradation_pct"]

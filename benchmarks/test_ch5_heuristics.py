@@ -1,0 +1,23 @@
+"""Benchmarks regenerating Figs. V-16 / V-17 (heuristic sensitivity)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import chapter5 as c5
+from repro.experiments.tables import print_table
+
+
+def test_figs_v16_v17_heuristic_sensitivity(benchmark, scale, size_model):
+    rows = run_once(
+        benchmark,
+        c5.heuristic_sensitivity,
+        size_model,
+        scale,
+        heuristics=("mcp", "dls", "fca", "fcfs"),
+        conditions=(0.0, 0.3),
+        size=scale.size_grid.sizes[0],
+    )
+    print_table(rows, "Figs V-16/V-17: degradation & cost per heuristic/conditions")
+    assert {r["heuristic"] for r in rows} == {"mcp", "dls", "fca", "fcfs"}
+    assert {r["heterogeneity"] for r in rows} == {0.0, 0.3}
+    # The MCP-trained model transfers: bounded degradation for every
+    # heuristic and condition (the Fig. V-16 claim).
+    assert all(r["degradation_pct"] <= 50.0 for r in rows)

@@ -1,0 +1,52 @@
+"""Benchmarks regenerating Figs. V-2…V-6 and Table V-2 (knee analysis)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import chapter5 as c5
+from repro.experiments.tables import print_table
+
+
+def test_fig_v2_v3_turnaround_curves(benchmark, scale):
+    rows = run_once(
+        benchmark, c5.turnaround_vs_rc_size, scale, size=scale.size_grid.sizes[0]
+    )
+    print_table(rows, "Figs V-2/V-3: turn-around vs RC size")
+    # Turn-around improves from 1 host to the knee for every regularity.
+    for beta in {r["regularity"] for r in rows}:
+        series = [r for r in rows if r["regularity"] == beta]
+        assert series[0]["turnaround_s"] > min(r["turnaround_s"] for r in series)
+
+
+def test_table_v2_knee_grid(benchmark, scale):
+    rows = run_once(benchmark, c5.knee_table, scale, size=scale.size_grid.sizes[-1])
+    print_table(rows, "Table V-2: knee values over (alpha, beta)")
+    betas = scale.size_grid.regularities
+    # Knees grow with parallelism (column-wise) — Table V-2's main trend.
+    first, last = rows[0], rows[-1]
+    assert last[f"beta={betas[0]}"] >= first[f"beta={betas[0]}"]
+
+
+def test_fig_v4_plane_fit(benchmark, scale, observation_knees, size_model):
+    rows = run_once(
+        benchmark, c5.plane_fit_quality, scale.size_grid, observation_knees, size_model
+    )
+    print_table(rows, "Fig V-4: planar fit of log2(knee)")
+    # The paper's fit quality: mean relative error <= 16 % (slack for the
+    # scaled-down grid).
+    assert max(r["mean_rel_error_pct"] for r in rows) <= 30.0
+
+
+def test_fig_v5_knee_vs_size(benchmark, scale):
+    rows = run_once(benchmark, c5.knee_vs_size, scale, regularities=(0.1, 0.8))
+    print_table(rows, "Fig V-5: knee vs DAG size")
+    for beta in (0.1, 0.8):
+        series = [r["knee"] for r in rows if r["regularity"] == beta]
+        assert series[-1] >= series[0]  # knees grow with DAG size
+
+
+def test_fig_v6_knee_vs_ccr(benchmark, scale):
+    rows = run_once(
+        benchmark, c5.knee_vs_ccr, scale, size=scale.size_grid.sizes[0],
+        parallelisms=(0.5, 0.7),
+    )
+    print_table(rows, "Fig V-6: knee vs CCR")
+    assert rows

@@ -1,0 +1,26 @@
+"""Benchmarks regenerating Tables V-8 / V-9 (Montage validation)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import chapter5 as c5
+from repro.experiments.tables import print_table
+
+
+def test_table_v8_level_structure(benchmark, scale):
+    from repro.dag.montage import montage_dag
+
+    dag = run_once(benchmark, montage_dag, scale.montage_levels, 0.01)
+    rows = [
+        {"level": i + 1, "tasks": int(n)}
+        for i, n in enumerate(dag.level_sizes())
+    ]
+    print_table(rows, "Table V-8: tasks per Montage level")
+    assert [r["tasks"] for r in rows] == list(scale.montage_levels)
+
+
+def test_table_v9_montage_model(benchmark, scale, size_model):
+    rows = run_once(benchmark, c5.montage_validation, size_model, scale)
+    print_table(rows, "Table V-9: predictive model applied to Montage")
+    # Degradation bounded at every threshold; cost falls as threshold grows.
+    assert all(r["degradation_pct"] <= 25.0 for r in rows)
+    costs = [r["relative_cost_pct"] for r in rows]
+    assert costs[-1] <= costs[0]

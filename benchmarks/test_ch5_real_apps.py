@@ -1,0 +1,15 @@
+"""Benchmark for §V.3.4's structural claims about real applications."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import chapter5 as c5
+from repro.experiments.tables import print_table
+
+
+def test_real_app_structural_optima(benchmark):
+    rows = run_once(benchmark, c5.real_app_structure_validation)
+    print_table(rows, "§V.3.4: structurally-determined optimal RC sizes")
+    scec, eman = rows
+    assert scec["measured_knee"] == scec["structural_optimum"]
+    # EMAN: width is optimal up to the last couple of hosts (threshold
+    # effects on a flat curve).
+    assert eman["measured_knee"] >= 0.8 * eman["structural_optimum"]

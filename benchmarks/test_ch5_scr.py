@@ -1,0 +1,16 @@
+"""Benchmarks regenerating Figs. V-18 … V-24 (SCR study)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import chapter5 as c5
+from repro.experiments.tables import print_table
+
+
+def test_figs_v18_v24_scr(benchmark, scale):
+    rows = run_once(benchmark, c5.scr_study, scale, scrs=(0.25, 0.5, 1.0, 2.0, 4.0))
+    print_table(rows, "Figs V-18..V-24: knee vs scheduler clock ratio + power-law fit")
+    for n in {r["dag_size"] for r in rows}:
+        sub = sorted((r["scr"], r["knee"]) for r in rows if r["dag_size"] == n)
+        # Faster schedulers amortise larger RCs: knee monotone
+        # non-decreasing in SCR (the Figs. V-18..22 shape).
+        knees = [k for _, k in sub]
+        assert knees == sorted(knees)

@@ -1,0 +1,31 @@
+"""Benchmarks regenerating Tables VI-1/VI-2 and Figs. VI-1/VI-2/VI-4/VI-5."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import chapter6 as c6
+from repro.experiments.tables import print_table
+
+
+def test_table_vi2_fig_vi1_turnaround_per_heuristic(benchmark, heuristic_model):
+    rows = run_once(benchmark, c6.heuristic_turnaround_table, heuristic_model)
+    print_table(rows, "Table VI-2 / Fig VI-1: optimal turn-around per heuristic")
+    assert rows
+    for r in rows:
+        assert r["winner"] in heuristic_model.heuristics
+
+
+def test_fig_vi2_decision_surface(benchmark, heuristic_model):
+    rows = run_once(benchmark, c6.decision_surface, heuristic_model)
+    print_table(rows, "Fig VI-2: MCP-vs-FCA decision surface")
+    assert len(rows) >= 2
+
+
+def test_fig_vi4_vi5_combined_validation(benchmark, scale, size_model, heuristic_model):
+    def run():
+        return c6.validate_combined_models(size_model, heuristic_model, scale)
+
+    rows, summary = run_once(benchmark, run)
+    print_table(rows, "Table VI-4: combined-model validation")
+    print_table([summary], "Figs VI-4/VI-5: outcome summary")
+    # Using both models stays close to the best possible turn-around.
+    assert summary["mean_degradation_pct"] <= 25.0
+    assert summary["wrong"] <= summary["points"] // 2

@@ -1,0 +1,50 @@
+"""Benchmarks regenerating Figs. VII-3 … VII-7 (the generator in practice)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import chapter7 as c7
+from repro.experiments.tables import print_table
+
+
+def test_figs_vii3_vii5_generated_specs(benchmark, scale, size_model, heuristic_model):
+    result = run_once(
+        benchmark, c7.generate_montage_specs, size_model, heuristic_model, scale
+    )
+    print("Fig VII-5 (vgDL):\n" + result["vgdl_text"])
+    print("\nFig VII-3 (ClassAd):\n" + result["classad_text"])
+    print("\nFig VII-4 (SWORD):\n" + result["sword_text"])
+    print_table(
+        [
+            {"engine": "vgES", "hosts": result["vg_hosts"]},
+            {"engine": "SWORD", "hosts": result["sword_hosts"]},
+            {"engine": "Condor", "hosts": result["gang_machines"]},
+        ],
+        "\nEnd-to-end selection",
+    )
+    spec = result["spec"]
+    assert result["vg_hosts"] >= spec.min_size
+
+
+def test_fig_vii6_clock_size_surface(benchmark, scale):
+    rows = run_once(benchmark, c7.clock_size_surface, scale, clocks_ghz=(2.0, 3.0, 3.5))
+    print_table(rows[:20], "Fig VII-6 (head): turn-around vs clock and RC size")
+    by_size = {}
+    for r in rows:
+        by_size.setdefault(r["rc_size"], {})[r["clock_ghz"]] = r["turnaround_s"]
+    for vals in by_size.values():
+        assert vals[3.5] <= vals[2.0] + 1e-6
+
+
+def test_fig_vii7_relative_size_threshold(benchmark, scale):
+    rows = run_once(benchmark, c7.relative_size_threshold, scale)
+    print_table(rows, "Fig VII-7: RC-size factor 3.5 GHz -> 3.0 GHz")
+    reachable = [r for r in rows if r["slow_size_needed"] != "unreachable"]
+    assert reachable
+    # Slower hosts need at least as many machines.
+    assert all(r["relative_size_threshold"] >= 1.0 for r in reachable)
+
+
+def test_alternative_specifications(benchmark, scale, size_model):
+    rows = run_once(benchmark, c7.alternatives_demo, size_model, scale)
+    print_table(rows, "Alternative specifications (Table VII-2 setting)")
+    assert rows[0]["note"] == "original (unfulfilled)"
+    assert len(rows) >= 2

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Montage on a synthetic grid: why explicit resource selection matters.
+
+Reproduces the Chapter IV story for the Montage astronomy workflow: six
+scheduling schemes — {MCP, greedy} × {whole universe, top hosts, Virtual
+Grid} — on a synthetic multi-cluster grid, at the actual (tiny) Montage
+communication costs and at CCR = 1.
+
+Run:  python examples/montage_pipeline.py
+"""
+
+import numpy as np
+
+from repro.dag import montage_dag, montage_level_counts, characteristics
+from repro.experiments.chapter4 import run_schemes
+from repro.experiments.tables import print_table
+from repro.resources import PlatformConfig, ResourceGeneratorConfig, generate_platform
+
+rng = np.random.default_rng(3)
+platform = generate_platform(
+    PlatformConfig(resources=ResourceGeneratorConfig(n_clusters=60)), rng
+)
+print(f"Synthetic grid: {platform.n_clusters} clusters, {platform.n_hosts} hosts\n")
+
+# A mosaic sized to this grid (use MONTAGE_LEVELS_4469 for the paper's M16
+# five-square-degree workflow).
+levels = montage_level_counts(120)
+for ccr, label in ((0.01, "actual communication costs"), (1.0, "CCR = 1")):
+    dag = montage_dag(levels, ccr=ccr)
+    if ccr == 0.01:
+        print("Montage workflow:", dag)
+        ch = characteristics(dag)
+        print(f"  width={ch.width}, parallelism={ch.parallelism:.2f}, "
+              f"regularity={ch.regularity:.2f}\n")
+    rows = [r.as_row() for r in run_schemes(dag, platform)]
+    print_table(rows, f"Montage, {label} (cf. Fig IV-{5 if ccr == 0.01 else 6})")
+
+print(
+    "Takeaway: pre-selecting a well-connected Virtual Grid lets even the\n"
+    "simple greedy heuristic match or beat MCP-on-the-universe — the\n"
+    "headline result of Chapter IV."
+)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: from a workflow DAG to a resource specification in ~40 lines.
+
+This walks the full pipeline of the paper (Fig. VII-1):
+
+1. describe your application as a DAG;
+2. train (or load) the RC-size prediction model;
+3. generate a resource specification;
+4. hand the specification to a resource selection system (vgES here);
+5. schedule and "run" the application on the returned resources.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core.generator import ResourceSpecificationGenerator
+from repro.core.size_model import ObservationGrid, SizePredictionModel
+from repro.dag import RandomDagSpec, characteristics, generate_random_dag
+from repro.resources import PlatformConfig, ResourceGeneratorConfig, generate_platform
+from repro.scheduling import schedule_dag, turnaround_time
+from repro.selection import VgES
+
+rng = np.random.default_rng(0)
+
+# 1. The application: a 300-task workflow with mild communication.
+dag = generate_random_dag(
+    RandomDagSpec(size=300, ccr=0.1, parallelism=0.6, regularity=0.5, density=0.4),
+    rng,
+)
+print("Application:", dag)
+print("Characteristics:", characteristics(dag))
+
+# 2. Train a small size-prediction model (seconds; persist it with
+#    model.save(...) for reuse).
+grid = ObservationGrid(
+    sizes=(100, 400),
+    ccrs=(0.01, 0.5),
+    parallelisms=(0.4, 0.6, 0.8),
+    regularities=(0.1, 0.8),
+    instances=1,
+)
+model = SizePredictionModel.train(grid, seed=0)
+
+# 3. Generate the resource specification.
+generator = ResourceSpecificationGenerator(model, target_clock_ghz=3.0)
+spec = generator.generate(dag)
+print("\n" + spec.describe())
+print("\nGenerated vgDL:\n" + spec.to_vgdl())
+
+# 4. Feed it to a selection system over a synthetic 50-cluster grid.
+platform = generate_platform(
+    PlatformConfig(resources=ResourceGeneratorConfig(n_clusters=50)), rng
+)
+vg = VgES(platform).find_and_bind(spec.to_vgdl())
+if vg is None:
+    raise SystemExit("the grid could not satisfy the request — see "
+                     "examples/unfulfilled_request.py for the fallback path")
+rc = platform.rc_from_hosts(vg.all_hosts())
+print(f"\nvgES bound {rc.n_hosts} hosts across {rc.n_clusters} cluster(s)")
+
+# 5. Schedule and report the application turn-around time.
+schedule = schedule_dag(spec.heuristic, dag, rc)
+print(
+    f"Scheduled with {spec.heuristic.upper()}: makespan {schedule.makespan:.1f}s, "
+    f"turn-around {turnaround_time(schedule):.1f}s on {schedule.hosts_used()} hosts"
+)
+
+# Compare against the naive "ask for the DAG width" practice — similar
+# turn-around, noticeably higher cost (the Table V-7 result).
+from repro.core.cost import execution_cost
+
+naive = platform.top_hosts_rc(min(dag.width, platform.n_hosts))
+naive_schedule = schedule_dag(spec.heuristic, dag, naive)
+t_model = turnaround_time(schedule)
+t_naive = turnaround_time(naive_schedule)
+print(
+    f"Current practice (width = {dag.width} fastest hosts): "
+    f"turn-around {t_naive:.1f}s on {naive.n_hosts} hosts"
+)
+print(
+    f"Cost: model RC ${execution_cost(rc, t_model):.3f} vs "
+    f"width RC ${execution_cost(naive, t_naive):.3f}"
+)

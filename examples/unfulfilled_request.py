@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""When the grid can't deliver: alternative resource specifications (Ch. VII).
+
+The generator asks for 3.8 GHz hosts, but the synthetic grid tops out lower
+— every selection engine rejects the request.  The alternative-specification
+algorithm then degrades the clock band while compensating with RC size
+(Figs. VII-6/VII-7) and ranks the options by predicted turn-around.
+
+Run:  python examples/unfulfilled_request.py
+"""
+
+import numpy as np
+
+from repro.core.alternatives import alternative_specifications
+from repro.core.generator import ResourceSpecificationGenerator
+from repro.core.size_model import ObservationGrid, SizePredictionModel
+from repro.dag import montage_dag, montage_level_counts
+from repro.experiments.tables import print_table
+from repro.resources import PlatformConfig, ResourceGeneratorConfig, generate_platform
+from repro.selection import SwordEngine, VgES
+
+rng = np.random.default_rng(4)
+
+model = SizePredictionModel.train(
+    ObservationGrid(
+        sizes=(100, 400),
+        ccrs=(0.01, 0.5),
+        parallelisms=(0.4, 0.6, 0.8),
+        regularities=(0.1, 0.8),
+        instances=1,
+    ),
+    seed=0,
+)
+
+dag = montage_dag(montage_level_counts(60), ccr=0.01)
+print("Application:", dag)
+
+# Ask for hosts faster than anything the grid offers.
+generator = ResourceSpecificationGenerator(
+    model, target_clock_ghz=3.8, heterogeneity_tolerance=0.05
+)
+spec = generator.generate(dag)
+print("\nOriginal request:", spec.describe())
+
+platform = generate_platform(
+    PlatformConfig(resources=ResourceGeneratorConfig(n_clusters=40)), rng
+)
+print(f"Grid clock rates: up to {platform.host_clock.max():.1f} GHz")
+
+vg = VgES(platform).find_and_bind(spec.to_vgdl())
+sword = SwordEngine(platform).query(spec.to_sword_xml())
+print(f"vgES result: {'UNFULFILLED' if vg is None else vg.size}")
+print(f"SWORD result: {'UNFULFILLED' if sword is None else sword.all_hosts().size}")
+
+if vg is None and sword is None:
+    clocks = tuple(sorted({c.clock_ghz for c in platform.clusters}, reverse=True))
+    print(f"\nDegrading along the available clock bands {clocks} ...\n")
+    alternatives = alternative_specifications(dag, spec, clocks)
+    rows = []
+    for rank, (alt, turn) in enumerate(alternatives, start=1):
+        vg_alt = VgES(platform).find_and_bind(alt.to_vgdl())
+        rows.append(
+            {
+                "rank": rank,
+                "clock_ghz": alt.clock_max_mhz / 1000,
+                "size": alt.size,
+                "predicted_turnaround_s": round(turn, 1),
+                "vgES": "ok" if vg_alt is not None else "unfulfilled",
+            }
+        )
+    print_table(rows, "Ranked alternative specifications")
+    fulfilled = [r for r in rows if r["vgES"] == "ok"]
+    if fulfilled:
+        print(f"Best fulfillable alternative: rank {fulfilled[0]['rank']} "
+              f"({fulfilled[0]['clock_ghz']} GHz x {fulfilled[0]['size']} hosts)")

@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Regenerate the Figs. V-18..V-24 SCR table at small scale and append it
+to results_small.txt (the original run predates the SCR-sensitive workload
+fix — see EXPERIMENTS.md, "scheduler clock ratio").
+"""
+
+from repro.experiments import chapter5 as c5
+from repro.experiments.scales import SMALL
+from repro.experiments.tables import format_table
+
+rows = c5.scr_study(SMALL)
+block = format_table(
+    rows,
+    "Figs V-18..V-24 (regenerated, SCR-sensitive workload): "
+    "knee vs scheduler clock ratio + power-law fit",
+)
+print(block)
+with open("results_small.txt", "a") as fh:
+    fh.write("\n" + block + "\n")

@@ -1,0 +1,76 @@
+"""repro — automatic resource specification generation for resource
+selection in large-scale distributed environments.
+
+A Python reproduction of Huang, Casanova & Chien (SC 2007).  See README.md
+for a tour; the public API is re-exported here:
+
+* application model: :mod:`repro.dag`;
+* resource model: :mod:`repro.resources`;
+* scheduling heuristics + simulator: :mod:`repro.scheduling`;
+* selection substrates (ClassAds / vgDL / SWORD): :mod:`repro.selection`;
+* the prediction models and the specification generator: :mod:`repro.core`;
+* experiment harness: :mod:`repro.experiments`.
+"""
+
+from repro.dag import (
+    DAG,
+    DagCharacteristics,
+    RandomDagSpec,
+    characteristics,
+    dag_from_edges,
+    generate_random_dag,
+    montage_dag,
+)
+from repro.resources import (
+    Platform,
+    PlatformConfig,
+    ResourceCollection,
+    generate_platform,
+)
+from repro.scheduling import (
+    Schedule,
+    SchedulingCostModel,
+    replay_schedule,
+    schedule_dag,
+    turnaround_time,
+    validate_schedule,
+)
+from repro.core import (
+    HeuristicPredictionModel,
+    ResourceSpecification,
+    ResourceSpecificationGenerator,
+    SizePredictionModel,
+    UtilityFunction,
+)
+from repro.selection import Matchmaker, SwordEngine, VgES
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DAG",
+    "DagCharacteristics",
+    "RandomDagSpec",
+    "characteristics",
+    "dag_from_edges",
+    "generate_random_dag",
+    "montage_dag",
+    "Platform",
+    "PlatformConfig",
+    "ResourceCollection",
+    "generate_platform",
+    "Schedule",
+    "SchedulingCostModel",
+    "replay_schedule",
+    "schedule_dag",
+    "turnaround_time",
+    "validate_schedule",
+    "HeuristicPredictionModel",
+    "ResourceSpecification",
+    "ResourceSpecificationGenerator",
+    "SizePredictionModel",
+    "UtilityFunction",
+    "Matchmaker",
+    "SwordEngine",
+    "VgES",
+    "__version__",
+]

@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``train``
+    Train the RC-size (and optionally heuristic) prediction models on an
+    observation grid and save them as JSON.
+``predict``
+    Predict the best RC size / heuristic for given DAG characteristics and
+    print the generated vgDL / ClassAd / SWORD specifications.
+``experiments``
+    Regenerate the paper's tables and figures (thin wrapper around
+    :mod:`repro.experiments.runner`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.heuristic_model import HeuristicPredictionModel
+from repro.core.size_model import ObservationGrid, SizePredictionModel
+
+__all__ = ["main"]
+
+_GRIDS = {
+    "tiny": ObservationGrid(
+        sizes=(60, 200),
+        ccrs=(0.01, 0.5),
+        parallelisms=(0.4, 0.6, 0.8),
+        regularities=(0.1, 0.8),
+        instances=1,
+        thresholds=(0.001, 0.01, 0.05, 0.10),
+    ),
+    "small": ObservationGrid(
+        sizes=(100, 500, 1000, 2000),
+        ccrs=(0.01, 0.3, 1.0),
+        parallelisms=(0.3, 0.5, 0.7, 0.9),
+        regularities=(0.01, 0.3, 0.8),
+        instances=2,
+        thresholds=(0.001, 0.01, 0.05, 0.10),
+    ),
+}
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    grid = _GRIDS[args.grid]
+    print(f"training size model on the {args.grid!r} grid ...", file=sys.stderr)
+    model = SizePredictionModel.train(grid, seed=args.seed)
+    model.save(args.output)
+    print(f"size model saved to {args.output}")
+    if args.heuristic_output:
+        hgrid = ObservationGrid(
+            sizes=grid.sizes[:2],
+            ccrs=grid.ccrs[:2],
+            parallelisms=grid.parallelisms[:2],
+            regularities=(grid.regularities[0],),
+            instances=1,
+        )
+        print("training heuristic model ...", file=sys.stderr)
+        hmodel = HeuristicPredictionModel.train(hgrid, seed=args.seed)
+        hmodel.save(args.heuristic_output)
+        print(f"heuristic model saved to {args.heuristic_output}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    model = SizePredictionModel.load(args.model)
+    hmodel = (
+        HeuristicPredictionModel.load(args.heuristic_model)
+        if args.heuristic_model
+        else None
+    )
+    size = model.predict(args.size, args.ccr, args.parallelism, args.regularity, args.threshold)
+    heuristic = (
+        hmodel.predict(args.size, args.ccr, args.parallelism, args.regularity)
+        if hmodel
+        else model.heuristic
+    )
+    print(f"predicted RC size: {size}")
+    print(f"predicted heuristic: {heuristic}")
+    if args.specs:
+        from repro.core.generator import ResourceSpecification
+
+        spec = ResourceSpecification(
+            heuristic=heuristic,
+            size=size,
+            min_size=max(1, int(round(0.9 * size))),
+            clock_min_mhz=args.clock_ghz * 1000 * (1 - args.heterogeneity_tolerance),
+            clock_max_mhz=args.clock_ghz * 1000,
+            connectivity="loose" if args.ccr < 0.05 else "tight",
+            threshold=args.threshold,
+            dag_name="cli",
+        )
+        print("\n--- vgDL ---\n" + spec.to_vgdl())
+        print("\n--- ClassAd ---\n" + spec.to_classad())
+        print("\n--- SWORD ---\n" + spec.to_sword_xml())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+
+    argv = ["--scale", args.scale]
+    argv += ["--all"] if args.chapter is None else ["--chapter", str(args.chapter)]
+    return runner.main(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro`` command-line interface."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="train and save prediction models")
+    p_train.add_argument("--grid", choices=sorted(_GRIDS), default="tiny")
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--output", default="size_model.json")
+    p_train.add_argument("--heuristic-output", default=None)
+    p_train.set_defaults(fn=_cmd_train)
+
+    p_pred = sub.add_parser("predict", help="predict RC size / heuristic")
+    p_pred.add_argument("--model", required=True)
+    p_pred.add_argument("--heuristic-model", default=None)
+    p_pred.add_argument("--size", type=int, required=True)
+    p_pred.add_argument("--ccr", type=float, required=True)
+    p_pred.add_argument("--parallelism", type=float, required=True)
+    p_pred.add_argument("--regularity", type=float, required=True)
+    p_pred.add_argument("--threshold", type=float, default=0.001)
+    p_pred.add_argument("--clock-ghz", type=float, default=3.0)
+    p_pred.add_argument("--heterogeneity-tolerance", type=float, default=0.3)
+    p_pred.add_argument("--specs", action="store_true", help="print the three specification documents")
+    p_pred.set_defaults(fn=_cmd_predict)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("--chapter", type=int, choices=(4, 5, 6, 7), default=None)
+    p_exp.add_argument("--scale", default="smoke", choices=("smoke", "small", "paper"))
+    p_exp.set_defaults(fn=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

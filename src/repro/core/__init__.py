@@ -1,0 +1,49 @@
+"""The paper's primary contribution (Chapters V–VII): the automatic
+resource specification generator.
+
+* :mod:`repro.core.knee` — turn-around-vs-RC-size sweeps and knee detection
+  (§V.2.2);
+* :mod:`repro.core.cost` — the EC2-style execution cost model and the
+  performance/cost utility functions (§V.3.2.1, §V.3.2.3);
+* :mod:`repro.core.size_model` — the empirical RC-size prediction model:
+  per-(n, CCR) planar fits of ``log2(knee)`` on (α, β) with bilinear
+  interpolation (§V.2.3–V.2.4);
+* :mod:`repro.core.heuristic_model` — the best-scheduling-heuristic
+  prediction model (Ch. VI);
+* :mod:`repro.core.generator` — combining both models into concrete vgDL /
+  ClassAd / SWORD specifications (Ch. VII);
+* :mod:`repro.core.alternatives` — alternative specifications when the
+  optimal request cannot be fulfilled (§VII, Figs. VII-6/7).
+"""
+
+from repro.core.knee import (
+    TurnaroundCurve,
+    sweep_turnaround,
+    knee_from_curve,
+    rc_size_grid,
+    PrefixRCFactory,
+)
+from repro.core.cost import execution_cost, relative_cost, UtilityFunction
+from repro.core.size_model import SizePredictionModel, ObservationGrid, build_observation_knees
+from repro.core.heuristic_model import HeuristicPredictionModel
+from repro.core.generator import ResourceSpecification, ResourceSpecificationGenerator
+from repro.core.alternatives import alternative_specifications, clock_size_tradeoff
+
+__all__ = [
+    "TurnaroundCurve",
+    "sweep_turnaround",
+    "knee_from_curve",
+    "rc_size_grid",
+    "PrefixRCFactory",
+    "execution_cost",
+    "relative_cost",
+    "UtilityFunction",
+    "SizePredictionModel",
+    "ObservationGrid",
+    "build_observation_knees",
+    "HeuristicPredictionModel",
+    "ResourceSpecification",
+    "ResourceSpecificationGenerator",
+    "alternative_specifications",
+    "clock_size_tradeoff",
+]

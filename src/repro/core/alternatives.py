@@ -1,0 +1,130 @@
+"""Alternative resource specifications (Chapter VII, Figs. VII-6/VII-7).
+
+When the optimal specification cannot be fulfilled (e.g. not enough
+3.5 GHz hosts), the paper degrades the specification along the clock-rate
+axis while compensating with RC size: Fig. VII-6 maps turn-around time as
+a function of (clock rate, RC size); Fig. VII-7 extracts the *relative RC
+size threshold* — how much larger an RC of slower hosts must be to match
+the original turn-around.
+
+:func:`clock_size_tradeoff` computes the Fig. VII-6 surface by actually
+scheduling the DAG; :func:`alternative_specifications` ranks degraded
+specifications by predicted turn-around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.dag.graph import DAG
+from repro.core.generator import ResourceSpecification
+from repro.core.knee import PrefixRCFactory, rc_size_grid, sweep_turnaround, TurnaroundCurve
+from repro.resources.collection import REFERENCE_CLOCK_GHZ
+from repro.scheduling.costmodel import DEFAULT_COST_MODEL, SchedulingCostModel
+
+__all__ = ["ClockSizePoint", "clock_size_tradeoff", "size_to_match", "alternative_specifications"]
+
+
+@dataclass(frozen=True)
+class ClockSizePoint:
+    """One cell of the Fig. VII-6 surface."""
+
+    clock_ghz: float
+    size: int
+    turnaround: float
+    makespan: float
+
+
+def clock_size_tradeoff(
+    dag: DAG,
+    clocks_ghz: tuple[float, ...],
+    max_size: int,
+    heuristic: str = "mcp",
+    cost_model: SchedulingCostModel = DEFAULT_COST_MODEL,
+    step_frac: float = 0.2,
+) -> list[ClockSizePoint]:
+    """Turn-around as a function of clock rate and RC size (Fig. VII-6)."""
+    points: list[ClockSizePoint] = []
+    sizes = rc_size_grid(max_size, step_frac=step_frac)
+    for clock in clocks_ghz:
+        speed = clock / REFERENCE_CLOCK_GHZ
+        factory = PrefixRCFactory(max_size, mean_speed=speed)
+        curve = sweep_turnaround(dag, sizes, heuristic, factory, cost_model)
+        for i in range(curve.sizes.shape[0]):
+            points.append(
+                ClockSizePoint(
+                    clock_ghz=clock,
+                    size=int(curve.sizes[i]),
+                    turnaround=float(curve.turnaround[i]),
+                    makespan=float(curve.makespan[i]),
+                )
+            )
+    return points
+
+
+def size_to_match(
+    curve: TurnaroundCurve, target_turnaround: float
+) -> int | None:
+    """Smallest sampled RC size whose turn-around is within the target
+    (None if the curve never reaches it — Fig. VII-7's "threshold")."""
+    ok = np.flatnonzero(curve.turnaround <= target_turnaround)
+    if ok.size == 0:
+        return None
+    return int(curve.sizes[ok[0]])
+
+
+def alternative_specifications(
+    dag: DAG,
+    spec: ResourceSpecification,
+    available_clocks_ghz: tuple[float, ...],
+    max_size: int | None = None,
+    slack: float = 0.05,
+    cost_model: SchedulingCostModel = DEFAULT_COST_MODEL,
+) -> list[tuple[ResourceSpecification, float]]:
+    """Ranked alternatives when ``spec`` cannot be fulfilled.
+
+    For every available clock band at or below the original request,
+    find the smallest RC size whose turn-around is within ``slack`` of the
+    original predicted turn-around; emit one degraded specification per
+    feasible band, best predicted turn-around first.
+    """
+    if max_size is None:
+        max_size = int(min(dag.n, max(8, 4 * spec.size)))
+    orig_clock = spec.clock_max_mhz / 1000.0
+    # Reference turn-around of the original specification.
+    orig_speed = orig_clock / REFERENCE_CLOCK_GHZ
+    factory = PrefixRCFactory(max(spec.size, 1), mean_speed=orig_speed)
+    orig_curve = sweep_turnaround(
+        dag, rc_size_grid(max(spec.size, 1), step_frac=0.3), spec.heuristic, factory, cost_model
+    )
+    target = orig_curve.at_size(spec.size) * (1.0 + slack)
+
+    out: list[tuple[ResourceSpecification, float]] = []
+    sizes = rc_size_grid(max_size, step_frac=0.2)
+    for clock in sorted(set(available_clocks_ghz), reverse=True):
+        if clock > orig_clock + 1e-9:
+            continue
+        speed = clock / REFERENCE_CLOCK_GHZ
+        curve = sweep_turnaround(
+            dag, sizes, spec.heuristic, PrefixRCFactory(max_size, mean_speed=speed), cost_model
+        )
+        needed = size_to_match(curve, target)
+        if needed is None:
+            # Cannot match within slack: offer this band's own optimum.
+            needed = curve.best_size
+            turn = curve.best_turnaround
+        else:
+            turn = curve.at_size(needed)
+        frac = spec.min_size / spec.size
+        alt = replace(
+            spec,
+            size=int(needed),
+            min_size=max(1, int(round(frac * needed))),
+            clock_max_mhz=clock * 1000.0,
+            clock_min_mhz=min(spec.clock_min_mhz, clock * 1000.0),
+        )
+        out.append((alt, float(turn)))
+    out.sort(key=lambda t: t[1])
+    return out

@@ -1,0 +1,108 @@
+"""Execution cost and performance/cost utility (§V.3.2.1, §V.3.2.3).
+
+The paper adopts Amazon EC2's pricing as an existing production cost model:
+$0.10 per hour per 1.7 GHz (virtual) processor, scaled linearly by clock
+rate.  The *relative cost* compares running with a predicted RC against the
+RC that optimises turn-around time; a negative relative cost means the
+prediction is cheaper than the optimum-performance configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.resources.collection import REFERENCE_CLOCK_GHZ, ResourceCollection
+
+__all__ = [
+    "DOLLARS_PER_INSTANCE_HOUR",
+    "INSTANCE_CLOCK_GHZ",
+    "execution_cost",
+    "cost_for_size",
+    "relative_cost",
+    "UtilityFunction",
+]
+
+#: Amazon EC2 "instance" pricing the paper cites.
+DOLLARS_PER_INSTANCE_HOUR = 0.10
+INSTANCE_CLOCK_GHZ = 1.7
+
+
+def execution_cost(rc: ResourceCollection, turnaround_seconds: float) -> float:
+    """Dollars to hold every host of ``rc`` for the whole turn-around time."""
+    if turnaround_seconds < 0:
+        raise ValueError("turnaround must be non-negative")
+    clocks = rc.clock_ghz()
+    instance_hours = float(np.sum(clocks / INSTANCE_CLOCK_GHZ)) * turnaround_seconds / 3600.0
+    return DOLLARS_PER_INSTANCE_HOUR * instance_hours
+
+
+def cost_for_size(
+    size: int, turnaround_seconds: float, mean_speed: float = 1.0
+) -> float:
+    """Cost of a homogeneous RC of ``size`` hosts at ``mean_speed``."""
+    clock = mean_speed * REFERENCE_CLOCK_GHZ
+    hours = size * (clock / INSTANCE_CLOCK_GHZ) * turnaround_seconds / 3600.0
+    return DOLLARS_PER_INSTANCE_HOUR * hours
+
+
+def relative_cost(predicted_cost: float, optimal_cost: float) -> float:
+    """``(predicted - optimal) / optimal``; negative = cheaper than the
+    optimum-performance configuration."""
+    if optimal_cost <= 0:
+        raise ValueError("optimal cost must be positive")
+    return (predicted_cost - optimal_cost) / optimal_cost
+
+
+@dataclass(frozen=True)
+class UtilityFunction:
+    """Trade performance degradation for cost savings (§V.3.2.3).
+
+    The user states an exchange rate: accepting ``degradation_unit``
+    (relative, e.g. 0.01 = 1 %) of turn-around degradation is worth
+    ``cost_unit`` (e.g. 0.10 = 10 %) of cost savings.  The utility of an
+    operating point is the weighted sum the model minimises::
+
+        utility = degradation / degradation_unit + relative_cost / cost_unit
+
+    An optional ``budget_dollars`` turns the trade-off into a constraint:
+    pick the best-performing point whose absolute cost stays within budget.
+    """
+
+    degradation_unit: float = 0.01
+    cost_unit: float = 0.10
+    budget_dollars: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.degradation_unit <= 0 or self.cost_unit <= 0:
+            raise ValueError("utility units must be positive")
+
+    def utility(self, degradation: float, rel_cost: float) -> float:
+        """Lower is better."""
+        return degradation / self.degradation_unit + rel_cost / self.cost_unit
+
+    def choose(
+        self,
+        options: list[tuple[float, float, float]],
+    ) -> int:
+        """Pick the index of the best option.
+
+        ``options`` are ``(degradation, relative_cost, absolute_cost)``
+        tuples, e.g. one per knee threshold (Fig. V-7).
+        """
+        if not options:
+            raise ValueError("no options to choose from")
+        best_i = -1
+        best_u = np.inf
+        for i, (deg, rel, absolute) in enumerate(options):
+            if self.budget_dollars is not None and absolute > self.budget_dollars:
+                continue
+            u = self.utility(deg, rel)
+            if u < best_u:
+                best_u = u
+                best_i = i
+        if best_i < 0:
+            # Nothing within budget: take the cheapest option.
+            best_i = int(np.argmin([absolute for _, _, absolute in options]))
+        return best_i

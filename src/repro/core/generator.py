@@ -1,0 +1,225 @@
+"""The automatic resource specification generator (Chapter VII).
+
+Combines the size prediction model (Ch. V) and the heuristic prediction
+model (Ch. VI) with assumptions about the resource environment to emit a
+concrete :class:`ResourceSpecification`, renderable as:
+
+* vgDL (Fig. VII-5) — a TightBag/LooseBag with a node-count range, a clock
+  constraint and a ``rank = Nodes`` preference;
+* a Condor Gangmatch ClassAd (Fig. VII-3) — one machine port carrying the
+  predicted count (``Count`` extension, see the matchmaker);
+* a SWORD XML query (Fig. VII-4) — one group with ``num_machines`` and
+  5-tuple clock/latency requirements.
+
+Environment assumptions (§VII): the generator targets the fastest clock
+band the user expects to find (default 3.0 GHz), allows a clock-rate
+*range* derived from the heterogeneity tolerance of §V.4 (heterogeneous
+RCs within ±tolerance degrade turn-around only marginally while costing
+less), and requires good connectivity (TightBag / bounded latency) unless
+the DAG's CCR is negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag.graph import DAG
+from repro.dag.metrics import DagCharacteristics, characteristics
+from repro.core.cost import UtilityFunction, cost_for_size
+from repro.core.heuristic_model import HeuristicPredictionModel
+from repro.core.knee import DEFAULT_KNEE_THRESHOLD
+from repro.core.size_model import SizePredictionModel, recommend_single_host
+from repro.resources.collection import REFERENCE_CLOCK_GHZ
+
+__all__ = ["ResourceSpecification", "ResourceSpecificationGenerator"]
+
+#: CCR below which communication is negligible and a LooseBag suffices
+#: (Ch. IV: the naïve abstraction only works "when communication costs are
+#: minimal").
+LOOSE_CCR_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True)
+class ResourceSpecification:
+    """A generated resource request (the output of Fig. VII-1)."""
+
+    heuristic: str
+    size: int
+    min_size: int
+    clock_min_mhz: float
+    clock_max_mhz: float
+    connectivity: str  # "tight" | "loose"
+    threshold: float
+    dag_name: str = "dag"
+    dag_characteristics: DagCharacteristics | None = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1 or self.min_size < 1 or self.min_size > self.size:
+            raise ValueError("invalid size range")
+        if self.clock_min_mhz <= 0 or self.clock_max_mhz < self.clock_min_mhz:
+            raise ValueError("invalid clock range")
+        if self.connectivity not in ("tight", "loose"):
+            raise ValueError("connectivity must be 'tight' or 'loose'")
+
+    # ------------------------------------------------------------------
+    # Renderers (Figs. VII-3/4/5)
+    # ------------------------------------------------------------------
+    def to_vgdl(self) -> str:
+        """vgDL resource specification (Fig. VII-5).
+
+        Only the lower clock bound is a hard constraint (faster hosts are
+        always acceptable — cf. Fig. IV-4); the upper bound of the band is
+        what the ranking favours.
+        """
+        kind = "TightBagOf" if self.connectivity == "tight" else "LooseBagOf"
+        return (
+            f"VG =\n"
+            f"{kind}(nodes) [{self.min_size}:{self.size}]\n"
+            f"[rank = Clock] {{\n"
+            f"  nodes = [ (Clock >= {self.clock_min_mhz:.0f}) ]\n"
+            f"}}"
+        )
+
+    def to_classad(self, owner: str = "generator", cmd: str = "run_dag") -> str:
+        """Condor Gangmatch request (Fig. VII-3)."""
+        return (
+            "[\n"
+            '  Type = "Job";\n'
+            f'  Owner = "{owner}";\n'
+            f'  Cmd = "{cmd}";\n'
+            f'  SchedulingHeuristic = "{self.heuristic}";\n'
+            "  Ports = {\n"
+            "    [\n"
+            "      Label = cpu;\n"
+            f"      Count = {self.size};\n"
+            "      Rank = cpu.Clock;\n"
+            '      Constraint = cpu.Type == "Machine" && cpu.OpSys == "LINUX" &&\n'
+            f"                   cpu.Clock >= {self.clock_min_mhz:.0f}\n"
+            "    ]\n"
+            "  }\n"
+            "]"
+        )
+
+    def to_sword_xml(self) -> str:
+        """SWORD XML query (Fig. VII-4)."""
+        # Intra-group latency: tight connectivity = intra-domain scale.
+        lat = (
+            "0.0, 0.0, 10.0, 20.0, 0.5"
+            if self.connectivity == "tight"
+            else "0.0, 0.0, 50.0, 100.0, 0.1"
+        )
+        return (
+            "<request>\n"
+            "  <dist_query_budget>50</dist_query_budget>\n"
+            "  <optimizer_budget>200</optimizer_budget>\n"
+            "  <group>\n"
+            f"    <name>{self.dag_name}_rc</name>\n"
+            f"    <num_machines>{self.size}</num_machines>\n"
+            f"    <clock>{self.clock_min_mhz:.1f}, {self.clock_max_mhz:.1f}, "
+            f"MAX, MAX, 0.01</clock>\n"
+            "    <cpu_load>0.5, 0.1, 0.1, 0.0, 0.0</cpu_load>\n"
+            f"    <latency>{lat}</latency>\n"
+            "    <os><value>LINUX, 0.0</value></os>\n"
+            "  </group>\n"
+            "</request>"
+        )
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"Run {self.dag_name} with the {self.heuristic.upper()} heuristic on "
+            f"{self.min_size}–{self.size} hosts clocked between "
+            f"{self.clock_min_mhz / 1000:.2f} and {self.clock_max_mhz / 1000:.2f} GHz "
+            f"({self.connectivity} connectivity, knee threshold "
+            f"{self.threshold * 100:.1f}%)."
+        )
+
+
+@dataclass
+class ResourceSpecificationGenerator:
+    """DAG → resource specification (Fig. VII-1).
+
+    Parameters
+    ----------
+    size_model, heuristic_model:
+        The trained Chapter V / Chapter VI models.  ``heuristic_model`` may
+        be None, in which case the reference heuristic (MCP) is requested.
+    target_clock_ghz:
+        Fastest clock band the environment is expected to offer.
+    heterogeneity_tolerance:
+        Acceptable relative clock spread within the RC; §V.4 shows moderate
+        spreads (≤ 0.3) cost only a few percent of turn-around while
+        enlarging the candidate resource pool.
+    """
+
+    size_model: SizePredictionModel
+    heuristic_model: HeuristicPredictionModel | None = None
+    target_clock_ghz: float = 3.0
+    heterogeneity_tolerance: float = 0.3
+    min_size_fraction: float = 0.9
+
+    def generate(
+        self,
+        dag: DAG,
+        threshold: float = DEFAULT_KNEE_THRESHOLD,
+        utility: UtilityFunction | None = None,
+    ) -> ResourceSpecification:
+        """Generate the resource specification for ``dag``.
+
+        With a ``utility``, the knee threshold is chosen among the size
+        model's trained thresholds by minimising the utility (Fig. V-7):
+        larger thresholds give smaller, cheaper RCs at bounded degradation.
+        """
+        ch = characteristics(dag)
+        if utility is not None:
+            threshold = self._choose_threshold(dag, ch, utility)
+
+        if recommend_single_host(ch):
+            size = 1
+        else:
+            size = self.size_model.predict_for_dag(dag, threshold)
+
+        heuristic = (
+            self.heuristic_model.predict(ch.size, ch.ccr, ch.parallelism, ch.regularity)
+            if self.heuristic_model is not None
+            else self.size_model.heuristic
+        )
+
+        clock_max = self.target_clock_ghz * 1000.0
+        clock_min = clock_max * (1.0 - self.heterogeneity_tolerance)
+        connectivity = "loose" if ch.ccr < LOOSE_CCR_THRESHOLD else "tight"
+        return ResourceSpecification(
+            heuristic=heuristic,
+            size=size,
+            min_size=max(1, int(round(self.min_size_fraction * size))),
+            clock_min_mhz=clock_min,
+            clock_max_mhz=clock_max,
+            connectivity=connectivity,
+            threshold=threshold,
+            dag_name=dag.name.split("(")[0],
+            dag_characteristics=ch,
+        )
+
+    def _choose_threshold(
+        self, dag: DAG, ch: DagCharacteristics, utility: UtilityFunction
+    ) -> float:
+        """Pick the knee threshold minimising the user's utility.
+
+        Degradation is approximated by the threshold itself (the knee
+        definition bounds per-step improvements) and cost scales with the
+        predicted size; both are exactly the quantities Fig. V-7 trades.
+        """
+        thresholds = self.size_model.thresholds()
+        sizes = [self.size_model.predict_for_dag(dag, t) for t in thresholds]
+        base = max(sizes)
+        speed = self.target_clock_ghz / REFERENCE_CLOCK_GHZ
+        # Reference turn-around scale: serial work shared across the RC.
+        ref_turn = ch.size * ch.mean_comp_cost / max(1, base) / speed
+        options = []
+        for t, s in zip(thresholds, sizes):
+            degradation = t
+            absolute = cost_for_size(s, ref_turn, speed)
+            base_cost = cost_for_size(base, ref_turn, speed)
+            rel = (absolute - base_cost) / base_cost if base_cost > 0 else 0.0
+            options.append((degradation, rel, absolute))
+        return thresholds[utility.choose(options)]

@@ -1,0 +1,194 @@
+"""The best-scheduling-heuristic prediction model (Chapter VI).
+
+For every observation configuration we find each heuristic's *optimal*
+turn-around time (each heuristic is allowed its own best RC size, §VI);
+the winning heuristic labels the configuration.  Prediction is
+nearest-neighbour in normalised characteristic space (log2 size, CCR, α, β)
+— an empirical decision model equivalent to the decision surface of
+Fig. VI-2 (MCP for large / communication-sensitive DAGs, FCA when the DAG
+is small enough that MCP's scheduling time is not amortised).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.dag.graph import DAG
+from repro.dag.metrics import characteristics
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+from repro.core.knee import PrefixRCFactory, rc_size_grid, sweep_turnaround
+from repro.core.size_model import ObservationGrid, _sweep_max_size
+from repro.scheduling.costmodel import DEFAULT_COST_MODEL, SchedulingCostModel
+
+__all__ = ["HeuristicObservation", "HeuristicPredictionModel", "DEFAULT_HEURISTICS"]
+
+#: The four heuristics of the Chapter V sensitivity study and Chapter VI
+#: model (Figs. V-12…V-15).
+DEFAULT_HEURISTICS = ("mcp", "dls", "fca", "fcfs")
+
+
+@dataclass(frozen=True)
+class HeuristicObservation:
+    """One observation-grid point with each heuristic's optimum."""
+
+    size: int
+    ccr: float
+    parallelism: float
+    regularity: float
+    best_turnaround: dict[str, float]
+    best_size: dict[str, int]
+
+    @property
+    def winner(self) -> str:
+        return min(self.best_turnaround, key=self.best_turnaround.get)
+
+
+@dataclass
+class HeuristicPredictionModel:
+    """Nearest-neighbour predictor over heuristic observations."""
+
+    observations: list[HeuristicObservation]
+    heuristics: tuple[str, ...] = DEFAULT_HEURISTICS
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def train(
+        cls,
+        grid: ObservationGrid,
+        heuristics: Sequence[str] = DEFAULT_HEURISTICS,
+        seed: int = 0,
+        cost_model: SchedulingCostModel = DEFAULT_COST_MODEL,
+        size_step_frac: float = 0.35,
+    ) -> "HeuristicPredictionModel":
+        """Run the observation set for every heuristic.
+
+        ``size_step_frac`` coarsens the RC-size sweep (DLS is O(n·r·p); the
+        optimum turn-around is insensitive to the exact grid).
+        """
+        rng = np.random.default_rng(seed)
+        observations: list[HeuristicObservation] = []
+        for n, ccr, a, b in grid.configs():
+            spec = RandomDagSpec(
+                size=n,
+                ccr=ccr,
+                parallelism=a,
+                regularity=b,
+                density=grid.density,
+                mean_comp_cost=grid.mean_comp_cost,
+                max_parents=grid.max_parents,
+            )
+            best_turn: dict[str, list[float]] = {h: [] for h in heuristics}
+            best_size: dict[str, list[int]] = {h: [] for h in heuristics}
+            for _ in range(grid.instances):
+                dag = generate_random_dag(spec, rng)
+                max_size = _sweep_max_size(dag)
+                sizes = rc_size_grid(max_size, step_frac=size_step_frac)
+                factory = PrefixRCFactory(
+                    max_size, heterogeneity=grid.heterogeneity, seed=seed
+                )
+                for h in heuristics:
+                    curve = sweep_turnaround(dag, sizes, h, factory, cost_model)
+                    best_turn[h].append(curve.best_turnaround)
+                    best_size[h].append(curve.best_size)
+            observations.append(
+                HeuristicObservation(
+                    size=n,
+                    ccr=ccr,
+                    parallelism=a,
+                    regularity=b,
+                    best_turnaround={h: float(np.mean(v)) for h, v in best_turn.items()},
+                    best_size={h: int(round(np.mean(v))) for h, v in best_size.items()},
+                )
+            )
+        return cls(observations=observations, heuristics=tuple(heuristics))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _features(size: int, ccr: float, alpha: float, beta: float) -> np.ndarray:
+        return np.array([math.log2(max(2, size)) / 14.0, ccr, alpha, beta])
+
+    def predict(self, size: int, ccr: float, alpha: float, beta: float) -> str:
+        """Best heuristic for the given DAG characteristics (1-NN)."""
+        if not self.observations:
+            raise ValueError("model has no observations")
+        q = self._features(size, ccr, alpha, beta)
+        best = min(
+            self.observations,
+            key=lambda o: float(
+                np.sum((self._features(o.size, o.ccr, o.parallelism, o.regularity) - q) ** 2)
+            ),
+        )
+        return best.winner
+
+    def predict_for_dag(self, dag: DAG) -> str:
+        """Best heuristic for a concrete DAG's measured characteristics."""
+        ch = characteristics(dag)
+        return self.predict(ch.size, ch.ccr, ch.parallelism, ch.regularity)
+
+    def win_counts(self) -> dict[str, int]:
+        """How often each heuristic wins across the observation set."""
+        counts = {h: 0 for h in self.heuristics}
+        for o in self.observations:
+            counts[o.winner] = counts.get(o.winner, 0) + 1
+        return counts
+
+    def decision_surface(self) -> list[tuple[int, float, str]]:
+        """(size, ccr, winner) triples — the Fig. VI-2 surface flattened
+        over (α, β) by majority vote."""
+        votes: dict[tuple[int, float], dict[str, int]] = {}
+        for o in self.observations:
+            cell = votes.setdefault((o.size, o.ccr), {})
+            cell[o.winner] = cell.get(o.winner, 0) + 1
+        out = []
+        for (n, ccr), cell in sorted(votes.items()):
+            out.append((n, ccr, max(cell, key=cell.get)))
+        return out
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "heuristics": list(self.heuristics),
+            "observations": [
+                {
+                    "size": o.size,
+                    "ccr": o.ccr,
+                    "parallelism": o.parallelism,
+                    "regularity": o.regularity,
+                    "best_turnaround": o.best_turnaround,
+                    "best_size": o.best_size,
+                }
+                for o in self.observations
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HeuristicPredictionModel":
+        return cls(
+            observations=[
+                HeuristicObservation(
+                    size=int(o["size"]),
+                    ccr=float(o["ccr"]),
+                    parallelism=float(o["parallelism"]),
+                    regularity=float(o["regularity"]),
+                    best_turnaround={k: float(v) for k, v in o["best_turnaround"].items()},
+                    best_size={k: int(v) for k, v in o["best_size"].items()},
+                )
+                for o in data["observations"]
+            ],
+            heuristics=tuple(data["heuristics"]),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the model as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "HeuristicPredictionModel":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,77 @@
+"""Resource specifications for mixed-parallel applications.
+
+The dissertation's future-work direction (§III.1): for DAGs whose nodes are
+data-parallel tasks, generate specifications *requiring clusters instead of
+hosts*.  Given a :class:`~repro.dag.mixed.MixedParallelDag` we run the CPA
+allocation phase to learn how many processors each task wants, derive
+
+* ``A`` — the largest single-task allocation (every candidate cluster must
+  hold at least ``A`` processors, since a moldable task cannot span
+  clusters), and
+* ``P`` — the peak concurrent processor demand over the DAG's levels,
+
+and emit a ``ClusterOf`` request sized ``[A : P]`` (one well-provisioned
+cluster) plus a TightBag fallback at the same processor count for grids
+without a single large-enough cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.mixed import MixedParallelDag
+from repro.scheduling.moldable import cpa_allocation
+
+__all__ = ["MixedSpecification", "generate_mixed_specification"]
+
+
+@dataclass(frozen=True)
+class MixedSpecification:
+    """Cluster-level resource request for a mixed-parallel DAG."""
+
+    largest_task_procs: int   # A
+    peak_procs: int           # P
+    clock_min_mhz: float
+    allocation: tuple[int, ...]
+
+    def to_vgdl(self) -> str:
+        """Primary request: one cluster covering the peak demand."""
+        return (
+            f"VG =\n"
+            f"ClusterOf(nodes) [{self.largest_task_procs}:{self.peak_procs}]\n"
+            f"[rank = Nodes] {{\n"
+            f"  nodes = [ (Clock >= {self.clock_min_mhz:.0f}) ]\n"
+            f"}}"
+        )
+
+    def to_vgdl_fallback(self) -> str:
+        """Fallback: a TightBag with the same processor count (for grids
+        whose clusters are individually too small)."""
+        return (
+            f"VG =\n"
+            f"TightBagOf(nodes) [{self.largest_task_procs}:{self.peak_procs}]\n"
+            f"[rank = Nodes] {{\n"
+            f"  nodes = [ (Clock >= {self.clock_min_mhz:.0f}) ]\n"
+            f"}}"
+        )
+
+
+def generate_mixed_specification(
+    mdag: MixedParallelDag,
+    virtual_pool_procs: int = 256,
+    max_cluster_procs: int = 64,
+    clock_min_ghz: float = 2.0,
+) -> MixedSpecification:
+    """Run CPA's allocation phase and derive the cluster-level request."""
+    alloc, _ = cpa_allocation(mdag, virtual_pool_procs, max_cluster_procs)
+    dag = mdag.dag
+    level_demand = np.zeros(dag.height, dtype=np.int64)
+    np.add.at(level_demand, dag.level, alloc)
+    return MixedSpecification(
+        largest_task_procs=int(alloc.max()),
+        peak_procs=int(level_demand.max()),
+        clock_min_mhz=clock_min_ghz * 1000.0,
+        allocation=tuple(int(a) for a in alloc),
+    )

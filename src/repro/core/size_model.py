@@ -1,0 +1,331 @@
+"""The empirical RC-size prediction model (§V.2).
+
+Construction (§V.2.3–V.2.4):
+
+1. run the reference heuristic over an *observation set* of random DAG
+   configurations — the cross product of sizes × CCRs × parallelisms ×
+   regularities (Table V-1) — scheduling each DAG onto RCs of increasing
+   size and recording the knee of the turn-around curve;
+2. for every (size, CCR) pair, fit a plane to ``log2(knee)`` as a function
+   of (α, β) by least squares (the surfaces are planar, Fig. V-4)::
+
+       log2(knee) = a * alpha + b * beta + c
+
+3. predict arbitrary DAGs by evaluating the planes at the four surrounding
+   (size, CCR) grid points and interpolating linearly along both axes
+   (§V.2.4: "linear interpolations based on the two closest sample
+   points"), clamping outside the grid.
+
+The model supports multiple knee thresholds (0.1 %…10 %) so a utility
+function can trade performance for cost (§V.3.2.3), and optional resource
+heterogeneity in the observation runs (§V.4).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.dag.graph import DAG
+from repro.dag.metrics import DagCharacteristics, characteristics
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+from repro.core.knee import (
+    DEFAULT_KNEE_THRESHOLD,
+    PrefixRCFactory,
+    knee_from_curve,
+    rc_size_grid,
+    sweep_turnaround,
+)
+from repro.scheduling.costmodel import DEFAULT_COST_MODEL, SchedulingCostModel
+
+__all__ = [
+    "ObservationGrid",
+    "PAPER_GRID",
+    "SMALL_GRID",
+    "SMOKE_GRID",
+    "build_observation_knees",
+    "SizePredictionModel",
+    "recommend_single_host",
+]
+
+
+@dataclass(frozen=True)
+class ObservationGrid:
+    """The observation-set axes (Table V-1) plus generation defaults."""
+
+    sizes: tuple[int, ...]
+    ccrs: tuple[float, ...]
+    parallelisms: tuple[float, ...]
+    regularities: tuple[float, ...]
+    instances: int = 3
+    density: float = 0.5
+    #: Cap on parents per task during generation (None = uncapped).  The
+    #: size model deliberately ignores density (§V.2.1), so experiments cap
+    #: the edge count to keep large-α configurations tractable
+    #: (documented in EXPERIMENTS.md).
+    max_parents: int | None = 16
+    mean_comp_cost: float = 40.0
+    thresholds: tuple[float, ...] = (DEFAULT_KNEE_THRESHOLD,)
+    heterogeneity: float = 0.0
+
+    def configs(self) -> Iterable[tuple[int, float, float, float]]:
+        """Iterate the cross product of the grid axes."""
+        for n in self.sizes:
+            for ccr in self.ccrs:
+                for a in self.parallelisms:
+                    for b in self.regularities:
+                        yield n, ccr, a, b
+
+
+#: Table V-1 — the dissertation's full observation set (CPU-days to run).
+PAPER_GRID = ObservationGrid(
+    sizes=(100, 500, 1000, 5000, 10000),
+    ccrs=(0.01, 0.1, 0.3, 0.5, 0.8, 1.0),
+    parallelisms=(0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    regularities=(0.01, 0.1, 0.3, 0.5, 0.8, 1.0),
+    instances=10,
+)
+
+#: Scaled-down grid used for the recorded EXPERIMENTS.md numbers.
+SMALL_GRID = ObservationGrid(
+    sizes=(100, 500, 1000, 2000),
+    ccrs=(0.01, 0.3, 1.0),
+    parallelisms=(0.3, 0.5, 0.7, 0.9),
+    regularities=(0.01, 0.3, 0.8),
+    instances=2,
+)
+
+#: Minute-scale grid for tests and pytest-benchmark targets.
+SMOKE_GRID = ObservationGrid(
+    sizes=(60, 200),
+    ccrs=(0.01, 0.5),
+    parallelisms=(0.4, 0.6, 0.8),
+    regularities=(0.1, 0.8),
+    instances=1,
+)
+
+
+def _sweep_max_size(dag: DAG) -> int:
+    """Upper end of the RC-size sweep: comfortably past the DAG width
+    (the knee cannot usefully exceed achievable concurrency)."""
+    return int(min(dag.n, max(8, math.ceil(1.5 * dag.width))))
+
+
+def build_observation_knees(
+    grid: ObservationGrid,
+    seed: int = 0,
+    heuristic: str = "mcp",
+    cost_model: SchedulingCostModel = DEFAULT_COST_MODEL,
+) -> dict[tuple[int, float, float, float, float], float]:
+    """Run the observation set; return mean knee per
+    ``(size, ccr, alpha, beta, threshold)``."""
+    rng = np.random.default_rng(seed)
+    knees: dict[tuple[int, float, float, float, float], list[float]] = {}
+    for n, ccr, a, b in grid.configs():
+        spec = RandomDagSpec(
+            size=n,
+            ccr=ccr,
+            parallelism=a,
+            regularity=b,
+            density=grid.density,
+            mean_comp_cost=grid.mean_comp_cost,
+            max_parents=grid.max_parents,
+        )
+        for _ in range(grid.instances):
+            dag = generate_random_dag(spec, rng)
+            max_size = _sweep_max_size(dag)
+            factory = PrefixRCFactory(
+                max_size, heterogeneity=grid.heterogeneity, seed=seed
+            )
+            curve = sweep_turnaround(
+                dag, rc_size_grid(max_size), heuristic, factory, cost_model
+            )
+            for thr in grid.thresholds:
+                key = (n, ccr, a, b, thr)
+                knees.setdefault(key, []).append(float(knee_from_curve(curve, thr)))
+    return {k: float(np.mean(v)) for k, v in knees.items()}
+
+
+@dataclass
+class SizePredictionModel:
+    """Planar-fit + bilinear-interpolation RC-size predictor.
+
+    ``planes[threshold][(size, ccr)] = (a, b, c)`` with
+    ``log2(knee) = a * alpha + b * beta + c``.
+    """
+
+    sizes: tuple[int, ...]
+    ccrs: tuple[float, ...]
+    planes: dict[float, dict[tuple[int, float], tuple[float, float, float]]]
+    heuristic: str = "mcp"
+    heterogeneity: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        grid: ObservationGrid,
+        knees: dict[tuple[int, float, float, float, float], float],
+        heuristic: str = "mcp",
+    ) -> "SizePredictionModel":
+        """Least-squares planar fit per (size, ccr) and threshold."""
+        planes: dict[float, dict[tuple[int, float], tuple[float, float, float]]] = {}
+        for thr in grid.thresholds:
+            by_cell: dict[tuple[int, float], tuple[float, float, float]] = {}
+            for n in grid.sizes:
+                for ccr in grid.ccrs:
+                    rows = []
+                    zs = []
+                    for a in grid.parallelisms:
+                        for b in grid.regularities:
+                            knee = knees.get((n, ccr, a, b, thr))
+                            if knee is None:
+                                continue
+                            rows.append((a, b, 1.0))
+                            zs.append(math.log2(max(1.0, knee)))
+                    if len(rows) < 3:
+                        raise ValueError(
+                            f"not enough observations to fit plane at "
+                            f"(size={n}, ccr={ccr}, threshold={thr})"
+                        )
+                    coeffs, *_ = np.linalg.lstsq(
+                        np.asarray(rows), np.asarray(zs), rcond=None
+                    )
+                    by_cell[(n, ccr)] = (float(coeffs[0]), float(coeffs[1]), float(coeffs[2]))
+            planes[thr] = by_cell
+        return cls(
+            sizes=tuple(grid.sizes),
+            ccrs=tuple(grid.ccrs),
+            planes=planes,
+            heuristic=heuristic,
+            heterogeneity=grid.heterogeneity,
+        )
+
+    @classmethod
+    def train(
+        cls,
+        grid: ObservationGrid,
+        seed: int = 0,
+        heuristic: str = "mcp",
+        cost_model: SchedulingCostModel = DEFAULT_COST_MODEL,
+    ) -> "SizePredictionModel":
+        """Run the observation set and fit in one step."""
+        knees = build_observation_knees(grid, seed, heuristic, cost_model)
+        return cls.fit(grid, knees, heuristic)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def thresholds(self) -> tuple[float, ...]:
+        """Knee thresholds this model was trained for, ascending."""
+        return tuple(sorted(self.planes))
+
+    def _plane_knee(
+        self, thr: float, n: int, ccr: float, alpha: float, beta: float
+    ) -> float:
+        a, b, c = self.planes[thr][(n, ccr)]
+        return 2.0 ** (a * alpha + b * beta + c)
+
+    def predict(
+        self,
+        size: int,
+        ccr: float,
+        alpha: float,
+        beta: float,
+        threshold: float = DEFAULT_KNEE_THRESHOLD,
+    ) -> int:
+        """Predicted best RC size for the given DAG characteristics."""
+        thr = self._nearest_threshold(threshold)
+        lo_s, hi_s, ws = _bracket(self.sizes, float(size))
+        lo_c, hi_c, wc = _bracket(self.ccrs, float(ccr))
+        k00 = self._plane_knee(thr, int(lo_s), lo_c, alpha, beta)
+        k01 = self._plane_knee(thr, int(lo_s), hi_c, alpha, beta)
+        k10 = self._plane_knee(thr, int(hi_s), lo_c, alpha, beta)
+        k11 = self._plane_knee(thr, int(hi_s), hi_c, alpha, beta)
+        k0 = k00 * (1 - wc) + k01 * wc
+        k1 = k10 * (1 - wc) + k11 * wc
+        knee = k0 * (1 - ws) + k1 * ws
+        return max(1, int(round(knee)))
+
+    def predict_for_dag(
+        self, dag: DAG, threshold: float = DEFAULT_KNEE_THRESHOLD
+    ) -> int:
+        """Predict from measured DAG characteristics, capped at the width
+        (the current-practice upper bound, §V.3.3)."""
+        ch = characteristics(dag)
+        knee = self.predict(ch.size, ch.ccr, ch.parallelism, ch.regularity, threshold)
+        return max(1, min(knee, ch.width))
+
+    def _nearest_threshold(self, threshold: float) -> float:
+        thrs = self.thresholds()
+        return min(thrs, key=lambda t: abs(t - threshold))
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "sizes": list(self.sizes),
+            "ccrs": list(self.ccrs),
+            "heuristic": self.heuristic,
+            "heterogeneity": self.heterogeneity,
+            "planes": {
+                str(thr): {
+                    f"{n}|{ccr}": list(coeffs) for (n, ccr), coeffs in cells.items()
+                }
+                for thr, cells in self.planes.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SizePredictionModel":
+        planes: dict[float, dict[tuple[int, float], tuple[float, float, float]]] = {}
+        for thr_s, cells in data["planes"].items():
+            cell_map = {}
+            for key, coeffs in cells.items():
+                n_s, ccr_s = key.split("|")
+                cell_map[(int(n_s), float(ccr_s))] = tuple(float(x) for x in coeffs)
+            planes[float(thr_s)] = cell_map
+        return cls(
+            sizes=tuple(int(x) for x in data["sizes"]),
+            ccrs=tuple(float(x) for x in data["ccrs"]),
+            planes=planes,
+            heuristic=data.get("heuristic", "mcp"),
+            heterogeneity=float(data.get("heterogeneity", 0.0)),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the model as JSON."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SizePredictionModel":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _bracket(values: tuple, x: float) -> tuple[float, float, float]:
+    """Bracketing grid values and interpolation weight (clamped)."""
+    vals = sorted(values)
+    if x <= vals[0]:
+        return vals[0], vals[0], 0.0
+    if x >= vals[-1]:
+        return vals[-1], vals[-1], 0.0
+    for lo, hi in zip(vals, vals[1:]):
+        if lo <= x <= hi:
+            w = 0.0 if hi == lo else (x - lo) / (hi - lo)
+            return lo, hi, w
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def recommend_single_host(ch: DagCharacteristics) -> bool:
+    """The paper's out-of-model rule (§V.3.2.2): communication-dominated,
+    weakly parallel DAGs run best on a single host."""
+    return ch.ccr >= 2.0 and ch.parallelism <= 0.4

@@ -1,0 +1,37 @@
+"""Application model: weighted directed acyclic task graphs.
+
+This package implements the DAG application model of dissertation
+Chapter III.1: the :class:`~repro.dag.graph.DAG` structure, the eight DAG
+characteristics (size, height, tasks-per-level, CCR, parallelism, density,
+regularity, mean computational cost), a random-DAG generator driven by those
+characteristics, and builders for the real workflows the paper evaluates
+(Montage, SCEC-style parallel chains, EMAN-style parameter sweeps).
+"""
+
+from repro.dag.graph import DAG, dag_from_edges
+from repro.dag.metrics import DagCharacteristics, characteristics
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+from repro.dag.montage import (
+    montage_dag,
+    montage_level_counts,
+    MONTAGE_LEVELS_4469,
+    MONTAGE_LEVELS_1629,
+)
+from repro.dag.workflows import chain_dag, fork_join_dag, scec_dag, eman_dag
+
+__all__ = [
+    "DAG",
+    "dag_from_edges",
+    "DagCharacteristics",
+    "characteristics",
+    "RandomDagSpec",
+    "generate_random_dag",
+    "montage_dag",
+    "MONTAGE_LEVELS_4469",
+    "montage_level_counts",
+    "MONTAGE_LEVELS_1629",
+    "chain_dag",
+    "fork_join_dag",
+    "scec_dag",
+    "eman_dag",
+]

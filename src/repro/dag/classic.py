@@ -1,0 +1,115 @@
+"""Classic structured DAGs from the scheduling literature.
+
+The DAG-scheduling papers the dissertation builds on (MCP, DLS, the [73]
+survey) evaluate on a standard set of structured graphs alongside random
+ones.  These builders provide the three most common families:
+
+* :func:`gaussian_elimination_dag` — the LU/GE dependence graph over a
+  ``k × k`` matrix: ``k-1`` pivot columns, each followed by a shrinking
+  wave of update tasks;
+* :func:`fft_dag` — the butterfly graph of a ``2^k``-point FFT:
+  ``k`` levels of ``2^(k-1)``… no — ``2^k`` nodes per level, each with two
+  parents at stride distance;
+* :func:`stencil_dag` — a ``width × depth`` wavefront (each cell depends
+  on its neighbours in the previous row), the kernel of many PDE solvers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.graph import DAG
+
+__all__ = ["gaussian_elimination_dag", "fft_dag", "stencil_dag"]
+
+
+def gaussian_elimination_dag(
+    k: int, comp_cost: float = 10.0, ccr: float = 0.5
+) -> DAG:
+    """Gaussian-elimination task graph for a ``k × k`` system.
+
+    For each pivot step ``j``: one pivot task, then ``k - j - 1`` update
+    tasks depending on the pivot; each update also feeds the next step's
+    pivot and its same-column update.  Total tasks: ``k*(k+1)/2 - 1``.
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    ids: dict[tuple[str, int, int], int] = {}
+    comp: list[float] = []
+
+    def add(kind: str, j: int, i: int) -> int:
+        ids[(kind, j, i)] = len(comp)
+        comp.append(comp_cost)
+        return ids[(kind, j, i)]
+
+    edges: list[tuple[int, int, float]] = []
+    w_c = ccr * comp_cost
+    for j in range(k - 1):
+        pivot = add("pivot", j, j)
+        if j > 0:
+            # The pivot consumes the previous step's same-column update.
+            edges.append((ids[("update", j - 1, j)], pivot, w_c))
+        for i in range(j + 1, k):
+            upd = add("update", j, i)
+            edges.append((pivot, upd, w_c))
+            if j > 0 and ("update", j - 1, i) in ids:
+                edges.append((ids[("update", j - 1, i)], upd, w_c))
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    comm = np.array([e[2] for e in edges])
+    return DAG(np.array(comp), src, dst, comm, name=f"gauss({k})")
+
+
+def fft_dag(k: int, comp_cost: float = 5.0, ccr: float = 1.0) -> DAG:
+    """Butterfly graph of a ``2^k``-point FFT: ``k + 1`` levels of ``2^k``
+    tasks; each non-input task has two parents at stride ``2^(level-1)``."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    n_per_level = 2**k
+    n = (k + 1) * n_per_level
+    comp = np.full(n, comp_cost)
+    w_c = ccr * comp_cost
+    src: list[int] = []
+    dst: list[int] = []
+    for level in range(1, k + 1):
+        stride = 2 ** (level - 1)
+        base_prev = (level - 1) * n_per_level
+        base = level * n_per_level
+        for i in range(n_per_level):
+            partner = i ^ stride
+            src.extend([base_prev + i, base_prev + partner])
+            dst.extend([base + i, base + i])
+    return DAG(
+        comp,
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        np.full(len(src), w_c),
+        name=f"fft(2^{k})",
+    )
+
+
+def stencil_dag(
+    width: int, depth: int, comp_cost: float = 8.0, ccr: float = 0.3
+) -> DAG:
+    """Wavefront: cell ``(r, c)`` depends on cells ``(r-1, c-1..c+1)``."""
+    if width < 1 or depth < 1:
+        raise ValueError("width and depth must be >= 1")
+    n = width * depth
+    comp = np.full(n, comp_cost)
+    w_c = ccr * comp_cost
+    src: list[int] = []
+    dst: list[int] = []
+    for r in range(1, depth):
+        for c in range(width):
+            for dc in (-1, 0, 1):
+                pc = c + dc
+                if 0 <= pc < width:
+                    src.append((r - 1) * width + pc)
+                    dst.append(r * width + c)
+    return DAG(
+        comp,
+        np.array(src, dtype=np.int64),
+        np.array(dst, dtype=np.int64),
+        np.full(len(src), w_c),
+        name=f"stencil({width}x{depth})",
+    )

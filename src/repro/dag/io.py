@@ -1,0 +1,77 @@
+"""DAG serialisation: JSON round-trip and Graphviz DOT export.
+
+JSON schema::
+
+    {
+      "name": "...",
+      "comp": [w_0, ...],
+      "edges": [[src, dst, comm], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.dag.graph import DAG
+
+__all__ = ["dag_to_dict", "dag_from_dict", "save_dag", "load_dag", "dag_to_dot"]
+
+
+def dag_to_dict(dag: DAG) -> dict:
+    """Plain-JSON representation of a DAG."""
+    return {
+        "name": dag.name,
+        "comp": dag.comp.tolist(),
+        "edges": [
+            [int(s), int(d), float(c)]
+            for s, d, c in zip(dag.edge_src, dag.edge_dst, dag.edge_comm)
+        ],
+    }
+
+
+def dag_from_dict(data: dict) -> DAG:
+    """Inverse of :func:`dag_to_dict`."""
+    edges = data.get("edges", [])
+    if edges:
+        src, dst, comm = zip(*edges)
+    else:
+        src, dst, comm = (), (), ()
+    return DAG(
+        comp=np.asarray(data["comp"], dtype=np.float64),
+        edge_src=np.asarray(src, dtype=np.int64),
+        edge_dst=np.asarray(dst, dtype=np.int64),
+        edge_comm=np.asarray(comm, dtype=np.float64),
+        name=data.get("name", "dag"),
+    )
+
+
+def save_dag(dag: DAG, path: str | Path) -> None:
+    """Write ``dag`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(dag_to_dict(dag)))
+
+
+def load_dag(path: str | Path) -> DAG:
+    """Read a DAG previously written by :func:`save_dag`."""
+    return dag_from_dict(json.loads(Path(path).read_text()))
+
+
+def dag_to_dot(dag: DAG, max_nodes: int = 2000) -> str:
+    """Graphviz DOT text (node label: id and cost; edge label: comm cost).
+
+    Refuses DAGs above ``max_nodes`` — DOT rendering is for inspection, not
+    for 10k-task workflows.
+    """
+    if dag.n > max_nodes:
+        raise ValueError(f"DAG has {dag.n} tasks; raise max_nodes to export anyway")
+    lines = [f'digraph "{dag.name}" {{', "  rankdir=TB;"]
+    for v in range(dag.n):
+        lines.append(f'  n{v} [label="{v}\\n{dag.comp[v]:.3g}s"];')
+    for e in range(dag.m):
+        s, d = int(dag.edge_src[e]), int(dag.edge_dst[e])
+        lines.append(f'  n{s} -> n{d} [label="{dag.edge_comm[e]:.3g}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Mixed-parallel application model — the paper's future-work extension.
+
+§III.1 scopes the dissertation to single-processor tasks and notes: "For
+future work, we can expand the results of this dissertation to
+mixed-parallel applications by generating resource specifications requiring
+clusters instead of hosts for each node in the DAG."  This module provides
+that application model: a DAG whose nodes are *moldable* data-parallel
+tasks under Amdahl's law, executed on whole clusters.
+
+A :class:`MixedParallelDag` wraps a plain :class:`~repro.dag.graph.DAG`
+(whose ``comp`` is the *sequential* cost) with per-task moldability
+parameters:
+
+* ``serial_fraction`` — Amdahl's ``f``: ``time(p) = w * (f + (1 - f) / p)``;
+* ``max_procs`` — the task's scalability cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.graph import DAG
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+
+__all__ = ["MixedParallelDag", "make_mixed_parallel", "random_mixed_dag"]
+
+
+@dataclass
+class MixedParallelDag:
+    """A DAG of moldable data-parallel tasks."""
+
+    dag: DAG
+    serial_fraction: np.ndarray
+    max_procs: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.serial_fraction = np.asarray(self.serial_fraction, dtype=np.float64)
+        self.max_procs = np.asarray(self.max_procs, dtype=np.int64)
+        n = self.dag.n
+        if self.serial_fraction.shape != (n,) or self.max_procs.shape != (n,):
+            raise ValueError("per-task arrays must match the DAG size")
+        if np.any((self.serial_fraction < 0) | (self.serial_fraction > 1)):
+            raise ValueError("serial fractions must lie in [0, 1]")
+        if np.any(self.max_procs < 1):
+            raise ValueError("every task must run on at least one processor")
+
+    @property
+    def n(self) -> int:
+        return self.dag.n
+
+    def exec_time(self, task: int, procs: int, speed: float = 1.0) -> float:
+        """Execution time of ``task`` on ``procs`` processors of relative
+        ``speed`` (Amdahl; allocations above ``max_procs`` are wasted)."""
+        if procs < 1:
+            raise ValueError("procs must be >= 1")
+        p = min(int(procs), int(self.max_procs[task]))
+        f = float(self.serial_fraction[task])
+        w = float(self.dag.comp[task])
+        return w * (f + (1.0 - f) / p) / speed
+
+    def exec_times(self, procs: np.ndarray, speed: float = 1.0) -> np.ndarray:
+        """Vectorised :meth:`exec_time` for one allocation per task."""
+        p = np.minimum(np.asarray(procs, dtype=np.int64), self.max_procs)
+        if np.any(p < 1):
+            raise ValueError("procs must be >= 1")
+        f = self.serial_fraction
+        return self.dag.comp * (f + (1.0 - f) / p) / speed
+
+    def speedup(self, task: int, procs: int) -> float:
+        """Speedup of ``task`` on ``procs`` processors over one processor."""
+        return self.exec_time(task, 1) / self.exec_time(task, procs)
+
+
+def make_mixed_parallel(
+    dag: DAG,
+    serial_fraction: float = 0.05,
+    max_procs: int = 64,
+    rng: np.random.Generator | None = None,
+    fraction_jitter: float = 0.0,
+) -> MixedParallelDag:
+    """Wrap a plain DAG with uniform (optionally jittered) moldability."""
+    n = dag.n
+    f = np.full(n, serial_fraction)
+    if fraction_jitter > 0:
+        if rng is None:
+            raise ValueError("fraction_jitter requires an rng")
+        f = np.clip(f + rng.uniform(-fraction_jitter, fraction_jitter, n), 0.0, 1.0)
+    return MixedParallelDag(dag, f, np.full(n, max_procs))
+
+
+def random_mixed_dag(
+    spec: RandomDagSpec,
+    rng: np.random.Generator,
+    serial_fraction: float = 0.05,
+    max_procs: int = 64,
+) -> MixedParallelDag:
+    """Random mixed-parallel workflow from the usual characteristics."""
+    return make_mixed_parallel(
+        generate_random_dag(spec, rng),
+        serial_fraction=serial_fraction,
+        max_procs=max_procs,
+        rng=rng,
+        fraction_jitter=serial_fraction / 2,
+    )

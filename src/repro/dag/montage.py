@@ -1,0 +1,170 @@
+"""Montage astronomy workflow builder (Tables IV-2, V-8, VII-1).
+
+Montage builds a mosaic of a region of the sky.  The workflow has seven
+levels; per-level task counts and mean runtimes (seconds on a 1.5 GHz
+reference host, from the Montage performance model cited by the paper):
+
+=====  =============  ==============================  =====  =====  =======
+level  task           purpose                          1629   4469  runtime
+=====  =============  ==============================  =====  =====  =======
+1      mProject       re-projection of images           334    892      8.2
+2      mDiffFit       difference between images         935   2633      2
+3      mConcatFit     fit images to a common plane        1      1     68
+4      mBgModel       background modelling                1      1     56
+5      mBackground    background correction             334    892      1
+6      mImgtbl        image tables for the mosaic        12     25      6
+7      mAdd           register the mosaic                 12     25     40
+=====  =============  ==============================  =====  =====  =======
+
+Dependency structure (every level-k task has at least one level-(k-1)
+parent, Fig. IV-1):
+
+* each ``mDiffFit`` compares two overlapping projected images — two
+  ``mProject`` parents;
+* ``mConcatFit`` collects every ``mDiffFit``; ``mBgModel`` follows it;
+* ``mBgModel`` fans out to every ``mBackground``;
+* the ``mBackground`` outputs are partitioned among the ``mImgtbl`` tasks;
+* each ``mAdd`` consumes exactly one ``mImgtbl``.
+
+Intermediate files range from ~300 bytes to ~4 MB so the *actual* CCR is
+tiny; the builder takes a CCR parameter (default 0.01, the value Ch. V uses
+for Montage) and derives edge costs as ``ccr * w_v(parent)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.graph import DAG
+
+__all__ = [
+    "MONTAGE_RUNTIMES",
+    "MONTAGE_LEVELS_1629",
+    "MONTAGE_LEVELS_4469",
+    "MONTAGE_TASK_NAMES",
+    "montage_dag",
+    "montage_level_counts",
+]
+
+MONTAGE_TASK_NAMES = (
+    "mProject",
+    "mDiffFit",
+    "mConcatFit",
+    "mBgModel",
+    "mBackground",
+    "mImgtbl",
+    "mAdd",
+)
+
+#: Mean task runtime per level, seconds on the 1.5 GHz reference host.
+MONTAGE_RUNTIMES = (8.2, 2.0, 68.0, 56.0, 1.0, 6.0, 40.0)
+
+#: Task counts per level for the three-square-degree mosaic (Table V-8).
+MONTAGE_LEVELS_1629 = (334, 935, 1, 1, 334, 12, 12)
+
+#: Task counts per level for the five-square-degree M16 mosaic (Table IV-2).
+MONTAGE_LEVELS_4469 = (892, 2633, 1, 1, 892, 25, 25)
+
+
+def montage_level_counts(n_projects: int) -> tuple[int, ...]:
+    """Level counts for a synthetic mosaic with ``n_projects`` input images.
+
+    Scales the 4469-task structure: ``mDiffFit ≈ 2.95 × mProject`` (each
+    image overlaps ~3 neighbours) and one ``mImgtbl``/``mAdd`` pair per ~36
+    images.
+    """
+    if n_projects < 1:
+        raise ValueError("n_projects must be >= 1")
+    diffs = max(1, int(round(n_projects * 2633 / 892)))
+    tiles = max(1, int(round(n_projects * 25 / 892)))
+    return (n_projects, diffs, 1, 1, n_projects, tiles, tiles)
+
+
+def montage_dag(
+    levels: tuple[int, ...] = MONTAGE_LEVELS_4469,
+    ccr: float = 0.01,
+    rng: np.random.Generator | None = None,
+    runtime_jitter: float = 0.0,
+) -> DAG:
+    """Build a Montage DAG.
+
+    Parameters
+    ----------
+    levels:
+        Seven per-level task counts (see module constants).
+    ccr:
+        Target communication-to-computation ratio; each edge costs
+        ``ccr * w_v(parent)`` seconds on the reference link.
+    rng, runtime_jitter:
+        Optional multiplicative uniform jitter ``1 ± runtime_jitter`` on task
+        runtimes (the paper uses the deterministic performance-model means).
+    """
+    if len(levels) != 7:
+        raise ValueError("Montage has exactly 7 levels")
+    if any(c < 1 for c in levels):
+        raise ValueError("every Montage level needs at least one task")
+    if levels[2] != 1 or levels[3] != 1:
+        raise ValueError("mConcatFit and mBgModel are singleton levels")
+    if levels[5] != levels[6]:
+        raise ValueError("mImgtbl and mAdd counts must match (1:1 edges)")
+
+    counts = np.asarray(levels, dtype=np.int64)
+    starts = np.concatenate(([0], np.cumsum(counts)))
+    n = int(counts.sum())
+
+    comp = np.empty(n, dtype=np.float64)
+    for lvl, runtime in enumerate(MONTAGE_RUNTIMES):
+        comp[starts[lvl] : starts[lvl + 1]] = runtime
+    if runtime_jitter > 0.0:
+        if rng is None:
+            raise ValueError("runtime_jitter requires an rng")
+        comp *= rng.uniform(1.0 - runtime_jitter, 1.0 + runtime_jitter, size=n)
+
+    src: list[np.ndarray] = []
+    dst: list[np.ndarray] = []
+
+    def link(s: np.ndarray, d: np.ndarray) -> None:
+        src.append(np.asarray(s, dtype=np.int64))
+        dst.append(np.asarray(d, dtype=np.int64))
+
+    proj = np.arange(starts[0], starts[1])
+    diff = np.arange(starts[1], starts[2])
+    concat = starts[2]
+    bgmodel = starts[3]
+    backg = np.arange(starts[4], starts[5])
+    imgtbl = np.arange(starts[5], starts[6])
+    madd = np.arange(starts[6], starts[7])
+
+    # mProject -> mDiffFit: two overlapping images per difference.
+    p = counts[0]
+    first = proj[np.arange(diff.size) % p]
+    second = proj[(np.arange(diff.size) + 1) % p]
+    link(first, diff)
+    if p > 1:
+        link(second, diff)
+
+    # mDiffFit -> mConcatFit (all-to-one), then the two singleton stages.
+    link(diff, np.full(diff.size, concat))
+    link([concat], [bgmodel])
+
+    # mBgModel -> mBackground (one-to-all).
+    link(np.full(backg.size, bgmodel), backg)
+
+    # mBackground -> mImgtbl: partition the corrected images among tiles.
+    tile_of = np.arange(backg.size) % imgtbl.size
+    link(backg, imgtbl[tile_of])
+
+    # mImgtbl -> mAdd one-to-one.
+    link(imgtbl, madd)
+
+    edge_src = np.concatenate(src)
+    edge_dst = np.concatenate(dst)
+    edge_comm = ccr * comp[edge_src]
+
+    return DAG(
+        comp=comp,
+        edge_src=edge_src,
+        edge_dst=edge_dst,
+        edge_comm=edge_comm,
+        name=f"montage(n={n},ccr={ccr})",
+    )

@@ -1,0 +1,152 @@
+"""Random DAG generator parameterised by the paper's characteristics.
+
+Given a :class:`RandomDagSpec` (size, CCR, parallelism α, regularity β,
+density δ, mean computational cost ω) we build a level-structured DAG
+(§IV.2.2, Table IV-3 / §V.2.3, Table V-1):
+
+1. ``tau = n**alpha`` tasks per level, ``h = round(n / tau)`` levels;
+2. level sizes drawn uniformly from ``tau ± (1 - beta) * tau`` (β = 1 gives
+   perfectly regular levels; β = 0.01 allows 1 %–199 % of τ, §V.2.3), then
+   adjusted to sum to exactly ``n``;
+3. every non-entry task receives ``max(1, round(delta * size(prev)))``
+   distinct parents drawn uniformly from the previous level — which makes the
+   construction level equal the longest-path level;
+4. computational costs uniform in ``[ω/2, 3ω/2]``;
+5. edge communication costs ``w_c = CCR * w_v(parent) * U(0.5, 1.5)`` so the
+   measured CCR matches the target in expectation.
+
+All randomness flows through a caller-supplied :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.graph import DAG
+
+__all__ = ["RandomDagSpec", "generate_random_dag", "level_sizes_for_spec"]
+
+
+@dataclass(frozen=True)
+class RandomDagSpec:
+    """Generation parameters (Table IV-3 / Table V-1 axes)."""
+
+    size: int
+    ccr: float = 1.0
+    parallelism: float = 0.5
+    regularity: float = 0.5
+    density: float = 0.5
+    mean_comp_cost: float = 40.0
+    #: Optional cap on the number of parents per task; ``None`` means no cap.
+    #: Large α with large δ produces quadratically many edges — experiments
+    #: that only exercise the size model may cap this (documented in
+    #: EXPERIMENTS.md when used).
+    max_parents: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("size must be >= 1")
+        if not 0.0 <= self.parallelism <= 1.0:
+            raise ValueError("parallelism must be within [0, 1]")
+        if self.regularity > 1.0:
+            raise ValueError("regularity must be <= 1")
+        if not 0.0 < self.density <= 1.0:
+            raise ValueError("density must be within (0, 1]")
+        if self.ccr < 0:
+            raise ValueError("ccr must be non-negative")
+        if self.mean_comp_cost <= 0:
+            raise ValueError("mean_comp_cost must be positive")
+
+
+def level_sizes_for_spec(spec: RandomDagSpec, rng: np.random.Generator) -> np.ndarray:
+    """Draw per-level task counts for ``spec`` summing exactly to ``spec.size``."""
+    n = spec.size
+    if n == 1:
+        return np.array([1], dtype=np.int64)
+    tau = n ** spec.parallelism
+    h = int(round(n / tau))
+    h = max(1, min(n, h))
+    if h == 1:
+        return np.array([n], dtype=np.int64)
+    tau = n / h
+    spread = (1.0 - spec.regularity) * tau
+    lo = max(1.0, tau - spread)
+    hi = max(lo, tau + spread)
+    sizes = rng.uniform(lo, hi, size=h)
+    sizes = np.maximum(1, np.round(sizes)).astype(np.int64)
+    _adjust_to_sum(sizes, n, int(np.floor(lo)), int(np.ceil(hi)), rng)
+    return sizes
+
+
+def _adjust_to_sum(
+    sizes: np.ndarray, target: int, lo: int, hi: int, rng: np.random.Generator
+) -> None:
+    """In-place adjust ``sizes`` so they sum to ``target``.
+
+    Random ±1 increments honouring ``[max(1, lo), hi]`` where possible; the
+    bounds are relaxed as a last resort (tiny DAGs with extreme parameters).
+    """
+    lo = max(1, lo)
+    diff = target - int(sizes.sum())
+    h = sizes.shape[0]
+    guard = 0
+    while diff != 0:
+        idx = rng.integers(0, h)
+        if diff > 0 and (sizes[idx] < hi or guard > 10 * h):
+            sizes[idx] += 1
+            diff -= 1
+        elif diff < 0 and sizes[idx] > max(1, lo if guard <= 10 * h else 1):
+            sizes[idx] -= 1
+            diff += 1
+        guard += 1
+        if guard > 1000 * h:  # pragma: no cover - defensive
+            raise RuntimeError("unable to adjust level sizes to target sum")
+
+
+def generate_random_dag(
+    spec: RandomDagSpec,
+    rng: np.random.Generator,
+    name: str | None = None,
+) -> DAG:
+    """Generate one random DAG instance for ``spec``."""
+    sizes = level_sizes_for_spec(spec, rng)
+    h = sizes.shape[0]
+    starts = np.concatenate(([0], np.cumsum(sizes)))  # first task id per level
+
+    comp = rng.uniform(
+        0.5 * spec.mean_comp_cost, 1.5 * spec.mean_comp_cost, size=spec.size
+    )
+
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for k in range(1, h):
+        prev_lo, prev_hi = int(starts[k - 1]), int(starts[k])
+        cur_lo, cur_hi = int(starts[k]), int(starts[k + 1])
+        prev_size = prev_hi - prev_lo
+        q = max(1, int(round(spec.density * prev_size)))
+        if spec.max_parents is not None:
+            q = min(q, spec.max_parents)
+        q = min(q, prev_size)
+        for child in range(cur_lo, cur_hi):
+            parents = rng.choice(prev_size, size=q, replace=False) + prev_lo
+            src_parts.append(parents.astype(np.int64))
+            dst_parts.append(np.full(q, child, dtype=np.int64))
+
+    if src_parts:
+        edge_src = np.concatenate(src_parts)
+        edge_dst = np.concatenate(dst_parts)
+    else:
+        edge_src = np.empty(0, dtype=np.int64)
+        edge_dst = np.empty(0, dtype=np.int64)
+
+    edge_comm = spec.ccr * comp[edge_src] * rng.uniform(0.5, 1.5, size=edge_src.shape[0])
+
+    return DAG(
+        comp=comp,
+        edge_src=edge_src,
+        edge_dst=edge_dst,
+        edge_comm=edge_comm,
+        name=name or f"random(n={spec.size},ccr={spec.ccr},a={spec.parallelism},b={spec.regularity})",
+    )

@@ -1,0 +1,86 @@
+"""Builders for the other application structures the paper mentions.
+
+* :func:`chain_dag` — a pure chain (parallelism 0);
+* :func:`fork_join_dag` — entry → k parallel tasks → exit;
+* :func:`scec_dag` — SCEC-style workflow "composed of parallel chains"
+  (§V.3.4: its optimal RC size equals the number of chains);
+* :func:`eman_dag` — EMAN-style compute-intensive, embarrassingly parallel
+  refinement stage (§V.3.4: DAG width is the best RC size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.graph import DAG
+
+__all__ = ["chain_dag", "fork_join_dag", "scec_dag", "eman_dag"]
+
+
+def chain_dag(length: int, comp_cost: float = 10.0, comm_cost: float = 1.0) -> DAG:
+    """A chain of ``length`` tasks; each depends on the previous one."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    comp = np.full(length, comp_cost)
+    src = np.arange(length - 1, dtype=np.int64)
+    dst = src + 1
+    comm = np.full(length - 1, comm_cost)
+    return DAG(comp, src, dst, comm, name=f"chain({length})")
+
+
+def fork_join_dag(
+    width: int, comp_cost: float = 10.0, comm_cost: float = 1.0
+) -> DAG:
+    """Entry task fanning out to ``width`` parallel tasks, joined by an exit."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    n = width + 2
+    comp = np.full(n, comp_cost)
+    mid = np.arange(1, width + 1, dtype=np.int64)
+    src = np.concatenate([np.zeros(width, dtype=np.int64), mid])
+    dst = np.concatenate([mid, np.full(width, width + 1, dtype=np.int64)])
+    comm = np.full(2 * width, comm_cost)
+    return DAG(comp, src, dst, comm, name=f"fork_join({width})")
+
+
+def scec_dag(
+    chains: int,
+    chain_length: int,
+    comp_cost: float = 25.0,
+    comm_cost: float = 2.0,
+) -> DAG:
+    """``chains`` independent chains of ``chain_length`` tasks each.
+
+    The optimal RC size for this structure is exactly ``chains``
+    (§V.3.4) — one host per chain, no cross-chain communication.
+    """
+    if chains < 1 or chain_length < 1:
+        raise ValueError("chains and chain_length must be >= 1")
+    n = chains * chain_length
+    comp = np.full(n, comp_cost)
+    # Task id = chain * chain_length + position.
+    pos = np.arange(n, dtype=np.int64)
+    not_last = (pos % chain_length) != (chain_length - 1)
+    src = pos[not_last]
+    dst = src + 1
+    comm = np.full(src.size, comm_cost)
+    return DAG(comp, src, dst, comm, name=f"scec({chains}x{chain_length})")
+
+
+def eman_dag(width: int, comp_cost: float = 3600.0, comm_cost: float = 0.5) -> DAG:
+    """EMAN-style refinement: a fork-join with very expensive parallel tasks.
+
+    Compute-dominated (CCR ≈ comm/comp ≪ 1): the best RC size equals the
+    width, i.e. the current practice is already optimal (§V.3.4).
+    """
+    return DAG(
+        comp=np.concatenate(([10.0], np.full(width, comp_cost), [10.0])),
+        edge_src=np.concatenate(
+            [np.zeros(width, dtype=np.int64), np.arange(1, width + 1, dtype=np.int64)]
+        ),
+        edge_dst=np.concatenate(
+            [np.arange(1, width + 1, dtype=np.int64), np.full(width, width + 1, dtype=np.int64)]
+        ),
+        edge_comm=np.full(2 * width, comm_cost),
+        name=f"eman({width})",
+    )

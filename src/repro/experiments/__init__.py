@@ -1,0 +1,14 @@
+"""Experiment harness: one module per dissertation chapter.
+
+Every experiment function takes a :class:`~repro.experiments.scales.Scale`
+preset (``smoke`` / ``small`` / ``paper``) and returns plain row dictionaries
+that mirror the corresponding paper table or figure series; the
+``benchmarks/`` tree wraps them in pytest-benchmark targets and prints the
+rows.  ``python -m repro.experiments.runner --chapter N --scale small``
+runs a chapter from the command line.
+"""
+
+from repro.experiments.scales import Scale, SMOKE, SMALL, PAPER, get_scale
+from repro.experiments.tables import format_table
+
+__all__ = ["Scale", "SMOKE", "SMALL", "PAPER", "get_scale", "format_table"]

@@ -1,0 +1,226 @@
+"""Chapter IV experiments — the role of explicit resource selection.
+
+Six scheduling schemes (Table IV-1): {complex = MCP, simple = greedy} ×
+{whole resource universe, naïve "top hosts", sophisticated VG abstraction}.
+
+* :func:`montage_schemes` — Figs. IV-5 / IV-6 (Montage turn-around
+  breakdown at the actual CCR and at CCR = 1);
+* :func:`montage_ccr_sweep` — Figs. IV-7 / IV-8 (makespan and turn-around
+  ratios vs MCP-on-universe while varying CCR);
+* :func:`random_dag_sweep` — Figs. IV-9 … IV-14 (random DAGs varying one
+  characteristic at a time, Table IV-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.graph import DAG
+from repro.dag.montage import montage_dag
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+from repro.experiments.scales import Scale
+from repro.resources.collection import ResourceCollection
+from repro.resources.platform import Platform, PlatformConfig, generate_platform
+from repro.resources.generator import ResourceGeneratorConfig
+from repro.scheduling.base import schedule_dag
+from repro.scheduling.costmodel import DEFAULT_COST_MODEL, SchedulingCostModel
+from repro.selection.vgdl import VgES
+
+__all__ = [
+    "SchemeResult",
+    "build_universe",
+    "virtual_grid_rc",
+    "run_schemes",
+    "montage_schemes",
+    "montage_ccr_sweep",
+    "random_dag_sweep",
+    "RANDOM_DAG_AXES",
+]
+
+#: The Table IV-3 axes: characteristic → (values, default).  Values are
+#: scaled by the Scale's dag-size knobs where applicable.
+RANDOM_DAG_AXES: dict[str, tuple[tuple[float, ...], float]] = {
+    "ccr": ((0.1, 0.2, 1.0, 2.0, 10.0), 1.0),
+    "parallelism": ((0.1, 0.2, 0.5, 0.8, 1.0), 0.5),
+    "density": ((0.1, 0.2, 0.5, 0.8, 1.0), 0.5),
+    "regularity": ((0.1, 0.2, 0.5, 0.8, 1.0), 0.5),
+    "mean_comp_cost": ((1.0, 5.0, 40.0, 100.0), 40.0),
+}
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """One (heuristic, resource abstraction) cell of Table IV-1."""
+
+    heuristic: str
+    resources: str
+    rc_size: int
+    scheduling_time: float
+    makespan: float
+    vg_time: float
+
+    @property
+    def turnaround(self) -> float:
+        return self.scheduling_time + self.makespan + self.vg_time
+
+    def as_row(self) -> dict[str, object]:
+        """Row-dict for table rendering."""
+        return {
+            "heuristic": self.heuristic,
+            "resources": self.resources,
+            "rc_size": self.rc_size,
+            "sched_time_s": round(self.scheduling_time, 3),
+            "makespan_s": round(self.makespan, 3),
+            "vg_time_s": round(self.vg_time, 4),
+            "turnaround_s": round(self.turnaround, 3),
+        }
+
+
+def build_universe(scale: Scale, seed: int = 0) -> Platform:
+    """The synthetic resource universe for a scale preset (§IV.2.4)."""
+    rng = np.random.default_rng(seed)
+    return generate_platform(
+        PlatformConfig(resources=ResourceGeneratorConfig(n_clusters=scale.n_clusters)),
+        rng,
+    )
+
+
+def virtual_grid_rc(
+    platform: Platform, width: int, clock_mhz: float = 3000.0
+) -> tuple[ResourceCollection, float]:
+    """The sophisticated abstraction of §IV.2.4.2: a TightBag of fast hosts
+    sized by the DAG width (Fig. IV-4's request), with vgES fallbacks."""
+    vges = VgES(platform)
+    lo = max(1, width // 5)
+    for clock in (clock_mhz, 2400.0, 2000.0, 1000.0):
+        spec = (
+            f"VG = TightBagOf(nodes) [{lo}:{width}] [rank = Nodes] "
+            f"{{ nodes = [ Clock >= {clock:.0f} ] }}"
+        )
+        vg = vges.find_and_bind(spec)
+        if vg is not None:
+            return platform.rc_from_hosts(vg.all_hosts()), vg.selection_time
+    raise RuntimeError("universe cannot satisfy even the weakest VG request")
+
+
+def run_schemes(
+    dag: DAG,
+    platform: Platform,
+    cost_model: SchedulingCostModel = DEFAULT_COST_MODEL,
+    heuristics: tuple[str, str] = ("mcp", "greedy"),
+) -> list[SchemeResult]:
+    """Run all six Table IV-1 schemes for one DAG."""
+    width = dag.width
+    top_k = min(width, platform.n_hosts)
+    rcs: list[tuple[str, ResourceCollection, float]] = [
+        ("universe", platform.universe_rc(), 0.0),
+        ("top_hosts", platform.top_hosts_rc(top_k), 0.0),
+    ]
+    vg_rc, vg_time = virtual_grid_rc(platform, width)
+    rcs.append(("vg", vg_rc, vg_time))
+
+    results = []
+    for heuristic in heuristics:
+        for name, rc, sel_time in rcs:
+            s = schedule_dag(heuristic, dag, rc)
+            results.append(
+                SchemeResult(
+                    heuristic=heuristic,
+                    resources=name,
+                    rc_size=rc.n_hosts,
+                    scheduling_time=cost_model.scheduling_time(s),
+                    makespan=s.makespan,
+                    vg_time=sel_time,
+                )
+            )
+    return results
+
+
+def montage_schemes(
+    scale: Scale, ccr: float = 0.01, seed: int = 0
+) -> list[dict[str, object]]:
+    """Figs. IV-5 (actual low communication) / IV-6 (pass ``ccr=1.0``)."""
+    platform = build_universe(scale, seed)
+    dag = montage_dag(scale.montage_levels, ccr=ccr)
+    return [r.as_row() for r in run_schemes(dag, platform)]
+
+
+def montage_ccr_sweep(
+    scale: Scale,
+    ccrs: tuple[float, ...] = (0.1, 0.5, 1.0, 2.0, 10.0),
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Figs. IV-7 / IV-8: makespan and turn-around ratios relative to
+    MCP-on-universe for increasing CCR."""
+    platform = build_universe(scale, seed)
+    rows = []
+    for ccr in ccrs:
+        dag = montage_dag(scale.montage_levels, ccr=ccr)
+        results = {(r.heuristic, r.resources): r for r in run_schemes(dag, platform)}
+        base = results[("mcp", "universe")]
+        for (heuristic, resources), r in results.items():
+            if (heuristic, resources) == ("mcp", "universe"):
+                continue
+            rows.append(
+                {
+                    "ccr": ccr,
+                    "scheme": f"{heuristic}/{resources}",
+                    "makespan_ratio": round(r.makespan / base.makespan, 4),
+                    "turnaround_ratio": round(r.turnaround / base.turnaround, 4),
+                }
+            )
+    return rows
+
+
+def random_dag_sweep(
+    scale: Scale,
+    vary: str,
+    seed: int = 0,
+    values: tuple[float, ...] | None = None,
+) -> list[dict[str, object]]:
+    """Figs. IV-9…IV-14: vary one Table IV-3 characteristic, all others at
+    their defaults; report turn-around ratios relative to greedy-on-VG."""
+    if vary == "size":
+        sweep_values: tuple[float, ...] = tuple(float(s) for s in scale.dag_sizes)
+    else:
+        if vary not in RANDOM_DAG_AXES:
+            raise ValueError(f"unknown axis {vary!r}")
+        sweep_values = values or RANDOM_DAG_AXES[vary][0]
+    platform = build_universe(scale, seed)
+    rng = np.random.default_rng(seed + 1)
+
+    rows = []
+    for value in sweep_values:
+        params = {name: default for name, (_, default) in RANDOM_DAG_AXES.items()}
+        if vary == "size":
+            size = int(value)
+        else:
+            size = scale.dag_size
+            params[vary] = value
+        spec = RandomDagSpec(
+            size=size,
+            ccr=params["ccr"],
+            parallelism=params["parallelism"],
+            density=params["density"],
+            regularity=params["regularity"],
+            mean_comp_cost=params["mean_comp_cost"],
+            max_parents=scale.max_parents,
+        )
+        acc: dict[tuple[str, str], list[float]] = {}
+        for _ in range(scale.instances):
+            dag = generate_random_dag(spec, rng)
+            for r in run_schemes(dag, platform):
+                acc.setdefault((r.heuristic, r.resources), []).append(r.turnaround)
+        base = float(np.mean(acc[("greedy", "vg")]))
+        for (heuristic, resources), turns in sorted(acc.items()):
+            rows.append(
+                {
+                    vary: value,
+                    "scheme": f"{heuristic}/{resources}",
+                    "turnaround_s": round(float(np.mean(turns)), 3),
+                    "ratio_vs_greedy_vg": round(float(np.mean(turns)) / base, 4),
+                }
+            )
+    return rows

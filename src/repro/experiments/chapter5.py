@@ -1,0 +1,672 @@
+"""Chapter V experiments — deriving the best resource collection size.
+
+* :func:`turnaround_vs_rc_size` — Figs. V-2 / V-3 curve series;
+* :func:`knee_table` — Table V-2 (+ Fig. V-4's planar log2 surface);
+* :func:`plane_fit_quality` — the ≤16 % mean-relative-error planar fit claim;
+* :func:`knee_vs_size` / :func:`knee_vs_ccr` — Figs. V-5 / V-6;
+* :func:`optimal_rc_search` — the Table V-3 optimal-size search heuristic;
+* :func:`validate_size_model` — Table V-5 (observation vs midpoint
+  quadrants) and Table V-6 (in-between sizes);
+* :func:`width_practice_comparison` — Table V-7 (current practice);
+* :func:`montage_validation` — Tables V-8 / V-9;
+* :func:`utility_vs_threshold` — Fig. V-7;
+* :func:`heterogeneity_study` — Figs. V-8 … V-11;
+* :func:`heuristic_sensitivity` — Figs. V-16 / V-17;
+* :func:`scr_study` — Figs. V-18 … V-24 (scheduler clock-rate ratio).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.cost import cost_for_size, relative_cost
+from repro.core.knee import (
+    PrefixRCFactory,
+    TurnaroundCurve,
+    knee_from_curve,
+    rc_size_grid,
+    sweep_turnaround,
+)
+from repro.core.size_model import (
+    ObservationGrid,
+    SizePredictionModel,
+    _sweep_max_size,
+    build_observation_knees,
+)
+from repro.dag.graph import DAG
+from repro.dag.montage import montage_dag
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+from repro.experiments.scales import Scale
+from repro.scheduling.base import schedule_dag
+from repro.scheduling.costmodel import DEFAULT_COST_MODEL, SchedulingCostModel
+
+__all__ = [
+    "real_app_structure_validation",
+    "turnaround_vs_rc_size",
+    "knee_table",
+    "plane_fit_quality",
+    "knee_vs_size",
+    "knee_vs_ccr",
+    "optimal_rc_search",
+    "validate_size_model",
+    "width_practice_comparison",
+    "montage_validation",
+    "utility_vs_threshold",
+    "heterogeneity_study",
+    "heuristic_sensitivity",
+    "scr_study",
+]
+
+
+def _spec(scale: Scale, size: int, ccr: float, alpha: float, beta: float) -> RandomDagSpec:
+    return RandomDagSpec(
+        size=size,
+        ccr=ccr,
+        parallelism=alpha,
+        regularity=beta,
+        density=scale.size_grid.density,
+        mean_comp_cost=scale.size_grid.mean_comp_cost,
+        max_parents=scale.size_grid.max_parents,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figs. V-2 / V-3
+# ----------------------------------------------------------------------
+def turnaround_vs_rc_size(
+    scale: Scale,
+    size: int | None = None,
+    ccr: float = 0.01,
+    parallelism: float = 0.6,
+    regularities: Sequence[float] = (0.01, 0.3, 0.8),
+    seed: int = 0,
+    heuristic: str = "mcp",
+) -> list[dict[str, object]]:
+    """Application turn-around time as a function of RC size."""
+    size = size or scale.dag_size
+    rng = np.random.default_rng(seed)
+    rows = []
+    for beta in regularities:
+        acc: dict[int, list[float]] = {}
+        for _ in range(scale.instances):
+            dag = generate_random_dag(_spec(scale, size, ccr, parallelism, beta), rng)
+            max_size = _sweep_max_size(dag)
+            curve = sweep_turnaround(
+                dag, rc_size_grid(max_size), heuristic, PrefixRCFactory(max_size)
+            )
+            for p, t in zip(curve.sizes, curve.turnaround):
+                acc.setdefault(int(p), []).append(float(t))
+        for p in sorted(acc):
+            rows.append(
+                {
+                    "regularity": beta,
+                    "rc_size": p,
+                    "turnaround_s": round(float(np.mean(acc[p])), 3),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table V-2 / Fig. V-4
+# ----------------------------------------------------------------------
+def knee_table(
+    scale: Scale,
+    size: int | None = None,
+    ccr: float = 0.01,
+    seed: int = 0,
+    heuristic: str = "mcp",
+) -> list[dict[str, object]]:
+    """Knee values over the (α, β) grid for a fixed size and CCR."""
+    size = size or scale.dag_size
+    grid = ObservationGrid(
+        sizes=(size,),
+        ccrs=(ccr,),
+        parallelisms=scale.size_grid.parallelisms,
+        regularities=scale.size_grid.regularities,
+        instances=scale.size_grid.instances,
+        density=scale.size_grid.density,
+        max_parents=scale.size_grid.max_parents,
+        mean_comp_cost=scale.size_grid.mean_comp_cost,
+    )
+    knees = build_observation_knees(grid, seed, heuristic)
+    rows = []
+    for alpha in grid.parallelisms:
+        row: dict[str, object] = {"alpha": alpha}
+        for beta in grid.regularities:
+            row[f"beta={beta}"] = int(round(knees[(size, ccr, alpha, beta, grid.thresholds[0])]))
+        rows.append(row)
+    return rows
+
+
+def plane_fit_quality(
+    grid: ObservationGrid,
+    knees: dict[tuple[int, float, float, float, float], float],
+    model: SizePredictionModel,
+) -> list[dict[str, object]]:
+    """Mean relative error of the planar fit per (size, CCR) cell
+    (the paper reports ≤ 16 % for size 5000)."""
+    rows = []
+    thr = grid.thresholds[0]
+    for n in grid.sizes:
+        for ccr in grid.ccrs:
+            errs = []
+            for a in grid.parallelisms:
+                for b in grid.regularities:
+                    actual = knees[(n, ccr, a, b, thr)]
+                    fitted = model._plane_knee(thr, n, ccr, a, b)
+                    errs.append(abs(fitted - actual) / max(1.0, actual))
+            rows.append(
+                {
+                    "size": n,
+                    "ccr": ccr,
+                    "mean_rel_error_pct": round(100.0 * float(np.mean(errs)), 2),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figs. V-5 / V-6 — knee slices along the interpolation axes
+# ----------------------------------------------------------------------
+def knee_vs_size(
+    scale: Scale,
+    ccr: float = 0.01,
+    parallelism: float = 0.7,
+    regularities: Sequence[float] = (0.01, 0.3, 0.8),
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Fig. V-5: knee values along the DAG-size interpolation axis."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for beta in regularities:
+        for n in scale.size_grid.sizes:
+            knees = []
+            for _ in range(scale.instances):
+                dag = generate_random_dag(_spec(scale, n, ccr, parallelism, beta), rng)
+                max_size = _sweep_max_size(dag)
+                curve = sweep_turnaround(
+                    dag, rc_size_grid(max_size), "mcp", PrefixRCFactory(max_size)
+                )
+                knees.append(knee_from_curve(curve))
+            rows.append(
+                {"regularity": beta, "dag_size": n, "knee": round(float(np.mean(knees)), 1)}
+            )
+    return rows
+
+
+def knee_vs_ccr(
+    scale: Scale,
+    size: int | None = None,
+    regularity: float = 0.01,
+    parallelisms: Sequence[float] = (0.5, 0.7, 0.9),
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Fig. V-6: knee values along the CCR interpolation axis."""
+    size = size or scale.dag_size
+    rng = np.random.default_rng(seed)
+    rows = []
+    for alpha in parallelisms:
+        for ccr in scale.size_grid.ccrs:
+            knees = []
+            for _ in range(scale.instances):
+                dag = generate_random_dag(_spec(scale, size, ccr, alpha, regularity), rng)
+                max_size = _sweep_max_size(dag)
+                curve = sweep_turnaround(
+                    dag, rc_size_grid(max_size), "mcp", PrefixRCFactory(max_size)
+                )
+                knees.append(knee_from_curve(curve))
+            rows.append(
+                {"parallelism": alpha, "ccr": ccr, "knee": round(float(np.mean(knees)), 1)}
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table V-3 — deriving the "actual" optimal RC size
+# ----------------------------------------------------------------------
+def optimal_rc_search(
+    dag: DAG,
+    predicted: int,
+    heuristic: str = "mcp",
+    factory: PrefixRCFactory | None = None,
+    cost_model: SchedulingCostModel = DEFAULT_COST_MODEL,
+) -> tuple[int, float, TurnaroundCurve]:
+    """The Table V-3 search: candidate sizes around the predicted size
+    (±10 %…±50 %, 2×, 2.5×, 3×, and geometric halvings down to 1)."""
+    x = max(1, predicted)
+    candidates = {x}
+    for frac in (0.1, 0.2, 0.3, 0.4, 0.5):
+        candidates.add(max(1, int(round(x * (1 + frac)))))
+        candidates.add(max(1, int(round(x * (1 - frac)))))
+    for mult in (2.0, 2.5, 3.0):
+        candidates.add(int(round(x * mult)))
+    h = x // 2
+    while h >= 1:
+        candidates.add(h)
+        h //= 2
+    sizes = sorted(c for c in candidates if 1 <= c <= dag.n)
+    if factory is None or factory.max_size < sizes[-1]:
+        factory = PrefixRCFactory(sizes[-1])
+    curve = sweep_turnaround(dag, sizes, heuristic, factory, cost_model)
+    return curve.best_size, curve.best_turnaround, curve
+
+
+# ----------------------------------------------------------------------
+# Tables V-5 / V-6 — model validation on random DAGs
+# ----------------------------------------------------------------------
+def _validate_configs(
+    model: SizePredictionModel,
+    scale: Scale,
+    configs: Iterable[tuple[int, float, float, float]],
+    seed: int,
+    heuristic: str = "mcp",
+    cost_model: SchedulingCostModel = DEFAULT_COST_MODEL,
+) -> dict[str, float]:
+    """Size-difference / degradation / relative-cost averages over configs."""
+    rng = np.random.default_rng(seed)
+    size_diff, degradation, rel_cost = [], [], []
+    for n, ccr, alpha, beta in configs:
+        for _ in range(scale.instances):
+            dag = generate_random_dag(_spec(scale, n, ccr, alpha, beta), rng)
+            pred = model.predict_for_dag(dag)
+            opt_size, opt_turn, curve = optimal_rc_search(dag, pred, heuristic, None, cost_model)
+            pred_turn = curve.at_size(pred)
+            size_diff.append(abs(pred - opt_size) / max(1, opt_size))
+            degradation.append(max(0.0, (pred_turn - opt_turn) / opt_turn))
+            c_pred = cost_for_size(pred, pred_turn)
+            c_opt = cost_for_size(opt_size, opt_turn)
+            rel_cost.append(relative_cost(c_pred, c_opt))
+    return {
+        "avg_size_diff_pct": round(100.0 * float(np.mean(size_diff)), 2),
+        "avg_degradation_pct": round(100.0 * float(np.mean(degradation)), 2),
+        "avg_relative_cost_pct": round(100.0 * float(np.mean(rel_cost)), 2),
+    }
+
+
+def _midpoints(values: Sequence[float]) -> list[float]:
+    return [0.5 * (a + b) for a, b in zip(values, values[1:])]
+
+
+def validate_size_model(
+    model: SizePredictionModel,
+    scale: Scale,
+    seed: int = 1,
+    max_configs_per_cell: int = 6,
+) -> list[dict[str, object]]:
+    """Table V-5: the four (size, CCR) ∈ {observation, midpoint}² quadrants."""
+    g = scale.size_grid
+    rng = np.random.default_rng(seed)
+
+    def sample_ab(k: int) -> list[tuple[float, float]]:
+        pairs = [(a, b) for a in g.parallelisms for b in g.regularities]
+        idx = rng.choice(len(pairs), size=min(k, len(pairs)), replace=False)
+        return [pairs[i] for i in idx]
+
+    quadrants = {
+        ("observation", "observation"): (list(g.sizes), list(g.ccrs)),
+        ("observation", "midpoint"): (list(g.sizes), _midpoints(g.ccrs)),
+        ("midpoint", "observation"): ([int(x) for x in _midpoints(g.sizes)], list(g.ccrs)),
+        ("midpoint", "midpoint"): (
+            [int(x) for x in _midpoints(g.sizes)],
+            _midpoints(g.ccrs),
+        ),
+    }
+    rows = []
+    for (size_kind, ccr_kind), (sizes, ccrs) in quadrants.items():
+        configs = []
+        for n in sizes:
+            for ccr in ccrs:
+                for a, b in sample_ab(max(1, max_configs_per_cell // len(ccrs))):
+                    configs.append((int(n), float(ccr), a, b))
+        stats = _validate_configs(model, scale, configs, seed)
+        rows.append({"sizes": size_kind, "ccrs": ccr_kind, **stats})
+    return rows
+
+
+def validate_between_sizes(
+    model: SizePredictionModel,
+    scale: Scale,
+    sizes: Sequence[int],
+    seed: int = 2,
+    ccr: float | None = None,
+) -> list[dict[str, object]]:
+    """Table V-6: degradation at sizes between two observation points."""
+    g = scale.size_grid
+    ccr = g.ccrs[0] if ccr is None else ccr
+    rows = []
+    for n in sizes:
+        configs = [(int(n), ccr, a, b) for a in g.parallelisms[1:-1] for b in (g.regularities[0],)]
+        stats = _validate_configs(model, scale, configs, seed)
+        rows.append({"dag_size": int(n), **stats})
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table V-7 — current practice (DAG width as the RC size)
+# ----------------------------------------------------------------------
+def width_practice_comparison(
+    model: SizePredictionModel,
+    scale: Scale,
+    seed: int = 3,
+    max_configs: int = 12,
+) -> list[dict[str, object]]:
+    """Model prediction vs the DAG-width current practice."""
+    g = scale.size_grid
+    rng = np.random.default_rng(seed)
+    rows = []
+    for n in g.sizes:
+        size_diff, turn_diff, rel_cost = [], [], []
+        pairs = [(a, b) for a in g.parallelisms for b in g.regularities]
+        idx = rng.choice(len(pairs), size=min(max_configs, len(pairs)), replace=False)
+        for i in idx:
+            a, b = pairs[i]
+            dag = generate_random_dag(_spec(scale, n, g.ccrs[0], a, b), rng)
+            pred = model.predict_for_dag(dag)
+            width = dag.width
+            opt_size, opt_turn, curve = optimal_rc_search(dag, pred)
+            factory = PrefixRCFactory(max(width, curve.sizes.max()))
+            s = schedule_dag("mcp", dag, factory(width))
+            width_turn = DEFAULT_COST_MODEL.turnaround(s)
+            size_diff.append((width - opt_size) / max(1, opt_size))
+            turn_diff.append(max(0.0, (width_turn - opt_turn) / opt_turn))
+            rel_cost.append(
+                relative_cost(cost_for_size(width, width_turn), cost_for_size(opt_size, opt_turn))
+            )
+        rows.append(
+            {
+                "dag_size": n,
+                "avg_size_diff_pct": round(100.0 * float(np.mean(size_diff)), 1),
+                "avg_turnaround_diff_pct": round(100.0 * float(np.mean(turn_diff)), 2),
+                "avg_relative_cost_pct": round(100.0 * float(np.mean(rel_cost)), 1),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Tables V-8 / V-9 + Fig. V-7 — Montage validation and utility thresholds
+# ----------------------------------------------------------------------
+def montage_validation(
+    model: SizePredictionModel,
+    scale: Scale,
+    levels: tuple[int, ...] | None = None,
+    ccr: float = 0.01,
+) -> list[dict[str, object]]:
+    """Table V-9: per-threshold degradation and relative cost for Montage,
+    against the DAG-width current practice."""
+    levels = levels or scale.montage_levels
+    dag = montage_dag(levels, ccr=ccr)
+    width = dag.width
+    pred0 = model.predict_for_dag(dag)
+    opt_size, opt_turn, curve = optimal_rc_search(dag, pred0)
+    factory = PrefixRCFactory(max(width, int(curve.sizes.max())))
+    width_turn = DEFAULT_COST_MODEL.turnaround(schedule_dag("mcp", dag, factory(width)))
+    c_opt = cost_for_size(opt_size, opt_turn)
+    rows = []
+    for thr in model.thresholds():
+        pred = model.predict_for_dag(dag, thr)
+        pred_turn = DEFAULT_COST_MODEL.turnaround(schedule_dag("mcp", dag, factory(pred)))
+        rows.append(
+            {
+                "threshold_pct": 100.0 * thr,
+                "predicted_size": pred,
+                "degradation_pct": round(100.0 * max(0.0, (pred_turn - opt_turn) / opt_turn), 3),
+                "relative_cost_pct": round(
+                    100.0 * relative_cost(cost_for_size(pred, pred_turn), c_opt), 2
+                ),
+                "width_degradation_pct": round(
+                    100.0 * max(0.0, (width_turn - opt_turn) / opt_turn), 3
+                ),
+                "width_relative_cost_pct": round(
+                    100.0 * relative_cost(cost_for_size(width, width_turn), c_opt), 2
+                ),
+            }
+        )
+    return rows
+
+
+def utility_vs_threshold(
+    model: SizePredictionModel,
+    scale: Scale,
+    seed: int = 4,
+    configs: int = 6,
+) -> list[dict[str, object]]:
+    """Fig. V-7: degradation / relative cost / simple utility per threshold."""
+    g = scale.size_grid
+    rng = np.random.default_rng(seed)
+    pairs = [(a, b) for a in g.parallelisms for b in g.regularities]
+    idx = rng.choice(len(pairs), size=min(configs, len(pairs)), replace=False)
+    chosen = [(g.sizes[-1], g.ccrs[0], *pairs[i]) for i in idx]
+
+    per_thr: dict[float, list[tuple[float, float]]] = {t: [] for t in model.thresholds()}
+    for n, ccr, a, b in chosen:
+        dag = generate_random_dag(_spec(scale, n, ccr, a, b), rng)
+        pred0 = model.predict_for_dag(dag)
+        opt_size, opt_turn, curve = optimal_rc_search(dag, pred0)
+        factory = PrefixRCFactory(int(max(curve.sizes.max(), pred0)))
+        c_opt = cost_for_size(opt_size, opt_turn)
+        for thr in model.thresholds():
+            pred = min(model.predict_for_dag(dag, thr), factory.max_size)
+            t = DEFAULT_COST_MODEL.turnaround(schedule_dag("mcp", dag, factory(pred)))
+            deg = max(0.0, (t - opt_turn) / opt_turn)
+            rel = relative_cost(cost_for_size(pred, t), c_opt)
+            per_thr[thr].append((deg, rel))
+    rows = []
+    for thr, vals in per_thr.items():
+        deg = float(np.mean([v[0] for v in vals]))
+        rel = float(np.mean([v[1] for v in vals]))
+        rows.append(
+            {
+                "threshold_pct": 100.0 * thr,
+                "degradation_pct": round(100.0 * deg, 3),
+                "relative_cost_pct": round(100.0 * rel, 2),
+                # The Fig. V-7 example utility: 1 % degradation ↔ 10 % cost.
+                "utility": round(deg / 0.01 + rel / 0.10, 3),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figs. V-8 … V-11 — clock-rate heterogeneity
+# ----------------------------------------------------------------------
+def heterogeneity_study(
+    model: SizePredictionModel,
+    scale: Scale,
+    heterogeneities: Sequence[float] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5),
+    seed: int = 5,
+    parallelism: float = 0.7,
+    regularity: float = 0.3,
+    ccr: float = 0.01,
+) -> list[dict[str, object]]:
+    """Degradation / relative cost / optimal size and turn-around shifts as
+    clock-rate heterogeneity grows (homogeneous-model predictions applied
+    to heterogeneous RCs, §V.4)."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for n in scale.size_grid.sizes:
+        dag = generate_random_dag(_spec(scale, n, ccr, parallelism, regularity), rng)
+        pred = model.predict_for_dag(dag)
+        base_opt_size = base_opt_turn = None
+        for het in heterogeneities:
+            factory = PrefixRCFactory(
+                max(8, min(dag.n, 3 * pred + 4)), heterogeneity=het, seed=seed
+            )
+            opt_size, opt_turn, curve = optimal_rc_search(dag, pred, "mcp", factory)
+            pred_turn = curve.at_size(pred)
+            if het == heterogeneities[0]:
+                base_opt_size, base_opt_turn = opt_size, opt_turn
+            rows.append(
+                {
+                    "dag_size": n,
+                    "heterogeneity": het,
+                    "degradation_pct": round(
+                        100.0 * max(0.0, (pred_turn - opt_turn) / opt_turn), 3
+                    ),
+                    "relative_cost_pct": round(
+                        100.0
+                        * relative_cost(
+                            cost_for_size(pred, pred_turn), cost_for_size(opt_size, opt_turn)
+                        ),
+                        2,
+                    ),
+                    "optimal_size_change_pct": round(
+                        100.0 * (opt_size - base_opt_size) / base_opt_size, 1
+                    ),
+                    "optimal_turnaround_change_pct": round(
+                        100.0 * (opt_turn - base_opt_turn) / base_opt_turn, 2
+                    ),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figs. V-16 / V-17 — sensitivity to the scheduling heuristic
+# ----------------------------------------------------------------------
+def heuristic_sensitivity(
+    model: SizePredictionModel,
+    scale: Scale,
+    heuristics: Sequence[str] = ("mcp", "dls", "fca", "fcfs"),
+    conditions: Sequence[float] = (0.0, 0.3),
+    seed: int = 6,
+    size: int | None = None,
+) -> list[dict[str, object]]:
+    """Apply the MCP-trained size model under other heuristics and resource
+    conditions; report degradation from each heuristic's own optimum."""
+    size = size or scale.size_grid.sizes[min(1, len(scale.size_grid.sizes) - 1)]
+    rng = np.random.default_rng(seed)
+    dag = generate_random_dag(_spec(scale, size, 0.01, 0.6, 0.3), rng)
+    pred = model.predict_for_dag(dag)
+    rows = []
+    for het in conditions:
+        for h in heuristics:
+            factory = PrefixRCFactory(
+                max(8, min(dag.n, 3 * pred + 4)), heterogeneity=het, seed=seed
+            )
+            opt_size, opt_turn, curve = optimal_rc_search(dag, pred, h, factory)
+            pred_turn = curve.at_size(pred)
+            rows.append(
+                {
+                    "heuristic": h,
+                    "heterogeneity": het,
+                    "predicted_size": pred,
+                    "optimal_size": opt_size,
+                    "degradation_pct": round(
+                        100.0 * max(0.0, (pred_turn - opt_turn) / opt_turn), 3
+                    ),
+                    "relative_cost_pct": round(
+                        100.0
+                        * relative_cost(
+                            cost_for_size(pred, pred_turn), cost_for_size(opt_size, opt_turn)
+                        ),
+                        2,
+                    ),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# §V.3.4 — real applications whose structure fixes the best RC size
+# ----------------------------------------------------------------------
+def real_app_structure_validation(
+    chains: int = 8,
+    chain_length: int = 10,
+    eman_width: int = 12,
+) -> list[dict[str, object]]:
+    """§V.3.4's structural observations, verified by direct sweeps:
+
+    * SCEC workflows are parallel chains — the optimal RC size equals the
+      number of chains;
+    * EMAN is compute-dominated and embarrassingly parallel — the DAG width
+      (current practice) *is* the optimal size.
+    """
+    from repro.dag.workflows import eman_dag, scec_dag
+
+    rows = []
+    scec = scec_dag(chains=chains, chain_length=chain_length, comp_cost=50.0, comm_cost=2.0)
+    curve = sweep_turnaround(scec, rc_size_grid(2 * chains), "mcp")
+    rows.append(
+        {
+            "application": "SCEC (parallel chains)",
+            "structural_optimum": chains,
+            "measured_knee": knee_from_curve(curve),
+        }
+    )
+    eman = eman_dag(width=eman_width, comp_cost=900.0, comm_cost=0.5)
+    curve = sweep_turnaround(eman, rc_size_grid(eman.n), "mcp")
+    rows.append(
+        {
+            "application": "EMAN (compute-dominated)",
+            "structural_optimum": eman_width,
+            "measured_knee": knee_from_curve(curve),
+        }
+    )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figs. V-18 … V-24 — scheduler clock-rate ratio (SCR)
+# ----------------------------------------------------------------------
+def scr_study(
+    scale: Scale,
+    scrs: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    seed: int = 7,
+    parallelism: float = 0.8,
+    regularity: float = 0.3,
+    ccr: float = 0.01,
+    heterogeneity: float = 0.0,
+    mean_comp_cost: float = 0.5,
+    sizes: Sequence[int] = (100, 300),
+) -> list[dict[str, object]]:
+    """Knee (predicted RC size) as a function of SCR, plus a log-linear fit
+    ``knee(SCR) = k1 * SCR^gamma`` per DAG size (the Figs. V-23/24
+    formulas).
+
+    The SCR effect only exists where the scheduling time is non-negligible
+    against the makespan — the paper's Fig. V-18 regime ("small DAGs").
+    At the paper's scale that regime arrives naturally (uncapped 5,000-task
+    DAGs carry ~10^6 edges, so one extra host costs ~0.5 s of MCP time);
+    at reduced scales we enter it explicitly with short, dense, wide tasks
+    (``mean_comp_cost`` 0.5 s, density 1, uncapped edges).
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    for n in sizes:
+        spec = RandomDagSpec(
+            size=n,
+            ccr=ccr,
+            parallelism=parallelism,
+            regularity=regularity,
+            density=1.0,
+            mean_comp_cost=mean_comp_cost,
+            max_parents=None,
+        )
+        dag = generate_random_dag(spec, rng)
+        max_size = _sweep_max_size(dag)
+        factory = PrefixRCFactory(max_size, heterogeneity=heterogeneity, seed=seed)
+        knees = []
+        for scr in scrs:
+            cm = DEFAULT_COST_MODEL.with_scr(scr)
+            curve = sweep_turnaround(dag, rc_size_grid(max_size), "mcp", factory, cm)
+            knees.append(float(knee_from_curve(curve)))
+        # Fit knee = k1 * SCR^gamma in log space.
+        logs = np.log(np.asarray(scrs))
+        logk = np.log(np.asarray(knees))
+        gamma, logk1 = np.polyfit(logs, logk, 1)
+        for scr, knee in zip(scrs, knees):
+            rows.append(
+                {
+                    "dag_size": n,
+                    "scr": scr,
+                    "knee": knee,
+                    "fit_k1": round(float(math.exp(logk1)), 2),
+                    "fit_gamma": round(float(gamma), 3),
+                }
+            )
+    return rows

@@ -1,0 +1,154 @@
+"""Chapter VI experiments — predicting the best scheduling heuristic.
+
+* :func:`heuristic_turnaround_table` — Table VI-2 (per-heuristic optimal
+  turn-around for one DAG size) and the Fig. VI-1 series when called over
+  multiple sizes;
+* :func:`decision_surface` — Fig. VI-2 (when MCP vs FCA wins);
+* :func:`validate_combined_models` — Tables VI-4/VI-5 and Figs. VI-4/VI-5:
+  validation points classified by outcome, and the mean degradation from
+  the best possible turn-around when using both prediction models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.heuristic_model import DEFAULT_HEURISTICS, HeuristicPredictionModel
+from repro.core.knee import PrefixRCFactory, rc_size_grid, sweep_turnaround
+from repro.core.size_model import SizePredictionModel, _sweep_max_size
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+from repro.experiments.scales import Scale
+from repro.scheduling.costmodel import DEFAULT_COST_MODEL
+
+__all__ = [
+    "heuristic_turnaround_table",
+    "decision_surface",
+    "validate_combined_models",
+]
+
+
+def _spec(scale: Scale, size: int, ccr: float, alpha: float, beta: float) -> RandomDagSpec:
+    g = scale.heuristic_grid
+    return RandomDagSpec(
+        size=size,
+        ccr=ccr,
+        parallelism=alpha,
+        regularity=beta,
+        density=g.density,
+        mean_comp_cost=g.mean_comp_cost,
+        max_parents=g.max_parents,
+    )
+
+
+def heuristic_turnaround_table(
+    model: HeuristicPredictionModel,
+    sizes: Sequence[int] | None = None,
+) -> list[dict[str, object]]:
+    """Optimal turn-around per heuristic, by DAG size (Table VI-2 /
+    Fig. VI-1), averaged over the model's observation grid."""
+    obs = model.observations
+    if sizes is None:
+        sizes = sorted({o.size for o in obs})
+    rows = []
+    for n in sizes:
+        cell = [o for o in obs if o.size == n]
+        if not cell:
+            continue
+        row: dict[str, object] = {"dag_size": n}
+        for h in model.heuristics:
+            row[f"{h}_turnaround_s"] = round(
+                float(np.mean([o.best_turnaround[h] for o in cell])), 3
+            )
+        row["winner"] = min(
+            model.heuristics,
+            key=lambda h: float(np.mean([o.best_turnaround[h] for o in cell])),
+        )
+        rows.append(row)
+    return rows
+
+
+def decision_surface(model: HeuristicPredictionModel) -> list[dict[str, object]]:
+    """Fig. VI-2: winning heuristic per (DAG size, CCR) cell."""
+    return [
+        {"dag_size": n, "ccr": ccr, "winner": w} for n, ccr, w in model.decision_surface()
+    ]
+
+
+def validate_combined_models(
+    size_model: SizePredictionModel,
+    heuristic_model: HeuristicPredictionModel,
+    scale: Scale,
+    points: Sequence[tuple[int, float, float, float]] | None = None,
+    seed: int = 11,
+    heuristics: Sequence[str] = DEFAULT_HEURISTICS,
+) -> tuple[list[dict[str, object]], dict[str, object]]:
+    """Tables VI-4/VI-5 + Fig. VI-5.
+
+    For each validation point, the prediction (heuristic H*, size S*) is
+    compared against the oracle (best heuristic at its own best size).
+    Outcomes: ``correct`` — the predicted heuristic is the actual winner;
+    ``near`` — different heuristic but within 5 % of the best turn-around;
+    ``wrong`` — more than 5 % away.
+    """
+    if points is None:
+        g = scale.heuristic_grid
+        rng0 = np.random.default_rng(seed)
+        # Midpoints of the observation grid: the hard cases.
+        cand = [
+            (int(0.5 * (g.sizes[i] + g.sizes[i + 1])), ccr, a, b)
+            for i in range(len(g.sizes) - 1)
+            for ccr in g.ccrs
+            for a in g.parallelisms
+            for b in g.regularities
+        ]
+        idx = rng0.choice(len(cand), size=min(8, len(cand)), replace=False)
+        points = [cand[i] for i in idx]
+
+    rng = np.random.default_rng(seed + 1)
+    rows: list[dict[str, object]] = []
+    degradations: list[float] = []
+    outcome_counts = {"correct": 0, "near": 0, "wrong": 0}
+    for n, ccr, a, b in points:
+        dag = generate_random_dag(_spec(scale, n, ccr, a, b), rng)
+        max_size = _sweep_max_size(dag)
+        sizes = rc_size_grid(max_size, step_frac=0.35)
+        factory = PrefixRCFactory(max_size)
+        best_by_h = {}
+        for h in heuristics:
+            curve = sweep_turnaround(dag, sizes, h, factory, DEFAULT_COST_MODEL)
+            best_by_h[h] = (curve.best_turnaround, curve)
+        actual_best_h = min(best_by_h, key=lambda h: best_by_h[h][0])
+        best_turn = best_by_h[actual_best_h][0]
+
+        pred_h = heuristic_model.predict(n, ccr, a, b)
+        pred_size = min(size_model.predict_for_dag(dag), max_size)
+        pred_turn = best_by_h[pred_h][1].at_size(pred_size)
+        degradation = max(0.0, (pred_turn - best_turn) / best_turn)
+        degradations.append(degradation)
+        if pred_h == actual_best_h:
+            outcome = "correct"
+        elif degradation <= 0.05:
+            outcome = "near"
+        else:
+            outcome = "wrong"
+        outcome_counts[outcome] += 1
+        rows.append(
+            {
+                "dag_size": n,
+                "ccr": ccr,
+                "parallelism": a,
+                "regularity": b,
+                "predicted": f"{pred_h}@{pred_size}",
+                "actual_best": actual_best_h,
+                "degradation_pct": round(100.0 * degradation, 2),
+                "outcome": outcome,
+            }
+        )
+    summary = {
+        "points": len(rows),
+        **outcome_counts,
+        "mean_degradation_pct": round(100.0 * float(np.mean(degradations)), 2),
+    }
+    return rows, summary

@@ -1,0 +1,198 @@
+"""Chapter VII experiments — the resource specification generator in
+practice.
+
+* :func:`generate_montage_specs` — Figs. VII-3/4/5: the generated ClassAd,
+  SWORD XML and vgDL documents for a Montage DAG, each *executed* against
+  its selection engine on a synthetic platform (the end-to-end loop);
+* :func:`clock_size_surface` — Fig. VII-6: turn-around as a function of
+  clock rate and RC size;
+* :func:`relative_size_threshold` — Fig. VII-7: the RC-size factor needed
+  to move from a faster to a slower clock band at equal turn-around;
+* :func:`alternatives_demo` — the alternative-specification algorithm when
+  the best request cannot be fulfilled (Table VII-2 setting).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.alternatives import alternative_specifications, clock_size_tradeoff, size_to_match
+from repro.core.generator import ResourceSpecificationGenerator
+from repro.core.heuristic_model import HeuristicPredictionModel
+from repro.core.knee import PrefixRCFactory, rc_size_grid, sweep_turnaround
+from repro.core.size_model import SizePredictionModel
+from repro.dag.montage import montage_dag
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+from repro.experiments.chapter4 import build_universe
+from repro.experiments.scales import Scale
+from repro.resources.collection import REFERENCE_CLOCK_GHZ
+from repro.selection.classad import Matchmaker, machine_ads, parse_classad
+from repro.selection.sword import SwordEngine
+from repro.selection.vgdl import VgES
+
+__all__ = [
+    "generate_montage_specs",
+    "clock_size_surface",
+    "relative_size_threshold",
+    "alternatives_demo",
+]
+
+
+def generate_montage_specs(
+    size_model: SizePredictionModel,
+    heuristic_model: HeuristicPredictionModel | None,
+    scale: Scale,
+    ccr: float = 0.01,
+    seed: int = 0,
+    max_classad_machines: int = 400,
+) -> dict[str, object]:
+    """Generate all three specifications for Montage and run each against
+    its engine on the scale's universe (Figs. VII-3/4/5)."""
+    dag = montage_dag(scale.montage_levels, ccr=ccr)
+    generator = ResourceSpecificationGenerator(size_model, heuristic_model)
+    spec = generator.generate(dag)
+    platform = build_universe(scale, seed)
+
+    vg = VgES(platform).find_and_bind(spec.to_vgdl())
+    sword = SwordEngine(platform).query(spec.to_sword_xml())
+
+    # Condor: advertise a manageable machine subset (matchmaking is
+    # per-machine; the paper's matchmaker also works incrementally).
+    stride = max(1, platform.n_hosts // max_classad_machines)
+    mm = Matchmaker(machine_ads(platform, range(0, platform.n_hosts, stride)))
+    request = parse_classad(spec.to_classad())
+    gang = None
+    if spec.size <= len(mm.machines):
+        gang = mm.gangmatch(request)
+
+    return {
+        "spec": spec,
+        "vgdl_text": spec.to_vgdl(),
+        "classad_text": spec.to_classad(),
+        "sword_text": spec.to_sword_xml(),
+        "vg_hosts": 0 if vg is None else int(vg.size),
+        "sword_hosts": 0 if sword is None else int(sword.all_hosts().size),
+        "gang_machines": 0 if gang is None else len(gang.bindings),
+    }
+
+
+def clock_size_surface(
+    scale: Scale,
+    clocks_ghz: Sequence[float] = (2.0, 2.5, 3.0, 3.5),
+    seed: int = 1,
+    size: int | None = None,
+) -> list[dict[str, object]]:
+    """Fig. VII-6: turn-around over the (clock, RC size) grid."""
+    rng = np.random.default_rng(seed)
+    g = scale.size_grid
+    n = size or scale.dag_size
+    dag = generate_random_dag(
+        RandomDagSpec(
+            size=n,
+            ccr=0.01,
+            parallelism=0.7,
+            regularity=0.3,
+            density=g.density,
+            mean_comp_cost=g.mean_comp_cost,
+            max_parents=g.max_parents,
+        ),
+        rng,
+    )
+    max_size = int(min(dag.n, max(8, 1.3 * dag.width)))
+    points = clock_size_tradeoff(dag, tuple(clocks_ghz), max_size)
+    return [
+        {
+            "clock_ghz": p.clock_ghz,
+            "rc_size": p.size,
+            "turnaround_s": round(p.turnaround, 3),
+        }
+        for p in points
+    ]
+
+
+def relative_size_threshold(
+    scale: Scale,
+    fast_clock_ghz: float = 3.5,
+    slow_clock_ghz: float = 3.0,
+    seed: int = 2,
+    sizes: Sequence[int] | None = None,
+) -> list[dict[str, object]]:
+    """Fig. VII-7: by what factor must an RC of ``slow`` hosts grow to match
+    the turn-around of an RC of ``fast`` hosts, as a function of the fast
+    RC's size."""
+    rng = np.random.default_rng(seed)
+    g = scale.size_grid
+    n = scale.dag_size
+    dag = generate_random_dag(
+        RandomDagSpec(
+            size=n,
+            ccr=0.01,
+            parallelism=0.7,
+            regularity=0.3,
+            density=g.density,
+            mean_comp_cost=g.mean_comp_cost,
+            max_parents=g.max_parents,
+        ),
+        rng,
+    )
+    max_size = int(min(dag.n, max(16, 2.0 * dag.width)))
+    grid = rc_size_grid(max_size, step_frac=0.25)
+    fast_curve = sweep_turnaround(
+        dag, grid, "mcp", PrefixRCFactory(max_size, mean_speed=fast_clock_ghz / REFERENCE_CLOCK_GHZ)
+    )
+    slow_curve = sweep_turnaround(
+        dag, grid, "mcp", PrefixRCFactory(max_size, mean_speed=slow_clock_ghz / REFERENCE_CLOCK_GHZ)
+    )
+    if sizes is None:
+        sizes = [int(s) for s in fast_curve.sizes[:: max(1, fast_curve.sizes.size // 8)]]
+    rows = []
+    for s in sizes:
+        target = fast_curve.at_size(s)
+        needed = size_to_match(slow_curve, target)
+        rows.append(
+            {
+                "fast_rc_size": s,
+                f"turnaround_at_{fast_clock_ghz}GHz_s": round(target, 3),
+                "slow_size_needed": needed if needed is not None else "unreachable",
+                "relative_size_threshold": (
+                    round(needed / s, 3) if needed is not None else "inf"
+                ),
+            }
+        )
+    return rows
+
+
+def alternatives_demo(
+    size_model: SizePredictionModel,
+    scale: Scale,
+    available_clocks_ghz: Sequence[float] = (3.0, 2.4, 2.0),
+    seed: int = 3,
+) -> list[dict[str, object]]:
+    """Alternative specifications for a request the environment cannot
+    fulfil at the preferred clock band (Table VII-2 setting)."""
+    dag = montage_dag(scale.montage_levels, ccr=0.01)
+    generator = ResourceSpecificationGenerator(size_model, None, target_clock_ghz=3.5)
+    spec = generator.generate(dag)
+    alts = alternative_specifications(
+        dag, spec, tuple(available_clocks_ghz), max_size=int(min(dag.n, 3 * spec.size))
+    )
+    rows = [
+        {
+            "rank": 0,
+            "clock_ghz": spec.clock_max_mhz / 1000.0,
+            "size": spec.size,
+            "note": "original (unfulfilled)",
+        }
+    ]
+    for i, (alt, turn) in enumerate(alts, start=1):
+        rows.append(
+            {
+                "rank": i,
+                "clock_ghz": alt.clock_max_mhz / 1000.0,
+                "size": alt.size,
+                "note": f"predicted turnaround {turn:.1f}s",
+            }
+        )
+    return rows

@@ -1,0 +1,80 @@
+"""Markdown report generation from experiment rows.
+
+Turns the row-dict output of any experiment function into a GitHub-flavored
+markdown section, and bundles multiple experiments into a single report
+file — the programmatic path to EXPERIMENTS.md-style documents::
+
+    report = Report("Chapter IV at smoke scale")
+    report.add_table("Fig IV-5", montage_schemes(scale), note="CCR = 0.01")
+    report.write("report.md")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+__all__ = ["markdown_table", "Report"]
+
+
+def _cell(v: object) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v).replace("|", "\\|")
+
+
+def markdown_table(rows: Iterable[Mapping[str, object]]) -> str:
+    """Render row-dicts as a GitHub-flavored markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "*(no rows)*"
+    cols = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(cols) + " |",
+        "|" + "|".join("---" for _ in cols) + "|",
+    ]
+    for r in rows:
+        lines.append("| " + " | ".join(_cell(r.get(c, "")) for c in cols) + " |")
+    return "\n".join(lines)
+
+
+@dataclass
+class Report:
+    """A markdown document assembled from experiment outputs."""
+
+    title: str
+    _sections: list[str] = field(default_factory=list)
+
+    def add_text(self, text: str) -> "Report":
+        """Append a free-form markdown paragraph."""
+        self._sections.append(text.strip())
+        return self
+
+    def add_table(
+        self,
+        heading: str,
+        rows: Iterable[Mapping[str, object]],
+        note: str | None = None,
+    ) -> "Report":
+        """Append a titled table (optionally with a lead-in note)."""
+        parts = [f"## {heading}"]
+        if note:
+            parts.append(note.strip())
+        parts.append(markdown_table(rows))
+        self._sections.append("\n\n".join(parts))
+        return self
+
+    def render(self) -> str:
+        """The full markdown document."""
+        return "\n\n".join([f"# {self.title}"] + self._sections) + "\n"
+
+    def write(self, path: str | Path) -> Path:
+        """Write the document to ``path`` and return it."""
+        p = Path(path)
+        p.write_text(self.render())
+        return p

@@ -1,0 +1,161 @@
+"""Command-line entry point regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments.runner --chapter 4 --scale smoke
+    python -m repro.experiments.runner --all --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.heuristic_model import HeuristicPredictionModel
+from repro.core.size_model import SizePredictionModel, build_observation_knees
+from repro.experiments import chapter4 as c4
+from repro.experiments import chapter5 as c5
+from repro.experiments import chapter6 as c6
+from repro.experiments import chapter7 as c7
+from repro.experiments.scales import Scale, get_scale
+from repro.experiments.tables import print_table
+
+__all__ = ["run_chapter4", "run_chapter5", "run_chapter6", "run_chapter7", "main"]
+
+
+def _models(
+    scale: Scale, seed: int = 0, cache_dir: str = ".repro_cache"
+) -> tuple[SizePredictionModel, HeuristicPredictionModel]:
+    """Train (or load from the on-disk cache) both prediction models."""
+    from pathlib import Path
+
+    cache = Path(cache_dir)
+    size_path = cache / f"size_model_{scale.name}_seed{seed}.json"
+    heur_path = cache / f"heuristic_model_{scale.name}_seed{seed}.json"
+    if size_path.exists() and heur_path.exists():
+        print(f"[training] loading cached models from {cache}/")
+        return SizePredictionModel.load(size_path), HeuristicPredictionModel.load(heur_path)
+
+    print(f"[training] size model on grid {scale.size_grid.sizes} x {scale.size_grid.ccrs} ...")
+    t0 = time.perf_counter()
+    knees = build_observation_knees(scale.size_grid, seed=seed)
+    size_model = SizePredictionModel.fit(scale.size_grid, knees)
+    print(f"[training] size model done in {time.perf_counter() - t0:.1f}s")
+    t0 = time.perf_counter()
+    heuristic_model = HeuristicPredictionModel.train(scale.heuristic_grid, seed=seed)
+    print(f"[training] heuristic model done in {time.perf_counter() - t0:.1f}s")
+    cache.mkdir(exist_ok=True)
+    size_model.save(size_path)
+    heuristic_model.save(heur_path)
+    return size_model, heuristic_model
+
+
+def run_chapter4(scale: Scale) -> None:
+    """Regenerate every Chapter IV table/figure at the given scale."""
+    print_table(c4.montage_schemes(scale, ccr=0.01), "Fig IV-5: Montage, actual communication costs")
+    print_table(c4.montage_schemes(scale, ccr=1.0), "Fig IV-6: Montage, CCR = 1")
+    print_table(c4.montage_ccr_sweep(scale), "Figs IV-7/IV-8: Montage ratios vs MCP-on-universe, varying CCR")
+    for axis in ("size", "ccr", "parallelism", "density", "regularity", "mean_comp_cost"):
+        print_table(
+            c4.random_dag_sweep(scale, axis),
+            f"Figs IV-9..14: random DAGs varying {axis}",
+        )
+
+
+def run_chapter5(scale: Scale) -> None:
+    """Regenerate every Chapter V table/figure at the given scale."""
+    knees = build_observation_knees(scale.size_grid, seed=0)
+    model = SizePredictionModel.fit(scale.size_grid, knees)
+    print_table(
+        c5.turnaround_vs_rc_size(scale, size=scale.size_grid.sizes[0]),
+        "Figs V-2/V-3: turn-around vs RC size",
+    )
+    print_table(c5.knee_table(scale, size=scale.size_grid.sizes[-1]), "Table V-2: knee values")
+    print_table(c5.plane_fit_quality(scale.size_grid, knees, model), "Fig V-4: planar fit quality")
+    print_table(c5.knee_vs_size(scale), "Fig V-5: knee vs DAG size")
+    print_table(c5.knee_vs_ccr(scale, size=scale.size_grid.sizes[0]), "Fig V-6: knee vs CCR")
+    print_table(c5.validate_size_model(model, scale), "Table V-5: model validation")
+    print_table(
+        c5.validate_between_sizes(model, scale, _between_sizes(scale)),
+        "Table V-6: sizes between observation points",
+    )
+    print_table(c5.width_practice_comparison(model, scale), "Table V-7: DAG width current practice")
+    print_table(c5.montage_validation(model, scale), "Table V-9: Montage validation")
+    print_table(c5.utility_vs_threshold(model, scale), "Fig V-7: utility vs threshold")
+    print_table(c5.heterogeneity_study(model, scale), "Figs V-8..V-11: clock-rate heterogeneity")
+    print_table(c5.heuristic_sensitivity(model, scale), "Figs V-16/V-17: heuristic sensitivity")
+    print_table(c5.scr_study(scale), "Figs V-18..V-24: SCR study")
+
+
+def _between_sizes(scale: Scale) -> list[int]:
+    sizes = scale.size_grid.sizes
+    if len(sizes) < 2:
+        return list(sizes)
+    lo, hi = sizes[-2], sizes[-1]
+    step = max(1, (hi - lo) // 4)
+    return list(range(lo, hi + 1, step))
+
+
+def run_chapter6(scale: Scale) -> None:
+    """Regenerate every Chapter VI table/figure at the given scale."""
+    size_model, heuristic_model = _models(scale)
+    print_table(
+        c6.heuristic_turnaround_table(heuristic_model),
+        "Table VI-2 / Fig VI-1: optimal turn-around per heuristic",
+    )
+    print_table(c6.decision_surface(heuristic_model), "Fig VI-2: decision surface")
+    rows, summary = c6.validate_combined_models(size_model, heuristic_model, scale)
+    print_table(rows, "Table VI-4: combined-model validation points")
+    print_table([summary], "Fig VI-4/VI-5: validation outcome summary")
+
+
+def run_chapter7(scale: Scale) -> None:
+    """Regenerate every Chapter VII table/figure at the given scale."""
+    size_model, heuristic_model = _models(scale)
+    result = c7.generate_montage_specs(size_model, heuristic_model, scale)
+    spec = result["spec"]
+    print(spec.describe())
+    print("\nFig VII-5 — generated vgDL:\n" + result["vgdl_text"])
+    print("\nFig VII-3 — generated ClassAd:\n" + result["classad_text"])
+    print("\nFig VII-4 — generated SWORD XML:\n" + result["sword_text"])
+    print_table(
+        [
+            {
+                "engine": "vgES",
+                "hosts_returned": result["vg_hosts"],
+            },
+            {"engine": "SWORD", "hosts_returned": result["sword_hosts"]},
+            {"engine": "Condor gangmatch", "hosts_returned": result["gang_machines"]},
+        ],
+        "\nEnd-to-end selection results",
+    )
+    print_table(c7.clock_size_surface(scale), "Fig VII-6: turn-around vs clock and RC size")
+    print_table(c7.relative_size_threshold(scale), "Fig VII-7: relative size threshold 3.5 -> 3.0 GHz")
+    print_table(c7.alternatives_demo(size_model, scale), "Alternative specifications")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (see module docstring)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--chapter", type=int, choices=(4, 5, 6, 7), default=None)
+    parser.add_argument("--all", action="store_true", help="run every chapter")
+    parser.add_argument("--scale", default="smoke", choices=("smoke", "small", "paper"))
+    args = parser.parse_args(argv)
+    scale = get_scale(args.scale)
+    chapters = [args.chapter] if args.chapter else []
+    if args.all:
+        chapters = [4, 5, 6, 7]
+    if not chapters:
+        parser.error("pass --chapter N or --all")
+    runners = {4: run_chapter4, 5: run_chapter5, 6: run_chapter6, 7: run_chapter7}
+    for ch in chapters:
+        print(f"===== Chapter {ch} ({scale.name} scale) =====")
+        t0 = time.perf_counter()
+        runners[ch](scale)
+        print(f"===== Chapter {ch} done in {time.perf_counter() - t0:.1f}s =====\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Experiment scale presets.
+
+The paper's universe is 1000 clusters / 33,667 hosts with DAGs up to
+10,000 tasks and 10 instances per configuration — CPU-days of compute.
+Every experiment here runs the same code path at three scales:
+
+* ``smoke`` — seconds; used by the test suite and pytest-benchmark;
+* ``small`` — minutes; the scale behind the recorded EXPERIMENTS.md numbers;
+* ``paper`` — the full published parameters (provided for completeness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.size_model import ObservationGrid
+from repro.dag.montage import MONTAGE_LEVELS_4469, montage_level_counts
+
+__all__ = ["Scale", "SMOKE", "SMALL", "PAPER", "get_scale"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """All size knobs of the experiment harness."""
+
+    name: str
+    #: Universe size (clusters); the paper uses 1000 (≈ 33.7k hosts).
+    n_clusters: int
+    #: Montage workflow levels (Table IV-2 for `paper`).
+    montage_levels: tuple[int, ...]
+    #: Default random-DAG size (Table IV-3 uses 4469).
+    dag_size: int
+    #: Random-DAG sizes swept in Fig. IV-9.
+    dag_sizes: tuple[int, ...]
+    #: Instances averaged per configuration.
+    instances: int
+    #: Observation grid for the Chapter V size model.
+    size_grid: ObservationGrid
+    #: Observation grid for the Chapter VI heuristic model (coarser: DLS is
+    #: expensive).
+    heuristic_grid: ObservationGrid
+    #: Edge cap for random DAGs in the sweeps (None = paper-faithful).
+    max_parents: int | None
+    #: Knee thresholds exercised by the utility experiments.
+    thresholds: tuple[float, ...] = (0.001, 0.005, 0.01, 0.02, 0.05, 0.10)
+
+
+SMOKE = Scale(
+    name="smoke",
+    n_clusters=30,
+    montage_levels=montage_level_counts(40),
+    dag_size=150,
+    dag_sizes=(40, 80, 150),
+    instances=1,
+    size_grid=ObservationGrid(
+        sizes=(60, 200),
+        ccrs=(0.01, 0.5),
+        parallelisms=(0.4, 0.6, 0.8),
+        regularities=(0.1, 0.8),
+        instances=1,
+        thresholds=(0.001, 0.01, 0.05, 0.10),
+    ),
+    heuristic_grid=ObservationGrid(
+        sizes=(60, 200),
+        ccrs=(0.01, 0.5),
+        parallelisms=(0.4, 0.8),
+        regularities=(0.5,),
+        instances=1,
+    ),
+    max_parents=8,
+)
+
+SMALL = Scale(
+    name="small",
+    n_clusters=200,
+    montage_levels=montage_level_counts(334),  # the 1629-task mosaic scale
+    dag_size=1000,
+    dag_sizes=(100, 500, 1000, 2000),
+    instances=3,
+    size_grid=ObservationGrid(
+        sizes=(100, 500, 1000, 2000),
+        ccrs=(0.01, 0.3, 1.0),
+        parallelisms=(0.3, 0.5, 0.7, 0.9),
+        regularities=(0.01, 0.3, 0.8),
+        instances=2,
+        thresholds=(0.001, 0.005, 0.01, 0.02, 0.05, 0.10),
+    ),
+    heuristic_grid=ObservationGrid(
+        sizes=(100, 500),
+        ccrs=(0.01, 0.5),
+        parallelisms=(0.4, 0.7),
+        regularities=(0.5,),
+        instances=1,
+    ),
+    max_parents=16,
+)
+
+PAPER = Scale(
+    name="paper",
+    n_clusters=1000,
+    montage_levels=MONTAGE_LEVELS_4469,
+    dag_size=4469,
+    dag_sizes=(44, 447, 4469, 8938),
+    instances=10,
+    size_grid=ObservationGrid(
+        sizes=(100, 500, 1000, 5000, 10000),
+        ccrs=(0.01, 0.1, 0.3, 0.5, 0.8, 1.0),
+        parallelisms=(0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+        regularities=(0.01, 0.1, 0.3, 0.5, 0.8, 1.0),
+        instances=10,
+        max_parents=None,
+        thresholds=(0.001, 0.005, 0.01, 0.02, 0.05, 0.10),
+    ),
+    heuristic_grid=ObservationGrid(
+        sizes=(100, 500, 1000, 5000),
+        ccrs=(0.01, 0.1, 0.5, 1.0),
+        parallelisms=(0.3, 0.5, 0.7, 0.9),
+        regularities=(0.01, 0.5, 1.0),
+        instances=10,
+        max_parents=None,
+    ),
+    max_parents=None,
+)
+
+_SCALES = {s.name: s for s in (SMOKE, SMALL, PAPER)}
+
+
+def get_scale(name: str) -> Scale:
+    """Look up a scale preset by name."""
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(f"unknown scale {name!r}; choose from {sorted(_SCALES)}") from None

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for experiment rows."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["format_table", "print_table"]
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+def format_table(rows: Iterable[Mapping[str, object]], title: str | None = None) -> str:
+    """Render row-dicts as an aligned text table (column order from the
+    first row)."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Iterable[Mapping[str, object]], title: str | None = None) -> None:
+    """Print :func:`format_table` output followed by a blank line."""
+    print(format_table(rows, title))
+    print()

@@ -1,0 +1,38 @@
+"""Resource model: synthetic LSDE platforms (dissertation §III.2).
+
+* :mod:`repro.resources.generator` — Kee/Casanova/Chien-style synthetic
+  compute-resource generator (clusters of identical hosts, year-indexed
+  clock-rate mix);
+* :mod:`repro.resources.topology` — BRITE-like network topology generator
+  (Waxman / Barabási–Albert, hierarchical option, standard capacity classes);
+* :mod:`repro.resources.platform` — the merged compute + network platform;
+* :mod:`repro.resources.collection` — resource collections (RCs), the unit
+  the schedulers operate on.
+"""
+
+from repro.resources.generator import ClusterSpec, ResourceGeneratorConfig, generate_clusters
+from repro.resources.topology import TopologyConfig, generate_topology, effective_bandwidth_matrix
+from repro.resources.platform import Platform, PlatformConfig, generate_platform
+from repro.resources.collection import ResourceCollection, REFERENCE_CLOCK_GHZ, REFERENCE_BANDWIDTH_BPS
+from repro.resources.sharing import space_shared, time_shared
+from repro.resources.binding import Binder, BindingError, sample_busy_hosts
+
+__all__ = [
+    "ClusterSpec",
+    "ResourceGeneratorConfig",
+    "generate_clusters",
+    "TopologyConfig",
+    "generate_topology",
+    "effective_bandwidth_matrix",
+    "Platform",
+    "PlatformConfig",
+    "generate_platform",
+    "ResourceCollection",
+    "REFERENCE_CLOCK_GHZ",
+    "REFERENCE_BANDWIDTH_BPS",
+    "space_shared",
+    "time_shared",
+    "Binder",
+    "BindingError",
+    "sample_busy_hosts",
+]

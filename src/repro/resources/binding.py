@@ -1,0 +1,81 @@
+"""Resource binding and load dynamics (§II.2.3, §II.4.1).
+
+vgES's distinguishing feature is *integrated* selection and binding: in a
+high-load environment, selecting hosts without binding them races against
+other users.  This module provides the binding substrate:
+
+* :class:`Binder` — tracks which hosts of a platform are bound; binding is
+  all-or-nothing per request and double-binding is refused (the local
+  resource manager "must agree for the application to execute tasks");
+* :func:`sample_busy_hosts` — a background-load model: every host is
+  independently busy with the cluster's utilisation probability, giving
+  the "high load resource environment" the vgFAB was designed for.
+
+The selection engines accept an ``unavailable`` host set so that selection
+never returns busy or already-bound hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.resources.platform import Platform
+
+__all__ = ["BindingError", "Binder", "sample_busy_hosts"]
+
+
+class BindingError(RuntimeError):
+    """Raised when a bind request cannot be granted atomically."""
+
+
+@dataclass
+class Binder:
+    """All-or-nothing host binding over a platform."""
+
+    platform: Platform
+    _bound: set[int] = field(default_factory=set)
+
+    @property
+    def bound_hosts(self) -> set[int]:
+        return set(self._bound)
+
+    def is_bound(self, host_id: int) -> bool:
+        """Whether ``host_id`` is currently bound."""
+        return int(host_id) in self._bound
+
+    def bind(self, host_ids: np.ndarray) -> np.ndarray:
+        """Atomically bind the given hosts; raises if any is taken."""
+        ids = [int(h) for h in np.asarray(host_ids).ravel()]
+        if not ids:
+            raise BindingError("empty bind request")
+        if len(set(ids)) != len(ids):
+            raise BindingError("bind request repeats a host")
+        for h in ids:
+            if not 0 <= h < self.platform.n_hosts:
+                raise BindingError(f"host {h} does not exist")
+        conflicts = [h for h in ids if h in self._bound]
+        if conflicts:
+            raise BindingError(f"hosts already bound: {conflicts[:5]}")
+        self._bound.update(ids)
+        return np.asarray(sorted(ids), dtype=np.int64)
+
+    def release(self, host_ids: np.ndarray) -> None:
+        """Release previously bound hosts (idempotent per host)."""
+        for h in np.asarray(host_ids).ravel():
+            self._bound.discard(int(h))
+
+    def release_all(self) -> None:
+        """Release every bound host."""
+        self._bound.clear()
+
+
+def sample_busy_hosts(
+    platform: Platform, utilization: float, rng: np.random.Generator
+) -> set[int]:
+    """Hosts busy under a background load of the given utilisation."""
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError("utilization must be within [0, 1]")
+    busy = rng.random(platform.n_hosts) < utilization
+    return {int(h) for h in np.flatnonzero(busy)}

@@ -1,0 +1,175 @@
+"""Resource collections — the host sets schedulers operate on.
+
+A :class:`ResourceCollection` (RC, §V.1) is a set of hosts with
+
+* a *speed* per host, relative to the paper's 1.5 GHz reference CPU (the
+  Montage performance model baseline, §IV.2.1): a task of cost ``w`` seconds
+  runs in ``w / speed`` seconds;
+* a *cluster* id per host and a cluster-to-cluster communication factor
+  matrix: transferring an edge of cost ``w_c`` (seconds on the 10 Gb/s
+  reference link) between hosts in clusters ``a`` and ``b`` takes
+  ``w_c * comm_factor[a, b]`` seconds, and 0 seconds between a host and
+  itself.
+
+Hosts are stored sorted into *groups* of identical (cluster, speed) hosts so
+the schedulers can reason per group (all hosts in a group are exchangeable
+except for their availability times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ResourceCollection", "REFERENCE_CLOCK_GHZ", "REFERENCE_BANDWIDTH_BPS"]
+
+#: Clock rate of the reference CPU task costs are expressed against (GHz).
+REFERENCE_CLOCK_GHZ = 1.5
+
+#: Bandwidth of the reference link edge costs are expressed against (bits/s).
+REFERENCE_BANDWIDTH_BPS = 10.0e9
+
+
+@dataclass
+class ResourceCollection:
+    """A set of hosts a scheduler may use (dedicated access, §III.2.3).
+
+    Parameters
+    ----------
+    speed:
+        ``float64[p]`` relative host speeds (1.0 = reference CPU).
+    cluster:
+        ``int64[p]`` cluster index of each host (into ``comm_factor``).
+    comm_factor:
+        ``float64[C, C]`` communication-time multiplier between clusters
+        (1.0 = reference link speed; larger is slower).  The diagonal is the
+        *intra-cluster* factor; host-to-itself transfers always cost 0.
+    host_ids:
+        Optional global platform host ids (for binding / reporting).
+    """
+
+    speed: np.ndarray
+    cluster: np.ndarray
+    comm_factor: np.ndarray
+    host_ids: np.ndarray | None = None
+
+    n_hosts: int = field(init=False)
+    #: Host permutation grouping identical hosts, plus group boundaries.
+    order: np.ndarray = field(init=False)
+    group_start: np.ndarray = field(init=False)
+    group_speed: np.ndarray = field(init=False)
+    group_cluster: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.speed = np.asarray(self.speed, dtype=np.float64)
+        self.cluster = np.asarray(self.cluster, dtype=np.int64)
+        self.comm_factor = np.asarray(self.comm_factor, dtype=np.float64)
+        self.n_hosts = int(self.speed.shape[0])
+        if self.n_hosts < 1:
+            raise ValueError("a resource collection needs at least one host")
+        if self.cluster.shape[0] != self.n_hosts:
+            raise ValueError("speed and cluster must have the same length")
+        if np.any(self.speed <= 0):
+            raise ValueError("host speeds must be positive")
+        if self.comm_factor.ndim != 2 or self.comm_factor.shape[0] != self.comm_factor.shape[1]:
+            raise ValueError("comm_factor must be a square matrix")
+        if self.cluster.min() < 0 or self.cluster.max() >= self.comm_factor.shape[0]:
+            raise ValueError("cluster index out of comm_factor range")
+        if np.any(self.comm_factor < 0):
+            raise ValueError("communication factors must be non-negative")
+        if self.host_ids is not None:
+            self.host_ids = np.asarray(self.host_ids, dtype=np.int64)
+            if self.host_ids.shape[0] != self.n_hosts:
+                raise ValueError("host_ids must have one entry per host")
+        self._build_groups()
+
+    def _build_groups(self) -> None:
+        # Group hosts by (cluster, -speed): identical hosts are exchangeable.
+        self.order = np.lexsort((-self.speed, self.cluster)).astype(np.int64)
+        c_sorted = self.cluster[self.order]
+        s_sorted = self.speed[self.order]
+        if self.n_hosts == 1:
+            boundaries = np.array([0, 1], dtype=np.int64)
+        else:
+            new_group = (c_sorted[1:] != c_sorted[:-1]) | (s_sorted[1:] != s_sorted[:-1])
+            starts = np.concatenate(([0], np.flatnonzero(new_group) + 1))
+            boundaries = np.concatenate((starts, [self.n_hosts])).astype(np.int64)
+        self.group_start = boundaries
+        self.group_speed = s_sorted[boundaries[:-1]]
+        self.group_cluster = c_sorted[boundaries[:-1]]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        return int(self.group_start.shape[0] - 1)
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.comm_factor.shape[0])
+
+    def is_homogeneous(self) -> bool:
+        """All hosts identical in speed, all pairs at factor-1 communication."""
+        return (
+            bool(np.all(self.speed == self.speed[0]))
+            and bool(np.all(self.comm_factor == self.comm_factor.flat[0]))
+        )
+
+    def clock_ghz(self) -> np.ndarray:
+        """Host clock rates implied by the relative speeds."""
+        return self.speed * REFERENCE_CLOCK_GHZ
+
+    def comm_time(self, w_c: float, host_a: int, host_b: int) -> float:
+        """Seconds to send an edge of reference cost ``w_c`` from a to b."""
+        if host_a == host_b:
+            return 0.0
+        return float(w_c * self.comm_factor[self.cluster[host_a], self.cluster[host_b]])
+
+    def subset(self, hosts: np.ndarray) -> "ResourceCollection":
+        """RC restricted to the given host indices (local indices)."""
+        hosts = np.asarray(hosts, dtype=np.int64)
+        return ResourceCollection(
+            speed=self.speed[hosts],
+            cluster=self.cluster[hosts],
+            comm_factor=self.comm_factor,
+            host_ids=None if self.host_ids is None else self.host_ids[hosts],
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(cls, n_hosts: int, speed: float = 1.0) -> "ResourceCollection":
+        """``n_hosts`` identical hosts on a homogeneous reference network."""
+        return cls(
+            speed=np.full(n_hosts, float(speed)),
+            cluster=np.zeros(n_hosts, dtype=np.int64),
+            comm_factor=np.ones((1, 1)),
+        )
+
+    @classmethod
+    def heterogeneous_clock(
+        cls,
+        n_hosts: int,
+        heterogeneity: float,
+        rng: np.random.Generator,
+        mean_speed: float = 1.0,
+    ) -> "ResourceCollection":
+        """Clock-rate heterogeneity ``eta`` (§V.4): speeds uniform in
+        ``mean_speed * [1 - eta, 1 + eta]`` on a homogeneous network."""
+        if not 0.0 <= heterogeneity < 1.0:
+            raise ValueError("heterogeneity must be in [0, 1)")
+        speeds = mean_speed * rng.uniform(
+            1.0 - heterogeneity, 1.0 + heterogeneity, size=n_hosts
+        )
+        return cls(
+            speed=speeds,
+            cluster=np.zeros(n_hosts, dtype=np.int64),
+            comm_factor=np.ones((1, 1)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResourceCollection(p={self.n_hosts}, clusters={self.n_clusters}, "
+            f"groups={self.n_groups}, homogeneous={self.is_homogeneous()})"
+        )

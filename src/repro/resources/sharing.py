@@ -1,0 +1,58 @@
+"""Resource-sharing models (§III.2.3).
+
+The paper assumes dedicated access to *bound* resources and maps shared
+resources onto that assumption:
+
+* **space sharing** — "for a processor with clock rate of 3.0 GHz that is
+  being space shared by five virtual processors, we can model each virtual
+  processor as having clock rate of 0.6 GHz and any application using that
+  virtual processor has dedicated access" — :func:`space_shared`;
+* **time sharing** — the resource is available only during certain slots;
+  the *effective* dedicated speed over a horizon is the duty-cycle fraction
+  of the nominal speed — :func:`time_shared_effective_speed` and
+  :func:`time_shared`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.resources.collection import ResourceCollection
+
+__all__ = ["space_shared", "time_shared_effective_speed", "time_shared"]
+
+
+def space_shared(rc: ResourceCollection, ways: int) -> ResourceCollection:
+    """Split every host of ``rc`` into ``ways`` dedicated virtual hosts,
+    each at ``1/ways`` of the physical speed (Xen/ModelNet-style
+    virtualisation, §III.2.3)."""
+    if ways < 1:
+        raise ValueError("ways must be >= 1")
+    if ways == 1:
+        return rc
+    speed = np.repeat(rc.speed / ways, ways)
+    cluster = np.repeat(rc.cluster, ways)
+    host_ids = None if rc.host_ids is None else np.repeat(rc.host_ids, ways)
+    return ResourceCollection(
+        speed=speed, cluster=cluster, comm_factor=rc.comm_factor, host_ids=host_ids
+    )
+
+
+def time_shared_effective_speed(nominal_speed: float, duty_cycle: float) -> float:
+    """Dedicated-equivalent speed of a host available ``duty_cycle`` of the
+    time (free slots give dedicated access; busy slots give none)."""
+    if not 0.0 < duty_cycle <= 1.0:
+        raise ValueError("duty_cycle must be within (0, 1]")
+    return nominal_speed * duty_cycle
+
+
+def time_shared(rc: ResourceCollection, duty_cycle: float) -> ResourceCollection:
+    """RC whose hosts are time shared at the given duty cycle."""
+    return ResourceCollection(
+        speed=np.array(
+            [time_shared_effective_speed(float(s), duty_cycle) for s in rc.speed]
+        ),
+        cluster=rc.cluster.copy(),
+        comm_factor=rc.comm_factor,
+        host_ids=None if rc.host_ids is None else rc.host_ids.copy(),
+    )

@@ -1,0 +1,156 @@
+"""BRITE-like network topology generator (§III.2.2).
+
+Produces a connected graph over *sites* (one site per cluster) using either
+the Waxman probabilistic model or Barabási–Albert preferential attachment,
+optionally two-level hierarchical (AS-level BA, router-level Waxman inside
+each domain).  Links get capacities from the standard classes BRITE assigns
+(OC3 … 10 GbE).
+
+The experiments only consume the *effective* cluster-to-cluster bandwidth.
+Following the paper we ignore latency (§III.2.2: "negligible when both
+communication and computation are at least in the order of seconds") and
+contention (a contended link is "a smaller reference bandwidth" — i.e. a
+different CCR).  The effective bandwidth between two sites is the bandwidth
+of the widest (maximum-bottleneck) path, computed exactly via the classic
+maximum-spanning-tree property: the bottleneck of the widest u–v path equals
+the minimum edge weight on the u–v path of a maximum spanning tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "LINK_CAPACITY_CLASSES",
+    "TopologyConfig",
+    "generate_topology",
+    "effective_bandwidth_matrix",
+]
+
+#: (name, bits/second, sampling weight) — BRITE-style capacity classes.
+LINK_CAPACITY_CLASSES: tuple[tuple[str, float, float], ...] = (
+    ("OC3", 155.52e6, 0.15),
+    ("OC12", 622.08e6, 0.20),
+    ("1GbE", 1.0e9, 0.30),
+    ("OC48", 2.488e9, 0.20),
+    ("10GbE", 10.0e9, 0.15),
+)
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Topology generation knobs."""
+
+    n_sites: int
+    model: str = "waxman"  # "waxman" | "barabasi_albert"
+    #: Waxman parameters P(u,v) = alpha * exp(-d / (beta * L)).
+    waxman_alpha: float = 0.4
+    waxman_beta: float = 0.2
+    #: BA edges added per new node.
+    ba_m: int = 2
+    #: Number of top-level domains; 1 disables the hierarchy.
+    n_domains: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 1:
+            raise ValueError("n_sites must be >= 1")
+        if self.model not in ("waxman", "barabasi_albert"):
+            raise ValueError(f"unknown topology model: {self.model!r}")
+        if self.n_domains < 1:
+            raise ValueError("n_domains must be >= 1")
+
+
+def _flat_graph(n: int, config: TopologyConfig, seed: int) -> nx.Graph:
+    if n == 1:
+        g = nx.Graph()
+        g.add_node(0)
+        return g
+    if config.model == "waxman":
+        g = nx.waxman_graph(n, alpha=config.waxman_alpha, beta=config.waxman_beta, seed=seed)
+    else:
+        g = nx.barabasi_albert_graph(n, min(config.ba_m, n - 1), seed=seed)
+    # Guarantee connectivity: chain the components together.
+    components = [sorted(c) for c in nx.connected_components(g)]
+    for a, b in zip(components, components[1:]):
+        g.add_edge(a[0], b[0])
+    return g
+
+
+def generate_topology(config: TopologyConfig, rng: np.random.Generator) -> nx.Graph:
+    """Generate a connected site graph with ``capacity_bps`` edge attributes.
+
+    Every node additionally carries a ``domain`` attribute (its top-level
+    administrative domain; all zero when the hierarchy is disabled).
+    """
+    n = config.n_sites
+    seed = int(rng.integers(0, 2**31 - 1))
+    if config.n_domains <= 1 or n <= config.n_domains:
+        g = _flat_graph(n, config, seed)
+        nx.set_node_attributes(g, 0, "domain")
+    else:
+        # Hierarchical: BA backbone of domains, Waxman inside each domain,
+        # one uplink per domain to its backbone node.
+        domains = config.n_domains
+        backbone = nx.barabasi_albert_graph(domains, min(config.ba_m, domains - 1), seed=seed)
+        g = nx.Graph()
+        sizes = np.full(domains, n // domains)
+        sizes[: n % domains] += 1
+        offset = 0
+        gateways = []
+        for d in range(domains):
+            sub = _flat_graph(int(sizes[d]), config, seed + 1 + d)
+            mapping = {i: offset + i for i in sub.nodes}
+            sub = nx.relabel_nodes(sub, mapping)
+            nx.set_node_attributes(sub, d, "domain")
+            g.update(sub)
+            gateways.append(offset)
+            offset += int(sizes[d])
+        for a, b in backbone.edges:
+            g.add_edge(gateways[a], gateways[b], backbone=True)
+
+    names = [c for c, _, _ in LINK_CAPACITY_CLASSES]
+    caps = {c: bps for c, bps, _ in LINK_CAPACITY_CLASSES}
+    weights = np.array([w for _, _, w in LINK_CAPACITY_CLASSES])
+    weights = weights / weights.sum()
+    for u, v, attrs in g.edges(data=True):
+        cls = str(rng.choice(names, p=weights))
+        if attrs.get("backbone"):
+            cls = "10GbE"  # backbone links are the fat pipes
+        attrs["capacity_class"] = cls
+        attrs["capacity_bps"] = caps[cls]
+    return g
+
+
+def effective_bandwidth_matrix(g: nx.Graph) -> np.ndarray:
+    """Pairwise widest-path bandwidth (bits/s) between all sites.
+
+    Exact via the maximum-spanning-tree property; O(V^2) overall using one
+    DFS per source on the tree.
+    """
+    n = g.number_of_nodes()
+    bw = np.zeros((n, n), dtype=np.float64)
+    if n == 1:
+        bw[0, 0] = np.inf
+        return bw
+    mst = nx.maximum_spanning_tree(g, weight="capacity_bps")
+    adj: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+    for u, v, attrs in mst.edges(data=True):
+        c = float(attrs["capacity_bps"])
+        adj[u].append((v, c))
+        adj[v].append((u, c))
+    for src in range(n):
+        bw[src, src] = np.inf
+        stack = [(src, np.inf)]
+        seen = {src}
+        while stack:
+            u, bottleneck = stack.pop()
+            for v, cap in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    b = min(bottleneck, cap)
+                    bw[src, v] = b
+                    stack.append((v, b))
+    return bw

@@ -1,0 +1,28 @@
+"""Scheduling heuristics, the execution simulator and the scheduling-time
+cost model (dissertation §III.3, Ch. IV heuristics, Figs. V-12…V-15).
+
+Every heuristic is a *static list scheduler*: it maps each task of a
+:class:`~repro.dag.graph.DAG` to a host of a
+:class:`~repro.resources.collection.ResourceCollection` and computes start
+and finish times under the dedicated-access resource model.  The produced
+:class:`~repro.scheduling.base.Schedule` carries an analytic operation count
+that the :mod:`~repro.scheduling.costmodel` converts into the scheduling
+time component of application turn-around time.
+"""
+
+from repro.scheduling.base import Schedule, SchedulerError, get_scheduler, list_schedulers, schedule_dag
+from repro.scheduling.costmodel import SchedulingCostModel, DEFAULT_COST_MODEL, turnaround_time
+from repro.scheduling.simulate import replay_schedule, validate_schedule
+
+__all__ = [
+    "Schedule",
+    "SchedulerError",
+    "get_scheduler",
+    "list_schedulers",
+    "schedule_dag",
+    "SchedulingCostModel",
+    "DEFAULT_COST_MODEL",
+    "turnaround_time",
+    "replay_schedule",
+    "validate_schedule",
+]

@@ -1,0 +1,238 @@
+"""Shared machinery for the list schedulers.
+
+The inner loops are vectorised over hosts: for each task we build the
+length-``p`` array of earliest finish times and argmin it.  A fast path
+exploits homogeneous networks (the common case in Ch. V): the data-ready
+time is then identical on every host except the parents' own hosts, so one
+O(p) pass plus O(indeg) corrections suffice.
+
+Operation counts (``Schedule.ops``) are *analytic*, reflecting the paper's
+implementation complexity (e.g. MCP examines every host for every task:
+``(indeg + 1) * p`` per task), not the vectorised shortcuts used here — see
+:mod:`repro.scheduling.costmodel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.dag.graph import DAG
+from repro.resources.collection import ResourceCollection
+
+__all__ = [
+    "Schedule",
+    "SchedulerError",
+    "SchedulerState",
+    "register_scheduler",
+    "get_scheduler",
+    "list_schedulers",
+    "schedule_dag",
+]
+
+
+class SchedulerError(RuntimeError):
+    """Raised for invalid scheduler inputs or internal inconsistencies."""
+
+
+@dataclass
+class Schedule:
+    """Result of scheduling a DAG onto a resource collection.
+
+    ``ops`` is the abstract operation count of the heuristic run (analytic
+    model, see module docstring); ``makespan`` is the difference between the
+    earliest task start and the latest task finish (§III.1.1).
+    """
+
+    heuristic: str
+    host: np.ndarray
+    start: np.ndarray
+    finish: np.ndarray
+    ops: float
+    n_hosts: int
+
+    @property
+    def makespan(self) -> float:
+        return float(self.finish.max() - self.start.min())
+
+    def hosts_used(self) -> int:
+        """Number of distinct hosts the schedule touches."""
+        return int(np.unique(self.host).size)
+
+
+@dataclass
+class SchedulerState:
+    """Mutable state threaded through a scheduling run."""
+
+    dag: DAG
+    rc: ResourceCollection
+    avail: np.ndarray = field(init=False)
+    host: np.ndarray = field(init=False)
+    finish: np.ndarray = field(init=False)
+    start: np.ndarray = field(init=False)
+    ops: float = 0.0
+
+    def __post_init__(self) -> None:
+        p = self.rc.n_hosts
+        self.avail = np.zeros(p, dtype=np.float64)
+        self.host = np.full(self.dag.n, -1, dtype=np.int64)
+        self.finish = np.full(self.dag.n, np.nan, dtype=np.float64)
+        self.start = np.full(self.dag.n, np.nan, dtype=np.float64)
+        self._homog_net = bool(np.all(self.rc.comm_factor == self.rc.comm_factor.flat[0]))
+        self._net_factor = float(self.rc.comm_factor.flat[0])
+
+    # ------------------------------------------------------------------
+    def data_ready_all_hosts(self, v: int) -> np.ndarray:
+        """Earliest time task ``v``'s inputs are present on each host."""
+        dag, rc = self.dag, self.rc
+        p = rc.n_hosts
+        in_edges = dag.in_edges(v)
+        if in_edges.size == 0:
+            return np.zeros(p, dtype=np.float64)
+        parents = dag.edge_src[in_edges]
+        pfin = self.finish[parents]
+        wcomm = dag.edge_comm[in_edges]
+        phosts = self.host[parents]
+        if self._homog_net:
+            # On every host the ready time is max over parents of the
+            # remote arrival, except on hosts holding parents where those
+            # parents' transfers are free.  Group parents by host and use
+            # the top-2 trick for "max excluding this host's group".
+            remote = pfin + wcomm * self._net_factor
+            ready = np.full(p, remote.max())
+            order = np.argsort(phosts, kind="stable")
+            ph_sorted = phosts[order]
+            starts = np.concatenate(
+                ([0], np.flatnonzero(ph_sorted[1:] != ph_sorted[:-1]) + 1)
+            )
+            g_remote = np.maximum.reduceat(remote[order], starts)
+            g_local = np.maximum.reduceat(pfin[order], starts)
+            hosts_unique = ph_sorted[starts]
+            i1 = int(g_remote.argmax())
+            m1 = float(g_remote[i1])
+            if g_remote.size > 1:
+                m2 = float(np.delete(g_remote, i1).max())
+            else:
+                m2 = -np.inf
+            for idx in range(hosts_unique.size):
+                off = m2 if idx == i1 else m1
+                ready[hosts_unique[idx]] = max(float(g_local[idx]), off, 0.0)
+            return ready
+        ready = np.zeros(p, dtype=np.float64)
+        clusters = rc.cluster
+        for k in range(parents.size):
+            row = rc.comm_factor[clusters[phosts[k]]][clusters]
+            contrib = pfin[k] + wcomm[k] * row
+            contrib[phosts[k]] = pfin[k]
+            np.maximum(ready, contrib, out=ready)
+        return ready
+
+    def data_ready_on_host(self, v: int, h: int) -> float:
+        """Earliest time task ``v``'s inputs are present on host ``h``."""
+        dag, rc = self.dag, self.rc
+        in_edges = dag.in_edges(v)
+        if in_edges.size == 0:
+            return 0.0
+        parents = dag.edge_src[in_edges]
+        pfin = self.finish[parents]
+        wcomm = dag.edge_comm[in_edges]
+        phosts = self.host[parents]
+        same = phosts == h
+        t = pfin[same].max() if same.any() else 0.0
+        if (~same).any():
+            if self._homog_net:
+                factors = np.full(int((~same).sum()), self._net_factor)
+            else:
+                factors = rc.comm_factor[rc.cluster[phosts[~same]], rc.cluster[h]]
+            t = max(t, float((pfin[~same] + wcomm[~same] * factors).max()))
+        return float(t)
+
+    def place(self, v: int, h: int, start: float) -> None:
+        """Commit task ``v`` to host ``h`` at ``start`` (non-preemptive)."""
+        w = self.dag.comp[v] / self.rc.speed[h]
+        self.host[v] = h
+        self.start[v] = start
+        self.finish[v] = start + w
+        self.avail[h] = start + w
+
+    def best_finish_host(self, v: int) -> tuple[int, float]:
+        """Host minimising the finish time of ``v`` (MCP's rule)."""
+        ready = self.data_ready_all_hosts(v)
+        start = np.maximum(ready, self.avail)
+        fin = start + self.dag.comp[v] / self.rc.speed
+        h = int(fin.argmin())
+        return h, float(start[h])
+
+    def best_start_host(self, v: int) -> tuple[int, float]:
+        """Host minimising the start time of ``v`` (greedy's rule)."""
+        ready = self.data_ready_all_hosts(v)
+        start = np.maximum(ready, self.avail)
+        h = int(start.argmin())
+        return h, float(start[h])
+
+    def result(self, heuristic: str) -> Schedule:
+        """Freeze the state into a :class:`Schedule`."""
+        if np.any(self.host < 0):  # pragma: no cover - defensive
+            raise SchedulerError("not all tasks were scheduled")
+        return Schedule(
+            heuristic=heuristic,
+            host=self.host,
+            start=self.start,
+            finish=self.finish,
+            ops=self.ops,
+            n_hosts=self.rc.n_hosts,
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+SchedulerFn = Callable[..., Schedule]
+_REGISTRY: dict[str, SchedulerFn] = {}
+
+
+def register_scheduler(name: str) -> Callable[[SchedulerFn], SchedulerFn]:
+    """Decorator registering a scheduler under ``name``."""
+    def deco(fn: SchedulerFn) -> SchedulerFn:
+        if name in _REGISTRY:
+            raise ValueError(f"scheduler {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def get_scheduler(name: str) -> SchedulerFn:
+    """Look up a scheduler by name (``mcp``, ``greedy``, ``fcfs``, ``fca``,
+    ``dls``, ``minmin``, ``random``)."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SchedulerError(
+            f"unknown scheduler {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_schedulers() -> list[str]:
+    """Names of every registered scheduler."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def schedule_dag(name: str, dag: DAG, rc: ResourceCollection, **kwargs) -> Schedule:
+    """Schedule ``dag`` on ``rc`` with the named heuristic."""
+    return get_scheduler(name)(dag, rc, **kwargs)
+
+
+def _ensure_loaded() -> None:
+    # Import the heuristic modules for their registration side effects.
+    from repro.scheduling import heuristics  # noqa: F401
+
+
+def log2ceil(x: float) -> float:
+    """log2 bounded below by 1, used in the analytic op counts."""
+    return max(1.0, math.log2(max(2.0, x)))

@@ -1,0 +1,22 @@
+"""Scheduling heuristic implementations.
+
+Importing this package registers every heuristic with the registry in
+:mod:`repro.scheduling.base`:
+
+=========  =============================================================
+name       description
+=========  =============================================================
+mcp        Modified Critical Path (Fig. IV-2 / V-12) — the reference
+           "complex" heuristic of Chapters IV and V
+greedy     simple greedy (Fig. IV-3) — earliest-available host
+fcfs       first-come-first-serve (Fig. V-15)
+fca        fastest-clock algorithm (Fig. V-14, reconstructed — DESIGN.md)
+dls        Dynamic Level Scheduling (Sih & Lee, Fig. V-13)
+minmin     min-min batch heuristic (used by Pegasus, §IV.1.2)
+random     uniformly random host per task (baseline)
+=========  =============================================================
+"""
+
+from repro.scheduling.heuristics import simple, mcp, dls, heft, insertion  # noqa: F401
+
+__all__ = ["simple", "mcp", "dls", "heft", "insertion"]

@@ -1,0 +1,58 @@
+"""HEFT — Heterogeneous Earliest Finish Time (Topçuoğlu et al.).
+
+Not part of the paper's heuristic set, but the standard modern baseline for
+DAG scheduling on heterogeneous resources; included so downstream users can
+compare the paper's MCP/DLS-era heuristics against it.
+
+Priority: the *upward rank* ``rank_u(v) = w̄(v) + max_child(c̄(e) +
+rank_u(child))`` using mean execution and communication times; tasks are
+scheduled in descending rank order onto the host minimising the earliest
+finish time.  We use end-of-queue placement rather than HEFT's
+insertion-based policy (consistent with every other scheduler here; the
+replay simulator validates the schedule either way).
+
+Abstract cost: identical shape to MCP (every host inspected per task).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.dag.graph import DAG
+from repro.resources.collection import ResourceCollection
+from repro.scheduling.base import Schedule, SchedulerState, log2ceil, register_scheduler
+
+__all__ = ["schedule_heft"]
+
+
+@register_scheduler("heft")
+def schedule_heft(dag: DAG, rc: ResourceCollection) -> Schedule:
+    """Schedule ``dag`` on ``rc`` with HEFT."""
+    state = SchedulerState(dag, rc)
+    p = rc.n_hosts
+
+    mean_inv_speed = float(np.mean(1.0 / rc.speed))
+    mean_comm_factor = float(rc.comm_factor.mean())
+    rank_u = dag.comp * mean_inv_speed
+    for u in dag.topo_order[::-1]:
+        out = dag.out_edges(u)
+        if out.size:
+            cand = rank_u[dag.edge_dst[out]] + dag.edge_comm[out] * mean_comm_factor
+            rank_u[u] = dag.comp[u] * mean_inv_speed + cand.max()
+    state.ops += dag.m + dag.n * log2ceil(dag.n)
+
+    indeg = dag.in_degree.copy()
+    heap: list[tuple[float, int]] = [(-float(rank_u[v]), int(v)) for v in dag.entry_nodes]
+    heapq.heapify(heap)
+    while heap:
+        _, v = heapq.heappop(heap)
+        h, start = state.best_finish_host(v)
+        state.place(v, h, start)
+        state.ops += (dag.in_degree[v] + 1) * p
+        for u in dag.children(v):
+            indeg[u] -= 1
+            if indeg[u] == 0:
+                heapq.heappush(heap, (-float(rank_u[u]), int(u)))
+    return state.result("heft")

@@ -1,0 +1,125 @@
+"""The cheap list schedulers: greedy, FCFS, FCA and the random baseline.
+
+These are the heuristics whose scheduling time is (nearly) independent of
+the DAG's communication structure — ``O(n (log p + indeg))`` abstract
+operations — which is why they stay usable on huge resource universes
+(Fig. IV-5) and why FCA wins for small DAGs in the Chapter VI heuristic
+prediction model.
+
+* **greedy** (Fig. IV-3): as soon as a task's dependencies have cleared,
+  assign it to the earliest-available host (start-soonest rule, ignoring
+  communication when choosing).
+* **fcfs** (Fig. V-15): ready tasks in FIFO order; the lowest-indexed host
+  that is idle at the task's ready time, else the earliest-available host.
+* **fca** (Fig. V-14, reconstructed — see DESIGN.md): ready tasks in
+  descending static-level order; the *fastest* host among the idle ones,
+  else the earliest-available (fastest on ties).  Speed-aware but
+  communication-oblivious.
+* **random**: a uniformly random host per task.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+import numpy as np
+
+from repro.dag.graph import DAG
+from repro.resources.collection import ResourceCollection
+from repro.scheduling.base import Schedule, SchedulerState, log2ceil, register_scheduler
+
+__all__ = ["schedule_greedy", "schedule_fcfs", "schedule_fca", "schedule_random"]
+
+
+def _run_ready_queue(
+    dag: DAG,
+    rc: ResourceCollection,
+    name: str,
+    priority: np.ndarray,
+    choose_host: Callable[[SchedulerState, int, float], int],
+    extra_ops: float = 0.0,
+) -> Schedule:
+    """Shared engine: pop ready tasks by (ready_time, priority, id), let
+    ``choose_host(state, task, ready_time)`` pick the host, place tightly."""
+    state = SchedulerState(dag, rc)
+    p = rc.n_hosts
+    indeg = dag.in_degree.copy()
+    dep_ready = np.zeros(dag.n, dtype=np.float64)  # max parent finish
+    heap: list[tuple[float, float, int]] = [
+        (0.0, float(priority[v]), int(v)) for v in dag.entry_nodes
+    ]
+    heapq.heapify(heap)
+    while heap:
+        t_ready, _, v = heapq.heappop(heap)
+        h = choose_host(state, v, t_ready)
+        start = max(state.avail[h], state.data_ready_on_host(v, h))
+        state.place(v, h, start)
+        state.ops += dag.in_degree[v] + log2ceil(p)
+        for e in dag.out_edges(v):
+            u = int(dag.edge_dst[e])
+            dep_ready[u] = max(dep_ready[u], state.finish[v])
+            indeg[u] -= 1
+            if indeg[u] == 0:
+                heapq.heappush(heap, (float(dep_ready[u]), float(priority[u]), u))
+    state.ops += extra_ops
+    return state.result(name)
+
+
+@register_scheduler("greedy")
+def schedule_greedy(dag: DAG, rc: ResourceCollection) -> Schedule:
+    """Simple greedy (Fig. IV-3): earliest-available host, readiness order."""
+
+    def choose(state: SchedulerState, v: int, t: float) -> int:
+        return int(state.avail.argmin())
+
+    return _run_ready_queue(dag, rc, "greedy", np.zeros(dag.n), choose)
+
+
+@register_scheduler("fcfs")
+def schedule_fcfs(dag: DAG, rc: ResourceCollection) -> Schedule:
+    """FCFS (Fig. V-15): FIFO ready order, first idle host."""
+    # FIFO = order in which tasks become ready; ties by id.  The ready heap
+    # already orders by (ready time, priority, id); priority 0 gives FIFO.
+
+    def choose(state: SchedulerState, v: int, t: float) -> int:
+        idle = np.flatnonzero(state.avail <= t)
+        if idle.size:
+            return int(idle[0])
+        return int(state.avail.argmin())
+
+    return _run_ready_queue(dag, rc, "fcfs", np.zeros(dag.n), choose)
+
+
+@register_scheduler("fca")
+def schedule_fca(dag: DAG, rc: ResourceCollection) -> Schedule:
+    """FCA (Fig. V-14): fastest available host, static-level task order."""
+    sl = dag.bottom_levels(include_comm=False)
+    speed = rc.speed
+
+    def choose(state: SchedulerState, v: int, t: float) -> int:
+        idle = state.avail <= t
+        if idle.any():
+            masked = np.where(idle, speed, -np.inf)
+            return int(masked.argmax())
+        # No idle host: earliest available, fastest on ties.
+        start = state.avail
+        best = start.min()
+        tied = np.flatnonzero(start == best)
+        return int(tied[speed[tied].argmax()])
+
+    # Higher static level = more critical = earlier; heap pops smallest.
+    extra = dag.n * log2ceil(dag.n) + dag.m
+    return _run_ready_queue(dag, rc, "fca", -sl, choose, extra_ops=extra)
+
+
+@register_scheduler("random")
+def schedule_random(dag: DAG, rc: ResourceCollection, seed: int = 0) -> Schedule:
+    """Uniformly random host per task (the Pegasus-style baseline)."""
+    rng = np.random.default_rng(seed)
+    hosts = rng.integers(0, rc.n_hosts, size=dag.n)
+
+    def choose(state: SchedulerState, v: int, t: float) -> int:
+        return int(hosts[v])
+
+    return _run_ready_queue(dag, rc, "random", np.zeros(dag.n), choose)

@@ -1,0 +1,45 @@
+"""Condor ClassAd substrate (§II.4.2).
+
+A working implementation of the classified-advertisement language the
+Condor matchmaker consumes:
+
+* :mod:`~repro.selection.classad.lexer` / :mod:`~repro.selection.classad.parser`
+  — tokeniser and recursive-descent parser producing an expression AST;
+* :mod:`~repro.selection.classad.evaluator` — three-valued (TRUE / FALSE /
+  UNDEFINED, plus ERROR) evaluation with MY/TARGET scopes and gangmatch
+  label bindings;
+* :mod:`~repro.selection.classad.matchmaker` — bilateral Matchmaking and
+  multilateral Gangmatching over port lists (Fig. II-2);
+* :mod:`~repro.selection.classad.builders` — machine ads from a synthetic
+  platform (Fig. II-3) and job-ad helpers.
+"""
+
+from repro.selection.classad.parser import ClassAd, parse_classad, parse_expression
+from repro.selection.classad.evaluator import (
+    ERROR,
+    UNDEFINED,
+    EvalContext,
+    Undefined,
+    EvalError,
+    evaluate,
+)
+from repro.selection.classad.matchmaker import GangMatch, Match, Matchmaker
+from repro.selection.classad.builders import machine_ad, machine_ads, job_request_ad
+
+__all__ = [
+    "ClassAd",
+    "parse_classad",
+    "parse_expression",
+    "EvalContext",
+    "evaluate",
+    "UNDEFINED",
+    "ERROR",
+    "Undefined",
+    "EvalError",
+    "Matchmaker",
+    "Match",
+    "GangMatch",
+    "machine_ad",
+    "machine_ads",
+    "job_request_ad",
+]

@@ -1,0 +1,137 @@
+"""Tokeniser for the ClassAd expression language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "LexError", "tokenize"]
+
+
+class LexError(ValueError):
+    """Raised on malformed ClassAd input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # NUMBER STRING IDENT OP EOF
+    value: object
+    pos: int
+
+
+_TWO_CHAR_OPS = ("==", "!=", "<=", ">=", "&&", "||", "=?", "=!")
+_ONE_CHAR_OPS = "+-*/%<>!()[]{};,=.?:"
+
+#: Unit suffixes Condor allows on numeric literals (e.g. ``100M`` image size).
+_UNIT_SUFFIXES = {
+    "b": 1.0,
+    "k": 2.0**10,
+    "m": 2.0**20,
+    "g": 2.0**30,
+    "t": 2.0**40,
+}
+
+
+def tokenize(text: str) -> list[Token]:
+    """Turn ``text`` into a token list terminated by an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c.isspace():
+            i += 1
+            continue
+        if c == "/" and text[i : i + 2] == "//":
+            # Line comment.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if c == "/" and text[i : i + 2] == "/*":
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise LexError(f"unterminated comment at {i}")
+            i = end + 2
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                d = text[j]
+                if d.isdigit():
+                    j += 1
+                elif d == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif d in "eE" and not seen_exp and j > i:
+                    # Exponent only when followed by digit or sign+digit.
+                    k = j + 1
+                    if k < n and text[k] in "+-":
+                        k += 1
+                    if k < n and text[k].isdigit():
+                        seen_exp = True
+                        seen_dot = True
+                        j = k
+                    else:
+                        break
+                else:
+                    break
+            raw = text[i:j]
+            value: object
+            if seen_dot or seen_exp:
+                value = float(raw)
+            else:
+                value = int(raw)
+            # Optional unit suffix (100M etc.) — only when not followed by
+            # more identifier characters.
+            if j < n and text[j].lower() in _UNIT_SUFFIXES:
+                after = text[j + 1] if j + 1 < n else ""
+                if not (after.isalnum() or after == "_"):
+                    value = float(value) * _UNIT_SUFFIXES[text[j].lower()]
+                    j += 1
+            tokens.append(Token("NUMBER", value, i))
+            i = j
+            continue
+        if c in "\"'‘’":
+            quote_close = {"‘": "’"}.get(c, c)
+            j = i + 1
+            out = []
+            while j < n and text[j] != quote_close:
+                if text[j] == "\\" and j + 1 < n:
+                    out.append(text[j + 1])
+                    j += 2
+                else:
+                    out.append(text[j])
+                    j += 1
+            if j >= n:
+                raise LexError(f"unterminated string at {i}")
+            tokens.append(Token("STRING", "".join(out), i))
+            i = j + 1
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("IDENT", text[i:j], i))
+            i = j
+            continue
+        two = text[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            # =?= and =!= are three characters.
+            if two in ("=?", "=!"):
+                three = text[i : i + 3]
+                if three in ("=?=", "=!="):
+                    tokens.append(Token("OP", three, i))
+                    i += 3
+                    continue
+                raise LexError(f"unexpected characters {two!r} at {i}")
+            tokens.append(Token("OP", two, i))
+            i += 2
+            continue
+        if c in _ONE_CHAR_OPS:
+            tokens.append(Token("OP", c, i))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {c!r} at position {i}")
+    tokens.append(Token("EOF", None, n))
+    return tokens

@@ -1,0 +1,236 @@
+"""Bilateral Matchmaking and multilateral Gangmatching (§II.4.2.1).
+
+* :meth:`Matchmaker.match` — classic two-party matchmaking: both ads'
+  ``Requirements`` (falling back to ``Constraint``) must evaluate to TRUE
+  with MY/TARGET crossed; candidates ranked by the request's ``Rank``.
+* :meth:`Matchmaker.gangmatch` — the Gangmatching extension: the request
+  carries a ``Ports`` list (Fig. II-2); ports are bound left to right, each
+  to the highest-ranked candidate satisfying the port's ``Constraint``
+  (with all earlier bindings visible through their labels) and the
+  candidate's own ``Requirements``; a machine can serve at most one port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.selection.classad.evaluator import EvalContext, evaluate
+from repro.selection.classad.parser import (
+    AttrRef,
+    BinaryOp,
+    ClassAd,
+    Expr,
+    FuncCall,
+    ListExpr,
+    RecordExpr,
+    Ternary,
+    UnaryOp,
+)
+
+
+def _rename_scope(expr: Expr, old: str, new: str) -> Expr:
+    """Rewrite scoped attribute references ``old.x`` into ``new.x``."""
+    if isinstance(expr, AttrRef):
+        if expr.scope is not None and expr.scope.lower() == old.lower():
+            return AttrRef(expr.name, scope=new)
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, _rename_scope(expr.left, old, new), _rename_scope(expr.right, old, new))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _rename_scope(expr.operand, old, new))
+    if isinstance(expr, Ternary):
+        return Ternary(
+            _rename_scope(expr.cond, old, new),
+            _rename_scope(expr.then, old, new),
+            _rename_scope(expr.other, old, new),
+        )
+    if isinstance(expr, FuncCall):
+        return FuncCall(expr.name, tuple(_rename_scope(a, old, new) for a in expr.args))
+    if isinstance(expr, ListExpr):
+        return ListExpr(tuple(_rename_scope(e, old, new) for e in expr.items))
+    return expr
+
+__all__ = ["Match", "GangMatch", "Matchmaker", "MatchError"]
+
+
+class MatchError(RuntimeError):
+    """Raised for malformed requests (e.g. gangmatch without ports)."""
+
+
+@dataclass(frozen=True)
+class Match:
+    """One bilateral match result."""
+
+    machine: ClassAd
+    rank: float
+
+
+@dataclass(frozen=True)
+class GangMatch:
+    """A successful gang: one machine ad per port label, in port order."""
+
+    bindings: dict[str, ClassAd]
+    ranks: dict[str, float]
+
+    @property
+    def machines(self) -> list[ClassAd]:
+        return list(self.bindings.values())
+
+
+def _requirements(ad: ClassAd) -> Expr | None:
+    return ad.get("Requirements") or ad.get("Constraint")
+
+
+def _rank_value(rank_expr: Expr | None, ctx: EvalContext) -> float:
+    if rank_expr is None:
+        return 0.0
+    v = evaluate(rank_expr, ctx)
+    if isinstance(v, bool):
+        return 1.0 if v else 0.0
+    if isinstance(v, (int, float)):
+        return float(v)
+    return 0.0  # UNDEFINED / ERROR / non-numeric rank counts as 0
+
+
+@dataclass
+class Matchmaker:
+    """A central clearinghouse holding advertised machine ads."""
+
+    machines: list[ClassAd] = field(default_factory=list)
+
+    def advertise(self, ad: ClassAd) -> None:
+        """Post a resource-provider ad."""
+        self.machines.append(ad)
+
+    # ------------------------------------------------------------------
+    def satisfies(self, request: ClassAd, machine: ClassAd) -> bool:
+        """True when both parties' requirements hold (bilateral match)."""
+        req_ctx = EvalContext(my=request, target=machine)
+        mach_ctx = EvalContext(my=machine, target=request)
+        r1 = _requirements(request)
+        r2 = _requirements(machine)
+        ok1 = evaluate(r1, req_ctx) if r1 is not None else True
+        ok2 = evaluate(r2, mach_ctx) if r2 is not None else True
+        return ok1 is True and ok2 is True
+
+    def match(self, request: ClassAd, limit: int | None = None) -> list[Match]:
+        """All machines matching ``request``, best rank first."""
+        results: list[Match] = []
+        for machine in self.machines:
+            if self.satisfies(request, machine):
+                rank = _rank_value(
+                    request.get("Rank"), EvalContext(my=request, target=machine)
+                )
+                results.append(Match(machine, rank))
+        results.sort(key=lambda m: -m.rank)
+        return results if limit is None else results[:limit]
+
+    # ------------------------------------------------------------------
+    def gangmatch(self, request: ClassAd) -> GangMatch | None:
+        """Bind every port of a Gangmatch request (Fig. II-2), or None.
+
+        Ports are satisfied greedily in order with backtracking: if a later
+        port cannot be bound, earlier ports fall back to their next-ranked
+        candidates.
+        """
+        ports = self._ports(request)
+        if not ports:
+            raise MatchError("gangmatch request carries no Ports attribute")
+        used: set[int] = set()
+        bindings: dict[str, ClassAd] = {}
+        ranks: dict[str, float] = {}
+
+        def bind(i: int) -> bool:
+            if i == len(ports):
+                return True
+            label, port_ad = ports[i]
+            candidates: list[tuple[float, int]] = []
+            for idx, machine in enumerate(self.machines):
+                if idx in used:
+                    continue
+                trial = dict(bindings)
+                trial[label] = machine
+                ctx = EvalContext(my=request, target=machine, bindings=trial)
+                constraint = _requirements(port_ad)
+                ok = evaluate(constraint, ctx) if constraint is not None else True
+                if ok is not True:
+                    continue
+                mreq = _requirements(machine)
+                if mreq is not None:
+                    mctx = EvalContext(my=machine, target=request, bindings=trial)
+                    if evaluate(mreq, mctx) is not True:
+                        continue
+                rank = _rank_value(port_ad.get("Rank"), ctx)
+                candidates.append((rank, idx))
+            candidates.sort(key=lambda t: (-t[0], t[1]))
+            for rank, idx in candidates:
+                used.add(idx)
+                bindings[label] = self.machines[idx]
+                ranks[label] = rank
+                if bind(i + 1):
+                    return True
+                used.discard(idx)
+                bindings.pop(label, None)
+                ranks.pop(label, None)
+            return False
+
+        if bind(0):
+            return GangMatch(bindings=bindings, ranks=ranks)
+        return None
+
+    @staticmethod
+    def _ports(request: ClassAd) -> list[tuple[str, ClassAd]]:
+        ports_expr = request.get("Ports")
+        if ports_expr is None:
+            return []
+        if not isinstance(ports_expr, ListExpr):
+            raise MatchError("Ports must be a list of port records")
+        out: list[tuple[str, ClassAd]] = []
+        for k, item in enumerate(ports_expr.items):
+            if not isinstance(item, RecordExpr):
+                raise MatchError("each port must be a record")
+            label_expr = item.ad.get("Label")
+            label = None
+            if label_expr is not None:
+                v = evaluate(label_expr, EvalContext(my=item.ad))
+                if isinstance(v, str):
+                    label = v
+            if label is None:
+                # Fig. II-2 writes `Label = cpu` (a bare name): take the
+                # unparsed identifier text.
+                label = label_expr.unparse() if label_expr is not None else f"port{k}"
+            # Extension used by the Chapter VII generator: a port may carry
+            # `Count = k` to request k identically-constrained machines
+            # without writing k textual ports.
+            count_expr = item.ad.get("Count")
+            count = 1
+            if count_expr is not None:
+                v = evaluate(count_expr, EvalContext(my=item.ad))
+                if isinstance(v, int) and v >= 1:
+                    count = v
+                else:
+                    raise MatchError("port Count must be a positive integer")
+            out.append((label, item.ad))
+            for i in range(2, count + 1):
+                # Replicas get fresh labels; scoped references to the
+                # original label inside the replica's own constraint/rank
+                # are renamed so each replica constrains its own binding.
+                new_label = f"{label}{i}"
+                replica = ClassAd()
+                for name, e in item.ad.items():
+                    if name.lower() in ("constraint", "requirements", "rank"):
+                        replica[name] = _rename_scope(e, label, new_label)
+                    else:
+                        replica[name] = e
+                out.append((new_label, replica))
+        # Duplicate labels would make bindings ambiguous; disambiguate.
+        seen: dict[str, int] = {}
+        deduped: list[tuple[str, ClassAd]] = []
+        for label, ad in out:
+            if label in seen:
+                seen[label] += 1
+                label = f"{label}{seen[label]}"
+            else:
+                seen[label] = 0
+            deduped.append((label, ad))
+        return deduped

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.size_model import ObservationGrid, SizePredictionModel, build_observation_knees
+from repro.dag.graph import DAG, dag_from_edges
+from repro.dag.montage import montage_dag, montage_level_counts
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+from repro.resources.collection import ResourceCollection
+from repro.resources.generator import ResourceGeneratorConfig
+from repro.resources.platform import PlatformConfig, generate_platform
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def diamond_dag() -> DAG:
+    """entry -> {a, b} -> exit with distinct costs."""
+    return dag_from_edges(
+        comp=[4.0, 3.0, 5.0, 2.0],
+        edges=[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 1.5), (2, 3, 0.5)],
+        name="diamond",
+    )
+
+
+@pytest.fixture
+def medium_dag(rng: np.random.Generator) -> DAG:
+    return generate_random_dag(
+        RandomDagSpec(size=200, ccr=0.3, parallelism=0.6, regularity=0.5, density=0.4),
+        rng,
+    )
+
+
+@pytest.fixture
+def small_montage() -> DAG:
+    return montage_dag(montage_level_counts(20), ccr=0.01)
+
+
+@pytest.fixture
+def rc8() -> ResourceCollection:
+    return ResourceCollection.homogeneous(8)
+
+
+@pytest.fixture
+def het_rc(rng: np.random.Generator) -> ResourceCollection:
+    return ResourceCollection.heterogeneous_clock(8, 0.4, rng)
+
+
+@pytest.fixture
+def networked_rc() -> ResourceCollection:
+    """Two clusters of 4 hosts; inter-cluster factor 8, intra 1."""
+    factor = np.array([[1.0, 8.0], [8.0, 1.0]])
+    return ResourceCollection(
+        speed=np.ones(8),
+        cluster=np.array([0, 0, 0, 0, 1, 1, 1, 1]),
+        comm_factor=factor,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_platform():
+    rng = np.random.default_rng(7)
+    return generate_platform(
+        PlatformConfig(resources=ResourceGeneratorConfig(n_clusters=25)), rng
+    )
+
+
+TINY_GRID = ObservationGrid(
+    sizes=(40, 120),
+    ccrs=(0.01, 0.5),
+    parallelisms=(0.4, 0.7),
+    regularities=(0.1, 0.8),
+    instances=1,
+    thresholds=(0.001, 0.05),
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_size_model() -> SizePredictionModel:
+    knees = build_observation_knees(TINY_GRID, seed=0)
+    return SizePredictionModel.fit(TINY_GRID, knees)

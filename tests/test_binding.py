@@ -1,0 +1,98 @@
+"""Tests for resource binding and selection under load."""
+
+import numpy as np
+import pytest
+
+from repro.resources.binding import Binder, BindingError, sample_busy_hosts
+from repro.selection.vgdl import VgES
+
+
+def test_bind_and_release(small_platform):
+    b = Binder(small_platform)
+    ids = b.bind(np.array([0, 1, 2]))
+    assert list(ids) == [0, 1, 2]
+    assert b.is_bound(1)
+    b.release(np.array([1]))
+    assert not b.is_bound(1)
+    assert b.is_bound(2)
+    b.release_all()
+    assert b.bound_hosts == set()
+
+
+def test_double_bind_refused(small_platform):
+    b = Binder(small_platform)
+    b.bind(np.array([5]))
+    with pytest.raises(BindingError):
+        b.bind(np.array([4, 5]))
+    # Atomicity: host 4 must not have been bound by the failed request.
+    assert not b.is_bound(4)
+
+
+def test_bind_validates_request(small_platform):
+    b = Binder(small_platform)
+    with pytest.raises(BindingError):
+        b.bind(np.array([], dtype=int))
+    with pytest.raises(BindingError):
+        b.bind(np.array([3, 3]))
+    with pytest.raises(BindingError):
+        b.bind(np.array([10**9]))
+
+
+def test_release_is_idempotent(small_platform):
+    b = Binder(small_platform)
+    b.bind(np.array([7]))
+    b.release(np.array([7]))
+    b.release(np.array([7]))  # no error
+    assert not b.is_bound(7)
+
+
+def test_sample_busy_hosts(small_platform, rng):
+    busy = sample_busy_hosts(small_platform, 0.5, rng)
+    frac = len(busy) / small_platform.n_hosts
+    assert 0.3 < frac < 0.7
+    assert sample_busy_hosts(small_platform, 0.0, rng) == set()
+    with pytest.raises(ValueError):
+        sample_busy_hosts(small_platform, 1.5, rng)
+
+
+def test_vges_respects_unavailable(small_platform, rng):
+    vges = VgES(small_platform)
+    vg = vges.find_and_bind("V = LooseBagOf(n) [5:10] { n = [ Clock >= 1000 ] }")
+    first = set(int(h) for h in vg.all_hosts())
+    vges.unavailable = first
+    vg2 = vges.find_and_bind("V = LooseBagOf(n) [5:10] { n = [ Clock >= 1000 ] }")
+    assert vg2 is not None
+    assert not (set(int(h) for h in vg2.all_hosts()) & first)
+
+
+def test_vges_fails_when_everything_busy(small_platform):
+    vges = VgES(small_platform, unavailable=set(range(small_platform.n_hosts)))
+    assert vges.find_and_bind("V = LooseBagOf(n) [1:2] { n = [ Clock >= 1000 ] }") is None
+
+
+def test_integrated_find_and_bind(small_platform):
+    binder = Binder(small_platform)
+    vges = VgES(small_platform)
+    spec = "V = LooseBagOf(n) [5:10] { n = [ Clock >= 1000 ] }"
+    vg1 = vges.find_and_bind_atomically(spec, binder)
+    vg2 = vges.find_and_bind_atomically(spec, binder)
+    assert vg1 is not None and vg2 is not None
+    a = set(int(h) for h in vg1.all_hosts())
+    b = set(int(h) for h in vg2.all_hosts())
+    assert not a & b
+    assert binder.bound_hosts == a | b
+    # The engine's own unavailable set was restored.
+    assert vges.unavailable == set()
+
+
+def test_integrated_bind_exhaustion(small_platform):
+    binder = Binder(small_platform)
+    vges = VgES(small_platform)
+    # Bind everything, then any request must fail cleanly.
+    binder.bind(np.arange(small_platform.n_hosts))
+    assert (
+        vges.find_and_bind_atomically(
+            "V = LooseBagOf(n) [1:2] { n = [ Clock >= 1000 ] }", binder
+        )
+        is None
+    )

@@ -1,0 +1,156 @@
+"""Tests for ClassAd evaluation semantics (three-valued logic, scopes)."""
+
+import pytest
+
+from repro.selection.classad import (
+    ERROR,
+    UNDEFINED,
+    EvalContext,
+    evaluate,
+    parse_classad,
+    parse_expression,
+)
+from repro.selection.classad.evaluator import ErrorValue, Undefined
+
+
+def ev(expr, my="[x = 1]", target=None, bindings=None):
+    return evaluate(
+        parse_expression(expr),
+        EvalContext(
+            my=parse_classad(my),
+            target=parse_classad(target) if target else None,
+            bindings=bindings or {},
+        ),
+    )
+
+
+def test_arithmetic():
+    assert ev("1 + 2 * 3") == 7
+    assert ev("10 / 4") == 2.5
+    assert ev("10 / 5") == 2
+    assert ev("7 % 3") == 1
+    assert ev("-(3 + 2)") == -5
+
+
+def test_division_by_zero_is_error():
+    assert isinstance(ev("1 / 0"), ErrorValue)
+    assert isinstance(ev("1 % 0"), ErrorValue)
+
+
+def test_string_concat_and_compare():
+    assert ev('"a" + "b"') == "ab"
+    assert ev('"LINUX" == "linux"') is True  # case-insensitive
+    assert ev('"a" < "b"') is True
+
+
+def test_mixed_type_comparison_is_error():
+    assert isinstance(ev('1 == "1"'), ErrorValue)
+
+
+def test_numeric_comparisons():
+    assert ev("2 >= 2") is True
+    assert ev("2 > 2") is False
+    assert ev("1.5 < 2") is True
+    assert ev("3 != 4") is True
+
+
+def test_three_valued_and():
+    assert ev("false && Missing") is False
+    assert isinstance(ev("true && Missing"), Undefined)
+    assert isinstance(ev("Missing && Missing"), Undefined)
+
+
+def test_three_valued_or():
+    assert ev("true || Missing") is True
+    assert isinstance(ev("false || Missing"), Undefined)
+
+
+def test_not():
+    assert ev("!true") is False
+    assert isinstance(ev("!Missing"), Undefined)
+    assert isinstance(ev('!"str"'), ErrorValue)
+
+
+def test_is_isnt():
+    assert ev("Missing =?= undefined") is True
+    assert ev("Missing =!= undefined") is False
+    assert ev("1 =?= 1") is True
+    assert ev('1 =?= "1"') is False
+
+
+def test_numeric_coercion_in_logic():
+    assert ev("1 && true") is True
+    assert ev("0 || false") is False
+
+
+def test_undefined_propagates_through_arithmetic():
+    assert isinstance(ev("Missing + 1"), Undefined)
+    assert isinstance(ev("Missing > 3"), Undefined)
+
+
+def test_ternary():
+    assert ev("x == 1 ? 10 : 20") == 10
+    assert ev("x == 2 ? 10 : 20") == 20
+    assert isinstance(ev("Missing ? 10 : 20"), Undefined)
+
+
+def test_self_lookup():
+    assert ev("x + 1") == 2
+    assert ev("MY.x") == 1
+
+
+def test_target_lookup():
+    assert ev("Memory", my="[x=1]", target="[Memory = 2048]") == 2048
+    assert ev("TARGET.Memory", my="[x=1]", target="[Memory = 2048]") == 2048
+    assert isinstance(ev("TARGET.Memory", my="[x=1]"), Undefined)
+
+
+def test_my_shadows_target():
+    assert ev("v", my="[v = 1]", target="[v = 2]") == 1
+
+
+def test_target_attr_evaluates_in_target_scope():
+    # Target's attribute referencing the target's own attributes.
+    assert ev("Rank", my="[x=1]", target="[Rank = Base * 2; Base = 21]") == 42
+
+
+def test_binding_scopes():
+    machine = parse_classad("[KFlops = 1000; Memory = 64]")
+    v = evaluate(
+        parse_expression("cpu.KFlops/1E3 + cpu.Memory/32"),
+        EvalContext(my=parse_classad("[x=1]"), bindings={"cpu": machine}),
+    )
+    assert v == pytest.approx(3.0)
+
+
+def test_unknown_scope_is_undefined():
+    assert isinstance(ev("nosuch.attr"), Undefined)
+
+
+def test_recursion_guard():
+    assert isinstance(ev("loop", my="[loop = loop + 1]"), ErrorValue)
+
+
+def test_builtin_functions():
+    assert ev("floor(2.7)") == 2
+    assert ev("ceiling(2.1)") == 3
+    assert ev("round(2.5)") == 2  # banker's rounding
+    assert ev("min(3, 1, 2)") == 1
+    assert ev("max(3, 1, 2)") == 3
+    assert ev('strcat("a", "b", "c")') == "abc"
+    assert ev('size("hello")') == 5
+    assert ev("isUndefined(Missing)") is True
+    assert ev("isError(1/0)") is True
+    assert isinstance(ev("nosuchfunc(1)"), ErrorValue)
+
+
+def test_literals():
+    assert ev("true") is True
+    assert ev("FALSE") is False
+    assert isinstance(ev("undefined"), Undefined)
+    assert isinstance(ev("error"), ErrorValue)
+
+
+def test_singletons():
+    assert Undefined() is UNDEFINED
+    assert ErrorValue() is ERROR

@@ -1,0 +1,187 @@
+"""Tests for Matchmaking and Gangmatching."""
+
+import pytest
+
+from repro.selection.classad import (
+    EvalContext,
+    Matchmaker,
+    evaluate,
+    job_request_ad,
+    machine_ad,
+    machine_ads,
+    parse_classad,
+)
+from repro.selection.classad.matchmaker import MatchError
+
+
+def _machine(**attrs):
+    base = {
+        "Type": "Machine",
+        "Arch": "XEON",
+        "OpSys": "LINUX",
+        "Memory": 1024,
+        "KFlops": 2.8e6,
+        "Clock": 2800,
+        "LoadAvg": 0.0,
+    }
+    base.update(attrs)
+    from repro.selection.classad.parser import ClassAd
+
+    return ClassAd.from_values(base)
+
+
+def test_bilateral_match():
+    mm = Matchmaker([_machine(), _machine(Arch="OPTERON")])
+    req = parse_classad('[ Requirements = Arch == "OPTERON"; Rank = Clock ]')
+    matches = mm.match(req)
+    assert len(matches) == 1
+    assert evaluate(matches[0].machine["Arch"], EvalContext(matches[0].machine)) == "OPTERON"
+
+
+def test_machine_requirements_enforced():
+    busy = _machine(LoadAvg=0.9)
+    busy["Requirements"] = parse_classad("[r = LoadAvg <= 0.5]")["r"]
+    mm = Matchmaker([busy])
+    req = parse_classad("[ Requirements = true ]")
+    assert mm.match(req) == []
+
+
+def test_rank_orders_matches():
+    mm = Matchmaker([_machine(Clock=2000), _machine(Clock=3500), _machine(Clock=2800)])
+    req = parse_classad("[ Requirements = true; Rank = Clock ]")
+    matches = mm.match(req)
+    clocks = [evaluate(m.machine["Clock"], EvalContext(m.machine)) for m in matches]
+    assert clocks == [3500, 2800, 2000]
+
+
+def test_match_limit():
+    mm = Matchmaker([_machine() for _ in range(5)])
+    req = parse_classad("[ Requirements = true ]")
+    assert len(mm.match(req, limit=2)) == 2
+
+
+def test_requirements_falls_back_to_constraint():
+    mm = Matchmaker([_machine()])
+    req = parse_classad('[ Constraint = Arch == "XEON" ]')
+    assert len(mm.match(req)) == 1
+
+
+def test_gangmatch_two_ports():
+    mm = Matchmaker([_machine(Arch="OPTERON"), _machine(Arch="XEON")])
+    req = parse_classad(
+        """
+        [ Type = "Job";
+          Ports = {
+            [ Label = a; Constraint = a.Arch == "OPTERON" ],
+            [ Label = b; Constraint = b.Arch == "XEON" ]
+          } ]
+        """
+    )
+    gang = mm.gangmatch(req)
+    assert gang is not None
+    assert set(gang.bindings) == {"a", "b"}
+
+
+def test_gangmatch_no_machine_reuse():
+    mm = Matchmaker([_machine()])
+    req = parse_classad(
+        """
+        [ Ports = {
+            [ Label = a; Constraint = a.Arch == "XEON" ],
+            [ Label = b; Constraint = b.Arch == "XEON" ]
+          } ]
+        """
+    )
+    assert mm.gangmatch(req) is None
+
+
+def test_gangmatch_backtracks():
+    # Port a would greedily take the fast OPTERON machine, leaving port b
+    # (which requires OPTERON) unsatisfied; backtracking must recover.
+    fast_opteron = _machine(Arch="OPTERON", Clock=3500)
+    slow_opteron = _machine(Arch="OPTERON", Clock=2000)
+    mm = Matchmaker([fast_opteron, slow_opteron])
+    req = parse_classad(
+        """
+        [ Ports = {
+            [ Label = a; Rank = a.Clock; Constraint = a.Type == "Machine" ],
+            [ Label = b; Constraint = b.Arch == "OPTERON" && b.Clock >= 3000 ]
+          } ]
+        """
+    )
+    gang = mm.gangmatch(req)
+    assert gang is not None
+    a_clock = evaluate(gang.bindings["a"]["Clock"], EvalContext(gang.bindings["a"]))
+    assert a_clock == 2000  # backtracked off the fast machine
+
+
+def test_gangmatch_port_rank():
+    mm = Matchmaker([_machine(Clock=2000), _machine(Clock=3200)])
+    req = parse_classad(
+        '[ Ports = { [ Label = a; Rank = a.Clock; Constraint = a.Type == "Machine" ] } ]'
+    )
+    gang = mm.gangmatch(req)
+    assert evaluate(gang.bindings["a"]["Clock"], EvalContext(gang.bindings["a"])) == 3200
+
+
+def test_gangmatch_count_extension():
+    mm = Matchmaker([_machine(Clock=c) for c in (2000, 2400, 2800, 3200)])
+    req = parse_classad(
+        """
+        [ Ports = {
+            [ Label = cpu; Count = 3; Rank = cpu.Clock;
+              Constraint = cpu.Clock >= 2200 ]
+          } ]
+        """
+    )
+    gang = mm.gangmatch(req)
+    assert gang is not None
+    assert len(gang.bindings) == 3
+    clocks = sorted(
+        evaluate(ad["Clock"], EvalContext(ad)) for ad in gang.bindings.values()
+    )
+    assert clocks == [2400, 2800, 3200]
+
+
+def test_gangmatch_count_insufficient_machines():
+    mm = Matchmaker([_machine(), _machine()])
+    req = parse_classad(
+        '[ Ports = { [ Label = cpu; Count = 3; Constraint = cpu.Type == "Machine" ] } ]'
+    )
+    assert mm.gangmatch(req) is None
+
+
+def test_gangmatch_invalid_count():
+    mm = Matchmaker([_machine()])
+    req = parse_classad('[ Ports = { [ Label = cpu; Count = "three" ] } ]')
+    with pytest.raises(MatchError):
+        mm.gangmatch(req)
+
+
+def test_gangmatch_requires_ports():
+    mm = Matchmaker([_machine()])
+    with pytest.raises(MatchError):
+        mm.gangmatch(parse_classad("[ Type = \"Job\" ]"))
+
+
+def test_machine_ad_builder(small_platform):
+    ad = machine_ad(small_platform, 0)
+    ctx = EvalContext(ad)
+    assert evaluate(ad["Type"], ctx) == "Machine"
+    assert evaluate(ad["Clock"], ctx) > 0
+    ads = machine_ads(small_platform, [0, 1, 2])
+    assert len(ads) == 3
+
+
+def test_job_request_builder_matches_platform(small_platform):
+    mm = Matchmaker(machine_ads(small_platform, range(0, small_platform.n_hosts, 17)))
+    # Unqualified `Type` would resolve to the job's own Type = "Job"
+    # (MY-first lookup), so the machine type must be TARGET-scoped.
+    req = job_request_ad(
+        requirements='TARGET.Type == "Machine" && Clock >= 1500', rank="Clock"
+    )
+    matches = mm.match(req)
+    assert matches
+    # Best-ranked first.
+    clocks = [evaluate(m.machine["Clock"], EvalContext(m.machine)) for m in matches]
+    assert clocks == sorted(clocks, reverse=True)

@@ -1,0 +1,153 @@
+"""Tests for the ClassAd parser and unparser."""
+
+import pytest
+
+from repro.selection.classad.parser import (
+    AttrRef,
+    BinaryOp,
+    ClassAd,
+    Literal,
+    ParseError,
+    parse_classad,
+    parse_expression,
+)
+
+
+def test_precedence():
+    e = parse_expression("1 + 2 * 3")
+    assert isinstance(e, BinaryOp) and e.op == "+"
+    assert isinstance(e.right, BinaryOp) and e.right.op == "*"
+
+
+def test_comparison_binds_tighter_than_logic():
+    e = parse_expression("a > 1 && b < 2")
+    assert e.op == "&&"
+    assert e.left.op == ">"
+    assert e.right.op == "<"
+
+
+def test_parentheses():
+    e = parse_expression("(1 + 2) * 3")
+    assert e.op == "*"
+    assert e.left.op == "+"
+
+
+def test_unary():
+    e = parse_expression("!x")
+    assert e.op == "!"
+    e = parse_expression("-5")
+    assert e.op == "-"
+    e = parse_expression("+5")
+    assert isinstance(e, Literal)
+
+
+def test_ternary():
+    e = parse_expression("a > 1 ? 2 : 3")
+    assert e.__class__.__name__ == "Ternary"
+
+
+def test_scoped_attribute():
+    e = parse_expression("cpu.KFlops")
+    assert isinstance(e, AttrRef)
+    assert e.scope == "cpu"
+    assert e.name == "KFlops"
+
+
+def test_double_scope_rejected():
+    with pytest.raises(ParseError):
+        parse_expression("a.b.c")
+
+
+def test_list_expression():
+    e = parse_expression("{1, 2, 3}")
+    assert len(e.items) == 3
+    assert parse_expression("{}").items == ()
+
+
+def test_record_expression():
+    e = parse_expression("[ a = 1; b = 2 ]")
+    assert "a" in e.ad and "b" in e.ad
+
+
+def test_function_call():
+    e = parse_expression("min(1, 2)")
+    assert e.name == "min"
+    assert len(e.args) == 2
+
+
+def test_trailing_input_rejected():
+    with pytest.raises(ParseError):
+        parse_expression("1 + 2 extra stuff ;;")
+
+
+def test_parse_classad_basic():
+    ad = parse_classad('[ Type = "Machine"; Memory = 2048 ]')
+    assert "Type" in ad
+    assert "memory" in ad  # case-insensitive
+    assert len(ad) == 2
+
+
+def test_classad_optional_trailing_semicolon():
+    ad = parse_classad("[ a = 1; b = 2; ]")
+    assert len(ad) == 2
+
+
+def test_classad_missing_separator_rejected():
+    with pytest.raises(ParseError):
+        parse_classad("[ a = 1 b = 2 ]")
+
+
+def test_classad_preserves_order_and_spelling():
+    ad = parse_classad("[ Zeta = 1; Alpha = 2 ]")
+    assert list(ad) == ["Zeta", "Alpha"]
+
+
+def test_from_values_roundtrip():
+    ad = ClassAd.from_values({"Clock": 2800, "OpSys": "LINUX", "Flag": True})
+    text = ad.unparse()
+    back = parse_classad(text)
+    assert back["Clock"].value == 2800
+    assert back["OpSys"].value == "LINUX"
+    assert back["Flag"].value is True
+
+
+def test_unparse_reparse_expression():
+    src = '(Clock >= 2000) && (Memory >= 1024) || OpSys == "LINUX"'
+    e = parse_expression(src)
+    again = parse_expression(e.unparse())
+    assert again.unparse() == e.unparse()
+
+
+def test_fig_ii2_gangmatch_request_parses():
+    text = """
+    [ Type  = "Job";
+      Owner  = "somedude";
+      QDate  = ' Mon Oct 30 12:23:45 2006 (PST) -08:00';
+      Cmd    = "run_simulation";
+      Ports  = {
+        [ Label = cpu;
+          ImageSize  = 100M;
+          Rank    = cpu.KFlops/1E3 + cpu.Memory/32;
+          Constraint  = cpu.Type == "Machine" &&
+                        cpu.Arch == "OPTERON" &&
+                        cpu.OpSys == "LINUX"
+        ],
+        [ Label = cpu2;
+          ImageSize  = 100M;
+          Rank    = cpu2.KFlops/1E3 + cpu2.Memory/32;
+          Constraint  = cpu2.Type == "Machine" &&
+                        cpu2.Arch == "INTEL" &&
+                        cpu2.OpSys == "LINUX"
+        ]
+      }]
+    """
+    ad = parse_classad(text)
+    assert "Ports" in ad
+    assert len(ad["Ports"].items) == 2
+
+
+def test_nested_record_unparse():
+    ad = parse_classad("[ Ports = { [ Label = cpu; Rank = 1 ] } ]")
+    text = ad.unparse()
+    assert "Label = cpu" in text
+    parse_classad(text)  # must re-parse

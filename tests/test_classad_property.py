@@ -1,0 +1,106 @@
+"""Property-based tests for the ClassAd language (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.selection.classad import EvalContext, evaluate, parse_classad, parse_expression
+from repro.selection.classad.evaluator import ErrorValue, Undefined
+from repro.selection.classad.parser import (
+    AttrRef,
+    BinaryOp,
+    ClassAd,
+    Expr,
+    Literal,
+    UnaryOp,
+)
+
+# ----------------------------------------------------------------------
+# Random expression generator
+# ----------------------------------------------------------------------
+_literals = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.text(alphabet="abcXYZ_ 0123456789", max_size=12),
+)
+
+_attr_names = st.sampled_from(["Clock", "Memory", "OpSys", "LoadAvg", "Nonexistent"])
+
+
+def _exprs() -> st.SearchStrategy[Expr]:
+    base = st.one_of(
+        _literals.map(Literal),
+        _attr_names.map(AttrRef),
+    )
+
+    def extend(children: st.SearchStrategy[Expr]) -> st.SearchStrategy[Expr]:
+        binop = st.builds(
+            BinaryOp,
+            st.sampled_from(["+", "-", "*", "==", "!=", "<", "<=", ">", ">=", "&&", "||"]),
+            children,
+            children,
+        )
+        unop = st.builds(UnaryOp, st.sampled_from(["!", "-"]), children)
+        return st.one_of(binop, unop)
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+_CTX = EvalContext(
+    my=parse_classad('[ Clock = 2800; Memory = 1024; OpSys = "LINUX"; LoadAvg = 0.25 ]')
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_exprs())
+def test_unparse_reparse_evaluates_identically(expr):
+    """Unparse → reparse is semantics-preserving for arbitrary expressions."""
+    text = expr.unparse()
+    reparsed = parse_expression(text)
+    v1 = evaluate(expr, _CTX)
+    v2 = evaluate(reparsed, _CTX)
+    assert _same_value(v1, v2)
+
+
+def _same_value(a, b):
+    if isinstance(a, Undefined) or isinstance(b, Undefined):
+        return isinstance(a, Undefined) and isinstance(b, Undefined)
+    if isinstance(a, ErrorValue) or isinstance(b, ErrorValue):
+        return isinstance(a, ErrorValue) and isinstance(b, ErrorValue)
+    if isinstance(a, float) or isinstance(b, float):
+        return abs(float(a) - float(b)) <= 1e-9 * max(1.0, abs(float(a)))
+    return a == b
+
+
+@settings(max_examples=150, deadline=None)
+@given(_exprs())
+def test_evaluation_total(expr):
+    """Evaluation never raises: every expression yields a value, UNDEFINED
+    or ERROR."""
+    v = evaluate(expr, _CTX)
+    assert isinstance(v, (int, float, bool, str, list, Undefined, ErrorValue, ClassAd))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.dictionaries(
+        st.text(alphabet="abcdefgXYZ", min_size=1, max_size=8).filter(
+            lambda s: s.lower() not in ("true", "false", "undefined", "error", "my", "target")
+        ),
+        st.one_of(
+            st.integers(min_value=-1000, max_value=1000),
+            st.booleans(),
+            st.text(alphabet="abc XYZ", max_size=10),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_classad_value_roundtrip(values):
+    """from_values → unparse → parse preserves every attribute value."""
+    ad = ClassAd.from_values(values)
+    back = parse_classad(ad.unparse())
+    assert set(n.lower() for n in back) == set(n.lower() for n in ad)
+    for name, value in values.items():
+        got = evaluate(back[name], EvalContext(my=back))
+        assert got == value

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.size_model import SizePredictionModel
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory, tiny_size_model_module):
+    path = tmp_path_factory.mktemp("cli") / "model.json"
+    tiny_size_model_module.save(path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def tiny_size_model_module():
+    from repro.core.size_model import build_observation_knees
+    from tests.conftest import TINY_GRID
+
+    knees = build_observation_knees(TINY_GRID, seed=0)
+    return SizePredictionModel.fit(TINY_GRID, knees)
+
+
+def test_predict_prints_size(model_path, capsys):
+    rc = main(
+        [
+            "predict",
+            "--model", model_path,
+            "--size", "100",
+            "--ccr", "0.1",
+            "--parallelism", "0.6",
+            "--regularity", "0.5",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "predicted RC size:" in out
+    assert "predicted heuristic: mcp" in out
+
+
+def test_predict_specs(model_path, capsys):
+    rc = main(
+        [
+            "predict",
+            "--model", model_path,
+            "--size", "100",
+            "--ccr", "0.1",
+            "--parallelism", "0.6",
+            "--regularity", "0.5",
+            "--specs",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "--- vgDL ---" in out
+    assert "--- ClassAd ---" in out
+    assert "--- SWORD ---" in out
+    assert "TightBagOf" in out  # ccr 0.1 -> tight connectivity
+
+
+def test_predict_loose_for_low_ccr(model_path, capsys):
+    main(
+        [
+            "predict",
+            "--model", model_path,
+            "--size", "100",
+            "--ccr", "0.01",
+            "--parallelism", "0.6",
+            "--regularity", "0.5",
+            "--specs",
+        ]
+    )
+    assert "LooseBagOf" in capsys.readouterr().out
+
+
+def test_train_writes_model(tmp_path, capsys):
+    out_path = tmp_path / "m.json"
+    rc = main(["train", "--grid", "tiny", "--output", str(out_path), "--seed", "1"])
+    assert rc == 0
+    data = json.loads(out_path.read_text())
+    assert "planes" in data
+    loaded = SizePredictionModel.load(out_path)
+    assert loaded.predict(100, 0.1, 0.6, 0.5) >= 1
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,88 @@
+"""Tests for alternative specification generation (Chapter VII)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alternatives import (
+    alternative_specifications,
+    clock_size_tradeoff,
+    size_to_match,
+)
+from repro.core.generator import ResourceSpecificationGenerator
+from repro.core.knee import TurnaroundCurve
+from repro.dag.montage import montage_dag, montage_level_counts
+
+
+def _curve(sizes, turn):
+    t = np.asarray(turn, dtype=float)
+    return TurnaroundCurve(np.asarray(sizes), t, t, np.zeros_like(t), "mcp")
+
+
+def test_size_to_match():
+    c = _curve([1, 2, 4, 8], [100.0, 60.0, 30.0, 29.0])
+    assert size_to_match(c, 50.0) == 4
+    assert size_to_match(c, 100.0) == 1
+    assert size_to_match(c, 10.0) is None
+
+
+def test_clock_size_tradeoff_shapes(small_montage):
+    points = clock_size_tradeoff(small_montage, (2.0, 3.0), max_size=24, step_frac=0.5)
+    clocks = {p.clock_ghz for p in points}
+    assert clocks == {2.0, 3.0}
+    by_clock = {c: [p for p in points if p.clock_ghz == c] for c in clocks}
+    # Same size grid per clock.
+    assert len(by_clock[2.0]) == len(by_clock[3.0])
+    # Faster clocks dominate at equal size.
+    for p2, p3 in zip(by_clock[2.0], by_clock[3.0]):
+        assert p2.size == p3.size
+        assert p3.turnaround <= p2.turnaround + 1e-9
+
+
+def test_faster_clock_needs_fewer_hosts(small_montage):
+    points = clock_size_tradeoff(small_montage, (2.0, 3.5), max_size=32, step_frac=0.3)
+    slow = _points_to_curve(points, 2.0)
+    fast = _points_to_curve(points, 3.5)
+    target = slow.turnaround.min() * 1.02
+    s_slow = size_to_match(slow, target)
+    s_fast = size_to_match(fast, target)
+    assert s_fast is not None and s_slow is not None
+    assert s_fast <= s_slow
+
+
+def _points_to_curve(points, clock):
+    sel = sorted((p.size, p.turnaround) for p in points if p.clock_ghz == clock)
+    sizes = np.array([s for s, _ in sel])
+    turn = np.array([t for _, t in sel])
+    return TurnaroundCurve(sizes, turn, turn, np.zeros_like(turn), "mcp")
+
+
+def test_alternatives_ranked_by_turnaround(tiny_size_model):
+    dag = montage_dag(montage_level_counts(15), ccr=0.01)
+    gen = ResourceSpecificationGenerator(tiny_size_model, target_clock_ghz=3.5)
+    spec = gen.generate(dag)
+    alts = alternative_specifications(dag, spec, (3.0, 2.4, 2.0), max_size=80)
+    assert len(alts) == 3
+    turns = [t for _, t in alts]
+    assert turns == sorted(turns)
+    # All alternatives are at or below the requested clock.
+    for alt, _ in alts:
+        assert alt.clock_max_mhz <= spec.clock_max_mhz
+
+
+def test_alternatives_skip_faster_clocks(tiny_size_model):
+    dag = montage_dag(montage_level_counts(15), ccr=0.01)
+    gen = ResourceSpecificationGenerator(tiny_size_model, target_clock_ghz=2.0)
+    spec = gen.generate(dag)
+    alts = alternative_specifications(dag, spec, (3.5, 1.5), max_size=60)
+    assert len(alts) == 1
+    assert alts[0][0].clock_max_mhz == pytest.approx(1500.0)
+
+
+def test_alternatives_preserve_min_size_fraction(tiny_size_model):
+    dag = montage_dag(montage_level_counts(15), ccr=0.01)
+    gen = ResourceSpecificationGenerator(tiny_size_model, target_clock_ghz=3.5)
+    spec = gen.generate(dag)
+    for alt, _ in alternative_specifications(dag, spec, (2.4,), max_size=60):
+        assert alt.min_size <= alt.size
+        frac_orig = spec.min_size / spec.size
+        assert alt.min_size / alt.size == pytest.approx(frac_orig, abs=0.1)

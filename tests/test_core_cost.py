@@ -1,0 +1,83 @@
+"""Tests for the EC2-style cost model and utility functions."""
+
+import pytest
+
+from repro.core.cost import (
+    DOLLARS_PER_INSTANCE_HOUR,
+    INSTANCE_CLOCK_GHZ,
+    UtilityFunction,
+    cost_for_size,
+    execution_cost,
+    relative_cost,
+)
+from repro.resources.collection import REFERENCE_CLOCK_GHZ, ResourceCollection
+
+
+def test_execution_cost_single_instance_hour():
+    # One host at exactly 1.7 GHz for one hour = $0.10.
+    rc = ResourceCollection.homogeneous(1, speed=INSTANCE_CLOCK_GHZ / REFERENCE_CLOCK_GHZ)
+    assert execution_cost(rc, 3600.0) == pytest.approx(DOLLARS_PER_INSTANCE_HOUR)
+
+
+def test_execution_cost_scales_with_clock_and_hosts():
+    rc1 = ResourceCollection.homogeneous(1, speed=1.0)
+    rc2 = ResourceCollection.homogeneous(2, speed=2.0)
+    assert execution_cost(rc2, 100.0) == pytest.approx(4 * execution_cost(rc1, 100.0))
+
+
+def test_execution_cost_negative_time_rejected():
+    rc = ResourceCollection.homogeneous(1)
+    with pytest.raises(ValueError):
+        execution_cost(rc, -1.0)
+
+
+def test_cost_for_size_matches_execution_cost():
+    rc = ResourceCollection.homogeneous(5, speed=2.0)
+    assert cost_for_size(5, 1000.0, 2.0) == pytest.approx(execution_cost(rc, 1000.0))
+
+
+def test_relative_cost():
+    assert relative_cost(11.0, 10.0) == pytest.approx(0.1)
+    assert relative_cost(9.0, 10.0) == pytest.approx(-0.1)
+    with pytest.raises(ValueError):
+        relative_cost(1.0, 0.0)
+
+
+def test_utility_validation():
+    with pytest.raises(ValueError):
+        UtilityFunction(degradation_unit=0.0)
+    with pytest.raises(ValueError):
+        UtilityFunction(cost_unit=-1.0)
+
+
+def test_utility_value():
+    u = UtilityFunction(degradation_unit=0.01, cost_unit=0.10)
+    # 1 % degradation = 10 % cost in utility units.
+    assert u.utility(0.01, 0.0) == pytest.approx(u.utility(0.0, 0.10))
+
+
+def test_choose_minimises_utility():
+    u = UtilityFunction(0.01, 0.10)
+    options = [
+        (0.0, 0.0, 5.0),     # baseline
+        (0.01, -0.30, 3.0),  # 1 % slower, 30 % cheaper -> utility -2
+        (0.10, -0.40, 2.0),  # 10 % slower, 40 % cheaper -> utility +6
+    ]
+    assert u.choose(options) == 1
+
+
+def test_choose_respects_budget():
+    u = UtilityFunction(0.01, 0.10, budget_dollars=2.5)
+    options = [(0.0, 0.0, 5.0), (0.02, -0.2, 2.0)]
+    assert u.choose(options) == 1
+
+
+def test_choose_budget_unreachable_falls_back_to_cheapest():
+    u = UtilityFunction(0.01, 0.10, budget_dollars=0.5)
+    options = [(0.0, 0.0, 5.0), (0.02, -0.2, 2.0)]
+    assert u.choose(options) == 1
+
+
+def test_choose_empty_rejected():
+    with pytest.raises(ValueError):
+        UtilityFunction().choose([])

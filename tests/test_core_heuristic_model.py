@@ -1,0 +1,89 @@
+"""Tests for the heuristic prediction model."""
+
+import pytest
+
+from repro.core.heuristic_model import (
+    HeuristicObservation,
+    HeuristicPredictionModel,
+)
+from repro.core.size_model import ObservationGrid
+
+
+def _obs(size, ccr, winner="mcp"):
+    turn = {"mcp": 100.0, "fca": 110.0, "fcfs": 120.0}
+    turn[winner] = 90.0
+    return HeuristicObservation(
+        size=size,
+        ccr=ccr,
+        parallelism=0.5,
+        regularity=0.5,
+        best_turnaround=turn,
+        best_size={h: 10 for h in turn},
+    )
+
+
+def _model():
+    return HeuristicPredictionModel(
+        observations=[
+            _obs(50, 0.01, "fca"),
+            _obs(50, 1.0, "fca"),
+            _obs(5000, 0.01, "mcp"),
+            _obs(5000, 1.0, "mcp"),
+        ],
+        heuristics=("mcp", "fca", "fcfs"),
+    )
+
+
+def test_winner():
+    assert _obs(10, 0.1, "fca").winner == "fca"
+
+
+def test_predict_nearest_neighbour():
+    m = _model()
+    assert m.predict(60, 0.01, 0.5, 0.5) == "fca"
+    assert m.predict(4000, 0.9, 0.5, 0.5) == "mcp"
+
+
+def test_predict_empty_model_rejected():
+    with pytest.raises(ValueError):
+        HeuristicPredictionModel(observations=[]).predict(10, 0.1, 0.5, 0.5)
+
+
+def test_win_counts():
+    m = _model()
+    assert m.win_counts() == {"mcp": 2, "fca": 2, "fcfs": 0}
+
+
+def test_decision_surface():
+    m = _model()
+    surface = {(n, ccr): w for n, ccr, w in m.decision_surface()}
+    assert surface[(50, 0.01)] == "fca"
+    assert surface[(5000, 1.0)] == "mcp"
+
+
+def test_serialisation_roundtrip(tmp_path):
+    m = _model()
+    path = tmp_path / "h.json"
+    m.save(path)
+    loaded = HeuristicPredictionModel.load(path)
+    assert loaded.heuristics == m.heuristics
+    assert loaded.predict(60, 0.01, 0.5, 0.5) == "fca"
+    assert loaded.observations[0].best_size["mcp"] == 10
+
+
+def test_train_small_grid():
+    grid = ObservationGrid(
+        sizes=(40,), ccrs=(0.1,), parallelisms=(0.5,), regularities=(0.5,),
+        instances=1,
+    )
+    m = HeuristicPredictionModel.train(grid, heuristics=("mcp", "fca"), seed=0)
+    assert len(m.observations) == 1
+    o = m.observations[0]
+    assert set(o.best_turnaround) == {"mcp", "fca"}
+    assert all(v > 0 for v in o.best_turnaround.values())
+    assert m.predict(40, 0.1, 0.5, 0.5) in ("mcp", "fca")
+
+
+def test_predict_for_dag(small_montage):
+    m = _model()
+    assert m.predict_for_dag(small_montage) in m.heuristics

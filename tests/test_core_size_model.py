@@ -1,0 +1,145 @@
+"""Tests for the RC-size prediction model."""
+
+import numpy as np
+import pytest
+
+from repro.core.knee import PrefixRCFactory, knee_from_curve, rc_size_grid, sweep_turnaround
+from repro.core.size_model import (
+    ObservationGrid,
+    SizePredictionModel,
+    build_observation_knees,
+    recommend_single_host,
+    _bracket,
+)
+from repro.dag.metrics import DagCharacteristics, characteristics
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+from tests.conftest import TINY_GRID
+
+
+def test_bracket_inside():
+    lo, hi, w = _bracket((10, 20, 40), 25.0)
+    assert (lo, hi) == (20, 40)
+    assert w == pytest.approx(0.25)
+
+
+def test_bracket_clamps():
+    assert _bracket((10, 20), 5.0) == (10, 10, 0.0)
+    assert _bracket((10, 20), 50.0) == (20, 20, 0.0)
+    assert _bracket((10, 20), 10.0) == (10, 10, 0.0)
+
+
+def test_observation_knees_cover_grid(tiny_size_model):
+    knees = build_observation_knees(TINY_GRID, seed=0)
+    expected = (
+        len(TINY_GRID.sizes)
+        * len(TINY_GRID.ccrs)
+        * len(TINY_GRID.parallelisms)
+        * len(TINY_GRID.regularities)
+        * len(TINY_GRID.thresholds)
+    )
+    assert len(knees) == expected
+    assert all(k >= 1 for k in knees.values())
+
+
+def test_knees_grow_with_parallelism():
+    knees = build_observation_knees(TINY_GRID, seed=0)
+    thr = TINY_GRID.thresholds[0]
+    for n in TINY_GRID.sizes:
+        for ccr in TINY_GRID.ccrs:
+            for b in TINY_GRID.regularities:
+                low = knees[(n, ccr, TINY_GRID.parallelisms[0], b, thr)]
+                high = knees[(n, ccr, TINY_GRID.parallelisms[-1], b, thr)]
+                assert high >= low
+
+
+def test_model_predicts_positive(tiny_size_model):
+    for n in (40, 80, 120, 500):
+        for ccr in (0.01, 0.2, 0.5):
+            p = tiny_size_model.predict(n, ccr, 0.6, 0.5)
+            assert p >= 1
+
+
+def test_prediction_monotone_in_parallelism(tiny_size_model):
+    k_low = tiny_size_model.predict(100, 0.01, 0.4, 0.5)
+    k_high = tiny_size_model.predict(100, 0.01, 0.8, 0.5)
+    assert k_high > k_low
+
+
+def test_prediction_interpolates_between_sizes(tiny_size_model):
+    k40 = tiny_size_model.predict(40, 0.01, 0.6, 0.5)
+    k80 = tiny_size_model.predict(80, 0.01, 0.6, 0.5)
+    k120 = tiny_size_model.predict(120, 0.01, 0.6, 0.5)
+    assert min(k40, k120) - 1 <= k80 <= max(k40, k120) + 1
+
+
+def test_predict_for_dag_caps_at_width(tiny_size_model, rng):
+    dag = generate_random_dag(
+        RandomDagSpec(size=100, ccr=0.01, parallelism=0.9, regularity=0.9), rng
+    )
+    assert tiny_size_model.predict_for_dag(dag) <= dag.width
+
+
+def test_prediction_close_to_actual_knee(tiny_size_model, rng):
+    """End-to-end accuracy: within 50 % of the measured knee and within a
+    few percent of optimal turn-around (the Table V-5 claim)."""
+    dag = generate_random_dag(
+        RandomDagSpec(size=90, ccr=0.2, parallelism=0.55, regularity=0.4, density=0.5),
+        rng,
+    )
+    pred = tiny_size_model.predict_for_dag(dag)
+    max_size = max(pred * 2, dag.width)
+    curve = sweep_turnaround(dag, rc_size_grid(max_size), "mcp", PrefixRCFactory(max_size))
+    actual = knee_from_curve(curve)
+    assert abs(pred - actual) / actual <= 0.5
+    assert curve.at_size(pred) <= 1.10 * curve.best_turnaround
+
+
+def test_threshold_shrinks_prediction(tiny_size_model):
+    tight = tiny_size_model.predict(120, 0.01, 0.7, 0.5, threshold=0.001)
+    loose = tiny_size_model.predict(120, 0.01, 0.7, 0.5, threshold=0.05)
+    assert loose <= tight
+
+
+def test_serialisation_roundtrip(tiny_size_model, tmp_path):
+    path = tmp_path / "model.json"
+    tiny_size_model.save(path)
+    loaded = SizePredictionModel.load(path)
+    for args in [(40, 0.01, 0.4, 0.1), (100, 0.3, 0.6, 0.5), (120, 0.5, 0.7, 0.8)]:
+        assert loaded.predict(*args) == tiny_size_model.predict(*args)
+    assert loaded.sizes == tiny_size_model.sizes
+    assert loaded.thresholds() == tiny_size_model.thresholds()
+
+
+def test_fit_requires_enough_points():
+    grid = ObservationGrid(
+        sizes=(10,), ccrs=(0.1,), parallelisms=(0.5,), regularities=(0.5,), instances=1
+    )
+    with pytest.raises(ValueError):
+        SizePredictionModel.fit(grid, {(10, 0.1, 0.5, 0.5, 0.001): 4.0})
+
+
+def test_nearest_threshold(tiny_size_model):
+    assert tiny_size_model._nearest_threshold(0.0009) == 0.001
+    assert tiny_size_model._nearest_threshold(0.04) == 0.05
+
+
+def test_recommend_single_host():
+    ch = DagCharacteristics(
+        size=100, height=50, tasks_per_level=2, width=3, ccr=5.0,
+        parallelism=0.2, density=0.5, regularity=0.5, mean_comp_cost=10.0,
+    )
+    assert recommend_single_host(ch)
+    ch2 = DagCharacteristics(
+        size=100, height=5, tasks_per_level=20, width=25, ccr=0.1,
+        parallelism=0.7, density=0.5, regularity=0.5, mean_comp_cost=10.0,
+    )
+    assert not recommend_single_host(ch2)
+
+
+def test_train_convenience():
+    grid = ObservationGrid(
+        sizes=(30,), ccrs=(0.1,), parallelisms=(0.3, 0.6, 0.9),
+        regularities=(0.2, 0.8), instances=1,
+    )
+    model = SizePredictionModel.train(grid, seed=1)
+    assert model.predict(30, 0.1, 0.6, 0.5) >= 1

@@ -1,0 +1,119 @@
+"""Tests for the classic structured DAG families and concurrency metrics."""
+
+import numpy as np
+import pytest
+
+from repro.dag.classic import fft_dag, gaussian_elimination_dag, stencil_dag
+from repro.dag.metrics import characteristics, concurrency_profile, max_concurrency
+from repro.resources.collection import ResourceCollection
+from repro.scheduling import schedule_dag, validate_schedule
+
+
+def test_gauss_task_count():
+    # k*(k+1)/2 - 1 tasks.
+    for k in (2, 4, 7):
+        d = gaussian_elimination_dag(k)
+        assert d.n == k * (k + 1) // 2 - 1
+
+
+def test_gauss_structure():
+    d = gaussian_elimination_dag(5)
+    # Height: alternating pivot/update waves -> 2*(k-1) levels.
+    assert d.height == 2 * (5 - 1)
+    # Width shrinks with each pivot step: first update wave is the widest.
+    assert d.width == 5 - 1
+    assert d.entry_nodes.size == 1  # the first pivot
+
+
+def test_gauss_validation():
+    with pytest.raises(ValueError):
+        gaussian_elimination_dag(1)
+
+
+def test_fft_shape():
+    d = fft_dag(3)
+    assert d.n == 4 * 8  # (k+1) levels of 2^k
+    assert d.height == 4
+    assert d.width == 8
+    # Every non-input task has exactly two parents.
+    non_entry = d.in_degree[d.in_degree > 0]
+    assert np.all(non_entry == 2)
+
+
+def test_fft_butterfly_partners():
+    d = fft_dag(2)
+    # Level-1 task i depends on level-0 tasks i and i^1.
+    for i in range(4):
+        parents = sorted(d.parents(4 + i).tolist())
+        assert parents == sorted({i, i ^ 1})
+
+
+def test_fft_validation():
+    with pytest.raises(ValueError):
+        fft_dag(0)
+
+
+def test_stencil_shape():
+    d = stencil_dag(width=6, depth=5)
+    assert d.n == 30
+    assert d.height == 5
+    assert d.width == 6
+    # Interior cells have 3 parents; border cells 2.
+    row = d.in_degree[6:12]
+    assert row[0] == 2 and row[-1] == 2
+    assert np.all(row[1:-1] == 3)
+
+
+def test_stencil_validation():
+    with pytest.raises(ValueError):
+        stencil_dag(0, 3)
+
+
+@pytest.mark.parametrize(
+    "dag",
+    [gaussian_elimination_dag(5), fft_dag(3), stencil_dag(4, 4)],
+    ids=["gauss", "fft", "stencil"],
+)
+def test_classic_dags_schedule_cleanly(dag):
+    rc = ResourceCollection.homogeneous(6)
+    for heuristic in ("mcp", "greedy", "fca"):
+        s = schedule_dag(heuristic, dag, rc)
+        assert validate_schedule(dag, rc, s) == []
+
+
+def test_classic_ccr_targets():
+    d = gaussian_elimination_dag(6, comp_cost=10.0, ccr=0.5)
+    assert characteristics(d).ccr == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# Concurrency metrics
+# ----------------------------------------------------------------------
+def test_concurrency_profile_is_level_sizes(diamond_dag):
+    assert list(concurrency_profile(diamond_dag)) == [1, 2, 1]
+
+
+def test_max_concurrency_diamond(diamond_dag):
+    assert max_concurrency(diamond_dag) == 2
+
+
+def test_max_concurrency_chain():
+    from repro.dag.workflows import chain_dag
+
+    assert max_concurrency(chain_dag(10)) == 1
+
+
+def test_max_concurrency_can_exceed_width():
+    """Cross-level overlap: incomparable tasks in different levels."""
+    from repro.dag.graph import dag_from_edges
+
+    # 0 -> 1 -> 2 (slow chain) and 3 (independent, long task).
+    d = dag_from_edges([1.0, 1.0, 1.0, 10.0], [(0, 1, 0), (1, 2, 0)])
+    # Width (max level size) is 2, but 3 runs alongside the whole chain.
+    assert max_concurrency(d) == 2
+    # A case where overlap beats every level size:
+    d2 = dag_from_edges(
+        [5.0, 1.0, 1.0, 5.0],
+        [(0, 1, 0.0), (2, 3, 0.0)],
+    )
+    assert max_concurrency(d2) >= 2

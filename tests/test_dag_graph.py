@@ -1,0 +1,150 @@
+"""Tests for the core DAG structure."""
+
+import numpy as np
+import pytest
+
+from repro.dag.graph import DAG, CycleError, dag_from_edges
+
+
+def test_empty_dag_rejected():
+    with pytest.raises(ValueError):
+        DAG(np.array([]), np.array([]), np.array([]), np.array([]))
+
+
+def test_single_task():
+    d = dag_from_edges([5.0], [])
+    assert d.n == 1
+    assert d.m == 0
+    assert d.height == 1
+    assert d.width == 1
+    assert d.total_work() == 5.0
+    assert list(d.entry_nodes) == [0]
+    assert list(d.exit_nodes) == [0]
+
+
+def test_self_loop_rejected():
+    with pytest.raises(CycleError):
+        dag_from_edges([1.0, 1.0], [(0, 0, 1.0)])
+
+
+def test_cycle_rejected():
+    with pytest.raises(CycleError):
+        dag_from_edges([1.0, 1.0, 1.0], [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ValueError):
+        dag_from_edges([-1.0], [])
+    with pytest.raises(ValueError):
+        dag_from_edges([1.0, 1.0], [(0, 1, -2.0)])
+
+
+def test_edge_ids_validated():
+    with pytest.raises(ValueError):
+        dag_from_edges([1.0, 1.0], [(0, 5, 1.0)])
+    with pytest.raises(ValueError):
+        dag_from_edges([1.0, 1.0], [(-1, 1, 1.0)])
+
+
+def test_mismatched_edge_arrays_rejected():
+    with pytest.raises(ValueError):
+        DAG(
+            comp=np.ones(2),
+            edge_src=np.array([0]),
+            edge_dst=np.array([1, 1]),
+            edge_comm=np.array([1.0]),
+        )
+
+
+def test_levels_of_diamond(diamond_dag):
+    assert list(diamond_dag.level) == [0, 1, 1, 2]
+    assert diamond_dag.height == 3
+    assert diamond_dag.width == 2
+    assert list(diamond_dag.level_sizes()) == [1, 2, 1]
+
+
+def test_level_is_longest_path():
+    # 0 -> 1 -> 3, 0 -> 3 : node 3 is at level 2 (longest path), not 1.
+    d = dag_from_edges([1, 1, 1, 1], [(0, 1, 0.1), (1, 3, 0.1), (0, 3, 0.1), (0, 2, 0.1)])
+    assert d.level[3] == 2
+    assert d.level[2] == 1
+
+
+def test_parents_children(diamond_dag):
+    assert sorted(diamond_dag.parents(3).tolist()) == [1, 2]
+    assert sorted(diamond_dag.children(0).tolist()) == [1, 2]
+    assert diamond_dag.parents(0).size == 0
+    assert diamond_dag.children(3).size == 0
+
+
+def test_in_out_edges_consistent(medium_dag):
+    for v in [0, 5, 50, medium_dag.n - 1]:
+        for e in medium_dag.in_edges(v):
+            assert medium_dag.edge_dst[e] == v
+        for e in medium_dag.out_edges(v):
+            assert medium_dag.edge_src[e] == v
+
+
+def test_degrees_sum_to_edge_count(medium_dag):
+    assert medium_dag.in_degree.sum() == medium_dag.m
+    assert medium_dag.out_degree.sum() == medium_dag.m
+
+
+def test_topo_order_valid(medium_dag):
+    pos = np.empty(medium_dag.n, dtype=int)
+    pos[medium_dag.topo_order] = np.arange(medium_dag.n)
+    assert np.all(pos[medium_dag.edge_src] < pos[medium_dag.edge_dst])
+
+
+def test_bottom_levels_diamond(diamond_dag):
+    bl = diamond_dag.bottom_levels(include_comm=True)
+    # exit: 2; a: 3 + 1.5 + 2 = 6.5; b: 5 + 0.5 + 2 = 7.5; entry: 4 + max(1+6.5, 2+7.5)=13.5
+    assert bl[3] == pytest.approx(2.0)
+    assert bl[1] == pytest.approx(6.5)
+    assert bl[2] == pytest.approx(7.5)
+    assert bl[0] == pytest.approx(13.5)
+    assert diamond_dag.critical_path_length() == pytest.approx(13.5)
+
+
+def test_bottom_levels_no_comm(diamond_dag):
+    bl = diamond_dag.bottom_levels(include_comm=False)
+    assert bl[0] == pytest.approx(4 + 5 + 2)
+
+
+def test_top_levels(diamond_dag):
+    tl = diamond_dag.top_levels()
+    assert tl[0] == 0.0
+    assert tl[1] == pytest.approx(4 + 1)
+    assert tl[2] == pytest.approx(4 + 2)
+    assert tl[3] == pytest.approx(max(5 + 3 + 1.5, 6 + 5 + 0.5))
+
+
+def test_top_plus_bottom_bounded_by_cp(medium_dag):
+    tl = medium_dag.top_levels()
+    bl = medium_dag.bottom_levels()
+    cp = medium_dag.critical_path_length()
+    assert np.all(tl + bl <= cp + 1e-9)
+    # At least one node (on the critical path) attains the CP exactly.
+    assert np.isclose((tl + bl).max(), cp)
+
+
+def test_with_comm_scaled(diamond_dag):
+    scaled = diamond_dag.with_comm_scaled(3.0)
+    assert np.allclose(scaled.edge_comm, diamond_dag.edge_comm * 3)
+    assert np.allclose(scaled.comp, diamond_dag.comp)
+    # Original untouched.
+    assert diamond_dag.edge_comm[0] == 1.0
+
+
+def test_entry_exit_nodes(medium_dag):
+    assert np.all(medium_dag.in_degree[medium_dag.entry_nodes] == 0)
+    assert np.all(medium_dag.out_degree[medium_dag.exit_nodes] == 0)
+    assert medium_dag.entry_nodes.size >= 1
+    assert medium_dag.exit_nodes.size >= 1
+
+
+def test_dag_from_edges_empty_edges():
+    d = dag_from_edges([1.0, 2.0], [])
+    assert d.m == 0
+    assert d.height == 1
+    assert d.width == 2

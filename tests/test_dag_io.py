@@ -1,0 +1,78 @@
+"""Tests for DAG serialisation and DOT export."""
+
+import numpy as np
+import pytest
+
+from repro.dag.io import dag_from_dict, dag_to_dict, dag_to_dot, load_dag, save_dag
+
+
+def test_dict_roundtrip(medium_dag):
+    back = dag_from_dict(dag_to_dict(medium_dag))
+    assert back.n == medium_dag.n
+    assert back.m == medium_dag.m
+    np.testing.assert_allclose(back.comp, medium_dag.comp)
+    np.testing.assert_array_equal(back.edge_src, medium_dag.edge_src)
+    np.testing.assert_allclose(back.edge_comm, medium_dag.edge_comm)
+    assert back.name == medium_dag.name
+
+
+def test_file_roundtrip(diamond_dag, tmp_path):
+    path = tmp_path / "d.json"
+    save_dag(diamond_dag, path)
+    back = load_dag(path)
+    assert back.height == diamond_dag.height
+    np.testing.assert_allclose(back.comp, diamond_dag.comp)
+
+
+def test_edgeless_roundtrip():
+    from repro.dag.graph import dag_from_edges
+
+    d = dag_from_edges([1.0, 2.0], [])
+    back = dag_from_dict(dag_to_dict(d))
+    assert back.m == 0
+
+
+def test_dot_export(diamond_dag):
+    dot = dag_to_dot(diamond_dag)
+    assert dot.startswith('digraph "diamond"')
+    assert dot.count("->") == diamond_dag.m
+    assert "n0" in dot and "n3" in dot
+
+
+def test_dot_refuses_huge(medium_dag):
+    with pytest.raises(ValueError):
+        dag_to_dot(medium_dag, max_nodes=10)
+
+
+def test_sharing_models(rng):
+    from repro.resources.collection import ResourceCollection
+    from repro.resources.sharing import space_shared, time_shared, time_shared_effective_speed
+
+    rc = ResourceCollection.homogeneous(4, speed=3.0)
+    split = space_shared(rc, 5)
+    assert split.n_hosts == 20
+    assert np.all(split.speed == pytest.approx(0.6))
+    assert space_shared(rc, 1) is rc
+    with pytest.raises(ValueError):
+        space_shared(rc, 0)
+
+    slow = time_shared(rc, 0.5)
+    assert np.all(slow.speed == pytest.approx(1.5))
+    assert time_shared_effective_speed(2.0, 0.25) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        time_shared(rc, 0.0)
+
+
+def test_space_shared_preserves_host_ids():
+    from repro.resources.collection import ResourceCollection
+    from repro.resources.sharing import space_shared
+
+    rc = ResourceCollection(
+        speed=np.array([2.0, 4.0]),
+        cluster=np.array([0, 0]),
+        comm_factor=np.ones((1, 1)),
+        host_ids=np.array([7, 9]),
+    )
+    split = space_shared(rc, 2)
+    assert list(split.host_ids) == [7, 7, 9, 9]
+    assert list(split.speed) == [1.0, 1.0, 2.0, 2.0]

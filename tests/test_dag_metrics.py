@@ -1,0 +1,104 @@
+"""Tests for the §III.1.1 DAG characteristics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dag.graph import dag_from_edges
+from repro.dag.metrics import ccr, characteristics, density, parallelism, regularity
+from repro.dag.workflows import chain_dag, fork_join_dag
+
+
+def test_ccr_definition(diamond_dag):
+    # Edges: (0,1,1.0) (0,2,2.0) (1,3,1.5) (2,3,0.5); parents cost 4,4,3,5.
+    expected = (1.0 / 4 + 2.0 / 4 + 1.5 / 3 + 0.5 / 5) / 4
+    assert ccr(diamond_dag) == pytest.approx(expected)
+
+
+def test_ccr_no_edges():
+    assert ccr(dag_from_edges([1.0, 2.0], [])) == 0.0
+
+
+def test_ccr_zero_cost_parent_ignored():
+    d = dag_from_edges([0.0, 1.0], [(0, 1, 5.0)])
+    assert ccr(d) == 0.0
+
+
+def test_parallelism_chain_is_zero():
+    assert parallelism(chain_dag(50)) == pytest.approx(0.0)
+
+
+def test_parallelism_flat_dag_is_one():
+    d = dag_from_edges([1.0] * 30, [])
+    assert parallelism(d) == pytest.approx(1.0)
+
+
+def test_parallelism_single_node():
+    assert parallelism(dag_from_edges([1.0], [])) == 1.0
+
+
+def test_parallelism_formula(diamond_dag):
+    # n=4, h=3, tau=4/3
+    assert parallelism(diamond_dag) == pytest.approx(math.log(4 / 3) / math.log(4))
+
+
+def test_density_full_dependencies():
+    # Every task depends on all tasks of the previous level -> density 1.
+    d = fork_join_dag(4, comm_cost=0.1)
+    assert density(d) == pytest.approx(1.0)
+
+
+def test_density_partial(diamond_dag):
+    # levels: [0], [1,2], [3]; node1: 1/1, node2: 1/1, node3: 2/2 -> 1.0
+    assert density(diamond_dag) == pytest.approx(1.0)
+
+
+def test_density_half():
+    # Level 0 has two tasks; each level-1 task depends on exactly one.
+    d = dag_from_edges([1] * 4, [(0, 2, 0.1), (1, 3, 0.1)])
+    assert density(d) == pytest.approx(0.5)
+
+
+def test_density_no_edges():
+    assert density(dag_from_edges([1.0, 1.0], [])) == 0.0
+
+
+def test_regularity_perfectly_regular():
+    d = dag_from_edges([1] * 6, [(0, 2, 0.1), (1, 3, 0.1), (2, 4, 0.1), (3, 5, 0.1)])
+    # Levels of size 2, 2, 2: tau = 2, max deviation 0.
+    assert regularity(d) == pytest.approx(1.0)
+
+
+def test_regularity_formula(diamond_dag):
+    # Sizes [1,2,1], tau = 4/3 -> beta = 1 - (2 - 4/3)/(4/3) = 0.5
+    assert regularity(diamond_dag) == pytest.approx(0.5)
+
+
+def test_regularity_can_be_negative(small_montage):
+    assert regularity(small_montage) < 0.0
+
+
+def test_characteristics_bundle(medium_dag):
+    ch = characteristics(medium_dag)
+    assert ch.size == medium_dag.n
+    assert ch.height == medium_dag.height
+    assert ch.width == medium_dag.width
+    assert ch.tasks_per_level == pytest.approx(medium_dag.n / medium_dag.height)
+    assert ch.mean_comp_cost == pytest.approx(float(medium_dag.comp.mean()))
+    assert 0.0 <= ch.parallelism <= 1.0
+    d = ch.as_dict()
+    assert d["size"] == ch.size
+    assert set(d) >= {"ccr", "parallelism", "density", "regularity"}
+
+
+def test_measured_close_to_generated(rng):
+    from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+
+    spec = RandomDagSpec(size=600, ccr=0.4, parallelism=0.6, regularity=0.7, density=0.5)
+    ch = characteristics(generate_random_dag(spec, rng))
+    assert ch.size == 600
+    assert ch.ccr == pytest.approx(0.4, rel=0.15)
+    assert ch.parallelism == pytest.approx(0.6, abs=0.07)
+    assert ch.density == pytest.approx(0.5, abs=0.1)
+    assert ch.regularity >= 0.55  # dispersal bounded by the spec

@@ -1,0 +1,109 @@
+"""Tests for the Montage workflow builder."""
+
+import numpy as np
+import pytest
+
+from repro.dag.metrics import characteristics
+from repro.dag.montage import (
+    MONTAGE_LEVELS_1629,
+    MONTAGE_LEVELS_4469,
+    MONTAGE_RUNTIMES,
+    montage_dag,
+    montage_level_counts,
+)
+
+
+def test_published_level_counts():
+    assert sum(MONTAGE_LEVELS_1629) == 1629
+    assert sum(MONTAGE_LEVELS_4469) == 4469
+    assert MONTAGE_LEVELS_4469 == (892, 2633, 1, 1, 892, 25, 25)
+    assert MONTAGE_LEVELS_1629 == (334, 935, 1, 1, 334, 12, 12)
+
+
+def test_structure_4469():
+    dag = montage_dag(MONTAGE_LEVELS_4469)
+    assert dag.n == 4469
+    assert dag.height == 7
+    assert dag.width == 2633
+    assert list(dag.level_sizes()) == list(MONTAGE_LEVELS_4469)
+
+
+def test_runtimes_per_level():
+    dag = montage_dag(MONTAGE_LEVELS_1629)
+    starts = np.concatenate(([0], np.cumsum(MONTAGE_LEVELS_1629)))
+    for lvl, runtime in enumerate(MONTAGE_RUNTIMES):
+        seg = dag.comp[starts[lvl] : starts[lvl + 1]]
+        assert np.all(seg == runtime)
+
+
+def test_ccr_matches_target():
+    dag = montage_dag(MONTAGE_LEVELS_1629, ccr=0.37)
+    ch = characteristics(dag)
+    assert ch.ccr == pytest.approx(0.37, rel=1e-9)
+
+
+def test_dependency_shape():
+    levels = montage_level_counts(10)
+    dag = montage_dag(levels)
+    sizes = np.concatenate(([0], np.cumsum(levels)))
+    concat = int(sizes[2])
+    bgmodel = int(sizes[3])
+    # mConcatFit collects every mDiffFit.
+    assert dag.in_degree[concat] == levels[1]
+    # mBgModel depends only on mConcatFit.
+    assert list(dag.parents(bgmodel)) == [concat]
+    # Every mBackground descends from mBgModel.
+    for v in range(sizes[4], sizes[5]):
+        assert list(dag.parents(v)) == [bgmodel]
+    # mAdd is 1:1 with mImgtbl.
+    for i, v in enumerate(range(sizes[6], sizes[7])):
+        assert list(dag.parents(v)) == [sizes[5] + i]
+
+
+def test_diff_has_two_project_parents():
+    dag = montage_dag(montage_level_counts(10))
+    counts = montage_level_counts(10)
+    starts = np.concatenate(([0], np.cumsum(counts)))
+    for v in range(starts[1], starts[2]):
+        parents = dag.parents(v)
+        assert 1 <= parents.size <= 2
+        assert np.all(parents < counts[0])
+
+
+def test_level_count_validation():
+    with pytest.raises(ValueError):
+        montage_dag((1, 2, 3))
+    with pytest.raises(ValueError):
+        montage_dag((10, 20, 2, 1, 10, 3, 3))  # mConcatFit must be singleton
+    with pytest.raises(ValueError):
+        montage_dag((10, 20, 1, 1, 10, 3, 4))  # imgtbl != madd
+    with pytest.raises(ValueError):
+        montage_dag((10, 20, 1, 1, 0, 3, 3))
+
+
+def test_runtime_jitter_requires_rng():
+    with pytest.raises(ValueError):
+        montage_dag(montage_level_counts(5), runtime_jitter=0.1)
+
+
+def test_runtime_jitter(rng):
+    dag = montage_dag(montage_level_counts(5), rng=rng, runtime_jitter=0.2)
+    # Jittered but bounded.
+    assert not np.all(dag.comp[:5] == MONTAGE_RUNTIMES[0])
+    assert np.all(dag.comp[:5] >= 0.8 * MONTAGE_RUNTIMES[0])
+    assert np.all(dag.comp[:5] <= 1.2 * MONTAGE_RUNTIMES[0])
+
+
+def test_montage_level_counts_scaling():
+    assert montage_level_counts(892) == MONTAGE_LEVELS_4469
+    levels = montage_level_counts(100)
+    assert levels[0] == levels[4] == 100
+    assert levels[5] == levels[6] >= 1
+    with pytest.raises(ValueError):
+        montage_level_counts(0)
+
+
+def test_montage_parallelism_is_high():
+    ch = characteristics(montage_dag(MONTAGE_LEVELS_1629))
+    assert ch.parallelism > 0.7  # §V.3.4.1: wide, irregular workflow
+    assert ch.regularity < 0

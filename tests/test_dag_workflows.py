@@ -1,0 +1,76 @@
+"""Tests for the auxiliary workflow builders."""
+
+import numpy as np
+import pytest
+
+from repro.dag.metrics import parallelism
+from repro.dag.workflows import chain_dag, eman_dag, fork_join_dag, scec_dag
+
+
+def test_chain_structure():
+    d = chain_dag(10, comp_cost=3.0, comm_cost=0.5)
+    assert d.n == 10
+    assert d.m == 9
+    assert d.height == 10
+    assert d.width == 1
+    assert np.all(d.comp == 3.0)
+    assert np.all(d.edge_comm == 0.5)
+
+
+def test_chain_of_one():
+    d = chain_dag(1)
+    assert d.n == 1
+    assert d.m == 0
+
+
+def test_chain_validation():
+    with pytest.raises(ValueError):
+        chain_dag(0)
+
+
+def test_fork_join():
+    d = fork_join_dag(5)
+    assert d.n == 7
+    assert d.height == 3
+    assert d.width == 5
+    assert d.in_degree[6] == 5
+    assert d.out_degree[0] == 5
+
+
+def test_fork_join_validation():
+    with pytest.raises(ValueError):
+        fork_join_dag(0)
+
+
+def test_scec_parallel_chains():
+    d = scec_dag(chains=4, chain_length=6)
+    assert d.n == 24
+    assert d.m == 4 * 5
+    assert d.height == 6
+    assert d.width == 4
+    # Chains are independent: each non-head task has exactly one parent.
+    assert np.all(d.in_degree <= 1)
+    assert int((d.in_degree == 0).sum()) == 4
+
+
+def test_scec_validation():
+    with pytest.raises(ValueError):
+        scec_dag(0, 5)
+    with pytest.raises(ValueError):
+        scec_dag(5, 0)
+
+
+def test_eman_compute_dominated():
+    d = eman_dag(width=8, comp_cost=1000.0, comm_cost=0.1)
+    assert d.n == 10
+    assert d.width == 8
+    # Compute-dominated: total comm << total comp.
+    assert d.edge_comm.sum() < 0.01 * d.comp.sum()
+
+
+def test_parallelism_ordering():
+    # chain < scec < fork-join in parallelism.
+    p_chain = parallelism(chain_dag(16))
+    p_scec = parallelism(scec_dag(4, 4))
+    p_fj = parallelism(fork_join_dag(14))
+    assert p_chain < p_scec < p_fj

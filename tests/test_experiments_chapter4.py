@@ -1,0 +1,89 @@
+"""Tests for the Chapter IV experiment harness (smoke scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import chapter4 as c4
+from repro.experiments.scales import SMOKE
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return c4.build_universe(SMOKE, seed=0)
+
+
+def test_universe_scale(universe):
+    assert universe.n_clusters == SMOKE.n_clusters
+    assert universe.n_hosts > 100
+
+
+def test_virtual_grid_rc(universe):
+    rc, sel_time = c4.virtual_grid_rc(universe, width=50)
+    assert 10 <= rc.n_hosts <= 50
+    assert sel_time > 0
+
+
+def test_run_schemes_covers_table_iv1(universe, small_montage):
+    results = c4.run_schemes(small_montage, universe)
+    keys = {(r.heuristic, r.resources) for r in results}
+    assert keys == {
+        ("mcp", "universe"),
+        ("mcp", "top_hosts"),
+        ("mcp", "vg"),
+        ("greedy", "universe"),
+        ("greedy", "top_hosts"),
+        ("greedy", "vg"),
+    }
+    for r in results:
+        assert r.turnaround == pytest.approx(
+            r.scheduling_time + r.makespan + r.vg_time
+        )
+        assert r.rc_size >= 1
+
+
+def test_explicit_selection_always_helps(universe, small_montage):
+    """The headline Chapter IV claim at CCR = 1: pre-selection beats
+    implicit selection for both heuristics."""
+    from repro.dag.montage import montage_dag
+
+    dag = montage_dag(SMOKE.montage_levels, ccr=1.0)
+    results = {(r.heuristic, r.resources): r for r in c4.run_schemes(dag, universe)}
+    for heuristic in ("mcp", "greedy"):
+        assert (
+            results[(heuristic, "vg")].turnaround
+            < results[(heuristic, "universe")].turnaround
+        )
+
+
+def test_montage_schemes_rows():
+    rows = c4.montage_schemes(SMOKE, ccr=0.01)
+    assert len(rows) == 6
+    assert {"heuristic", "resources", "turnaround_s"} <= set(rows[0])
+
+
+def test_ccr_sweep_ratios():
+    rows = c4.montage_ccr_sweep(SMOKE, ccrs=(0.5, 2.0))
+    assert len(rows) == 2 * 5  # per CCR: 5 non-baseline schemes
+    for row in rows:
+        assert row["turnaround_ratio"] > 0
+    # At high CCR the VG advantage grows (Fig IV-7).
+    vg_05 = [r for r in rows if r["ccr"] == 0.5 and r["scheme"] == "mcp/vg"][0]
+    vg_2 = [r for r in rows if r["ccr"] == 2.0 and r["scheme"] == "mcp/vg"][0]
+    assert vg_2["turnaround_ratio"] <= vg_05["turnaround_ratio"] * 1.5
+
+
+def test_random_dag_sweep_axis_validation():
+    with pytest.raises(ValueError):
+        c4.random_dag_sweep(SMOKE, "frobnication")
+
+
+def test_random_dag_sweep_parallelism():
+    rows = c4.random_dag_sweep(SMOKE, "parallelism", values=(0.2, 0.8))
+    assert {r["parallelism"] for r in rows} == {0.2, 0.8}
+    base = [r for r in rows if r["scheme"] == "greedy/vg"]
+    assert all(r["ratio_vs_greedy_vg"] == 1.0 for r in base)
+
+
+def test_random_dag_sweep_size_axis():
+    rows = c4.random_dag_sweep(SMOKE, "size")
+    assert {r["size"] for r in rows} == set(float(s) for s in SMOKE.dag_sizes)

@@ -1,0 +1,130 @@
+"""Tests for the Chapter V experiment harness (tiny workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.core.size_model import build_observation_knees
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+from repro.experiments import chapter5 as c5
+from repro.experiments.scales import SMOKE
+from tests.conftest import TINY_GRID
+
+
+@pytest.fixture(scope="module")
+def tiny_knees():
+    return build_observation_knees(TINY_GRID, seed=0)
+
+
+def test_turnaround_vs_rc_size_rows():
+    rows = c5.turnaround_vs_rc_size(SMOKE, size=60, regularities=(0.1, 0.8))
+    assert {r["regularity"] for r in rows} == {0.1, 0.8}
+    sizes = [r["rc_size"] for r in rows if r["regularity"] == 0.1]
+    assert sizes == sorted(sizes)
+
+
+def test_knee_table_shape():
+    rows = c5.knee_table(SMOKE, size=60)
+    assert len(rows) == len(SMOKE.size_grid.parallelisms)
+    for row in rows:
+        for beta in SMOKE.size_grid.regularities:
+            assert row[f"beta={beta}"] >= 1
+
+
+def test_plane_fit_quality(tiny_knees, tiny_size_model):
+    rows = c5.plane_fit_quality(TINY_GRID, tiny_knees, tiny_size_model)
+    assert len(rows) == len(TINY_GRID.sizes) * len(TINY_GRID.ccrs)
+    # The paper reports <= 16 % mean relative error; allow slack for the
+    # tiny grid.
+    for row in rows:
+        assert row["mean_rel_error_pct"] <= 30.0
+
+
+def test_optimal_rc_search_candidates(rng):
+    dag = generate_random_dag(
+        RandomDagSpec(size=80, ccr=0.1, parallelism=0.6, regularity=0.5), rng
+    )
+    best_size, best_turn, curve = c5.optimal_rc_search(dag, predicted=12)
+    assert best_size in curve.sizes
+    assert best_turn == curve.best_turnaround
+    sampled = set(curve.sizes.tolist())
+    # Table V-3 candidates for x = 12.
+    assert {12, 6, 3, 1, 24, 30, 36}.issubset(sampled)
+
+
+def test_optimal_rc_search_never_worse_than_prediction(rng, tiny_size_model):
+    dag = generate_random_dag(
+        RandomDagSpec(size=100, ccr=0.2, parallelism=0.5, regularity=0.5), rng
+    )
+    pred = tiny_size_model.predict_for_dag(dag)
+    _, best_turn, curve = c5.optimal_rc_search(dag, pred)
+    assert best_turn <= curve.at_size(pred) + 1e-9
+
+
+def test_validate_size_model_quadrants(tiny_size_model):
+    rows = c5.validate_size_model(tiny_size_model, SMOKE, max_configs_per_cell=2)
+    assert len(rows) == 4
+    kinds = {(r["sizes"], r["ccrs"]) for r in rows}
+    assert ("observation", "observation") in kinds
+    assert ("midpoint", "midpoint") in kinds
+    for r in rows:
+        # The headline Table V-5 claim: near-optimal performance.
+        assert r["avg_degradation_pct"] <= 15.0
+        assert r["avg_size_diff_pct"] <= 80.0
+
+
+def test_width_practice_more_expensive(tiny_size_model):
+    rows = c5.width_practice_comparison(tiny_size_model, SMOKE, max_configs=4)
+    assert len(rows) == len(SMOKE.size_grid.sizes)
+    # Current practice grossly over-provisions (Table V-7).
+    assert any(r["avg_size_diff_pct"] > 20 for r in rows)
+
+
+def test_montage_validation_thresholds(tiny_size_model):
+    rows = c5.montage_validation(tiny_size_model, SMOKE)
+    assert len(rows) == len(tiny_size_model.thresholds())
+    sizes = [r["predicted_size"] for r in rows]
+    assert sizes == sorted(sizes, reverse=True)  # larger threshold, smaller RC
+
+
+def test_utility_vs_threshold(tiny_size_model):
+    rows = c5.utility_vs_threshold(tiny_size_model, SMOKE, configs=2)
+    assert len(rows) == len(tiny_size_model.thresholds())
+    for r in rows:
+        assert r["degradation_pct"] >= 0
+
+
+def test_heterogeneity_study(tiny_size_model):
+    smoke_like = SMOKE
+    rows = c5.heterogeneity_study(
+        tiny_size_model, smoke_like, heterogeneities=(0.0, 0.3)
+    )
+    assert {r["heterogeneity"] for r in rows} == {0.0, 0.3}
+    base = [r for r in rows if r["heterogeneity"] == 0.0]
+    for r in base:
+        assert r["optimal_size_change_pct"] == 0.0
+        assert r["optimal_turnaround_change_pct"] == 0.0
+
+
+def test_heuristic_sensitivity(tiny_size_model):
+    rows = c5.heuristic_sensitivity(
+        tiny_size_model, SMOKE, heuristics=("mcp", "fca"), conditions=(0.0,), size=60
+    )
+    assert {r["heuristic"] for r in rows} == {"mcp", "fca"}
+    for r in rows:
+        assert r["degradation_pct"] >= 0
+
+
+def test_scr_study_knee_grows_with_scr():
+    rows = c5.scr_study(SMOKE, scrs=(0.25, 1.0, 4.0))
+    sizes = {r["dag_size"] for r in rows}
+    assert sizes == {100, 300}
+    grew = False
+    for n in sizes:
+        sub = [r for r in rows if r["dag_size"] == n]
+        knees = {r["scr"]: r["knee"] for r in sub}
+        # A faster scheduler amortises larger RCs: knee non-decreasing.
+        assert knees[4.0] >= knees[0.25]
+        assert sub[0]["fit_gamma"] >= 0
+        grew = grew or knees[4.0] > knees[0.25]
+    # The Fig. V-18 effect must actually appear for at least one size.
+    assert grew

@@ -1,0 +1,87 @@
+"""Tests for the Chapter VI and VII experiment harnesses."""
+
+import pytest
+
+from repro.core.heuristic_model import HeuristicPredictionModel
+from repro.core.size_model import ObservationGrid
+from repro.experiments import chapter6 as c6
+from repro.experiments import chapter7 as c7
+from repro.experiments.scales import SMOKE
+
+H_GRID = ObservationGrid(
+    sizes=(40, 120),
+    ccrs=(0.05,),
+    parallelisms=(0.4, 0.8),
+    regularities=(0.5,),
+    instances=1,
+)
+
+
+@pytest.fixture(scope="module")
+def h_model():
+    return HeuristicPredictionModel.train(H_GRID, heuristics=("mcp", "fca", "fcfs"), seed=0)
+
+
+def test_heuristic_turnaround_table(h_model):
+    rows = c6.heuristic_turnaround_table(h_model)
+    assert [r["dag_size"] for r in rows] == [40, 120]
+    for r in rows:
+        assert r["winner"] in ("mcp", "fca", "fcfs")
+        assert r["mcp_turnaround_s"] > 0
+
+
+def test_decision_surface(h_model):
+    rows = c6.decision_surface(h_model)
+    assert len(rows) == 2  # 2 sizes x 1 ccr
+    assert all(r["winner"] in h_model.heuristics for r in rows)
+
+
+def test_validate_combined_models(tiny_size_model, h_model):
+    points = [(60, 0.05, 0.5, 0.5), (100, 0.05, 0.7, 0.5)]
+    rows, summary = c6.validate_combined_models(
+        tiny_size_model, h_model, SMOKE, points=points, heuristics=("mcp", "fca", "fcfs")
+    )
+    assert len(rows) == 2
+    assert summary["points"] == 2
+    assert summary["correct"] + summary["near"] + summary["wrong"] == 2
+    assert summary["mean_degradation_pct"] < 50
+
+
+def test_generate_montage_specs_end_to_end(tiny_size_model, h_model):
+    result = c7.generate_montage_specs(tiny_size_model, h_model, SMOKE)
+    spec = result["spec"]
+    assert spec.size >= 1
+    # Each engine accepted the generated document and returned hosts.
+    assert result["vg_hosts"] >= spec.min_size
+    assert result["sword_hosts"] in (0, spec.size)
+    assert "TightBagOf" in result["vgdl_text"] or "LooseBagOf" in result["vgdl_text"]
+    assert "<request>" in result["sword_text"]
+    assert "Ports" in result["classad_text"]
+
+
+def test_clock_size_surface_rows():
+    rows = c7.clock_size_surface(SMOKE, clocks_ghz=(2.0, 3.0), size=60)
+    clocks = {r["clock_ghz"] for r in rows}
+    assert clocks == {2.0, 3.0}
+    # Faster clock dominates at every size.
+    by_size = {}
+    for r in rows:
+        by_size.setdefault(r["rc_size"], {})[r["clock_ghz"]] = r["turnaround_s"]
+    for size, vals in by_size.items():
+        assert vals[3.0] <= vals[2.0] + 1e-6
+
+
+def test_relative_size_threshold_rows():
+    rows = c7.relative_size_threshold(SMOKE, sizes=(4, 8))
+    assert len(rows) == 2
+    for r in rows:
+        assert r["slow_size_needed"] == "unreachable" or r["slow_size_needed"] >= r["fast_rc_size"]
+
+
+def test_alternatives_demo(tiny_size_model):
+    rows = c7.alternatives_demo(tiny_size_model, SMOKE, available_clocks_ghz=(3.0, 2.0))
+    assert rows[0]["note"] == "original (unfulfilled)"
+    assert len(rows) == 3
+    # Alternatives are at lower clock rates with (weakly) more hosts.
+    for r in rows[1:]:
+        assert r["clock_ghz"] < rows[0]["clock_ghz"]

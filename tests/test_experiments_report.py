@@ -1,0 +1,46 @@
+"""Tests for the markdown report generator."""
+
+from repro.experiments.report import Report, markdown_table
+
+
+def test_markdown_table_basic():
+    md = markdown_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 1e-6}])
+    lines = md.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert "| 1 | 2.5 |" in md
+    assert "1.000e-06" in md
+
+
+def test_markdown_table_empty():
+    assert markdown_table([]) == "*(no rows)*"
+
+
+def test_markdown_table_escapes_pipes():
+    md = markdown_table([{"x": "a|b"}])
+    assert "a\\|b" in md
+
+
+def test_report_roundtrip(tmp_path):
+    report = (
+        Report("Demo")
+        .add_text("Intro paragraph.")
+        .add_table("Numbers", [{"n": 1}], note="A note.")
+    )
+    path = report.write(tmp_path / "r.md")
+    text = path.read_text()
+    assert text.startswith("# Demo")
+    assert "Intro paragraph." in text
+    assert "## Numbers" in text
+    assert "A note." in text
+    assert "| n |" in text
+
+
+def test_report_with_experiment_rows():
+    from repro.experiments import chapter4 as c4
+    from repro.experiments.scales import SMOKE
+
+    rows = c4.montage_schemes(SMOKE, ccr=0.01)
+    md = Report("Ch IV").add_table("Fig IV-5", rows).render()
+    assert "turnaround_s" in md
+    assert md.count("|") > 20

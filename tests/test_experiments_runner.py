@@ -1,0 +1,33 @@
+"""Tests for the chapter runner CLI (smoke scale, cheapest chapter only)."""
+
+import pytest
+
+from repro.experiments import runner
+
+
+def test_requires_chapter_or_all():
+    with pytest.raises(SystemExit):
+        runner.main(["--scale", "smoke"])
+
+
+def test_rejects_unknown_scale():
+    with pytest.raises(SystemExit):
+        runner.main(["--chapter", "4", "--scale", "galactic"])
+
+
+def test_chapter4_smoke_runs(capsys):
+    assert runner.main(["--chapter", "4", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig IV-5" in out
+    assert "Fig IV-6" in out
+    assert "Figs IV-7/IV-8" in out
+    for axis in ("size", "ccr", "parallelism", "density", "regularity", "mean_comp_cost"):
+        assert f"varying {axis}" in out
+    assert "Chapter 4 done" in out
+
+
+def test_cli_experiments_dispatch(capsys):
+    from repro.cli import main
+
+    assert main(["experiments", "--chapter", "4", "--scale", "smoke"]) == 0
+    assert "Fig IV-5" in capsys.readouterr().out

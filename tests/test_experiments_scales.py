@@ -1,0 +1,51 @@
+"""Tests for scale presets and table rendering."""
+
+import pytest
+
+from repro.experiments.scales import PAPER, SMALL, SMOKE, get_scale
+from repro.experiments.tables import format_table
+
+
+def test_get_scale():
+    assert get_scale("smoke") is SMOKE
+    assert get_scale("small") is SMALL
+    assert get_scale("paper") is PAPER
+    with pytest.raises(ValueError):
+        get_scale("giant")
+
+
+def test_paper_scale_matches_dissertation():
+    assert PAPER.n_clusters == 1000
+    assert PAPER.dag_size == 4469
+    assert sum(PAPER.montage_levels) == 4469
+    assert PAPER.size_grid.sizes == (100, 500, 1000, 5000, 10000)
+    assert PAPER.size_grid.ccrs == (0.01, 0.1, 0.3, 0.5, 0.8, 1.0)
+    assert PAPER.size_grid.parallelisms == (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+    assert PAPER.size_grid.regularities == (0.01, 0.1, 0.3, 0.5, 0.8, 1.0)
+    assert PAPER.size_grid.instances == 10
+
+
+def test_smoke_is_small_and_fast():
+    assert SMOKE.n_clusters <= 50
+    assert max(SMOKE.size_grid.sizes) <= 500
+    assert SMOKE.instances == 1
+
+
+def test_scales_share_structure():
+    for scale in (SMOKE, SMALL, PAPER):
+        assert len(scale.montage_levels) == 7
+        assert scale.size_grid.thresholds[0] == pytest.approx(0.001)
+
+
+def test_format_table():
+    text = format_table(
+        [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.00001}], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([])

@@ -1,0 +1,89 @@
+"""End-to-end integration: DAG -> models -> specification -> selection ->
+binding -> scheduling -> simulated execution.
+
+This is the full pipeline of Fig. VII-1 exercised in one test module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.generator import ResourceSpecificationGenerator
+from repro.core.knee import PrefixRCFactory
+from repro.dag.montage import montage_dag, montage_level_counts
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+from repro.experiments.chapter4 import build_universe
+from repro.experiments.scales import SMOKE
+from repro.scheduling import replay_schedule, schedule_dag, turnaround_time, validate_schedule
+from repro.selection.sword import SwordEngine
+from repro.selection.vgdl import VgES
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return build_universe(SMOKE, seed=0)
+
+
+def test_full_pipeline_vgdl(tiny_size_model, universe):
+    dag = montage_dag(montage_level_counts(30), ccr=0.01)
+    generator = ResourceSpecificationGenerator(tiny_size_model)
+    spec = generator.generate(dag)
+
+    vg = VgES(universe).find_and_bind(spec.to_vgdl())
+    assert vg is not None, "universe should satisfy the generated request"
+    rc = universe.rc_from_hosts(vg.all_hosts())
+    assert spec.min_size <= rc.n_hosts <= spec.size
+
+    schedule = schedule_dag(spec.heuristic, dag, rc)
+    assert validate_schedule(dag, rc, schedule) == []
+    replay = replay_schedule(dag, rc, schedule)
+    assert replay.makespan == pytest.approx(schedule.makespan)
+
+    # The generated RC must beat naive choices decisively.
+    one_host = schedule_dag(spec.heuristic, dag, rc.subset(np.array([0])))
+    assert turnaround_time(schedule) < turnaround_time(one_host)
+
+
+def test_full_pipeline_sword(tiny_size_model, universe):
+    dag = montage_dag(montage_level_counts(30), ccr=0.01)
+    spec = ResourceSpecificationGenerator(tiny_size_model).generate(dag)
+    result = SwordEngine(universe).query(spec.to_sword_xml())
+    if result is None:
+        pytest.skip("universe cannot satisfy the SWORD clock band")
+    rc = universe.rc_from_hosts(result.all_hosts())
+    schedule = schedule_dag("mcp", dag, rc)
+    assert validate_schedule(dag, rc, schedule) == []
+
+
+def test_model_prediction_beats_width_on_turnaround(tiny_size_model, rng):
+    """Chapter V's economic claim: predicted RCs cost less than width-sized
+    RCs at comparable turn-around."""
+    from repro.core.cost import cost_for_size
+
+    dag = generate_random_dag(
+        RandomDagSpec(size=120, ccr=0.3, parallelism=0.6, regularity=0.3, density=0.5),
+        rng,
+    )
+    pred = tiny_size_model.predict_for_dag(dag)
+    factory = PrefixRCFactory(max(dag.width, pred))
+    t_pred = turnaround_time(schedule_dag("mcp", dag, factory(pred)))
+    t_width = turnaround_time(schedule_dag("mcp", dag, factory(dag.width)))
+    assert t_pred <= 1.15 * t_width
+    assert cost_for_size(pred, t_pred) <= cost_for_size(dag.width, t_width)
+
+
+def test_generated_spec_round_trips_all_languages(tiny_size_model):
+    from repro.selection.classad import parse_classad
+    from repro.selection.sword import parse_sword_query
+    from repro.selection.vgdl import parse_vgdl
+
+    dag = generate_random_dag(
+        RandomDagSpec(size=80, ccr=0.1, parallelism=0.6, regularity=0.5),
+        np.random.default_rng(0),
+    )
+    spec = ResourceSpecificationGenerator(tiny_size_model).generate(dag)
+    vg = parse_vgdl(spec.to_vgdl())
+    assert vg.aggregates[0].hi == spec.size
+    ad = parse_classad(spec.to_classad())
+    assert "Ports" in ad
+    q = parse_sword_query(spec.to_sword_xml())
+    assert q.groups[0].num_machines == spec.size

@@ -1,0 +1,152 @@
+"""Tests for the mixed-parallel extension (moldable tasks, CPA, specs)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mixed_generator import generate_mixed_specification
+from repro.dag.mixed import MixedParallelDag, make_mixed_parallel, random_mixed_dag
+from repro.dag.random_dag import RandomDagSpec
+from repro.dag.workflows import fork_join_dag, chain_dag
+from repro.scheduling.moldable import (
+    ClusterPool,
+    cpa_allocation,
+    schedule_cpa,
+    validate_moldable_schedule,
+)
+from repro.selection.vgdl import parse_vgdl
+
+
+@pytest.fixture
+def mixed_fj():
+    return make_mixed_parallel(
+        fork_join_dag(6, comp_cost=100.0, comm_cost=1.0),
+        serial_fraction=0.05,
+        max_procs=16,
+    )
+
+
+def test_validation():
+    dag = chain_dag(3)
+    with pytest.raises(ValueError):
+        MixedParallelDag(dag, np.array([0.1, 0.1]), np.array([4, 4, 4]))
+    with pytest.raises(ValueError):
+        MixedParallelDag(dag, np.array([0.1, 1.5, 0.1]), np.array([4, 4, 4]))
+    with pytest.raises(ValueError):
+        MixedParallelDag(dag, np.array([0.1, 0.1, 0.1]), np.array([4, 0, 4]))
+
+
+def test_amdahl_speedup(mixed_fj):
+    t1 = mixed_fj.exec_time(1, 1)
+    t4 = mixed_fj.exec_time(1, 4)
+    t_inf = mixed_fj.exec_time(1, 10**6)
+    assert t4 < t1
+    # Amdahl limit: speedup bounded by 1/f once the cap allows.
+    assert mixed_fj.speedup(1, 16) <= 1 / 0.05 + 1e-9
+    assert t_inf >= mixed_fj.dag.comp[1] * 0.05 / 1.0 - 1e-9
+
+
+def test_exec_time_respects_cap(mixed_fj):
+    assert mixed_fj.exec_time(1, 16) == mixed_fj.exec_time(1, 200)
+
+
+def test_exec_time_speed_scaling(mixed_fj):
+    assert mixed_fj.exec_time(1, 4, speed=2.0) == pytest.approx(
+        mixed_fj.exec_time(1, 4) / 2
+    )
+
+
+def test_exec_times_vectorised(mixed_fj):
+    procs = np.full(mixed_fj.n, 4)
+    vec = mixed_fj.exec_times(procs)
+    for v in range(mixed_fj.n):
+        assert vec[v] == pytest.approx(mixed_fj.exec_time(v, 4))
+
+
+def test_exec_time_invalid_procs(mixed_fj):
+    with pytest.raises(ValueError):
+        mixed_fj.exec_time(0, 0)
+
+
+def test_cpa_allocation_grows_critical_path():
+    # A chain is all critical path: CPA should grow its tasks beyond 1 proc.
+    mdag = make_mixed_parallel(
+        chain_dag(4, comp_cost=100.0, comm_cost=0.1), serial_fraction=0.02, max_procs=32
+    )
+    alloc, rounds = cpa_allocation(mdag, total_procs=64, max_cluster_procs=32)
+    assert rounds > 0
+    assert alloc.max() > 1
+    assert np.all(alloc <= 32)
+
+
+def test_cpa_allocation_serial_tasks_stay_small():
+    mdag = make_mixed_parallel(
+        chain_dag(4, comp_cost=100.0), serial_fraction=1.0, max_procs=32
+    )
+    alloc, _ = cpa_allocation(mdag, total_procs=64, max_cluster_procs=32)
+    assert np.all(alloc == 1)  # no gain from extra processors
+
+
+def test_schedule_cpa_valid(mixed_fj):
+    clusters = [ClusterPool(8, 1.0, 0), ClusterPool(16, 2.0, 1)]
+    s = schedule_cpa(mixed_fj, clusters)
+    assert validate_moldable_schedule(mixed_fj, clusters, s) == []
+    assert s.makespan > 0
+    assert np.all(s.procs >= 1)
+
+
+def test_schedule_cpa_beats_serial(mixed_fj):
+    clusters = [ClusterPool(32, 1.0, 0)]
+    s = schedule_cpa(mixed_fj, clusters)
+    serial = mixed_fj.exec_times(np.ones(mixed_fj.n, dtype=int)).sum()
+    assert s.makespan < serial
+
+
+def test_schedule_cpa_requires_clusters(mixed_fj):
+    with pytest.raises(ValueError):
+        schedule_cpa(mixed_fj, [])
+
+
+def test_cluster_pool_validation():
+    with pytest.raises(ValueError):
+        ClusterPool(0)
+    with pytest.raises(ValueError):
+        ClusterPool(4, speed=0.0)
+
+
+def test_random_mixed_dag(rng):
+    mdag = random_mixed_dag(
+        RandomDagSpec(size=60, ccr=0.1, parallelism=0.5, regularity=0.5), rng
+    )
+    assert mdag.n == 60
+    assert np.all((mdag.serial_fraction >= 0) & (mdag.serial_fraction <= 1))
+
+
+def test_capacity_never_oversubscribed(rng):
+    mdag = random_mixed_dag(
+        RandomDagSpec(size=50, ccr=0.2, parallelism=0.6, regularity=0.5),
+        rng,
+        max_procs=8,
+    )
+    clusters = [ClusterPool(4), ClusterPool(8), ClusterPool(6, speed=1.5)]
+    s = schedule_cpa(mdag, clusters)
+    assert validate_moldable_schedule(mdag, clusters, s) == []
+
+
+def test_mixed_specification(mixed_fj):
+    spec = generate_mixed_specification(mixed_fj, virtual_pool_procs=64)
+    assert spec.largest_task_procs >= 1
+    assert spec.peak_procs >= spec.largest_task_procs
+    parsed = parse_vgdl(spec.to_vgdl())
+    assert parsed.aggregates[0].kind == "ClusterOf"
+    assert parsed.aggregates[0].lo == spec.largest_task_procs
+    fallback = parse_vgdl(spec.to_vgdl_fallback())
+    assert fallback.aggregates[0].kind == "TightBagOf"
+
+
+def test_mixed_specification_peak_covers_levels(mixed_fj):
+    spec = generate_mixed_specification(mixed_fj, virtual_pool_procs=64)
+    alloc = np.array(spec.allocation)
+    dag = mixed_fj.dag
+    per_level = np.zeros(dag.height, dtype=int)
+    np.add.at(per_level, dag.level, alloc)
+    assert spec.peak_procs == per_level.max()

@@ -1,0 +1,32 @@
+"""The re-exported public API stays importable and coherent."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_symbols_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_core_types_identity():
+    from repro.core.generator import ResourceSpecificationGenerator
+    from repro.core.size_model import SizePredictionModel
+
+    assert repro.ResourceSpecificationGenerator is ResourceSpecificationGenerator
+    assert repro.SizePredictionModel is SizePredictionModel
+
+
+def test_minimal_flow_through_top_level_api(rng):
+    dag = repro.generate_random_dag(
+        repro.RandomDagSpec(size=40, ccr=0.1, parallelism=0.5, regularity=0.5), rng
+    )
+    rc = repro.ResourceCollection.homogeneous(4)
+    schedule = repro.schedule_dag("mcp", dag, rc)
+    assert repro.validate_schedule(dag, rc, schedule) == []
+    assert repro.turnaround_time(schedule) > 0
+    replay = repro.replay_schedule(dag, rc, schedule)
+    assert replay.makespan == schedule.makespan

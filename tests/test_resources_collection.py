@@ -1,0 +1,122 @@
+"""Tests for resource collections."""
+
+import numpy as np
+import pytest
+
+from repro.resources.collection import (
+    REFERENCE_CLOCK_GHZ,
+    ResourceCollection,
+)
+
+
+def test_homogeneous():
+    rc = ResourceCollection.homogeneous(5, speed=2.0)
+    assert rc.n_hosts == 5
+    assert rc.is_homogeneous()
+    assert rc.n_groups == 1
+    assert np.all(rc.speed == 2.0)
+    assert np.all(rc.clock_ghz() == 2.0 * REFERENCE_CLOCK_GHZ)
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        ResourceCollection.homogeneous(0)
+
+
+def test_nonpositive_speed_rejected():
+    with pytest.raises(ValueError):
+        ResourceCollection(
+            speed=np.array([1.0, 0.0]),
+            cluster=np.zeros(2, dtype=int),
+            comm_factor=np.ones((1, 1)),
+        )
+
+
+def test_cluster_index_validated():
+    with pytest.raises(ValueError):
+        ResourceCollection(
+            speed=np.ones(2),
+            cluster=np.array([0, 3]),
+            comm_factor=np.ones((2, 2)),
+        )
+
+
+def test_comm_factor_must_be_square():
+    with pytest.raises(ValueError):
+        ResourceCollection(
+            speed=np.ones(2),
+            cluster=np.zeros(2, dtype=int),
+            comm_factor=np.ones((1, 2)),
+        )
+
+
+def test_heterogeneous_clock(rng):
+    rc = ResourceCollection.heterogeneous_clock(100, 0.3, rng)
+    assert not rc.is_homogeneous()
+    assert rc.speed.min() >= 0.7
+    assert rc.speed.max() <= 1.3
+    with pytest.raises(ValueError):
+        ResourceCollection.heterogeneous_clock(10, 1.5, rng)
+
+
+def test_heterogeneity_zero_is_homogeneous(rng):
+    rc = ResourceCollection.heterogeneous_clock(10, 0.0, rng)
+    assert rc.is_homogeneous()
+
+
+def test_comm_time_same_host(networked_rc):
+    assert networked_rc.comm_time(10.0, 3, 3) == 0.0
+
+
+def test_comm_time_intra_and_inter_cluster(networked_rc):
+    assert networked_rc.comm_time(10.0, 0, 1) == pytest.approx(10.0)  # intra
+    assert networked_rc.comm_time(10.0, 0, 5) == pytest.approx(80.0)  # inter
+
+
+def test_groups_by_cluster_and_speed():
+    rc = ResourceCollection(
+        speed=np.array([1.0, 2.0, 1.0, 2.0]),
+        cluster=np.array([0, 0, 1, 1]),
+        comm_factor=np.ones((2, 2)),
+    )
+    assert rc.n_groups == 4
+    # Groups sorted by (cluster, speed desc).
+    assert list(rc.group_cluster) == [0, 0, 1, 1]
+    assert list(rc.group_speed) == [2.0, 1.0, 2.0, 1.0]
+
+
+def test_subset(networked_rc):
+    sub = networked_rc.subset(np.array([0, 5, 6]))
+    assert sub.n_hosts == 3
+    assert list(sub.cluster) == [0, 1, 1]
+    assert sub.comm_factor.shape == (2, 2)
+
+
+def test_subset_preserves_host_ids():
+    rc = ResourceCollection(
+        speed=np.ones(4),
+        cluster=np.zeros(4, dtype=int),
+        comm_factor=np.ones((1, 1)),
+        host_ids=np.array([10, 20, 30, 40]),
+    )
+    sub = rc.subset(np.array([1, 3]))
+    assert list(sub.host_ids) == [20, 40]
+
+
+def test_host_ids_length_checked():
+    with pytest.raises(ValueError):
+        ResourceCollection(
+            speed=np.ones(3),
+            cluster=np.zeros(3, dtype=int),
+            comm_factor=np.ones((1, 1)),
+            host_ids=np.array([1, 2]),
+        )
+
+
+def test_negative_comm_factor_rejected():
+    with pytest.raises(ValueError):
+        ResourceCollection(
+            speed=np.ones(2),
+            cluster=np.zeros(2, dtype=int),
+            comm_factor=np.array([[-1.0]]),
+        )

@@ -1,0 +1,85 @@
+"""Tests for the synthetic compute-resource generator."""
+
+import numpy as np
+import pytest
+
+from repro.resources.generator import (
+    BASELINE_CLOCK_MIX,
+    ResourceGeneratorConfig,
+    generate_clusters,
+    _memory_for_clock,
+)
+
+
+def test_cluster_count(rng):
+    clusters = generate_clusters(ResourceGeneratorConfig(n_clusters=50), rng)
+    assert len(clusters) == 50
+    assert [c.cluster_id for c in clusters] == list(range(50))
+
+
+def test_invalid_count(rng):
+    with pytest.raises(ValueError):
+        generate_clusters(ResourceGeneratorConfig(n_clusters=0), rng)
+
+
+def test_cluster_sizes_bounded(rng):
+    cfg = ResourceGeneratorConfig(n_clusters=200, min_cluster_size=2, max_cluster_size=64)
+    clusters = generate_clusters(cfg, rng)
+    sizes = np.array([c.n_hosts for c in clusters])
+    assert sizes.min() >= 2
+    assert sizes.max() <= 64
+
+
+def test_universe_scale_statistics():
+    """1000 clusters should yield roughly the paper's 33.7k hosts."""
+    rng = np.random.default_rng(0)
+    clusters = generate_clusters(ResourceGeneratorConfig(n_clusters=1000), rng)
+    total = sum(c.n_hosts for c in clusters)
+    assert 20000 <= total <= 60000
+
+
+def test_clock_rates_from_mix(rng):
+    clusters = generate_clusters(ResourceGeneratorConfig(n_clusters=300), rng)
+    allowed = {c for c, _ in BASELINE_CLOCK_MIX}
+    assert {c.clock_ghz for c in clusters} <= allowed
+    # The dominant parts should appear.
+    assert len({c.clock_ghz for c in clusters}) >= 4
+
+
+def test_year_forecast_scales_clocks(rng):
+    cfg = ResourceGeneratorConfig(n_clusters=10, year=2009)
+    mix = cfg.scaled_clock_mix()
+    base = ResourceGeneratorConfig(n_clusters=10, year=2006).scaled_clock_mix()
+    # 3 years at 2x / 18 months = 4x.
+    for (c_new, _), (c_old, _) in zip(mix, base):
+        assert c_new == pytest.approx(4 * c_old, rel=1e-3)
+
+
+def test_memory_power_of_two(rng):
+    clusters = generate_clusters(ResourceGeneratorConfig(n_clusters=100), rng)
+    for c in clusters:
+        assert c.memory_mb & (c.memory_mb - 1) == 0  # power of two
+        assert c.memory_mb >= 256
+
+
+def test_memory_correlates_with_clock():
+    assert _memory_for_clock(3.5) >= _memory_for_clock(1.5)
+
+
+def test_arch_and_os_assigned(rng):
+    clusters = generate_clusters(ResourceGeneratorConfig(n_clusters=100), rng)
+    assert all(c.arch for c in clusters)
+    oses = {c.os for c in clusters}
+    assert "LINUX" in oses  # 92 % concentration
+
+
+def test_cluster_name(rng):
+    clusters = generate_clusters(ResourceGeneratorConfig(n_clusters=3), rng)
+    assert clusters[0].name == "cluster0000"
+    assert clusters[2].name == "cluster0002"
+
+
+def test_deterministic_given_seed():
+    a = generate_clusters(ResourceGeneratorConfig(n_clusters=20), np.random.default_rng(5))
+    b = generate_clusters(ResourceGeneratorConfig(n_clusters=20), np.random.default_rng(5))
+    assert [(c.n_hosts, c.clock_ghz) for c in a] == [(c.n_hosts, c.clock_ghz) for c in b]

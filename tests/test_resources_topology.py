@@ -1,0 +1,121 @@
+"""Tests for the BRITE-like topology generator and widest-path bandwidth."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.resources.topology import (
+    LINK_CAPACITY_CLASSES,
+    TopologyConfig,
+    effective_bandwidth_matrix,
+    generate_topology,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TopologyConfig(n_sites=0)
+    with pytest.raises(ValueError):
+        TopologyConfig(n_sites=5, model="mesh")
+    with pytest.raises(ValueError):
+        TopologyConfig(n_sites=5, n_domains=0)
+
+
+@pytest.mark.parametrize("model", ["waxman", "barabasi_albert"])
+def test_connected(model, rng):
+    g = generate_topology(TopologyConfig(n_sites=40, model=model), rng)
+    assert g.number_of_nodes() == 40
+    assert nx.is_connected(g)
+
+
+def test_single_site(rng):
+    g = generate_topology(TopologyConfig(n_sites=1), rng)
+    assert g.number_of_nodes() == 1
+    bw = effective_bandwidth_matrix(g)
+    assert bw[0, 0] == np.inf
+
+
+def test_capacities_from_classes(rng):
+    g = generate_topology(TopologyConfig(n_sites=30), rng)
+    caps = {bps for _, bps, _ in LINK_CAPACITY_CLASSES}
+    for _, _, attrs in g.edges(data=True):
+        assert attrs["capacity_bps"] in caps
+        assert attrs["capacity_class"]
+
+
+def test_hierarchical_domains(rng):
+    g = generate_topology(TopologyConfig(n_sites=40, n_domains=4), rng)
+    assert nx.is_connected(g)
+    domains = {g.nodes[i]["domain"] for i in g.nodes}
+    assert domains == {0, 1, 2, 3}
+
+
+def test_flat_has_single_domain(rng):
+    g = generate_topology(TopologyConfig(n_sites=10, n_domains=1), rng)
+    assert {g.nodes[i]["domain"] for i in g.nodes} == {0}
+
+
+def test_backbone_links_are_fast(rng):
+    g = generate_topology(TopologyConfig(n_sites=60, n_domains=5), rng)
+    backbone = [a for *_, a in g.edges(data=True) if a.get("backbone")]
+    assert backbone
+    assert all(a["capacity_class"] == "10GbE" for a in backbone)
+
+
+# ----------------------------------------------------------------------
+# Widest-path properties
+# ----------------------------------------------------------------------
+def _brute_force_widest(g: nx.Graph) -> np.ndarray:
+    n = g.number_of_nodes()
+    bw = np.zeros((n, n))
+    for src in range(n):
+        best = {src: np.inf}
+        frontier = [(np.inf, src)]
+        import heapq
+
+        heap = [(-np.inf, src)]
+        seen = set()
+        while heap:
+            neg, u = heapq.heappop(heap)
+            if u in seen:
+                continue
+            seen.add(u)
+            for v in g.neighbors(u):
+                cand = min(-neg, g.edges[u, v]["capacity_bps"])
+                if cand > best.get(v, 0.0):
+                    best[v] = cand
+                    heapq.heappush(heap, (-cand, v))
+        for v, b in best.items():
+            bw[src, v] = b
+    return bw
+
+
+def test_widest_path_matches_brute_force(rng):
+    g = generate_topology(TopologyConfig(n_sites=25), rng)
+    fast = effective_bandwidth_matrix(g)
+    brute = _brute_force_widest(g)
+    assert np.allclose(fast, brute)
+
+
+def test_widest_path_symmetric(rng):
+    g = generate_topology(TopologyConfig(n_sites=30), rng)
+    bw = effective_bandwidth_matrix(g)
+    assert np.allclose(bw, bw.T)
+
+
+def test_widest_path_triangle_property(rng):
+    """bw(a,c) >= min(bw(a,b), bw(b,c)) — the max-bottleneck ultrametric."""
+    g = generate_topology(TopologyConfig(n_sites=20), rng)
+    bw = effective_bandwidth_matrix(g)
+    n = bw.shape[0]
+    for a in range(0, n, 3):
+        for b in range(1, n, 4):
+            for c in range(2, n, 5):
+                assert bw[a, c] >= min(bw[a, b], bw[b, c]) - 1e-6
+
+
+def test_widest_path_at_least_direct_edge(rng):
+    g = generate_topology(TopologyConfig(n_sites=30), rng)
+    bw = effective_bandwidth_matrix(g)
+    for u, v, attrs in g.edges(data=True):
+        assert bw[u, v] >= attrs["capacity_bps"] - 1e-6

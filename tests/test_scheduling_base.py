@@ -1,0 +1,120 @@
+"""Tests for the shared scheduler machinery (EST computation, state)."""
+
+import numpy as np
+import pytest
+
+from repro.dag.graph import dag_from_edges
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+from repro.resources.collection import ResourceCollection
+from repro.scheduling.base import SchedulerState, log2ceil
+
+
+def _brute_force_ready(dag, rc, state, v):
+    """Reference EST computation, one host at a time."""
+    p = rc.n_hosts
+    ready = np.zeros(p)
+    for h in range(p):
+        t = 0.0
+        for e in dag.in_edges(v):
+            u = int(dag.edge_src[e])
+            arr = state.finish[u] + rc.comm_time(float(dag.edge_comm[e]), int(state.host[u]), h)
+            t = max(t, arr)
+        ready[h] = t
+    return ready
+
+
+@pytest.mark.parametrize("het_net", [False, True])
+def test_data_ready_all_hosts_matches_brute_force(rng, het_net):
+    dag = generate_random_dag(
+        RandomDagSpec(size=40, ccr=1.0, parallelism=0.5, regularity=0.5, density=0.8),
+        rng,
+    )
+    if het_net:
+        factor = np.array([[1.0, 4.0, 16.0], [4.0, 1.0, 8.0], [16.0, 8.0, 1.0]])
+        rc = ResourceCollection(
+            speed=np.ones(9),
+            cluster=np.repeat(np.arange(3), 3),
+            comm_factor=factor,
+        )
+    else:
+        rc = ResourceCollection.homogeneous(9)
+    state = SchedulerState(dag, rc)
+    # Place tasks in topological order on pseudo-random hosts, checking the
+    # vectorised ready computation against brute force at every step.
+    hosts = rng.integers(0, rc.n_hosts, size=dag.n)
+    for v in dag.topo_order:
+        ready = state.data_ready_all_hosts(int(v))
+        expected = _brute_force_ready(dag, rc, state, int(v))
+        np.testing.assert_allclose(ready, expected, atol=1e-9)
+        h = int(hosts[v])
+        start = max(ready[h], state.avail[h])
+        state.place(int(v), h, start)
+
+
+def test_data_ready_on_host_consistent(rng, networked_rc):
+    dag = generate_random_dag(
+        RandomDagSpec(size=30, ccr=0.8, parallelism=0.5, regularity=0.5), rng
+    )
+    state = SchedulerState(dag, networked_rc)
+    hosts = rng.integers(0, networked_rc.n_hosts, size=dag.n)
+    for v in dag.topo_order:
+        all_hosts = state.data_ready_all_hosts(int(v))
+        for h in (0, 3, 5, 7):
+            assert state.data_ready_on_host(int(v), h) == pytest.approx(all_hosts[h])
+        h = int(hosts[v])
+        state.place(int(v), h, max(all_hosts[h], state.avail[h]))
+
+
+def test_entry_task_ready_everywhere(diamond_dag, rc8):
+    state = SchedulerState(diamond_dag, rc8)
+    assert np.all(state.data_ready_all_hosts(0) == 0.0)
+    assert state.data_ready_on_host(0, 3) == 0.0
+
+
+def test_place_updates_state(diamond_dag, rc8):
+    state = SchedulerState(diamond_dag, rc8)
+    state.place(0, 2, 1.0)
+    assert state.host[0] == 2
+    assert state.start[0] == 1.0
+    assert state.finish[0] == pytest.approx(5.0)  # comp 4.0 / speed 1.0
+    assert state.avail[2] == pytest.approx(5.0)
+
+
+def test_place_respects_speed(diamond_dag):
+    rc = ResourceCollection.homogeneous(2, speed=2.0)
+    state = SchedulerState(diamond_dag, rc)
+    state.place(0, 0, 0.0)
+    assert state.finish[0] == pytest.approx(2.0)
+
+
+def test_best_finish_vs_best_start():
+    # Host 1 busy until t=1 but data is only ready remotely at t=10 on any
+    # other host: best-start picks an idle host, best-finish weighs speed.
+    dag = dag_from_edges([1.0, 1.0], [(0, 1, 10.0)])
+    rc = ResourceCollection.homogeneous(3)
+    state = SchedulerState(dag, rc)
+    state.place(0, 0, 0.0)
+    h_fin, start_fin = state.best_finish_host(1)
+    assert h_fin == 0  # co-location avoids the 10 s transfer
+    assert start_fin == pytest.approx(1.0)
+    h_start, start_start = state.best_start_host(1)
+    assert h_start == 0
+    assert start_start == pytest.approx(1.0)
+
+
+def test_parents_sharing_host():
+    # Both parents on host 0: ready on host 0 = max parent finish.
+    dag = dag_from_edges([2.0, 3.0, 1.0], [(0, 2, 50.0), (1, 2, 50.0)])
+    rc = ResourceCollection.homogeneous(2)
+    state = SchedulerState(dag, rc)
+    state.place(0, 0, 0.0)
+    state.place(1, 0, 2.0)
+    ready = state.data_ready_all_hosts(2)
+    assert ready[0] == pytest.approx(5.0)
+    assert ready[1] == pytest.approx(55.0)
+
+
+def test_log2ceil():
+    assert log2ceil(1) == 1.0
+    assert log2ceil(2) == 1.0
+    assert log2ceil(1024) == 10.0

@@ -1,0 +1,63 @@
+"""Tests for the scheduling-time cost model."""
+
+import pytest
+
+from repro.scheduling import schedule_dag
+from repro.scheduling.costmodel import (
+    DEFAULT_COST_MODEL,
+    DEFAULT_OPS_PER_SECOND,
+    REFERENCE_SCHEDULER_CLOCK_GHZ,
+    SchedulingCostModel,
+    turnaround_time,
+)
+from repro.resources.collection import ResourceCollection
+
+
+def test_reference_rate(diamond_dag, rc8):
+    s = schedule_dag("mcp", diamond_dag, rc8)
+    assert DEFAULT_COST_MODEL.scheduling_time(s) == pytest.approx(
+        s.ops / DEFAULT_OPS_PER_SECOND
+    )
+
+
+def test_turnaround_is_sum(diamond_dag, rc8):
+    s = schedule_dag("mcp", diamond_dag, rc8)
+    assert turnaround_time(s) == pytest.approx(
+        s.makespan + DEFAULT_COST_MODEL.scheduling_time(s)
+    )
+
+
+def test_faster_scheduler_scales_linearly(diamond_dag, rc8):
+    s = schedule_dag("mcp", diamond_dag, rc8)
+    fast = SchedulingCostModel(scheduler_clock_ghz=2 * REFERENCE_SCHEDULER_CLOCK_GHZ)
+    assert fast.scheduling_time(s) == pytest.approx(
+        DEFAULT_COST_MODEL.scheduling_time(s) / 2
+    )
+
+
+def test_with_scr(diamond_dag, rc8):
+    s = schedule_dag("mcp", diamond_dag, rc8)
+    half = DEFAULT_COST_MODEL.with_scr(0.5)
+    assert half.scr == pytest.approx(0.5)
+    assert half.scheduling_time(s) == pytest.approx(
+        2 * DEFAULT_COST_MODEL.scheduling_time(s)
+    )
+    with pytest.raises(ValueError):
+        DEFAULT_COST_MODEL.with_scr(0.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SchedulingCostModel(ops_per_second=0)
+    with pytest.raises(ValueError):
+        SchedulingCostModel(scheduler_clock_ghz=-1)
+
+
+def test_mcp_sched_time_grows_with_rc(medium_dag):
+    t8 = DEFAULT_COST_MODEL.scheduling_time(
+        schedule_dag("mcp", medium_dag, ResourceCollection.homogeneous(8))
+    )
+    t128 = DEFAULT_COST_MODEL.scheduling_time(
+        schedule_dag("mcp", medium_dag, ResourceCollection.homogeneous(128))
+    )
+    assert t128 > 8 * t8

@@ -1,0 +1,57 @@
+"""Targeted tests for the HEFT baseline."""
+
+import numpy as np
+import pytest
+
+from repro.dag.graph import dag_from_edges
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+from repro.resources.collection import ResourceCollection
+from repro.scheduling import replay_schedule, schedule_dag, validate_schedule
+
+
+def test_heft_registered():
+    from repro.scheduling import list_schedulers
+
+    assert "heft" in list_schedulers()
+
+
+def test_heft_valid_and_tight(medium_dag, rc8):
+    s = schedule_dag("heft", medium_dag, rc8)
+    assert validate_schedule(medium_dag, rc8, s) == []
+    r = replay_schedule(medium_dag, rc8, s)
+    np.testing.assert_allclose(r.start, s.start, atol=1e-9)
+
+
+def test_heft_rank_order_is_topological():
+    # Upward ranks strictly decrease along edges for positive costs, so any
+    # valid schedule must exist; spot-check a diamond.
+    dag = dag_from_edges([4.0, 3.0, 5.0, 2.0], [(0, 1, 1.0), (0, 2, 2.0), (1, 3, 1.5), (2, 3, 0.5)])
+    rc = ResourceCollection.homogeneous(2)
+    s = schedule_dag("heft", dag, rc)
+    assert s.start[0] < s.start[3]
+
+
+def test_heft_uses_fast_hosts(rng):
+    dag = generate_random_dag(
+        RandomDagSpec(size=80, ccr=0.05, parallelism=0.5, regularity=0.5), rng
+    )
+    rc = ResourceCollection.heterogeneous_clock(8, 0.5, rng)
+    heft = schedule_dag("heft", dag, rc)
+    rnd = schedule_dag("random", dag, rc)
+    assert heft.makespan < rnd.makespan
+
+
+def test_heft_competitive_with_mcp(rng):
+    dag = generate_random_dag(
+        RandomDagSpec(size=150, ccr=0.5, parallelism=0.6, regularity=0.5), rng
+    )
+    rc = ResourceCollection.homogeneous(16)
+    heft = schedule_dag("heft", dag, rc)
+    mcp = schedule_dag("mcp", dag, rc)
+    assert heft.makespan <= 1.25 * mcp.makespan
+
+
+def test_heft_ops_comparable_to_mcp(medium_dag, rc8):
+    heft = schedule_dag("heft", medium_dag, rc8)
+    mcp = schedule_dag("mcp", medium_dag, rc8)
+    assert heft.ops == pytest.approx(mcp.ops, rel=0.05)

@@ -1,0 +1,82 @@
+"""Tests for the replay simulator and the schedule validator."""
+
+import numpy as np
+import pytest
+
+from repro.dag.graph import dag_from_edges
+from repro.scheduling import replay_schedule, schedule_dag, validate_schedule
+from repro.scheduling.base import Schedule
+from repro.resources.collection import ResourceCollection
+
+
+def test_replay_rejects_foreign_schedule(diamond_dag, rc8):
+    s = schedule_dag("mcp", diamond_dag, rc8)
+    bad = Schedule(
+        heuristic="x",
+        host=s.host[:2],
+        start=s.start[:2],
+        finish=s.finish[:2],
+        ops=0,
+        n_hosts=8,
+    )
+    with pytest.raises(ValueError):
+        replay_schedule(diamond_dag, rc8, bad)
+
+
+def test_replay_rejects_out_of_range_host(diamond_dag, rc8):
+    s = schedule_dag("mcp", diamond_dag, rc8)
+    tampered = Schedule("x", s.host.copy(), s.start, s.finish, 0, 8)
+    tampered.host[0] = 99
+    with pytest.raises(ValueError):
+        replay_schedule(diamond_dag, rc8, tampered)
+
+
+def test_validator_detects_duration_tampering(diamond_dag, rc8):
+    s = schedule_dag("mcp", diamond_dag, rc8)
+    s.finish[1] += 5.0
+    problems = validate_schedule(diamond_dag, rc8, s)
+    assert any("duration" in p for p in problems)
+
+
+def test_validator_detects_dependency_violation(diamond_dag, rc8):
+    s = schedule_dag("mcp", diamond_dag, rc8)
+    # Make the exit task start before its parents finish.
+    s.start[3] = 0.0
+    s.finish[3] = s.start[3] + diamond_dag.comp[3]
+    problems = validate_schedule(diamond_dag, rc8, s)
+    assert any("before data" in p for p in problems)
+
+
+def test_validator_detects_host_overlap():
+    dag = dag_from_edges([5.0, 5.0], [])
+    rc = ResourceCollection.homogeneous(1)
+    s = Schedule(
+        heuristic="x",
+        host=np.array([0, 0]),
+        start=np.array([0.0, 2.0]),
+        finish=np.array([5.0, 7.0]),
+        ops=0,
+        n_hosts=1,
+    )
+    problems = validate_schedule(dag, rc, s)
+    assert any("overlap" in p for p in problems)
+
+
+def test_validator_accepts_valid(diamond_dag, rc8):
+    s = schedule_dag("greedy", diamond_dag, rc8)
+    assert validate_schedule(diamond_dag, rc8, s) == []
+
+
+def test_replay_recovers_from_padded_times(diamond_dag, rc8):
+    """Replay tightens artificially delayed (but ordered) schedules."""
+    s = schedule_dag("mcp", diamond_dag, rc8)
+    padded = Schedule("x", s.host.copy(), s.start + 100.0, s.finish + 100.0, 0, 8)
+    r = replay_schedule(diamond_dag, rc8, padded)
+    np.testing.assert_allclose(r.start, s.start, atol=1e-9)
+
+
+def test_replay_preserves_host_assignment(medium_dag, rc8):
+    s = schedule_dag("fca", medium_dag, rc8)
+    r = replay_schedule(medium_dag, rc8, s)
+    assert np.array_equal(r.host, s.host)
+    assert r.heuristic.endswith("+replay")

@@ -1,0 +1,120 @@
+"""Misc selection-engine behaviours: FarFrom/HighBW connectors, SWORD
+categorical attrs, vgDL rank expressions."""
+
+import numpy as np
+import pytest
+
+from repro.selection.sword import SwordEngine
+from repro.selection.vgdl import VgES, parse_vgdl
+
+
+def test_farfrom_selects_distant_clusters(small_platform):
+    vges = VgES(small_platform)
+    vg = vges.find_and_bind(
+        "V = ClusterOf(a) [1:4] { a = [ Clock >= 1000 ] } "
+        "FarFrom LooseBagOf(b) [1:4] { b = [ Clock >= 1000 ] }"
+    )
+    if vg is None:
+        pytest.skip("no sufficiently distant cluster pair on this platform")
+    a_clusters = np.unique(small_platform.host_cluster[vg.hosts_per_aggregate[0]])
+    b_clusters = np.unique(small_platform.host_cluster[vg.hosts_per_aggregate[1]])
+    bw = small_platform.bandwidth_bps
+    for ca in a_clusters:
+        for cb in b_clusters:
+            assert bw[ca, cb] < vges.close_bandwidth_bps
+
+
+def test_highbw_connector_parses_and_selects(small_platform):
+    vges = VgES(small_platform)
+    vg = vges.find_and_bind(
+        "V = LooseBagOf(a) [1:4] { a = [ Clock >= 1000 ] } "
+        "HighBW LooseBagOf(b) [1:4] { b = [ Clock >= 1000 ] }"
+    )
+    if vg is not None:
+        a_c = np.unique(small_platform.host_cluster[vg.hosts_per_aggregate[0]])
+        b_c = np.unique(small_platform.host_cluster[vg.hosts_per_aggregate[1]])
+        bw = small_platform.bandwidth_bps
+        for ca in a_c:
+            assert all(bw[ca, cb] >= vges.tight_bandwidth_bps for cb in b_c)
+
+
+def test_vgdl_rank_expression_over_attributes(small_platform):
+    vges = VgES(small_platform)
+    # Rank by memory: the chosen cluster must have the max memory among
+    # clusters satisfying the constraint.
+    vg = vges.find_and_bind(
+        "V = ClusterOf(n) [1:2] [rank = Memory] { n = [ Clock >= 1000 ] }"
+    )
+    assert vg is not None
+    chosen = int(small_platform.host_cluster[vg.all_hosts()[0]])
+    max_mem = max(c.memory_mb for c in small_platform.clusters)
+    assert small_platform.clusters[chosen].memory_mb == max_mem
+
+
+def test_sword_arch_categorical(small_platform):
+    archs = {c.arch for c in small_platform.clusters}
+    target = sorted(archs)[0]
+    q = f"""
+    <request>
+      <group>
+        <name>g</name>
+        <num_machines>2</num_machines>
+        <arch><value>{target}, 0.0</value></arch>
+      </group>
+    </request>
+    """
+    res = SwordEngine(small_platform).query(q)
+    assert res is not None
+    for h in res.hosts["g"]:
+        cid = int(small_platform.host_cluster[h])
+        assert small_platform.clusters[cid].arch == target
+
+
+def test_sword_soft_categorical_penalty(small_platform):
+    # Ask for an OS nobody runs with a soft penalty: feasible, penalised.
+    q = """
+    <request>
+      <group>
+        <name>g</name>
+        <num_machines>2</num_machines>
+        <os><value>PLAN9, 42.0</value></os>
+      </group>
+    </request>
+    """
+    res = SwordEngine(small_platform).query(q)
+    assert res is not None
+    assert res.penalty == pytest.approx(2 * 42.0)
+
+
+def test_sword_num_cpus(small_platform):
+    q = """
+    <request>
+      <group>
+        <name>g</name>
+        <num_machines>1</num_machines>
+        <num_cpus>1, 1, MAX, MAX, 0.0</num_cpus>
+      </group>
+    </request>
+    """
+    res = SwordEngine(small_platform).query(q)
+    assert res is not None
+
+
+def test_sword_hard_clock_infeasible_vs_soft(small_platform):
+    fastest = max(c.clock_ghz for c in small_platform.clusters) * 1000
+    hard = f"""
+    <request>
+      <group><name>g</name><num_machines>1</num_machines>
+      <clock>{fastest * 2}, {fastest * 2}, MAX, MAX, 1.0</clock></group>
+    </request>
+    """
+    assert SwordEngine(small_platform).query(hard) is None
+    soft = f"""
+    <request>
+      <group><name>g</name><num_machines>1</num_machines>
+      <clock>0, {fastest * 2}, MAX, MAX, 0.001</clock></group>
+    </request>
+    """
+    res = SwordEngine(small_platform).query(soft)
+    assert res is not None
+    assert res.penalty > 0

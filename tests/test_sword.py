@@ -1,0 +1,237 @@
+"""Tests for the SWORD XML query language and engine."""
+
+import numpy as np
+import pytest
+
+from repro.selection.sword import (
+    CategoricalRequirement,
+    NumericRequirement,
+    SwordEngine,
+    SwordError,
+    parse_sword_query,
+)
+
+FIG_II4 = """
+<request>
+  <dist_query_budget>30</dist_query_budget>
+  <optimizer_budget>100</optimizer_budget>
+  <group>
+    <name>Cluster_NA</name>
+    <num_machines>5</num_machines>
+    <cpu_load>0.5, 0.1, 0.1, 0.0, 0.0</cpu_load>
+    <free_mem>256.0, 512.0, MAX, MAX, 100.0</free_mem>
+    <free_disk>500.0, 1000.0, MAX, MAX, 5.0</free_disk>
+    <latency>0.0, 0.0, 10.0, 20.0, 0.5</latency>
+    <os><value>Linux, 0.0</value></os>
+    <network_coordinate_center><value>North_America, 0.0</value></network_coordinate_center>
+  </group>
+  <group>
+    <name>Cluster_Europe</name>
+    <num_machines>5</num_machines>
+    <cpu_load>0.5, 0.1, 0.1, 0.0, 0.0</cpu_load>
+    <free_mem>256.0, 512.0, MAX, MAX, 100.0</free_mem>
+    <latency>0.0, 0.0, 10.0, 20.0, 0.5</latency>
+    <os><value>Linux, 0.0</value></os>
+    <network_coordinate_center><value>Europe, 0.0</value></network_coordinate_center>
+  </group>
+  <constraint>
+    <group_names>Cluster_NA Cluster_Europe</group_names>
+    <latency>0.0, 0.0, 50.0, 100.0, 0.5</latency>
+  </constraint>
+</request>
+"""
+
+
+def test_parse_fig_ii4():
+    q = parse_sword_query(FIG_II4)
+    assert q.dist_query_budget == 30
+    assert q.optimizer_budget == 100
+    assert len(q.groups) == 2
+    assert q.groups[0].name == "Cluster_NA"
+    assert q.groups[0].num_machines == 5
+    assert len(q.constraints) == 1
+    assert q.constraints[0].group_names == ("Cluster_NA", "Cluster_Europe")
+
+
+def test_numeric_requirement_ascending():
+    r = NumericRequirement.from_text("free_mem", "256.0, 512.0, MAX, MAX, 100.0")
+    assert r.required_lo == 256.0
+    assert r.desired_lo == 512.0
+    assert r.required_hi == np.inf
+    assert r.rate == 100.0
+
+
+def test_numeric_requirement_descending_reversed():
+    r = NumericRequirement.from_text("cpu_load", "0.5, 0.1, 0.1, 0.0, 0.0")
+    assert r.required_lo == 0.0
+    assert r.desired_lo == 0.1
+    assert r.desired_hi == 0.1
+    assert r.required_hi == 0.5
+
+
+def test_numeric_feasible_and_penalty():
+    r = NumericRequirement.from_text("free_mem", "256, 512, 1024, 2048, 2.0")
+    v = np.array([100.0, 300.0, 700.0, 1500.0, 3000.0])
+    feas = r.feasible(v)
+    assert list(feas) == [False, True, True, True, False]
+    pen = r.penalty(v)
+    assert pen[1] == pytest.approx(2.0 * (512 - 300))
+    assert pen[2] == 0.0
+    assert pen[3] == pytest.approx(2.0 * (1500 - 1024))
+
+
+def test_numeric_requirement_bad_arity():
+    with pytest.raises(SwordError):
+        NumericRequirement.from_text("free_mem", "1, 2, 3")
+
+
+def test_numeric_requirement_non_nesting():
+    with pytest.raises(SwordError):
+        NumericRequirement.from_text("x", "0, 5, 2, 10, 1")
+
+
+def test_categorical_requirement():
+    r = CategoricalRequirement.from_text("os", "Linux, 0.0")
+    assert r.value == "Linux"
+    assert r.penalty_rate == 0.0
+    r2 = CategoricalRequirement.from_text("os", "Linux")
+    assert r2.penalty_rate == 0.0
+
+
+def test_parse_errors():
+    with pytest.raises(SwordError):
+        parse_sword_query("<notrequest/>")
+    with pytest.raises(SwordError):
+        parse_sword_query("<request></request>")  # no groups
+    with pytest.raises(SwordError):
+        parse_sword_query(
+            "<request><group><name>g</name></group></request>"
+        )  # missing num_machines
+    with pytest.raises(SwordError):
+        parse_sword_query("not xml at all <<<")
+    with pytest.raises(SwordError):
+        parse_sword_query(
+            "<request><group><name>g</name><num_machines>1</num_machines>"
+            "<weird>1</weird></group></request>"
+        )
+
+
+def test_duplicate_group_names_rejected():
+    q = (
+        "<request>"
+        "<group><name>g</name><num_machines>1</num_machines></group>"
+        "<group><name>g</name><num_machines>1</num_machines></group>"
+        "</request>"
+    )
+    with pytest.raises(SwordError):
+        parse_sword_query(q)
+
+
+def test_constraint_unknown_group_rejected():
+    q = (
+        "<request>"
+        "<group><name>g</name><num_machines>1</num_machines></group>"
+        "<constraint><group_names>g h</group_names>"
+        "<latency>0,0,10,20,1</latency></constraint>"
+        "</request>"
+    )
+    with pytest.raises(SwordError):
+        parse_sword_query(q)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+def _simple_query(n=4, clock_min=1000.0):
+    return f"""
+    <request>
+      <group>
+        <name>workers</name>
+        <num_machines>{n}</num_machines>
+        <clock>{clock_min}, {clock_min}, MAX, MAX, 0.01</clock>
+        <os><value>LINUX, 10.0</value></os>
+      </group>
+    </request>
+    """
+
+
+def test_engine_simple_group(small_platform):
+    res = SwordEngine(small_platform).query(_simple_query(6))
+    assert res is not None
+    assert res.hosts["workers"].size == 6
+
+
+def test_engine_infeasible(small_platform):
+    res = SwordEngine(small_platform).query(_simple_query(4, clock_min=99999.0))
+    assert res is None
+
+
+def test_engine_prefers_lower_penalty(small_platform):
+    """Desired clock = fastest: the optimizer should pick fast clusters."""
+    fastest = max(c.clock_ghz for c in small_platform.clusters) * 1000
+    q = f"""
+    <request>
+      <group>
+        <name>g</name>
+        <num_machines>2</num_machines>
+        <clock>1000, {fastest}, MAX, MAX, 1.0</clock>
+      </group>
+    </request>
+    """
+    res = SwordEngine(small_platform).query(q)
+    assert res is not None
+    hosts = res.hosts["g"]
+    clocks = small_platform.host_clock[hosts] * 1000
+    assert np.all(clocks == fastest)
+    assert res.penalty == pytest.approx(0.0)
+
+
+def test_engine_tight_latency_single_cluster(small_platform):
+    q = """
+    <request>
+      <group>
+        <name>g</name>
+        <num_machines>3</num_machines>
+        <latency>0.0, 0.0, 1.0, 1.0, 0.5</latency>
+      </group>
+    </request>
+    """
+    res = SwordEngine(small_platform).query(q)
+    assert res is not None
+    clusters = np.unique(small_platform.host_cluster[res.hosts["g"]])
+    assert clusters.size == 1  # <=1 ms requires a single cluster
+
+
+def test_engine_two_groups_disjoint(small_platform):
+    q = """
+    <request>
+      <group><name>a</name><num_machines>3</num_machines></group>
+      <group><name>b</name><num_machines>3</num_machines></group>
+    </request>
+    """
+    res = SwordEngine(small_platform).query(q)
+    assert res is not None
+    assert not set(res.hosts["a"].tolist()) & set(res.hosts["b"].tolist())
+
+
+def test_engine_fig_ii4_runs(small_platform):
+    # Regions present on the platform depend on its domains; the full
+    # Fig. II-4 query either resolves or correctly reports infeasibility.
+    res = SwordEngine(small_platform).query(FIG_II4)
+    if res is not None:
+        assert set(res.hosts) == {"Cluster_NA", "Cluster_Europe"}
+        assert all(v.size == 5 for v in res.hosts.values())
+
+
+def test_optimizer_budget_limits_search(small_platform):
+    q = """
+    <request>
+      <optimizer_budget>1</optimizer_budget>
+      <group><name>a</name><num_machines>1</num_machines></group>
+      <group><name>b</name><num_machines>1</num_machines></group>
+    </request>
+    """
+    res = SwordEngine(small_platform).query(q)
+    # With budget 1 only a single combination is examined; it may or may not
+    # be feasible but must not crash.
+    assert res is None or res.penalty >= 0

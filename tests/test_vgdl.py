@@ -1,0 +1,165 @@
+"""Tests for the vgDL parser and the vgES selection engine."""
+
+import numpy as np
+import pytest
+
+from repro.selection.vgdl import (
+    VgdlError,
+    VgES,
+    parse_vgdl,
+)
+
+FIG_IV4 = """
+VG = TightBagOf(nodes) [500:2633]
+[rank = Nodes] {
+  nodes = [ (Clock>=3000) ]
+}
+"""
+
+FIG_II1 = """
+VG =
+ClusterOf(nodes) [32:64]
+{
+  nodes = [(Processor == Opteron) && (Clock>=2000) && (Memory >= 1024)]
+}
+CloseTo
+TightBagOf(nodes2) [32:128]
+{
+  nodes2 = [Clock >= 1000]
+}
+"""
+
+
+def test_parse_fig_iv4():
+    spec = parse_vgdl(FIG_IV4)
+    assert spec.name == "VG"
+    agg = spec.aggregates[0]
+    assert agg.kind == "TightBagOf"
+    assert (agg.lo, agg.hi) == (500, 2633)
+    assert agg.rank is not None
+    assert "Clock" in agg.constraint.unparse()
+
+
+def test_parse_fig_ii1_composite():
+    spec = parse_vgdl(FIG_II1)
+    assert len(spec.aggregates) == 2
+    assert spec.connectors == ("closeto",)
+    assert spec.aggregates[0].kind == "ClusterOf"
+    assert spec.aggregates[1].kind == "TightBagOf"
+
+
+def test_bare_identifier_becomes_string():
+    spec = parse_vgdl("V = LooseBagOf(n) [1:4] { n = [ Processor == Opteron ] }")
+    assert '"Opteron"' in spec.aggregates[0].constraint.unparse()
+
+
+def test_known_attribute_not_stringified():
+    spec = parse_vgdl("V = LooseBagOf(n) [1:4] { n = [ Clock >= Memory ] }")
+    text = spec.aggregates[0].constraint.unparse()
+    assert '"' not in text
+
+
+def test_unparse_reparse():
+    spec = parse_vgdl(FIG_II1)
+    again = parse_vgdl(spec.unparse())
+    assert again.connectors == spec.connectors
+    assert [a.kind for a in again.aggregates] == [a.kind for a in spec.aggregates]
+
+
+def test_parse_errors():
+    with pytest.raises(VgdlError):
+        parse_vgdl("V = WeirdBagOf(n) [1:2] { n = [ true ] }")
+    with pytest.raises(VgdlError):
+        parse_vgdl("V = ClusterOf(n) [5:2] { n = [ true ] }")  # bad range
+    with pytest.raises(VgdlError):
+        parse_vgdl("V = ClusterOf(n) [1:2] { m = [ true ] }")  # wrong var
+    with pytest.raises(VgdlError):
+        parse_vgdl("V = ClusterOf(n) [1:2] { n = [ true ] } trailing")
+
+
+def test_default_range_is_open():
+    spec = parse_vgdl("V = LooseBagOf(n) { n = [ true ] }")
+    assert spec.aggregates[0].lo == 1
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+def test_matching_clusters(small_platform):
+    vges = VgES(small_platform)
+    spec = parse_vgdl("V = LooseBagOf(n) [1:10] { n = [ Clock >= 3000 ] }")
+    cids = vges.matching_clusters(spec.aggregates[0].constraint)
+    for cid in cids:
+        assert small_platform.clusters[cid].clock_ghz >= 3.0
+
+
+def test_loosebag_selects_requested_count(small_platform):
+    vges = VgES(small_platform)
+    vg = vges.find_and_bind("V = LooseBagOf(n) [5:20] { n = [ Clock >= 1000 ] }")
+    assert vg is not None
+    assert 5 <= vg.size <= 20
+
+
+def test_clusterof_single_cluster(small_platform):
+    vges = VgES(small_platform)
+    vg = vges.find_and_bind("V = ClusterOf(n) [2:8] { n = [ Clock >= 1000 ] }")
+    assert vg is not None
+    hosts = vg.all_hosts()
+    assert np.unique(small_platform.host_cluster[hosts]).size == 1
+
+
+def test_tightbag_connectivity(small_platform):
+    vges = VgES(small_platform)
+    vg = vges.find_and_bind("V = TightBagOf(n) [2:50] { n = [ Clock >= 1000 ] }")
+    assert vg is not None
+    clusters = np.unique(small_platform.host_cluster[vg.all_hosts()])
+    bw = small_platform.bandwidth_bps
+    for a in clusters:
+        for b in clusters:
+            assert bw[a, b] >= vges.tight_bandwidth_bps - 1e-6
+
+
+def test_unsatisfiable_returns_none(small_platform):
+    vges = VgES(small_platform)
+    assert vges.find_and_bind("V = LooseBagOf(n) [1:5] { n = [ Clock >= 99999 ] }") is None
+    # Enough fast hosts exist but not 10^6 of them.
+    assert (
+        vges.find_and_bind("V = LooseBagOf(n) [1000000:2000000] { n = [ Clock >= 1000 ] }")
+        is None
+    )
+
+
+def test_rank_nodes_prefers_bigger_clusters(small_platform):
+    vges = VgES(small_platform)
+    vg = vges.find_and_bind(
+        "V = ClusterOf(n) [1:4096] [rank = Nodes] { n = [ Clock >= 1000 ] }"
+    )
+    assert vg is not None
+    chosen = int(small_platform.host_cluster[vg.all_hosts()[0]])
+    biggest = max(c.n_hosts for c in small_platform.clusters)
+    assert small_platform.clusters[chosen].n_hosts == biggest
+
+
+def test_default_rank_prefers_fast_clusters(small_platform):
+    vges = VgES(small_platform)
+    vg = vges.find_and_bind("V = ClusterOf(n) [1:2] { n = [ Clock >= 1000 ] }")
+    chosen = int(small_platform.host_cluster[vg.all_hosts()[0]])
+    fastest = max(c.clock_ghz for c in small_platform.clusters)
+    assert small_platform.clusters[chosen].clock_ghz == fastest
+
+
+def test_aggregates_do_not_share_hosts(small_platform):
+    vges = VgES(small_platform)
+    vg = vges.find_and_bind(
+        "V = LooseBagOf(a) [5:10] { a = [ Clock >= 1000 ] } "
+        "CloseTo LooseBagOf(b) [5:10] { b = [ Clock >= 1000 ] }"
+    )
+    if vg is not None:
+        a, b = vg.hosts_per_aggregate
+        assert not set(a.tolist()) & set(b.tolist())
+
+
+def test_selection_time_positive(small_platform):
+    vges = VgES(small_platform)
+    vg = vges.find_and_bind("V = LooseBagOf(n) [1:5] { n = [ Clock >= 1000 ] }")
+    assert vg.selection_time > 0

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Micro-benchmark for the parallel experiment engine.
+
+Times ``python -m repro.experiments.runner --chapter 5``-style sweeps at a
+chosen scale with ``--jobs 1`` versus ``--jobs N`` (cache disabled, so both
+runs do the full computation) and writes the wall-clocks, speedup, and the
+host's core count to ``BENCH_parallel.json``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_parallel.py [--scale smoke] [--jobs 4]
+
+The engine's per-cell seeding makes both runs produce identical tables; the
+script asserts that before reporting the timing.  On a single-core host the
+process pool is pure overhead — the JSON records ``cpu_count`` precisely so
+the speedup number can be read in context.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.core.size_model import build_observation_knees
+from repro.experiments import chapter5 as c5
+from repro.experiments.scales import get_scale
+
+
+def _workload(scale, jobs: int):
+    """The chapter-5 hot path: observation knees + two knee slices."""
+    return {
+        "knees": sorted(
+            (repr(k), v)
+            for k, v in build_observation_knees(scale.size_grid, seed=0, jobs=jobs).items()
+        ),
+        "knee_vs_size": c5.knee_vs_size(scale, seed=0, jobs=jobs),
+        "knee_vs_ccr": c5.knee_vs_ccr(scale, size=scale.size_grid.sizes[0], seed=0, jobs=jobs),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=("smoke", "small", "paper"))
+    parser.add_argument(
+        "--jobs", type=int, default=0, help="parallel worker count (0 = all cores)"
+    )
+    parser.add_argument("--output", default="BENCH_parallel.json")
+    args = parser.parse_args()
+
+    scale = get_scale(args.scale)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+
+    t0 = time.perf_counter()
+    serial = _workload(scale, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = _workload(scale, jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+
+    if serial != parallel:
+        raise SystemExit("FATAL: serial and parallel runs disagree — determinism bug")
+
+    report = {
+        "scale": scale.name,
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "identical_output": True,
+        "workload": "build_observation_knees + knee_vs_size + knee_vs_ccr (cache off)",
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

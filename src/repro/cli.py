@@ -46,7 +46,7 @@ _GRIDS = {
 def _cmd_train(args: argparse.Namespace) -> int:
     grid = _GRIDS[args.grid]
     print(f"training size model on the {args.grid!r} grid ...", file=sys.stderr)
-    model = SizePredictionModel.train(grid, seed=args.seed)
+    model = SizePredictionModel.train(grid, seed=args.seed, jobs=args.jobs)
     model.save(args.output)
     print(f"size model saved to {args.output}")
     if args.heuristic_output:
@@ -58,7 +58,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
             instances=1,
         )
         print("training heuristic model ...", file=sys.stderr)
-        hmodel = HeuristicPredictionModel.train(hgrid, seed=args.seed)
+        hmodel = HeuristicPredictionModel.train(hgrid, seed=args.seed, jobs=args.jobs)
         hmodel.save(args.heuristic_output)
         print(f"heuristic model saved to {args.heuristic_output}")
     return 0
@@ -101,8 +101,10 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import runner
 
-    argv = ["--scale", args.scale]
+    argv = ["--scale", args.scale, "--seed", str(args.seed)]
     argv += ["--all"] if args.chapter is None else ["--chapter", str(args.chapter)]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
     return runner.main(argv)
 
 
@@ -114,6 +116,12 @@ def main(argv: list[str] | None = None) -> int:
     p_train = sub.add_parser("train", help="train and save prediction models")
     p_train.add_argument("--grid", choices=sorted(_GRIDS), default="tiny")
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel workers (default: REPRO_JOBS or 1; 0 = all cores)",
+    )
     p_train.add_argument("--output", default="size_model.json")
     p_train.add_argument("--heuristic-output", default=None)
     p_train.set_defaults(fn=_cmd_train)
@@ -134,6 +142,13 @@ def main(argv: list[str] | None = None) -> int:
     p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_exp.add_argument("--chapter", type=int, choices=(4, 5, 6, 7), default=None)
     p_exp.add_argument("--scale", default="smoke", choices=("smoke", "small", "paper"))
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel workers (default: REPRO_JOBS or 1; 0 = all cores)",
+    )
     p_exp.set_defaults(fn=_cmd_experiments)
 
     args = parser.parse_args(argv)

@@ -11,6 +11,7 @@ is small enough that MCP's scheduling time is not amortised).
 
 from __future__ import annotations
 
+import functools
 import json
 import math
 from dataclasses import dataclass
@@ -24,6 +25,7 @@ from repro.dag.metrics import characteristics
 from repro.dag.random_dag import RandomDagSpec, generate_random_dag
 from repro.core.knee import PrefixRCFactory, rc_size_grid, sweep_turnaround
 from repro.core.size_model import ObservationGrid, _sweep_max_size
+from repro.parallel import ResultCache, map_cells, rng_for_cell
 from repro.scheduling.costmodel import DEFAULT_COST_MODEL, SchedulingCostModel
 
 __all__ = ["HeuristicObservation", "HeuristicPredictionModel", "DEFAULT_HEURISTICS"]
@@ -31,6 +33,50 @@ __all__ = ["HeuristicObservation", "HeuristicPredictionModel", "DEFAULT_HEURISTI
 #: The four heuristics of the Chapter V sensitivity study and Chapter VI
 #: model (Figs. V-12…V-15).
 DEFAULT_HEURISTICS = ("mcp", "dls", "fca", "fcfs")
+
+#: Bump when an algorithm change invalidates cached heuristic observations.
+HEURISTIC_CACHE_VERSION = "1"
+
+
+def _heuristic_cell(
+    cell: tuple[int, float, float, float],
+    grid: ObservationGrid,
+    heuristics: tuple[str, ...],
+    seed: int,
+    cost_model: SchedulingCostModel,
+    size_step_frac: float,
+) -> dict[str, dict[str, float]]:
+    """One observation-grid configuration: each heuristic's optimum.
+
+    Seeded from ``(seed, cell)`` alone so the result does not depend on
+    worker count or execution order.
+    """
+    n, ccr, a, b = cell
+    spec = RandomDagSpec(
+        size=n,
+        ccr=ccr,
+        parallelism=a,
+        regularity=b,
+        density=grid.density,
+        mean_comp_cost=grid.mean_comp_cost,
+        max_parents=grid.max_parents,
+    )
+    rng = rng_for_cell(seed, "heuristic-observations", n, ccr, a, b)
+    best_turn: dict[str, list[float]] = {h: [] for h in heuristics}
+    best_size: dict[str, list[int]] = {h: [] for h in heuristics}
+    for _ in range(grid.instances):
+        dag = generate_random_dag(spec, rng)
+        max_size = _sweep_max_size(dag)
+        sizes = rc_size_grid(max_size, step_frac=size_step_frac)
+        factory = PrefixRCFactory(max_size, heterogeneity=grid.heterogeneity, seed=seed)
+        for h in heuristics:
+            curve = sweep_turnaround(dag, sizes, h, factory, cost_model)
+            best_turn[h].append(curve.best_turnaround)
+            best_size[h].append(curve.best_size)
+    return {
+        "best_turnaround": {h: float(np.mean(v)) for h, v in best_turn.items()},
+        "best_size": {h: int(round(float(np.mean(v)))) for h, v in best_size.items()},
+    }
 
 
 @dataclass(frozen=True)
@@ -65,47 +111,51 @@ class HeuristicPredictionModel:
         seed: int = 0,
         cost_model: SchedulingCostModel = DEFAULT_COST_MODEL,
         size_step_frac: float = 0.35,
+        jobs: int | None = None,
+        cache: ResultCache | None = None,
     ) -> "HeuristicPredictionModel":
         """Run the observation set for every heuristic.
 
         ``size_step_frac`` coarsens the RC-size sweep (DLS is O(n·r·p); the
-        optimum turn-around is insensitive to the exact grid).
+        optimum turn-around is insensitive to the exact grid).  Grid cells
+        fan out over ``jobs`` workers with per-cell deterministic seeding;
+        a :class:`ResultCache` reuses cell results across runs.
         """
-        rng = np.random.default_rng(seed)
-        observations: list[HeuristicObservation] = []
-        for n, ccr, a, b in grid.configs():
-            spec = RandomDagSpec(
+        cells = list(grid.configs())
+        fn = functools.partial(
+            _heuristic_cell,
+            grid=grid,
+            heuristics=tuple(heuristics),
+            seed=seed,
+            cost_model=cost_model,
+            size_step_frac=size_step_frac,
+        )
+        per_cell = map_cells(
+            fn,
+            cells,
+            jobs=jobs,
+            cache=cache,
+            namespace="heuristic-observations",
+            key_extra=(
+                HEURISTIC_CACHE_VERSION,
+                grid,
+                tuple(heuristics),
+                cost_model,
+                size_step_frac,
+                seed,
+            ),
+        )
+        observations = [
+            HeuristicObservation(
                 size=n,
                 ccr=ccr,
                 parallelism=a,
                 regularity=b,
-                density=grid.density,
-                mean_comp_cost=grid.mean_comp_cost,
-                max_parents=grid.max_parents,
+                best_turnaround={h: float(v) for h, v in res["best_turnaround"].items()},
+                best_size={h: int(v) for h, v in res["best_size"].items()},
             )
-            best_turn: dict[str, list[float]] = {h: [] for h in heuristics}
-            best_size: dict[str, list[int]] = {h: [] for h in heuristics}
-            for _ in range(grid.instances):
-                dag = generate_random_dag(spec, rng)
-                max_size = _sweep_max_size(dag)
-                sizes = rc_size_grid(max_size, step_frac=size_step_frac)
-                factory = PrefixRCFactory(
-                    max_size, heterogeneity=grid.heterogeneity, seed=seed
-                )
-                for h in heuristics:
-                    curve = sweep_turnaround(dag, sizes, h, factory, cost_model)
-                    best_turn[h].append(curve.best_turnaround)
-                    best_size[h].append(curve.best_size)
-            observations.append(
-                HeuristicObservation(
-                    size=n,
-                    ccr=ccr,
-                    parallelism=a,
-                    regularity=b,
-                    best_turnaround={h: float(np.mean(v)) for h, v in best_turn.items()},
-                    best_size={h: int(round(np.mean(v))) for h, v in best_size.items()},
-                )
-            )
+            for (n, ccr, a, b), res in zip(cells, per_cell)
+        ]
         return cls(observations=observations, heuristics=tuple(heuristics))
 
     # ------------------------------------------------------------------

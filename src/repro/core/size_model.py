@@ -23,6 +23,7 @@ heterogeneity in the observation runs (§V.4).
 
 from __future__ import annotations
 
+import functools
 import json
 import math
 from dataclasses import dataclass
@@ -41,6 +42,7 @@ from repro.core.knee import (
     rc_size_grid,
     sweep_turnaround,
 )
+from repro.parallel import ResultCache, map_cells, rng_for_cell
 from repro.scheduling.costmodel import DEFAULT_COST_MODEL, SchedulingCostModel
 
 __all__ = [
@@ -116,39 +118,78 @@ def _sweep_max_size(dag: DAG) -> int:
     return int(min(dag.n, max(8, math.ceil(1.5 * dag.width))))
 
 
+#: Bump when an algorithm change invalidates cached observation knees.
+KNEES_CACHE_VERSION = "1"
+
+
+def _knee_cell(
+    cell: tuple[int, float, float, float],
+    grid: ObservationGrid,
+    seed: int,
+    heuristic: str,
+    cost_model: SchedulingCostModel,
+) -> dict[str, float]:
+    """One observation-grid configuration: mean knee per threshold.
+
+    The cell's random stream is derived from ``(seed, cell)`` alone, so
+    the result is independent of worker count and execution order.
+    """
+    n, ccr, a, b = cell
+    spec = RandomDagSpec(
+        size=n,
+        ccr=ccr,
+        parallelism=a,
+        regularity=b,
+        density=grid.density,
+        mean_comp_cost=grid.mean_comp_cost,
+        max_parents=grid.max_parents,
+    )
+    rng = rng_for_cell(seed, "observation-knees", heuristic, n, ccr, a, b)
+    acc: dict[float, list[float]] = {float(thr): [] for thr in grid.thresholds}
+    for _ in range(grid.instances):
+        dag = generate_random_dag(spec, rng)
+        max_size = _sweep_max_size(dag)
+        factory = PrefixRCFactory(max_size, heterogeneity=grid.heterogeneity, seed=seed)
+        curve = sweep_turnaround(
+            dag, rc_size_grid(max_size), heuristic, factory, cost_model
+        )
+        for thr in grid.thresholds:
+            acc[float(thr)].append(float(knee_from_curve(curve, thr)))
+    return {repr(thr): float(np.mean(v)) for thr, v in acc.items()}
+
+
 def build_observation_knees(
     grid: ObservationGrid,
     seed: int = 0,
     heuristic: str = "mcp",
     cost_model: SchedulingCostModel = DEFAULT_COST_MODEL,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
 ) -> dict[tuple[int, float, float, float, float], float]:
     """Run the observation set; return mean knee per
-    ``(size, ccr, alpha, beta, threshold)``."""
-    rng = np.random.default_rng(seed)
-    knees: dict[tuple[int, float, float, float, float], list[float]] = {}
-    for n, ccr, a, b in grid.configs():
-        spec = RandomDagSpec(
-            size=n,
-            ccr=ccr,
-            parallelism=a,
-            regularity=b,
-            density=grid.density,
-            mean_comp_cost=grid.mean_comp_cost,
-            max_parents=grid.max_parents,
-        )
-        for _ in range(grid.instances):
-            dag = generate_random_dag(spec, rng)
-            max_size = _sweep_max_size(dag)
-            factory = PrefixRCFactory(
-                max_size, heterogeneity=grid.heterogeneity, seed=seed
-            )
-            curve = sweep_turnaround(
-                dag, rc_size_grid(max_size), heuristic, factory, cost_model
-            )
-            for thr in grid.thresholds:
-                key = (n, ccr, a, b, thr)
-                knees.setdefault(key, []).append(float(knee_from_curve(curve, thr)))
-    return {k: float(np.mean(v)) for k, v in knees.items()}
+    ``(size, ccr, alpha, beta, threshold)``.
+
+    Cells fan out over ``jobs`` workers (serial by default) with per-cell
+    deterministic seeding, so any worker count yields identical knees.
+    Pass a :class:`ResultCache` to reuse knees across runs.
+    """
+    cells = list(grid.configs())
+    fn = functools.partial(
+        _knee_cell, grid=grid, seed=seed, heuristic=heuristic, cost_model=cost_model
+    )
+    per_cell = map_cells(
+        fn,
+        cells,
+        jobs=jobs,
+        cache=cache,
+        namespace="observation-knees",
+        key_extra=(KNEES_CACHE_VERSION, grid, heuristic, cost_model, seed),
+    )
+    knees: dict[tuple[int, float, float, float, float], float] = {}
+    for (n, ccr, a, b), cell_knees in zip(cells, per_cell):
+        for thr_s, knee in cell_knees.items():
+            knees[(n, ccr, a, b, float(thr_s))] = float(knee)
+    return knees
 
 
 @dataclass
@@ -215,9 +256,11 @@ class SizePredictionModel:
         seed: int = 0,
         heuristic: str = "mcp",
         cost_model: SchedulingCostModel = DEFAULT_COST_MODEL,
+        jobs: int | None = None,
+        cache: ResultCache | None = None,
     ) -> "SizePredictionModel":
         """Run the observation set and fit in one step."""
-        knees = build_observation_knees(grid, seed, heuristic, cost_model)
+        knees = build_observation_knees(grid, seed, heuristic, cost_model, jobs, cache)
         return cls.fit(grid, knees, heuristic)
 
     # ------------------------------------------------------------------

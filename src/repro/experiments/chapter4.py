@@ -13,6 +13,7 @@ Six scheduling schemes (Table IV-1): {complex = MCP, simple = greedy} ×
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +22,7 @@ from repro.dag.graph import DAG
 from repro.dag.montage import montage_dag
 from repro.dag.random_dag import RandomDagSpec, generate_random_dag
 from repro.experiments.scales import Scale
+from repro.parallel import map_cells, rng_for_cell
 from repro.resources.collection import ResourceCollection
 from repro.resources.platform import Platform, PlatformConfig, generate_platform
 from repro.resources.generator import ResourceGeneratorConfig
@@ -147,31 +149,69 @@ def montage_schemes(
     return [r.as_row() for r in run_schemes(dag, platform)]
 
 
+def _ccr_cell(ccr: float, scale: Scale, platform: Platform) -> list[dict[str, object]]:
+    """One CCR of the Montage sweep (Montage generation is deterministic)."""
+    dag = montage_dag(scale.montage_levels, ccr=ccr)
+    results = {(r.heuristic, r.resources): r for r in run_schemes(dag, platform)}
+    base = results[("mcp", "universe")]
+    rows = []
+    for (heuristic, resources), r in results.items():
+        if (heuristic, resources) == ("mcp", "universe"):
+            continue
+        rows.append(
+            {
+                "ccr": ccr,
+                "scheme": f"{heuristic}/{resources}",
+                "makespan_ratio": round(r.makespan / base.makespan, 4),
+                "turnaround_ratio": round(r.turnaround / base.turnaround, 4),
+            }
+        )
+    return rows
+
+
 def montage_ccr_sweep(
     scale: Scale,
     ccrs: tuple[float, ...] = (0.1, 0.5, 1.0, 2.0, 10.0),
     seed: int = 0,
+    jobs: int | None = None,
 ) -> list[dict[str, object]]:
     """Figs. IV-7 / IV-8: makespan and turn-around ratios relative to
     MCP-on-universe for increasing CCR."""
     platform = build_universe(scale, seed)
-    rows = []
-    for ccr in ccrs:
-        dag = montage_dag(scale.montage_levels, ccr=ccr)
-        results = {(r.heuristic, r.resources): r for r in run_schemes(dag, platform)}
-        base = results[("mcp", "universe")]
-        for (heuristic, resources), r in results.items():
-            if (heuristic, resources) == ("mcp", "universe"):
-                continue
-            rows.append(
-                {
-                    "ccr": ccr,
-                    "scheme": f"{heuristic}/{resources}",
-                    "makespan_ratio": round(r.makespan / base.makespan, 4),
-                    "turnaround_ratio": round(r.turnaround / base.turnaround, 4),
-                }
-            )
+    fn = functools.partial(_ccr_cell, scale=scale, platform=platform)
+    rows: list[dict[str, object]] = []
+    for cell_rows in map_cells(fn, ccrs, jobs=jobs):
+        rows.extend(cell_rows)
     return rows
+
+
+def _random_dag_cell(
+    cell: tuple[float, int],
+    scale: Scale,
+    vary: str,
+    seed: int,
+    platform: Platform,
+) -> list[tuple[str, str, float]]:
+    """One (sweep value, instance) cell: every scheme's turn-around."""
+    value, instance = cell
+    params = {name: default for name, (_, default) in RANDOM_DAG_AXES.items()}
+    if vary == "size":
+        size = int(value)
+    else:
+        size = scale.dag_size
+        params[vary] = value
+    spec = RandomDagSpec(
+        size=size,
+        ccr=params["ccr"],
+        parallelism=params["parallelism"],
+        density=params["density"],
+        regularity=params["regularity"],
+        mean_comp_cost=params["mean_comp_cost"],
+        max_parents=scale.max_parents,
+    )
+    rng = rng_for_cell(seed, "random-dag-sweep", vary, value, instance)
+    dag = generate_random_dag(spec, rng)
+    return [(r.heuristic, r.resources, r.turnaround) for r in run_schemes(dag, platform)]
 
 
 def random_dag_sweep(
@@ -179,6 +219,7 @@ def random_dag_sweep(
     vary: str,
     seed: int = 0,
     values: tuple[float, ...] | None = None,
+    jobs: int | None = None,
 ) -> list[dict[str, object]]:
     """Figs. IV-9…IV-14: vary one Table IV-3 characteristic, all others at
     their defaults; report turn-around ratios relative to greedy-on-VG."""
@@ -189,30 +230,21 @@ def random_dag_sweep(
             raise ValueError(f"unknown axis {vary!r}")
         sweep_values = values or RANDOM_DAG_AXES[vary][0]
     platform = build_universe(scale, seed)
-    rng = np.random.default_rng(seed + 1)
+
+    cells = [(value, i) for value in sweep_values for i in range(scale.instances)]
+    fn = functools.partial(
+        _random_dag_cell, scale=scale, vary=vary, seed=seed, platform=platform
+    )
+    per_cell = map_cells(fn, cells, jobs=jobs)
 
     rows = []
     for value in sweep_values:
-        params = {name: default for name, (_, default) in RANDOM_DAG_AXES.items()}
-        if vary == "size":
-            size = int(value)
-        else:
-            size = scale.dag_size
-            params[vary] = value
-        spec = RandomDagSpec(
-            size=size,
-            ccr=params["ccr"],
-            parallelism=params["parallelism"],
-            density=params["density"],
-            regularity=params["regularity"],
-            mean_comp_cost=params["mean_comp_cost"],
-            max_parents=scale.max_parents,
-        )
         acc: dict[tuple[str, str], list[float]] = {}
-        for _ in range(scale.instances):
-            dag = generate_random_dag(spec, rng)
-            for r in run_schemes(dag, platform):
-                acc.setdefault((r.heuristic, r.resources), []).append(r.turnaround)
+        for (v, _), schemes in zip(cells, per_cell):
+            if v != value:
+                continue
+            for heuristic, resources, turnaround in schemes:
+                acc.setdefault((heuristic, resources), []).append(turnaround)
         base = float(np.mean(acc[("greedy", "vg")]))
         for (heuristic, resources), turns in sorted(acc.items()):
             rows.append(

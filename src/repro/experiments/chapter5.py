@@ -17,6 +17,7 @@
 
 from __future__ import annotations
 
+import functools
 import math
 from typing import Iterable, Sequence
 
@@ -40,6 +41,7 @@ from repro.dag.graph import DAG
 from repro.dag.montage import montage_dag
 from repro.dag.random_dag import RandomDagSpec, generate_random_dag
 from repro.experiments.scales import Scale
+from repro.parallel import map_cells, rng_for_cell
 from repro.scheduling.base import schedule_dag
 from repro.scheduling.costmodel import DEFAULT_COST_MODEL, SchedulingCostModel
 
@@ -76,6 +78,26 @@ def _spec(scale: Scale, size: int, ccr: float, alpha: float, beta: float) -> Ran
 # ----------------------------------------------------------------------
 # Figs. V-2 / V-3
 # ----------------------------------------------------------------------
+def _turnaround_cell(
+    cell: tuple[float, int],
+    scale: Scale,
+    size: int,
+    ccr: float,
+    parallelism: float,
+    seed: int,
+    heuristic: str,
+) -> list[tuple[int, float]]:
+    """One (regularity, instance) cell: the (rc_size, turn-around) curve."""
+    beta, instance = cell
+    rng = rng_for_cell(seed, "turnaround-vs-rc-size", size, ccr, parallelism, beta, instance)
+    dag = generate_random_dag(_spec(scale, size, ccr, parallelism, beta), rng)
+    max_size = _sweep_max_size(dag)
+    curve = sweep_turnaround(
+        dag, rc_size_grid(max_size), heuristic, PrefixRCFactory(max_size)
+    )
+    return [(int(p), float(t)) for p, t in zip(curve.sizes, curve.turnaround)]
+
+
 def turnaround_vs_rc_size(
     scale: Scale,
     size: int | None = None,
@@ -84,21 +106,29 @@ def turnaround_vs_rc_size(
     regularities: Sequence[float] = (0.01, 0.3, 0.8),
     seed: int = 0,
     heuristic: str = "mcp",
+    jobs: int | None = None,
 ) -> list[dict[str, object]]:
     """Application turn-around time as a function of RC size."""
     size = size or scale.dag_size
-    rng = np.random.default_rng(seed)
+    cells = [(beta, i) for beta in regularities for i in range(scale.instances)]
+    fn = functools.partial(
+        _turnaround_cell,
+        scale=scale,
+        size=size,
+        ccr=ccr,
+        parallelism=parallelism,
+        seed=seed,
+        heuristic=heuristic,
+    )
+    per_cell = map_cells(fn, cells, jobs=jobs)
     rows = []
     for beta in regularities:
         acc: dict[int, list[float]] = {}
-        for _ in range(scale.instances):
-            dag = generate_random_dag(_spec(scale, size, ccr, parallelism, beta), rng)
-            max_size = _sweep_max_size(dag)
-            curve = sweep_turnaround(
-                dag, rc_size_grid(max_size), heuristic, PrefixRCFactory(max_size)
-            )
-            for p, t in zip(curve.sizes, curve.turnaround):
-                acc.setdefault(int(p), []).append(float(t))
+        for (b, _), curve_points in zip(cells, per_cell):
+            if b != beta:
+                continue
+            for p, t in curve_points:
+                acc.setdefault(p, []).append(t)
         for p in sorted(acc):
             rows.append(
                 {
@@ -172,29 +202,50 @@ def plane_fit_quality(
 # ----------------------------------------------------------------------
 # Figs. V-5 / V-6 — knee slices along the interpolation axes
 # ----------------------------------------------------------------------
+def _knee_slice_cell(
+    cell: tuple[int, float, float, float, int],
+    scale: Scale,
+    label: str,
+    seed: int,
+) -> float:
+    """One (size, ccr, alpha, beta, instance) point: the measured knee."""
+    n, ccr, alpha, beta, instance = cell
+    rng = rng_for_cell(seed, label, n, ccr, alpha, beta, instance)
+    dag = generate_random_dag(_spec(scale, n, ccr, alpha, beta), rng)
+    max_size = _sweep_max_size(dag)
+    curve = sweep_turnaround(
+        dag, rc_size_grid(max_size), "mcp", PrefixRCFactory(max_size)
+    )
+    return float(knee_from_curve(curve))
+
+
 def knee_vs_size(
     scale: Scale,
     ccr: float = 0.01,
     parallelism: float = 0.7,
     regularities: Sequence[float] = (0.01, 0.3, 0.8),
     seed: int = 0,
+    jobs: int | None = None,
 ) -> list[dict[str, object]]:
     """Fig. V-5: knee values along the DAG-size interpolation axis."""
-    rng = np.random.default_rng(seed)
+    points = [(beta, n) for beta in regularities for n in scale.size_grid.sizes]
+    cells = [
+        (n, ccr, parallelism, beta, i)
+        for beta, n in points
+        for i in range(scale.instances)
+    ]
+    fn = functools.partial(_knee_slice_cell, scale=scale, label="knee-vs-size", seed=seed)
+    per_cell = map_cells(fn, cells, jobs=jobs)
     rows = []
-    for beta in regularities:
-        for n in scale.size_grid.sizes:
-            knees = []
-            for _ in range(scale.instances):
-                dag = generate_random_dag(_spec(scale, n, ccr, parallelism, beta), rng)
-                max_size = _sweep_max_size(dag)
-                curve = sweep_turnaround(
-                    dag, rc_size_grid(max_size), "mcp", PrefixRCFactory(max_size)
-                )
-                knees.append(knee_from_curve(curve))
-            rows.append(
-                {"regularity": beta, "dag_size": n, "knee": round(float(np.mean(knees)), 1)}
-            )
+    for beta, n in points:
+        knees = [
+            k
+            for (cn, _, _, cb, _), k in zip(cells, per_cell)
+            if cn == n and cb == beta
+        ]
+        rows.append(
+            {"regularity": beta, "dag_size": n, "knee": round(float(np.mean(knees)), 1)}
+        )
     return rows
 
 
@@ -204,24 +255,28 @@ def knee_vs_ccr(
     regularity: float = 0.01,
     parallelisms: Sequence[float] = (0.5, 0.7, 0.9),
     seed: int = 0,
+    jobs: int | None = None,
 ) -> list[dict[str, object]]:
     """Fig. V-6: knee values along the CCR interpolation axis."""
     size = size or scale.dag_size
-    rng = np.random.default_rng(seed)
+    points = [(alpha, ccr) for alpha in parallelisms for ccr in scale.size_grid.ccrs]
+    cells = [
+        (size, ccr, alpha, regularity, i)
+        for alpha, ccr in points
+        for i in range(scale.instances)
+    ]
+    fn = functools.partial(_knee_slice_cell, scale=scale, label="knee-vs-ccr", seed=seed)
+    per_cell = map_cells(fn, cells, jobs=jobs)
     rows = []
-    for alpha in parallelisms:
-        for ccr in scale.size_grid.ccrs:
-            knees = []
-            for _ in range(scale.instances):
-                dag = generate_random_dag(_spec(scale, size, ccr, alpha, regularity), rng)
-                max_size = _sweep_max_size(dag)
-                curve = sweep_turnaround(
-                    dag, rc_size_grid(max_size), "mcp", PrefixRCFactory(max_size)
-                )
-                knees.append(knee_from_curve(curve))
-            rows.append(
-                {"parallelism": alpha, "ccr": ccr, "knee": round(float(np.mean(knees)), 1)}
-            )
+    for alpha, ccr in points:
+        knees = [
+            k
+            for (_, cc, ca, _, _), k in zip(cells, per_cell)
+            if cc == ccr and ca == alpha
+        ]
+        rows.append(
+            {"parallelism": alpha, "ccr": ccr, "knee": round(float(np.mean(knees)), 1)}
+        )
     return rows
 
 
@@ -474,6 +529,56 @@ def utility_vs_threshold(
 # ----------------------------------------------------------------------
 # Figs. V-8 … V-11 — clock-rate heterogeneity
 # ----------------------------------------------------------------------
+def _heterogeneity_cell(
+    n: int,
+    model: SizePredictionModel,
+    scale: Scale,
+    heterogeneities: tuple[float, ...],
+    seed: int,
+    parallelism: float,
+    regularity: float,
+    ccr: float,
+) -> list[dict[str, object]]:
+    """One DAG size: the full heterogeneity ladder (the base-condition
+    comparisons stay inside the cell)."""
+    rng = rng_for_cell(seed, "heterogeneity-study", n, ccr, parallelism, regularity)
+    dag = generate_random_dag(_spec(scale, n, ccr, parallelism, regularity), rng)
+    pred = model.predict_for_dag(dag)
+    base_opt_size = base_opt_turn = None
+    rows: list[dict[str, object]] = []
+    for het in heterogeneities:
+        factory = PrefixRCFactory(
+            max(8, min(dag.n, 3 * pred + 4)), heterogeneity=het, seed=seed
+        )
+        opt_size, opt_turn, curve = optimal_rc_search(dag, pred, "mcp", factory)
+        pred_turn = curve.at_size(pred)
+        if het == heterogeneities[0]:
+            base_opt_size, base_opt_turn = opt_size, opt_turn
+        rows.append(
+            {
+                "dag_size": n,
+                "heterogeneity": het,
+                "degradation_pct": round(
+                    100.0 * max(0.0, (pred_turn - opt_turn) / opt_turn), 3
+                ),
+                "relative_cost_pct": round(
+                    100.0
+                    * relative_cost(
+                        cost_for_size(pred, pred_turn), cost_for_size(opt_size, opt_turn)
+                    ),
+                    2,
+                ),
+                "optimal_size_change_pct": round(
+                    100.0 * (opt_size - base_opt_size) / base_opt_size, 1
+                ),
+                "optimal_turnaround_change_pct": round(
+                    100.0 * (opt_turn - base_opt_turn) / base_opt_turn, 2
+                ),
+            }
+        )
+    return rows
+
+
 def heterogeneity_study(
     model: SizePredictionModel,
     scale: Scale,
@@ -482,46 +587,24 @@ def heterogeneity_study(
     parallelism: float = 0.7,
     regularity: float = 0.3,
     ccr: float = 0.01,
+    jobs: int | None = None,
 ) -> list[dict[str, object]]:
     """Degradation / relative cost / optimal size and turn-around shifts as
     clock-rate heterogeneity grows (homogeneous-model predictions applied
     to heterogeneous RCs, §V.4)."""
-    rng = np.random.default_rng(seed)
-    rows = []
-    for n in scale.size_grid.sizes:
-        dag = generate_random_dag(_spec(scale, n, ccr, parallelism, regularity), rng)
-        pred = model.predict_for_dag(dag)
-        base_opt_size = base_opt_turn = None
-        for het in heterogeneities:
-            factory = PrefixRCFactory(
-                max(8, min(dag.n, 3 * pred + 4)), heterogeneity=het, seed=seed
-            )
-            opt_size, opt_turn, curve = optimal_rc_search(dag, pred, "mcp", factory)
-            pred_turn = curve.at_size(pred)
-            if het == heterogeneities[0]:
-                base_opt_size, base_opt_turn = opt_size, opt_turn
-            rows.append(
-                {
-                    "dag_size": n,
-                    "heterogeneity": het,
-                    "degradation_pct": round(
-                        100.0 * max(0.0, (pred_turn - opt_turn) / opt_turn), 3
-                    ),
-                    "relative_cost_pct": round(
-                        100.0
-                        * relative_cost(
-                            cost_for_size(pred, pred_turn), cost_for_size(opt_size, opt_turn)
-                        ),
-                        2,
-                    ),
-                    "optimal_size_change_pct": round(
-                        100.0 * (opt_size - base_opt_size) / base_opt_size, 1
-                    ),
-                    "optimal_turnaround_change_pct": round(
-                        100.0 * (opt_turn - base_opt_turn) / base_opt_turn, 2
-                    ),
-                }
-            )
+    fn = functools.partial(
+        _heterogeneity_cell,
+        model=model,
+        scale=scale,
+        heterogeneities=tuple(heterogeneities),
+        seed=seed,
+        parallelism=parallelism,
+        regularity=regularity,
+        ccr=ccr,
+    )
+    rows: list[dict[str, object]] = []
+    for cell_rows in map_cells(fn, scale.size_grid.sizes, jobs=jobs):
+        rows.extend(cell_rows)
     return rows
 
 
@@ -623,6 +706,7 @@ def scr_study(
     heterogeneity: float = 0.0,
     mean_comp_cost: float = 0.5,
     sizes: Sequence[int] = (100, 300),
+    jobs: int | None = None,
 ) -> list[dict[str, object]]:
     """Knee (predicted RC size) as a function of SCR, plus a log-linear fit
     ``knee(SCR) = k1 * SCR^gamma`` per DAG size (the Figs. V-23/24
@@ -635,38 +719,66 @@ def scr_study(
     at reduced scales we enter it explicitly with short, dense, wide tasks
     (``mean_comp_cost`` 0.5 s, density 1, uncapped edges).
     """
-    rng = np.random.default_rng(seed)
-    rows = []
-    for n in sizes:
-        spec = RandomDagSpec(
-            size=n,
-            ccr=ccr,
-            parallelism=parallelism,
-            regularity=regularity,
-            density=1.0,
-            mean_comp_cost=mean_comp_cost,
-            max_parents=None,
+    fn = functools.partial(
+        _scr_cell,
+        scale=scale,
+        scrs=tuple(scrs),
+        seed=seed,
+        parallelism=parallelism,
+        regularity=regularity,
+        ccr=ccr,
+        heterogeneity=heterogeneity,
+        mean_comp_cost=mean_comp_cost,
+    )
+    rows: list[dict[str, object]] = []
+    for cell_rows in map_cells(fn, sizes, jobs=jobs):
+        rows.extend(cell_rows)
+    return rows
+
+
+def _scr_cell(
+    n: int,
+    scale: Scale,
+    scrs: tuple[float, ...],
+    seed: int,
+    parallelism: float,
+    regularity: float,
+    ccr: float,
+    heterogeneity: float,
+    mean_comp_cost: float,
+) -> list[dict[str, object]]:
+    """One DAG size: the SCR ladder plus its log-linear fit."""
+    spec = RandomDagSpec(
+        size=n,
+        ccr=ccr,
+        parallelism=parallelism,
+        regularity=regularity,
+        density=1.0,
+        mean_comp_cost=mean_comp_cost,
+        max_parents=None,
+    )
+    rng = rng_for_cell(seed, "scr-study", n, ccr, parallelism, regularity)
+    dag = generate_random_dag(spec, rng)
+    max_size = _sweep_max_size(dag)
+    factory = PrefixRCFactory(max_size, heterogeneity=heterogeneity, seed=seed)
+    knees = []
+    for scr in scrs:
+        cm = DEFAULT_COST_MODEL.with_scr(scr)
+        curve = sweep_turnaround(dag, rc_size_grid(max_size), "mcp", factory, cm)
+        knees.append(float(knee_from_curve(curve)))
+    # Fit knee = k1 * SCR^gamma in log space.
+    logs = np.log(np.asarray(scrs))
+    logk = np.log(np.asarray(knees))
+    gamma, logk1 = np.polyfit(logs, logk, 1)
+    rows: list[dict[str, object]] = []
+    for scr, knee in zip(scrs, knees):
+        rows.append(
+            {
+                "dag_size": n,
+                "scr": scr,
+                "knee": knee,
+                "fit_k1": round(float(math.exp(logk1)), 2),
+                "fit_gamma": round(float(gamma), 3),
+            }
         )
-        dag = generate_random_dag(spec, rng)
-        max_size = _sweep_max_size(dag)
-        factory = PrefixRCFactory(max_size, heterogeneity=heterogeneity, seed=seed)
-        knees = []
-        for scr in scrs:
-            cm = DEFAULT_COST_MODEL.with_scr(scr)
-            curve = sweep_turnaround(dag, rc_size_grid(max_size), "mcp", factory, cm)
-            knees.append(float(knee_from_curve(curve)))
-        # Fit knee = k1 * SCR^gamma in log space.
-        logs = np.log(np.asarray(scrs))
-        logk = np.log(np.asarray(knees))
-        gamma, logk1 = np.polyfit(logs, logk, 1)
-        for scr, knee in zip(scrs, knees):
-            rows.append(
-                {
-                    "dag_size": n,
-                    "scr": scr,
-                    "knee": knee,
-                    "fit_k1": round(float(math.exp(logk1)), 2),
-                    "fit_gamma": round(float(gamma), 3),
-                }
-            )
     return rows

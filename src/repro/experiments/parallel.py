@@ -1,0 +1,32 @@
+"""Public home of the parallel experiment engine.
+
+The implementation lives in :mod:`repro.parallel` (below the ``core``
+layer, which also fans out its observation sweeps); this module re-exports
+it under the experiments namespace, next to the sweeps it powers::
+
+    from repro.experiments.parallel import map_cells, rng_for_cell
+"""
+
+from repro.parallel import (
+    DEFAULT_CACHE_DIR,
+    MISS,
+    ResultCache,
+    canonical_key,
+    cell_digest,
+    map_cells,
+    resolve_jobs,
+    rng_for_cell,
+    seed_for_cell,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "MISS",
+    "ResultCache",
+    "canonical_key",
+    "cell_digest",
+    "map_cells",
+    "resolve_jobs",
+    "rng_for_cell",
+    "seed_for_cell",
+]

@@ -3,7 +3,13 @@
 Usage::
 
     python -m repro.experiments.runner --chapter 4 --scale smoke
-    python -m repro.experiments.runner --all --scale small
+    python -m repro.experiments.runner --all --scale small --jobs 4 --seed 1
+
+``--jobs`` (or the ``REPRO_JOBS`` environment variable) fans the hot
+sweeps out over a process pool; per-cell deterministic seeding makes the
+output identical for any worker count.  Model training and observation
+sweeps are cached under ``--cache-dir`` keyed on scale, parameters, seed,
+and a code version tag.
 """
 
 from __future__ import annotations
@@ -20,61 +26,90 @@ from repro.experiments import chapter6 as c6
 from repro.experiments import chapter7 as c7
 from repro.experiments.scales import Scale, get_scale
 from repro.experiments.tables import print_table
+from repro.parallel import DEFAULT_CACHE_DIR, MISS, ResultCache
 
 __all__ = ["run_chapter4", "run_chapter5", "run_chapter6", "run_chapter7", "main"]
 
+#: Bump when a model/training change invalidates cached trained models.
+MODELS_CACHE_VERSION = "1"
+
 
 def _models(
-    scale: Scale, seed: int = 0, cache_dir: str = ".repro_cache"
+    scale: Scale,
+    seed: int = 0,
+    cache_dir: str | None = DEFAULT_CACHE_DIR,
+    jobs: int | None = None,
 ) -> tuple[SizePredictionModel, HeuristicPredictionModel]:
     """Train (or load from the on-disk cache) both prediction models."""
-    from pathlib import Path
-
-    cache = Path(cache_dir)
-    size_path = cache / f"size_model_{scale.name}_seed{seed}.json"
-    heur_path = cache / f"heuristic_model_{scale.name}_seed{seed}.json"
-    if size_path.exists() and heur_path.exists():
-        print(f"[training] loading cached models from {cache}/")
-        return SizePredictionModel.load(size_path), HeuristicPredictionModel.load(heur_path)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    key = (MODELS_CACHE_VERSION, scale.name, scale.size_grid, scale.heuristic_grid, seed)
+    if cache is not None:
+        payload = cache.get("models", key)
+        if payload is not MISS:
+            print(f"[training] loading cached models from {cache.root}/")
+            return (
+                SizePredictionModel.from_dict(payload["size_model"]),
+                HeuristicPredictionModel.from_dict(payload["heuristic_model"]),
+            )
 
     print(f"[training] size model on grid {scale.size_grid.sizes} x {scale.size_grid.ccrs} ...")
     t0 = time.perf_counter()
-    knees = build_observation_knees(scale.size_grid, seed=seed)
+    knees = build_observation_knees(scale.size_grid, seed=seed, jobs=jobs, cache=cache)
     size_model = SizePredictionModel.fit(scale.size_grid, knees)
     print(f"[training] size model done in {time.perf_counter() - t0:.1f}s")
     t0 = time.perf_counter()
-    heuristic_model = HeuristicPredictionModel.train(scale.heuristic_grid, seed=seed)
+    heuristic_model = HeuristicPredictionModel.train(
+        scale.heuristic_grid, seed=seed, jobs=jobs, cache=cache
+    )
     print(f"[training] heuristic model done in {time.perf_counter() - t0:.1f}s")
-    cache.mkdir(exist_ok=True)
-    size_model.save(size_path)
-    heuristic_model.save(heur_path)
+    if cache is not None:
+        cache.store(
+            "models",
+            key,
+            {
+                "size_model": size_model.to_dict(),
+                "heuristic_model": heuristic_model.to_dict(),
+            },
+        )
     return size_model, heuristic_model
 
 
-def run_chapter4(scale: Scale) -> None:
+def run_chapter4(scale: Scale, seed: int = 0, jobs: int | None = None) -> None:
     """Regenerate every Chapter IV table/figure at the given scale."""
-    print_table(c4.montage_schemes(scale, ccr=0.01), "Fig IV-5: Montage, actual communication costs")
-    print_table(c4.montage_schemes(scale, ccr=1.0), "Fig IV-6: Montage, CCR = 1")
-    print_table(c4.montage_ccr_sweep(scale), "Figs IV-7/IV-8: Montage ratios vs MCP-on-universe, varying CCR")
+    print_table(c4.montage_schemes(scale, ccr=0.01, seed=seed), "Fig IV-5: Montage, actual communication costs")
+    print_table(c4.montage_schemes(scale, ccr=1.0, seed=seed), "Fig IV-6: Montage, CCR = 1")
+    print_table(
+        c4.montage_ccr_sweep(scale, seed=seed, jobs=jobs),
+        "Figs IV-7/IV-8: Montage ratios vs MCP-on-universe, varying CCR",
+    )
     for axis in ("size", "ccr", "parallelism", "density", "regularity", "mean_comp_cost"):
         print_table(
-            c4.random_dag_sweep(scale, axis),
+            c4.random_dag_sweep(scale, axis, seed=seed, jobs=jobs),
             f"Figs IV-9..14: random DAGs varying {axis}",
         )
 
 
-def run_chapter5(scale: Scale) -> None:
+def run_chapter5(
+    scale: Scale,
+    seed: int = 0,
+    jobs: int | None = None,
+    cache_dir: str | None = DEFAULT_CACHE_DIR,
+) -> None:
     """Regenerate every Chapter V table/figure at the given scale."""
-    knees = build_observation_knees(scale.size_grid, seed=0)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    knees = build_observation_knees(scale.size_grid, seed=seed, jobs=jobs, cache=cache)
     model = SizePredictionModel.fit(scale.size_grid, knees)
     print_table(
-        c5.turnaround_vs_rc_size(scale, size=scale.size_grid.sizes[0]),
+        c5.turnaround_vs_rc_size(scale, size=scale.size_grid.sizes[0], seed=seed, jobs=jobs),
         "Figs V-2/V-3: turn-around vs RC size",
     )
-    print_table(c5.knee_table(scale, size=scale.size_grid.sizes[-1]), "Table V-2: knee values")
+    print_table(c5.knee_table(scale, size=scale.size_grid.sizes[-1], seed=seed), "Table V-2: knee values")
     print_table(c5.plane_fit_quality(scale.size_grid, knees, model), "Fig V-4: planar fit quality")
-    print_table(c5.knee_vs_size(scale), "Fig V-5: knee vs DAG size")
-    print_table(c5.knee_vs_ccr(scale, size=scale.size_grid.sizes[0]), "Fig V-6: knee vs CCR")
+    print_table(c5.knee_vs_size(scale, seed=seed, jobs=jobs), "Fig V-5: knee vs DAG size")
+    print_table(
+        c5.knee_vs_ccr(scale, size=scale.size_grid.sizes[0], seed=seed, jobs=jobs),
+        "Fig V-6: knee vs CCR",
+    )
     print_table(c5.validate_size_model(model, scale), "Table V-5: model validation")
     print_table(
         c5.validate_between_sizes(model, scale, _between_sizes(scale)),
@@ -83,9 +118,12 @@ def run_chapter5(scale: Scale) -> None:
     print_table(c5.width_practice_comparison(model, scale), "Table V-7: DAG width current practice")
     print_table(c5.montage_validation(model, scale), "Table V-9: Montage validation")
     print_table(c5.utility_vs_threshold(model, scale), "Fig V-7: utility vs threshold")
-    print_table(c5.heterogeneity_study(model, scale), "Figs V-8..V-11: clock-rate heterogeneity")
+    print_table(
+        c5.heterogeneity_study(model, scale, jobs=jobs),
+        "Figs V-8..V-11: clock-rate heterogeneity",
+    )
     print_table(c5.heuristic_sensitivity(model, scale), "Figs V-16/V-17: heuristic sensitivity")
-    print_table(c5.scr_study(scale), "Figs V-18..V-24: SCR study")
+    print_table(c5.scr_study(scale, jobs=jobs), "Figs V-18..V-24: SCR study")
 
 
 def _between_sizes(scale: Scale) -> list[int]:
@@ -97,9 +135,14 @@ def _between_sizes(scale: Scale) -> list[int]:
     return list(range(lo, hi + 1, step))
 
 
-def run_chapter6(scale: Scale) -> None:
+def run_chapter6(
+    scale: Scale,
+    seed: int = 0,
+    jobs: int | None = None,
+    cache_dir: str | None = DEFAULT_CACHE_DIR,
+) -> None:
     """Regenerate every Chapter VI table/figure at the given scale."""
-    size_model, heuristic_model = _models(scale)
+    size_model, heuristic_model = _models(scale, seed=seed, cache_dir=cache_dir, jobs=jobs)
     print_table(
         c6.heuristic_turnaround_table(heuristic_model),
         "Table VI-2 / Fig VI-1: optimal turn-around per heuristic",
@@ -110,9 +153,14 @@ def run_chapter6(scale: Scale) -> None:
     print_table([summary], "Fig VI-4/VI-5: validation outcome summary")
 
 
-def run_chapter7(scale: Scale) -> None:
+def run_chapter7(
+    scale: Scale,
+    seed: int = 0,
+    jobs: int | None = None,
+    cache_dir: str | None = DEFAULT_CACHE_DIR,
+) -> None:
     """Regenerate every Chapter VII table/figure at the given scale."""
-    size_model, heuristic_model = _models(scale)
+    size_model, heuristic_model = _models(scale, seed=seed, cache_dir=cache_dir, jobs=jobs)
     result = c7.generate_montage_specs(size_model, heuristic_model, scale)
     spec = result["spec"]
     print(spec.describe())
@@ -141,18 +189,42 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--chapter", type=int, choices=(4, 5, 6, 7), default=None)
     parser.add_argument("--all", action="store_true", help="run every chapter")
     parser.add_argument("--scale", default="smoke", choices=("smoke", "small", "paper"))
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed for every sweep (default 0)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel workers for the sweeps (default: REPRO_JOBS or 1; 0 = all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"on-disk result cache location (default {DEFAULT_CACHE_DIR!r})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
+    cache_dir = None if args.no_cache else args.cache_dir
     chapters = [args.chapter] if args.chapter else []
     if args.all:
         chapters = [4, 5, 6, 7]
     if not chapters:
         parser.error("pass --chapter N or --all")
-    runners = {4: run_chapter4, 5: run_chapter5, 6: run_chapter6, 7: run_chapter7}
     for ch in chapters:
         print(f"===== Chapter {ch} ({scale.name} scale) =====")
         t0 = time.perf_counter()
-        runners[ch](scale)
+        if ch == 4:
+            run_chapter4(scale, seed=args.seed, jobs=args.jobs)
+        elif ch == 5:
+            run_chapter5(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
+        elif ch == 6:
+            run_chapter6(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
+        else:
+            run_chapter7(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
         print(f"===== Chapter {ch} done in {time.perf_counter() - t0:.1f}s =====\n")
     return 0
 

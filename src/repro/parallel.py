@@ -1,0 +1,272 @@
+"""Parallel experiment engine: deterministic cell fan-out + result cache.
+
+The dissertation's tables are sweeps over *cells* — (DAG configuration,
+RC size, heuristic) tuples — that are embarrassingly parallel but were run
+serially.  This module provides the three primitives every sweep is ported
+onto:
+
+``map_cells``
+    Map a picklable function over a list of cells, either serially
+    (``jobs=1``, the default — keeps tests single-process and easy to
+    debug) or on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+    Results always come back in input order, so callers are oblivious to
+    worker count and completion order.
+
+``rng_for_cell`` / ``seed_for_cell``
+    Per-cell deterministic seed derivation.  Each cell's generator is
+    spawned from ``SeedSequence(base_seed, spawn_key=sha256(cell_key))``,
+    so a cell's random stream depends only on ``(base_seed, cell_key)`` —
+    never on which worker ran it or in what order.  Sweeps seeded this way
+    produce bit-identical tables for any ``jobs`` value.
+
+``ResultCache``
+    Content-keyed on-disk JSON cache.  Keys are sha256 digests of a
+    canonical encoding of (namespace, version tag, key parts); any change
+    to a cell parameter or to the version tag is a miss.  Corrupted or
+    truncated entries are discarded and recomputed, never fatal.
+
+Worker count resolution (``resolve_jobs``): explicit ``jobs`` argument,
+else the ``REPRO_JOBS`` environment variable, else 1.  ``jobs <= 0`` means
+"all cores".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "MISS",
+    "ResultCache",
+    "canonical_key",
+    "cell_digest",
+    "map_cells",
+    "resolve_jobs",
+    "rng_for_cell",
+    "seed_for_cell",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Default cache location, overridable with ``REPRO_CACHE_DIR``.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Sentinel returned by :meth:`ResultCache.get` on a miss (``None`` is a
+#: legitimate cached payload).
+MISS = object()
+
+
+# ----------------------------------------------------------------------
+# Worker-count resolution
+# ----------------------------------------------------------------------
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve a worker count: argument > ``REPRO_JOBS`` env var > 1.
+
+    ``jobs <= 0`` (from either source) means "one worker per core".
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}") from None
+    jobs = int(jobs)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+# ----------------------------------------------------------------------
+# Canonical keys and per-cell seed derivation
+# ----------------------------------------------------------------------
+def canonical_key(obj: Any) -> str:
+    """Deterministic string encoding of a (possibly nested) key.
+
+    Supports the types experiment cells are built from: scalars, strings,
+    tuples/lists, dicts (sorted), numpy scalars/arrays, and dataclasses
+    (encoded as ``ClassName(fields)``).  Floats use ``repr`` — the shortest
+    round-trip representation, identical across processes and platforms —
+    so the same parameters always hash the same.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return f"{type(obj).__name__}({canonical_key(dataclasses.asdict(obj))})"
+    if obj is None or isinstance(obj, bool):
+        return repr(obj)
+    if isinstance(obj, (int, np.integer)):
+        return repr(int(obj))
+    if isinstance(obj, (float, np.floating)):
+        return repr(float(obj))
+    if isinstance(obj, str):
+        return json.dumps(obj)
+    if isinstance(obj, np.ndarray):
+        return canonical_key(obj.tolist())
+    if isinstance(obj, (list, tuple)):
+        return "[" + ",".join(canonical_key(x) for x in obj) + "]"
+    if isinstance(obj, dict):
+        items = sorted((canonical_key(k), canonical_key(v)) for k, v in obj.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    raise TypeError(f"cannot build a canonical key from {type(obj).__name__}")
+
+
+def cell_digest(*parts: Any) -> str:
+    """sha256 hex digest of the canonical encoding of ``parts``."""
+    return hashlib.sha256(canonical_key(parts).encode("utf-8")).hexdigest()
+
+
+def seed_for_cell(base_seed: int, *cell_key: Any) -> np.random.SeedSequence:
+    """A :class:`~numpy.random.SeedSequence` unique to ``(base_seed, cell_key)``.
+
+    The cell key is folded into the ``spawn_key`` (the mechanism
+    ``SeedSequence.spawn`` itself uses), so streams for different cells are
+    statistically independent, and the stream for a given cell is identical
+    no matter which process draws it or how many cells ran before it.
+    """
+    digest = hashlib.sha256(canonical_key(cell_key).encode("utf-8")).digest()
+    words = tuple(int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4))
+    return np.random.SeedSequence(entropy=int(base_seed), spawn_key=words)
+
+
+def rng_for_cell(base_seed: int, *cell_key: Any) -> np.random.Generator:
+    """A generator seeded by :func:`seed_for_cell`."""
+    return np.random.default_rng(seed_for_cell(base_seed, *cell_key))
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+# ----------------------------------------------------------------------
+@dataclass
+class ResultCache:
+    """Content-keyed JSON result cache under ``root``.
+
+    Entries live at ``root/<namespace>/<digest>.json`` and store both the
+    canonical key string and the payload; the key string is re-checked on
+    load, so a (vanishingly unlikely) digest collision or a stale file
+    written by other code degrades to a miss, never to wrong results.
+    """
+
+    root: Path
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        """The cache at ``REPRO_CACHE_DIR`` (default ``.repro_cache``)."""
+        return cls(Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)))
+
+    # ------------------------------------------------------------------
+    def _key_string(self, namespace: str, key: Any) -> str:
+        return canonical_key((namespace, key))
+
+    def path_for(self, namespace: str, key: Any) -> Path:
+        """Where the entry for ``(namespace, key)`` lives on disk."""
+        digest = hashlib.sha256(self._key_string(namespace, key).encode("utf-8")).hexdigest()
+        return self.root / namespace / f"{digest}.json"
+
+    def get(self, namespace: str, key: Any) -> Any:
+        """The cached payload, or :data:`MISS`.
+
+        Unreadable, truncated, or mismatched entries are deleted and
+        reported as misses so the caller transparently recomputes them.
+        """
+        path = self.path_for(namespace, key)
+        try:
+            data = json.loads(path.read_text())
+        except FileNotFoundError:
+            return MISS
+        except (OSError, ValueError, UnicodeDecodeError):
+            self._discard(path)
+            return MISS
+        if (
+            not isinstance(data, dict)
+            or "payload" not in data
+            or data.get("key") != self._key_string(namespace, key)
+        ):
+            self._discard(path)
+            return MISS
+        return data["payload"]
+
+    def store(self, namespace: str, key: Any, payload: Any) -> Path:
+        """Atomically persist ``payload`` (must be JSON-serialisable)."""
+        path = self.path_for(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps({"key": self._key_string(namespace, key), "payload": payload})
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(body)
+            os.replace(tmp, path)
+        except BaseException:
+            self._discard(Path(tmp))
+            raise
+        return path
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# The fan-out primitive
+# ----------------------------------------------------------------------
+def map_cells(
+    fn: Callable[[T], R],
+    cells: Iterable[T] | Sequence[T],
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    namespace: str | None = None,
+    key_extra: Any = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """Map ``fn`` over ``cells``; results in input order.
+
+    ``jobs`` follows :func:`resolve_jobs`; with one worker (or one cell)
+    the map runs in-process, so single-job runs are plain serial Python.
+    With ``cache`` set, each cell is looked up under
+    ``(key_extra, cell)`` in ``namespace`` first and stored after
+    computing — ``key_extra`` must carry everything besides the cell that
+    determines the result (grid, seed, version tag, ...).  Cached results
+    must therefore be JSON-serialisable.
+
+    ``fn`` and the cells must be picklable for ``jobs > 1`` (module-level
+    functions, ``functools.partial`` over them, plain-data cells).
+    """
+    cells = list(cells)
+    jobs = resolve_jobs(jobs)
+    if cache is not None and namespace is None:
+        raise ValueError("map_cells needs a namespace when a cache is given")
+
+    results: list[Any] = [MISS] * len(cells)
+    if cache is not None:
+        for i, cell in enumerate(cells):
+            results[i] = cache.get(namespace, (key_extra, cell))
+    pending = [i for i, r in enumerate(results) if r is MISS]
+
+    if pending:
+        todo = [cells[i] for i in pending]
+        if jobs == 1 or len(todo) == 1:
+            computed = [fn(c) for c in todo]
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+                computed = list(pool.map(fn, todo, chunksize=max(1, chunksize)))
+        for i, res in zip(pending, computed):
+            results[i] = res
+            if cache is not None:
+                cache.store(namespace, (key_extra, cells[i]), res)
+    return results

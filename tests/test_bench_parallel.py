@@ -1,0 +1,37 @@
+"""End-to-end run of ``scripts/bench_parallel.py`` (slow; run with
+``pytest -m slow``).  Tier-1 only checks the script parses."""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "scripts" / "bench_parallel.py"
+
+
+def test_bench_script_parses():
+    ast.parse(SCRIPT.read_text())
+
+
+@pytest.mark.slow
+def test_bench_script_produces_report(tmp_path):
+    out = tmp_path / "BENCH_parallel.json"
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    subprocess.run(
+        [sys.executable, str(SCRIPT), "--scale", "smoke", "--jobs", "2", "--output", str(out)],
+        check=True,
+        env=env,
+        cwd=tmp_path,
+        timeout=540,
+    )
+    report = json.loads(out.read_text())
+    assert report["identical_output"] is True
+    assert report["serial_seconds"] > 0 and report["parallel_seconds"] > 0
+    assert report["cpu_count"] == os.cpu_count()

@@ -61,7 +61,9 @@ def test_optimal_rc_search_never_worse_than_prediction(rng, tiny_size_model):
 
 
 def test_validate_size_model_quadrants(tiny_size_model):
-    rows = c5.validate_size_model(tiny_size_model, SMOKE, max_configs_per_cell=2)
+    # 4 configs per quadrant: a 2-config mean is noisy enough to wander
+    # past the 15% bound depending on which DAG instances get drawn.
+    rows = c5.validate_size_model(tiny_size_model, SMOKE, max_configs_per_cell=4)
     assert len(rows) == 4
     kinds = {(r["sizes"], r["ccrs"]) for r in rows}
     assert ("observation", "observation") in kinds
@@ -73,10 +75,16 @@ def test_validate_size_model_quadrants(tiny_size_model):
 
 
 def test_width_practice_more_expensive(tiny_size_model):
-    rows = c5.width_practice_comparison(tiny_size_model, SMOKE, max_configs=4)
-    assert len(rows) == len(SMOKE.size_grid.sizes)
+    # Pool a few validation seeds: a single 4-config draw at smoke scale
+    # can land anywhere in the 10-30% range by chance.
+    rows = []
+    for seed in (0, 1, 2):
+        rows += c5.width_practice_comparison(tiny_size_model, SMOKE, seed=seed, max_configs=4)
+    assert len(rows) == 3 * len(SMOKE.size_grid.sizes)
     # Current practice grossly over-provisions (Table V-7).
     assert any(r["avg_size_diff_pct"] > 20 for r in rows)
+    # ... and never under-provisions on average.
+    assert all(r["avg_size_diff_pct"] > 0 for r in rows)
 
 
 def test_montage_validation_thresholds(tiny_size_model):

@@ -31,3 +31,71 @@ def test_cli_experiments_dispatch(capsys):
 
     assert main(["experiments", "--chapter", "4", "--scale", "smoke"]) == 0
     assert "Fig IV-5" in capsys.readouterr().out
+
+
+def test_seed_and_jobs_reach_the_chapter(monkeypatch):
+    calls = {}
+
+    def fake_chapter4(scale, seed=0, jobs=None):
+        calls["scale"] = scale.name
+        calls["seed"] = seed
+        calls["jobs"] = jobs
+
+    monkeypatch.setattr(runner, "run_chapter4", fake_chapter4)
+    assert runner.main(["--chapter", "4", "--scale", "smoke", "--seed", "9", "--jobs", "3"]) == 0
+    assert calls == {"scale": "smoke", "seed": 9, "jobs": 3}
+
+
+def test_seed_defaults_to_zero(monkeypatch):
+    calls = {}
+
+    def fake_chapter5(scale, seed=0, jobs=None, cache_dir=None):
+        calls["seed"] = seed
+        calls["jobs"] = jobs
+        calls["cache_dir"] = cache_dir
+
+    monkeypatch.setattr(runner, "run_chapter5", fake_chapter5)
+    assert runner.main(["--chapter", "5", "--scale", "smoke", "--no-cache"]) == 0
+    assert calls == {"seed": 0, "jobs": None, "cache_dir": None}
+
+
+def test_cli_forwards_seed_and_jobs(monkeypatch):
+    from repro.cli import main
+
+    seen = {}
+
+    def fake_main(argv):
+        seen["argv"] = argv
+        return 0
+
+    monkeypatch.setattr(runner, "main", fake_main)
+    assert main(["experiments", "--chapter", "4", "--scale", "smoke", "--seed", "2", "--jobs", "4"]) == 0
+    argv = seen["argv"]
+    assert argv[argv.index("--seed") + 1] == "2"
+    assert argv[argv.index("--jobs") + 1] == "4"
+
+
+def _tables(out: str) -> str:
+    # Drop the wall-clock line; everything else must be bit-identical.
+    return "\n".join(line for line in out.splitlines() if "done in" not in line)
+
+
+def test_chapter4_seed_changes_random_sweeps(capsys):
+    # The runner's --seed must actually reach the DAG generation: the
+    # Montage figures are deterministic, but the random-DAG sweeps differ.
+    assert runner.main(["--chapter", "4", "--scale", "smoke", "--seed", "0"]) == 0
+    out_a = _tables(capsys.readouterr().out)
+    assert runner.main(["--chapter", "4", "--scale", "smoke", "--seed", "0"]) == 0
+    out_b = _tables(capsys.readouterr().out)
+    assert runner.main(["--chapter", "4", "--scale", "smoke", "--seed", "1"]) == 0
+    out_c = _tables(capsys.readouterr().out)
+    assert out_a == out_b
+    assert out_a != out_c
+
+
+def test_chapter4_jobs_does_not_change_output(capsys):
+    assert runner.main(["--chapter", "4", "--scale", "smoke", "--jobs", "1"]) == 0
+    serial = _tables(capsys.readouterr().out)
+    assert runner.main(["--chapter", "4", "--scale", "smoke", "--jobs", "2"]) == 0
+    parallel = _tables(capsys.readouterr().out)
+    assert serial == parallel

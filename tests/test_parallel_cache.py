@@ -1,0 +1,157 @@
+"""Correctness tests for the on-disk result cache: cold/warm behaviour,
+key invalidation, and resilience to corrupted entries."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.parallel import MISS, ResultCache, map_cells
+
+
+def _square(cell):
+    return {"cell": cell, "value": cell * cell}
+
+
+_CALLS_FILE = None
+
+
+def _counting_square(cell):
+    # Appends a line per invocation so cache hits are observable even
+    # across processes (jobs=1 keeps it in-process anyway).
+    with open(_CALLS_FILE, "a") as fh:
+        fh.write(f"{cell}\n")
+    return _square(cell)
+
+
+@pytest.fixture
+def calls_file(tmp_path):
+    global _CALLS_FILE
+    _CALLS_FILE = str(tmp_path / "calls.log")
+    yield _CALLS_FILE
+    _CALLS_FILE = None
+
+
+def _n_calls(path):
+    try:
+        with open(path) as fh:
+            return sum(1 for _ in fh)
+    except FileNotFoundError:
+        return 0
+
+
+# ----------------------------------------------------------------------
+# ResultCache primitives
+# ----------------------------------------------------------------------
+def test_get_on_empty_cache_is_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.get("ns", ("k",)) is MISS
+
+
+def test_store_then_get_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    payload = {"rows": [1, 2.5, "x"], "nested": {"a": None}}
+    cache.store("ns", ("k", 1, 0.5), payload)
+    assert cache.get("ns", ("k", 1, 0.5)) == payload
+
+
+def test_none_payload_is_cacheable(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.store("ns", ("k",), None)
+    got = cache.get("ns", ("k",))
+    assert got is None and got is not MISS
+
+
+def test_different_key_or_namespace_misses(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.store("ns", ("k", "v1"), 1)
+    assert cache.get("ns", ("k", "v2")) is MISS
+    assert cache.get("other", ("k", "v1")) is MISS
+
+
+def test_corrupted_entry_is_discarded_and_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.store("ns", ("k",), {"v": 1})
+    path = cache.path_for("ns", ("k",))
+    path.write_text("{not json at all")
+    assert cache.get("ns", ("k",)) is MISS
+    assert not path.exists()  # bad entry removed so it can be rewritten
+
+
+def test_truncated_entry_is_discarded_and_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.store("ns", ("k",), {"v": list(range(100))})
+    path = cache.path_for("ns", ("k",))
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    assert cache.get("ns", ("k",)) is MISS
+
+
+def test_hash_collision_with_wrong_key_is_miss(tmp_path):
+    # An entry whose stored key string disagrees with the request must not
+    # be served (defends against digest collisions / manual tampering).
+    cache = ResultCache(tmp_path / "cache")
+    cache.store("ns", ("k",), 1)
+    path = cache.path_for("ns", ("k",))
+    blob = json.loads(path.read_text())
+    blob["key"] = "something else"
+    path.write_text(json.dumps(blob))
+    assert cache.get("ns", ("k",)) is MISS
+
+
+def test_default_cache_honours_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+    cache = ResultCache.default()
+    cache.store("ns", ("k",), 7)
+    assert (tmp_path / "envcache").is_dir()
+    assert cache.get("ns", ("k",)) == 7
+
+
+# ----------------------------------------------------------------------
+# map_cells + cache
+# ----------------------------------------------------------------------
+def test_cold_then_warm(tmp_path, calls_file):
+    cache = ResultCache(tmp_path / "cache")
+    cells = [1, 2, 3, 4]
+
+    cold = map_cells(_counting_square, cells, jobs=1, cache=cache, namespace="sq")
+    assert _n_calls(calls_file) == 4
+
+    warm = map_cells(_counting_square, cells, jobs=1, cache=cache, namespace="sq")
+    assert _n_calls(calls_file) == 4  # nothing recomputed
+    assert warm == cold
+
+
+def test_partial_warm_computes_only_missing(tmp_path, calls_file):
+    cache = ResultCache(tmp_path / "cache")
+    map_cells(_counting_square, [1, 2], jobs=1, cache=cache, namespace="sq")
+    out = map_cells(_counting_square, [1, 2, 3], jobs=1, cache=cache, namespace="sq")
+    assert _n_calls(calls_file) == 3  # only cell 3 was new
+    assert out == [_square(1), _square(2), _square(3)]
+
+
+def test_key_extra_invalidates(tmp_path, calls_file):
+    # A changed parameter or bumped version tag must miss the old entries.
+    cache = ResultCache(tmp_path / "cache")
+    map_cells(_counting_square, [1, 2], jobs=1, cache=cache, namespace="sq", key_extra=("v1",))
+    map_cells(_counting_square, [1, 2], jobs=1, cache=cache, namespace="sq", key_extra=("v2",))
+    assert _n_calls(calls_file) == 4
+
+
+def test_corrupted_cache_entry_recomputed_not_fatal(tmp_path, calls_file):
+    cache = ResultCache(tmp_path / "cache")
+    map_cells(_counting_square, [5], jobs=1, cache=cache, namespace="sq")
+    path = cache.path_for("sq", (None, 5))
+    assert path.exists()
+    path.write_text("garbage")
+    out = map_cells(_counting_square, [5], jobs=1, cache=cache, namespace="sq")
+    assert out == [_square(5)]
+    assert _n_calls(calls_file) == 2  # recomputed once, no crash
+
+
+def test_parallel_run_populates_cache_for_serial(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    a = map_cells(_square, [1, 2, 3], jobs=3, cache=cache, namespace="sq")
+    b = map_cells(_square, [1, 2, 3], jobs=1, cache=cache, namespace="sq")
+    assert a == b

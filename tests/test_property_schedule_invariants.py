@@ -1,0 +1,104 @@
+"""Property-based invariants for the scheduler/simulator core.
+
+For *every* registered heuristic, on randomly generated DAGs and randomly
+generated resource collections (homogeneous, clock-heterogeneous, and
+multi-cluster networked), the schedule must
+
+* pass every execution-model constraint (:func:`validate_schedule` returns
+  no violations), and
+* be *tight*: :func:`replay_schedule`, which recomputes start/finish times
+  independently from only the decisions, reproduces the scheduler's
+  predicted times exactly.
+
+DAGs are kept small so Hypothesis can explore many shapes; the invariant
+does not depend on scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+from repro.resources.collection import ResourceCollection
+from repro.scheduling import (
+    list_schedulers,
+    replay_schedule,
+    schedule_dag,
+    validate_schedule,
+)
+
+ALL_HEURISTICS = tuple(list_schedulers())
+
+
+def test_registry_is_complete():
+    # The property tests below must cover every registered scheduler.
+    assert set(ALL_HEURISTICS) >= {
+        "dls", "fca", "fcfs", "greedy", "heft", "mcp", "mcp_insertion", "minmin", "random",
+    }
+
+
+@st.composite
+def random_dags(draw):
+    spec = RandomDagSpec(
+        size=draw(st.integers(min_value=2, max_value=40)),
+        ccr=draw(st.sampled_from((0.01, 0.5, 2.0))),
+        parallelism=draw(st.floats(min_value=0.1, max_value=1.0)),
+        regularity=draw(st.floats(min_value=0.0, max_value=1.0)),
+        density=draw(st.floats(min_value=0.1, max_value=1.0)),
+        mean_comp_cost=draw(st.sampled_from((1.0, 40.0))),
+    )
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**32 - 1)))
+    return generate_random_dag(spec, rng)
+
+
+@st.composite
+def random_rcs(draw):
+    n_hosts = draw(st.integers(min_value=1, max_value=10))
+    kind = draw(st.sampled_from(("homogeneous", "het_clock", "networked")))
+    if kind == "homogeneous":
+        return ResourceCollection.homogeneous(n_hosts, speed=draw(st.sampled_from((0.5, 1.0, 2.0))))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=2**32 - 1)))
+    if kind == "het_clock":
+        eta = draw(st.floats(min_value=0.05, max_value=0.9))
+        return ResourceCollection.heterogeneous_clock(n_hosts, eta, rng)
+    n_clusters = draw(st.integers(min_value=1, max_value=3))
+    inter = draw(st.sampled_from((2.0, 8.0, 32.0)))
+    factor = np.full((n_clusters, n_clusters), inter)
+    np.fill_diagonal(factor, 1.0)
+    return ResourceCollection(
+        speed=rng.uniform(0.5, 2.0, size=n_hosts),
+        cluster=rng.integers(0, n_clusters, size=n_hosts),
+        comm_factor=factor,
+    )
+
+
+@pytest.mark.parametrize("heuristic", ALL_HEURISTICS)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(dag=random_dags(), rc=random_rcs())
+def test_schedule_is_valid_and_tight(heuristic, dag, rc):
+    schedule = schedule_dag(heuristic, dag, rc)
+
+    assert validate_schedule(dag, rc, schedule) == []
+
+    replayed = replay_schedule(dag, rc, schedule)
+    np.testing.assert_allclose(replayed.start, schedule.start, atol=1e-8)
+    np.testing.assert_allclose(replayed.finish, schedule.finish, atol=1e-8)
+
+
+@settings(max_examples=10, deadline=None)
+@given(dag=random_dags(), rc=random_rcs(), seed=st.integers(min_value=0, max_value=2**16))
+def test_random_scheduler_seeded_runs_stay_valid(dag, rc, seed):
+    # The stochastic scheduler must satisfy the invariants for any seed,
+    # and be reproducible for a fixed seed.
+    a = schedule_dag("random", dag, rc, seed=seed)
+    b = schedule_dag("random", dag, rc, seed=seed)
+    assert validate_schedule(dag, rc, a) == []
+    np.testing.assert_array_equal(a.host, b.host)
+    np.testing.assert_allclose(a.start, b.start)
+    np.testing.assert_allclose(a.finish, b.finish)

@@ -105,6 +105,10 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     argv += ["--all"] if args.chapter is None else ["--chapter", str(args.chapter)]
     if args.jobs is not None:
         argv += ["--jobs", str(args.jobs)]
+    if args.trace:
+        argv += ["--trace"]
+    if args.metrics_out is not None:
+        argv += ["--metrics-out", args.metrics_out]
     return runner.main(argv)
 
 
@@ -148,6 +152,17 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="parallel workers (default: REPRO_JOBS or 1; 0 = all cores)",
+    )
+    p_exp.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the tracing/metrics table to stderr after the run",
+    )
+    p_exp.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics as JSON to PATH",
     )
     p_exp.set_defaults(fn=_cmd_experiments)
 

@@ -89,6 +89,12 @@ def alternative_specifications(
     find the smallest RC size whose turn-around is within ``slack`` of the
     original predicted turn-around; emit one degraded specification per
     feasible band, best predicted turn-around first.
+
+    When *every* available band is faster than the original request, the
+    request is trivially fulfillable on any of them: each faster band is
+    offered with the RC size capped at the original (faster hosts never
+    need a larger collection to match), rather than silently reporting no
+    alternatives.
     """
     if max_size is None:
         max_size = int(min(dag.n, max(8, 4 * spec.size)))
@@ -101,14 +107,21 @@ def alternative_specifications(
     )
     target = orig_curve.at_size(spec.size) * (1.0 + slack)
 
+    bands = sorted(set(available_clocks_ghz), reverse=True)
+    degraded = [c for c in bands if c <= orig_clock + 1e-9]
+    # Degrade along the clock axis when possible; otherwise every band is
+    # an upgrade and all of them qualify (capped at the original size).
+    candidates = degraded if degraded else bands
+
     out: list[tuple[ResourceSpecification, float]] = []
-    sizes = rc_size_grid(max_size, step_frac=0.2)
-    for clock in sorted(set(available_clocks_ghz), reverse=True):
-        if clock > orig_clock + 1e-9:
-            continue
+    frac = spec.min_size / spec.size
+    for clock in candidates:
+        faster = clock > orig_clock + 1e-9
+        band_max = min(max_size, spec.size) if faster else max_size
+        sizes = rc_size_grid(band_max, step_frac=0.2)
         speed = clock / REFERENCE_CLOCK_GHZ
         curve = sweep_turnaround(
-            dag, sizes, spec.heuristic, PrefixRCFactory(max_size, mean_speed=speed), cost_model
+            dag, sizes, spec.heuristic, PrefixRCFactory(band_max, mean_speed=speed), cost_model
         )
         needed = size_to_match(curve, target)
         if needed is None:
@@ -117,7 +130,6 @@ def alternative_specifications(
             turn = curve.best_turnaround
         else:
             turn = curve.at_size(needed)
-        frac = spec.min_size / spec.size
         alt = replace(
             spec,
             size=int(needed),

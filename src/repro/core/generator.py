@@ -21,7 +21,9 @@ the DAG's CCR is negligible.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
+from xml.sax.saxutils import escape as _escape_xml
 
 from repro.dag.graph import DAG
 from repro.dag.metrics import DagCharacteristics, characteristics
@@ -31,12 +33,45 @@ from repro.core.knee import DEFAULT_KNEE_THRESHOLD
 from repro.core.size_model import SizePredictionModel, recommend_single_host
 from repro.resources.collection import REFERENCE_CLOCK_GHZ
 
-__all__ = ["ResourceSpecification", "ResourceSpecificationGenerator"]
+__all__ = ["ResourceSpecification", "ResourceSpecificationGenerator", "sanitize_dag_name"]
 
 #: CCR below which communication is negligible and a LooseBag suffices
 #: (Ch. IV: the naïve abstraction only works "when communication costs are
 #: minimal").
 LOOSE_CCR_THRESHOLD = 0.05
+
+#: Characters allowed to survive :func:`sanitize_dag_name` unchanged.
+_NAME_UNSAFE = re.compile(r"[^0-9A-Za-z_.-]+")
+
+#: Characters the XML 1.0 grammar forbids even when escaped (C0 controls
+#: other than tab/newline/CR, and the non-characters/surrogate range).
+_XML_ILLEGAL = re.compile(
+    "[\x00-\x08\x0b\x0c\x0e-\x1f\ud800-\udfff￾￿]"
+)
+
+
+def sanitize_dag_name(name: str) -> str:
+    """A conservative identifier derived from a DAG's display name.
+
+    DAG names are free-form (``montage(levels=20)``, ``fork join & <x>``)
+    but end up inside generated documents — SWORD group names, file-name
+    hints — so everything outside ``[0-9A-Za-z_.-]`` collapses to ``_``
+    after dropping a trailing parenthesised parameter list.
+    """
+    base = name.split("(")[0].strip()
+    base = _NAME_UNSAFE.sub("_", base).strip("_")
+    return base or "dag"
+
+
+def _xml_text(value: str) -> str:
+    """``value`` made safe for XML text content: entity-escape the markup
+    characters and drop code points XML 1.0 cannot carry at all."""
+    return _escape_xml(_XML_ILLEGAL.sub("", value))
+
+
+def _classad_string(value: str) -> str:
+    """``value`` as a quoted ClassAd string literal (backslash escapes)."""
+    return '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
 
 
 @dataclass(frozen=True)
@@ -68,26 +103,33 @@ class ResourceSpecification:
         """vgDL resource specification (Fig. VII-5).
 
         Only the lower clock bound is a hard constraint (faster hosts are
-        always acceptable — cf. Fig. IV-4); the upper bound of the band is
-        what the ranking favours.
+        always acceptable — cf. Fig. IV-4); ``rank = Nodes`` then prefers
+        the candidate that yields the most hosts inside the band, per the
+        paper figure — the RC size is the quantity the Chapter V model
+        predicts, so it is what the selection should maximise.
         """
         kind = "TightBagOf" if self.connectivity == "tight" else "LooseBagOf"
         return (
             f"VG =\n"
             f"{kind}(nodes) [{self.min_size}:{self.size}]\n"
-            f"[rank = Clock] {{\n"
+            f"[rank = Nodes] {{\n"
             f"  nodes = [ (Clock >= {self.clock_min_mhz:.0f}) ]\n"
             f"}}"
         )
 
     def to_classad(self, owner: str = "generator", cmd: str = "run_dag") -> str:
-        """Condor Gangmatch request (Fig. VII-3)."""
+        """Condor Gangmatch request (Fig. VII-3).
+
+        ``owner``/``cmd`` (and the heuristic name) are emitted as properly
+        escaped ClassAd string literals, so quotes or backslashes in them
+        cannot break out of the attribute value.
+        """
         return (
             "[\n"
             '  Type = "Job";\n'
-            f'  Owner = "{owner}";\n'
-            f'  Cmd = "{cmd}";\n'
-            f'  SchedulingHeuristic = "{self.heuristic}";\n'
+            f"  Owner = {_classad_string(owner)};\n"
+            f"  Cmd = {_classad_string(cmd)};\n"
+            f"  SchedulingHeuristic = {_classad_string(self.heuristic)};\n"
             "  Ports = {\n"
             "    [\n"
             "      Label = cpu;\n"
@@ -101,7 +143,12 @@ class ResourceSpecification:
         )
 
     def to_sword_xml(self) -> str:
-        """SWORD XML query (Fig. VII-4)."""
+        """SWORD XML query (Fig. VII-4).
+
+        All interpolated text is XML-escaped: DAG names are free-form
+        (``fork join & <x>``) and must never yield an ill-formed document
+        our own :func:`~repro.selection.sword.parse_sword_query` rejects.
+        """
         # Intra-group latency: tight connectivity = intra-domain scale.
         lat = (
             "0.0, 0.0, 10.0, 20.0, 0.5"
@@ -113,7 +160,7 @@ class ResourceSpecification:
             "  <dist_query_budget>50</dist_query_budget>\n"
             "  <optimizer_budget>200</optimizer_budget>\n"
             "  <group>\n"
-            f"    <name>{self.dag_name}_rc</name>\n"
+            f"    <name>{_xml_text(self.dag_name)}_rc</name>\n"
             f"    <num_machines>{self.size}</num_machines>\n"
             f"    <clock>{self.clock_min_mhz:.1f}, {self.clock_max_mhz:.1f}, "
             f"MAX, MAX, 0.01</clock>\n"
@@ -196,7 +243,7 @@ class ResourceSpecificationGenerator:
             clock_max_mhz=clock_max,
             connectivity=connectivity,
             threshold=threshold,
-            dag_name=dag.name.split("(")[0],
+            dag_name=sanitize_dag_name(dag.name),
             dag_characteristics=ch,
         )
 

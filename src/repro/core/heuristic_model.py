@@ -20,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+import repro.observe as observe
 from repro.dag.graph import DAG
 from repro.dag.metrics import characteristics
 from repro.dag.random_dag import RandomDagSpec, generate_random_dag
@@ -52,6 +53,8 @@ def _heuristic_cell(
     worker count or execution order.
     """
     n, ccr, a, b = cell
+    observe.inc("heuristic_model.cells")
+    observe.inc("heuristic_model.instances", grid.instances)
     spec = RandomDagSpec(
         size=n,
         ccr=ccr,
@@ -130,21 +133,22 @@ class HeuristicPredictionModel:
             cost_model=cost_model,
             size_step_frac=size_step_frac,
         )
-        per_cell = map_cells(
-            fn,
-            cells,
-            jobs=jobs,
-            cache=cache,
-            namespace="heuristic-observations",
-            key_extra=(
-                HEURISTIC_CACHE_VERSION,
-                grid,
-                tuple(heuristics),
-                cost_model,
-                size_step_frac,
-                seed,
-            ),
-        )
+        with observe.span("heuristic_model.train"):
+            per_cell = map_cells(
+                fn,
+                cells,
+                jobs=jobs,
+                cache=cache,
+                namespace="heuristic-observations",
+                key_extra=(
+                    HEURISTIC_CACHE_VERSION,
+                    grid,
+                    tuple(heuristics),
+                    cost_model,
+                    size_step_frac,
+                    seed,
+                ),
+            )
         observations = [
             HeuristicObservation(
                 size=n,

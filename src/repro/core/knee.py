@@ -13,6 +13,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+import repro.observe as observe
 from repro.dag.graph import DAG
 from repro.resources.collection import ResourceCollection
 from repro.scheduling.base import schedule_dag
@@ -133,12 +134,15 @@ def sweep_turnaround(
     turn = np.empty(sizes.shape[0])
     mksp = np.empty(sizes.shape[0])
     sched = np.empty(sizes.shape[0])
-    for i, p in enumerate(sizes):
-        rc = rc_factory(int(p))
-        s = schedule_dag(heuristic, dag, rc)
-        mksp[i] = s.makespan
-        sched[i] = cost_model.scheduling_time(s)
-        turn[i] = mksp[i] + sched[i]
+    with observe.span("sweep_turnaround"):
+        observe.inc("knee.sweeps")
+        observe.inc("knee.sweep_points", int(sizes.shape[0]))
+        for i, p in enumerate(sizes):
+            rc = rc_factory(int(p))
+            s = schedule_dag(heuristic, dag, rc)
+            mksp[i] = s.makespan
+            sched[i] = cost_model.scheduling_time(s)
+            turn[i] = mksp[i] + sched[i]
     return TurnaroundCurve(sizes, turn, mksp, sched, heuristic)
 
 
@@ -149,6 +153,7 @@ def knee_from_curve(
     improves turn-around by less than ``threshold`` (relative)."""
     if not 0 <= threshold < 1:
         raise ValueError("threshold must be in [0, 1)")
+    observe.inc("knee.evaluations")
     t = curve.turnaround
     n = t.shape[0]
     # suffix_min[i] = min turnaround strictly after i

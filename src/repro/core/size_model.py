@@ -32,6 +32,7 @@ from typing import Iterable
 
 import numpy as np
 
+import repro.observe as observe
 from repro.dag.graph import DAG
 from repro.dag.metrics import DagCharacteristics, characteristics
 from repro.dag.random_dag import RandomDagSpec, generate_random_dag
@@ -135,6 +136,8 @@ def _knee_cell(
     the result is independent of worker count and execution order.
     """
     n, ccr, a, b = cell
+    observe.inc("size_model.cells")
+    observe.inc("size_model.instances", grid.instances)
     spec = RandomDagSpec(
         size=n,
         ccr=ccr,
@@ -177,14 +180,15 @@ def build_observation_knees(
     fn = functools.partial(
         _knee_cell, grid=grid, seed=seed, heuristic=heuristic, cost_model=cost_model
     )
-    per_cell = map_cells(
-        fn,
-        cells,
-        jobs=jobs,
-        cache=cache,
-        namespace="observation-knees",
-        key_extra=(KNEES_CACHE_VERSION, grid, heuristic, cost_model, seed),
-    )
+    with observe.span("build_observation_knees"):
+        per_cell = map_cells(
+            fn,
+            cells,
+            jobs=jobs,
+            cache=cache,
+            namespace="observation-knees",
+            key_extra=(KNEES_CACHE_VERSION, grid, heuristic, cost_model, seed),
+        )
     knees: dict[tuple[int, float, float, float, float], float] = {}
     for (n, ccr, a, b), cell_knees in zip(cells, per_cell):
         for thr_s, knee in cell_knees.items():
@@ -217,6 +221,7 @@ class SizePredictionModel:
         heuristic: str = "mcp",
     ) -> "SizePredictionModel":
         """Least-squares planar fit per (size, ccr) and threshold."""
+        observe.inc("size_model.fits")
         planes: dict[float, dict[tuple[int, float], tuple[float, float, float]]] = {}
         for thr in grid.thresholds:
             by_cell: dict[tuple[int, float], tuple[float, float, float]] = {}

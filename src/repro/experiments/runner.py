@@ -10,6 +10,12 @@ sweeps out over a process pool; per-cell deterministic seeding makes the
 output identical for any worker count.  Model training and observation
 sweeps are cached under ``--cache-dir`` keyed on scale, parameters, seed,
 and a code version tag.
+
+``--trace`` prints the :mod:`repro.observe` span/counter table to stderr
+after the run; ``--metrics-out PATH`` writes the same registry as JSON.
+Counter totals are identical for every ``--jobs`` value (workers ship
+their metrics back through ``map_cells``); only wall-clock span values
+differ.
 """
 
 from __future__ import annotations
@@ -17,7 +23,9 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
+import repro.observe as observe
 from repro.core.heuristic_model import HeuristicPredictionModel
 from repro.core.size_model import SizePredictionModel, build_observation_knees
 from repro.experiments import chapter4 as c4
@@ -54,13 +62,15 @@ def _models(
 
     print(f"[training] size model on grid {scale.size_grid.sizes} x {scale.size_grid.ccrs} ...")
     t0 = time.perf_counter()
-    knees = build_observation_knees(scale.size_grid, seed=seed, jobs=jobs, cache=cache)
-    size_model = SizePredictionModel.fit(scale.size_grid, knees)
+    with observe.span("train.size_model"):
+        knees = build_observation_knees(scale.size_grid, seed=seed, jobs=jobs, cache=cache)
+        size_model = SizePredictionModel.fit(scale.size_grid, knees)
     print(f"[training] size model done in {time.perf_counter() - t0:.1f}s")
     t0 = time.perf_counter()
-    heuristic_model = HeuristicPredictionModel.train(
-        scale.heuristic_grid, seed=seed, jobs=jobs, cache=cache
-    )
+    with observe.span("train.heuristic_model"):
+        heuristic_model = HeuristicPredictionModel.train(
+            scale.heuristic_grid, seed=seed, jobs=jobs, cache=cache
+        )
     print(f"[training] heuristic model done in {time.perf_counter() - t0:.1f}s")
     if cache is not None:
         cache.store(
@@ -206,6 +216,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk result cache"
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span/counter table to stderr when the run finishes",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics registry as JSON to PATH",
+    )
     args = parser.parse_args(argv)
     scale = get_scale(args.scale)
     cache_dir = None if args.no_cache else args.cache_dir
@@ -214,18 +235,27 @@ def main(argv: list[str] | None = None) -> int:
         chapters = [4, 5, 6, 7]
     if not chapters:
         parser.error("pass --chapter N or --all")
-    for ch in chapters:
-        print(f"===== Chapter {ch} ({scale.name} scale) =====")
-        t0 = time.perf_counter()
-        if ch == 4:
-            run_chapter4(scale, seed=args.seed, jobs=args.jobs)
-        elif ch == 5:
-            run_chapter5(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
-        elif ch == 6:
-            run_chapter6(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
-        else:
-            run_chapter7(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
-        print(f"===== Chapter {ch} done in {time.perf_counter() - t0:.1f}s =====\n")
+    # A fresh registry per invocation: metrics describe this run only,
+    # even when main() is called repeatedly in-process (tests, notebooks).
+    with observe.use_registry(observe.MetricsRegistry()) as registry:
+        for ch in chapters:
+            print(f"===== Chapter {ch} ({scale.name} scale) =====")
+            t0 = time.perf_counter()
+            with registry.span(f"chapter{ch}"):
+                if ch == 4:
+                    run_chapter4(scale, seed=args.seed, jobs=args.jobs)
+                elif ch == 5:
+                    run_chapter5(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
+                elif ch == 6:
+                    run_chapter6(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
+                else:
+                    run_chapter7(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
+            print(f"===== Chapter {ch} done in {time.perf_counter() - t0:.1f}s =====\n")
+        if args.metrics_out:
+            Path(args.metrics_out).write_text(registry.to_json())
+            print(f"[metrics] written to {args.metrics_out}", file=sys.stderr)
+        if args.trace:
+            print(registry.render_table(), file=sys.stderr)
     return 0
 
 

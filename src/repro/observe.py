@@ -1,0 +1,294 @@
+"""In-process tracing and metrics (zero dependencies).
+
+The experiment sweeps are CPU-bound pipelines spanning the scheduler
+kernel, the knee sweeps, model training, and the parallel engine; before
+optimising any of them we need to know where wall-clock actually goes and
+how often the hot operations run.  This module provides the plumbing:
+
+``span(name)``
+    Context manager recording nested wall-clock timings.  Spans aggregate
+    by *path* — the ``/``-joined stack of active span names on the current
+    thread — so repeated executions of the same code path fold into one
+    entry (total / count / min / max) instead of an unbounded event log.
+
+``inc(name, value)`` / ``gauge(name, value)``
+    Named monotonic counters (scheduled tasks, cells computed, cache
+    hits/misses, knee evaluations, ...) and last-value gauges.
+
+:class:`MetricsRegistry`
+    The thread-safe in-process store behind the module-level helpers.
+    ``snapshot()`` produces a JSON-serialisable dict and ``merge()`` folds
+    one snapshot into another registry — this is how worker processes ship
+    their metrics back through :func:`repro.parallel.map_cells` so that
+    ``--jobs N`` runs aggregate exactly like serial ones.
+
+``to_json()`` / ``render_table()``
+    Export the active registry as JSON (see :data:`SCHEMA_VERSION` for the
+    layout) or as a human-readable table (the ``--trace`` CLI flag).
+
+Everything is stdlib-only and always on: recording a counter is one lock
+acquisition and a dict update, and a span adds two ``perf_counter`` calls
+— negligible next to the millisecond-scale scheduler runs they wrap.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "span",
+    "inc",
+    "gauge",
+    "snapshot",
+    "reset",
+    "to_json",
+    "render_table",
+]
+
+#: Version of the snapshot/JSON layout::
+#:
+#:     {"schema": 1,
+#:      "counters": {name: number},
+#:      "gauges":   {name: number},
+#:      "spans":    {path: {"total_s": s, "count": n,
+#:                          "min_s": s, "max_s": s}}}
+SCHEMA_VERSION = 1
+
+_SEP = "/"
+
+
+class MetricsRegistry:
+    """Thread-safe store of counters, gauges, and aggregated spans.
+
+    All mutating operations take an internal lock; the span *stack* is
+    per-thread, so concurrently traced threads never corrupt each other's
+    nesting paths.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        # path -> [total_s, count, min_s, max_s]
+        self._spans: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_path(self) -> str:
+        """The ``/``-joined path of spans active on this thread."""
+        return _SEP.join(self._stack())
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a block under ``name``, nested below any active spans."""
+        stack = self._stack()
+        stack.append(name)
+        path = _SEP.join(stack)
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            stack.pop()
+            self._record_span(path, dt, 1, dt, dt)
+
+    def _record_span(
+        self, path: str, total: float, count: float, min_s: float, max_s: float
+    ) -> None:
+        with self._lock:
+            stat = self._spans.get(path)
+            if stat is None:
+                self._spans[path] = [total, count, min_s, max_s]
+            else:
+                stat[0] += total
+                stat[1] += count
+                stat[2] = min(stat[2], min_s)
+                stat[3] = max(stat[3], max_s)
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge (worker -> parent aggregation)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable copy of the registry contents."""
+        with self._lock:
+            return {
+                "schema": SCHEMA_VERSION,
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "spans": {
+                    path: {
+                        "total_s": stat[0],
+                        "count": stat[1],
+                        "min_s": stat[2],
+                        "max_s": stat[3],
+                    }
+                    for path, stat in self._spans.items()
+                },
+            }
+
+    def merge(self, snap: dict[str, Any], span_prefix: str = "") -> None:
+        """Fold ``snap`` (a :meth:`snapshot`) into this registry.
+
+        Counters add, gauges take the snapshot's value, span stats
+        accumulate.  ``span_prefix`` re-roots the snapshot's span paths
+        (used to nest worker-process spans under the parent's active
+        span so serial and parallel runs produce comparable trees).
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name, value)
+        for path, stat in snap.get("spans", {}).items():
+            full = f"{span_prefix}{_SEP}{path}" if span_prefix else path
+            self._record_span(
+                full, stat["total_s"], stat["count"], stat["min_s"], stat["max_s"]
+            )
+
+    def reset(self) -> None:
+        """Drop every counter, gauge, and span (span stacks are untouched)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._spans.clear()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_json(self, indent: int | None = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render_table(self) -> str:
+        """Human-readable dump: span tree first, then counters and gauges."""
+        snap = self.snapshot()
+        lines: list[str] = []
+        spans = snap["spans"]
+        if spans:
+            lines.append("spans (wall-clock):")
+            width = max(len(_indent_path(p)) for p in spans)
+            header = f"  {'path'.ljust(width)}  {'total_s':>10}  {'count':>8}  {'mean_ms':>9}"
+            lines.append(header)
+            for path in sorted(spans):
+                stat = spans[path]
+                mean_ms = 1000.0 * stat["total_s"] / stat["count"] if stat["count"] else 0.0
+                lines.append(
+                    f"  {_indent_path(path).ljust(width)}  "
+                    f"{stat['total_s']:>10.3f}  {stat['count']:>8.0f}  {mean_ms:>9.2f}"
+                )
+        if snap["counters"]:
+            lines.append("counters:")
+            width = max(len(n) for n in snap["counters"])
+            for name in sorted(snap["counters"]):
+                value = snap["counters"][name]
+                shown = int(value) if float(value).is_integer() else value
+                lines.append(f"  {name.ljust(width)}  {shown}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            width = max(len(n) for n in snap["gauges"])
+            for name in sorted(snap["gauges"]):
+                lines.append(f"  {name.ljust(width)}  {snap['gauges'][name]}")
+        if not lines:
+            lines.append("(no metrics recorded)")
+        return "\n".join(lines)
+
+
+def _indent_path(path: str) -> str:
+    depth = path.count(_SEP)
+    leaf = path.rsplit(_SEP, 1)[-1]
+    return "  " * depth + leaf
+
+
+# ----------------------------------------------------------------------
+# Module-level active registry
+# ----------------------------------------------------------------------
+_active = MetricsRegistry()
+_active_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry the module-level helpers record into."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the active registry; returns the previous one."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily make ``registry`` the active one (worker isolation,
+    tests).  Not re-entrant across threads — intended for process-wide
+    scoping, e.g. one experiment run or one worker-process cell."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def span(name: str):
+    """Module-level :meth:`MetricsRegistry.span` on the active registry."""
+    return _active.span(name)
+
+
+def inc(name: str, value: float = 1) -> None:
+    """Module-level :meth:`MetricsRegistry.inc` on the active registry."""
+    _active.inc(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Module-level :meth:`MetricsRegistry.gauge` on the active registry."""
+    _active.gauge(name, value)
+
+
+def snapshot() -> dict[str, Any]:
+    """Snapshot of the active registry."""
+    return _active.snapshot()
+
+
+def reset() -> None:
+    """Reset the active registry."""
+    _active.reset()
+
+
+def to_json(indent: int | None = 2) -> str:
+    """JSON export of the active registry."""
+    return _active.to_json(indent)
+
+
+def render_table() -> str:
+    """Pretty-table export of the active registry."""
+    return _active.render_table()

@@ -28,11 +28,18 @@ onto:
 Worker count resolution (``resolve_jobs``): explicit ``jobs`` argument,
 else the ``REPRO_JOBS`` environment variable, else 1.  ``jobs <= 0`` means
 "all cores".
+
+Observability (:mod:`repro.observe`): ``map_cells`` counts cells, cache
+hits/misses, and computed cells; with ``jobs > 1`` each worker runs its
+cell under a private metrics registry and returns the snapshot alongside
+the result, which the parent merges under its current span path — counter
+totals therefore do not depend on the worker count.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
 import json
 import os
@@ -43,6 +50,8 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
+
+import repro.observe as observe
 
 __all__ = [
     "MISS",
@@ -185,9 +194,11 @@ class ResultCache:
         try:
             data = json.loads(path.read_text())
         except FileNotFoundError:
+            self._count(namespace, hit=False)
             return MISS
         except (OSError, ValueError, UnicodeDecodeError):
             self._discard(path)
+            self._count(namespace, hit=False)
             return MISS
         if (
             not isinstance(data, dict)
@@ -195,8 +206,16 @@ class ResultCache:
             or data.get("key") != self._key_string(namespace, key)
         ):
             self._discard(path)
+            self._count(namespace, hit=False)
             return MISS
+        self._count(namespace, hit=True)
         return data["payload"]
+
+    @staticmethod
+    def _count(namespace: str, hit: bool) -> None:
+        kind = "hits" if hit else "misses"
+        observe.inc(f"cache.{kind}")
+        observe.inc(f"cache.{kind}.{namespace}")
 
     def store(self, namespace: str, key: Any, payload: Any) -> Path:
         """Atomically persist ``payload`` (must be JSON-serialisable)."""
@@ -224,6 +243,20 @@ class ResultCache:
 # ----------------------------------------------------------------------
 # The fan-out primitive
 # ----------------------------------------------------------------------
+def _observed_call(fn: Callable[[T], R], cell: T) -> tuple[R, dict]:
+    """Worker-side wrapper: run ``fn`` under a fresh metrics registry and
+    return ``(result, metrics_snapshot)`` so the parent can aggregate.
+
+    Runs in the worker process, where the module-level registry is private
+    to that process; isolating each cell in its own registry keeps a
+    long-lived worker from re-sending earlier cells' metrics.
+    """
+    registry = observe.MetricsRegistry()
+    with observe.use_registry(registry):
+        result = fn(cell)
+    return result, registry.snapshot()
+
+
 def map_cells(
     fn: Callable[[T], R],
     cells: Iterable[T] | Sequence[T],
@@ -252,21 +285,39 @@ def map_cells(
     if cache is not None and namespace is None:
         raise ValueError("map_cells needs a namespace when a cache is given")
 
-    results: list[Any] = [MISS] * len(cells)
-    if cache is not None:
-        for i, cell in enumerate(cells):
-            results[i] = cache.get(namespace, (key_extra, cell))
-    pending = [i for i, r in enumerate(results) if r is MISS]
+    with observe.span("map_cells"):
+        observe.gauge("parallel.jobs", jobs)
+        observe.inc("parallel.map_cells.calls")
+        observe.inc("parallel.cells_total", len(cells))
 
-    if pending:
-        todo = [cells[i] for i in pending]
-        if jobs == 1 or len(todo) == 1:
-            computed = [fn(c) for c in todo]
-        else:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-                computed = list(pool.map(fn, todo, chunksize=max(1, chunksize)))
-        for i, res in zip(pending, computed):
-            results[i] = res
-            if cache is not None:
-                cache.store(namespace, (key_extra, cells[i]), res)
+        results: list[Any] = [MISS] * len(cells)
+        if cache is not None:
+            for i, cell in enumerate(cells):
+                results[i] = cache.get(namespace, (key_extra, cell))
+        pending = [i for i, r in enumerate(results) if r is MISS]
+
+        if pending:
+            todo = [cells[i] for i in pending]
+            observe.inc("parallel.cells_computed", len(todo))
+            if jobs == 1 or len(todo) == 1:
+                # In-process: metrics land in the active registry directly.
+                computed = [fn(c) for c in todo]
+            else:
+                # Workers wrap each cell in a private registry and ship the
+                # snapshot back; merging under the current span path makes
+                # parallel span trees line up with serial ones, and keeps
+                # counter totals identical for any --jobs value.
+                registry = observe.get_registry()
+                prefix = registry.current_path()
+                wrapped = functools.partial(_observed_call, fn)
+                with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+                    pairs = list(pool.map(wrapped, todo, chunksize=max(1, chunksize)))
+                computed = []
+                for res, snap in pairs:
+                    computed.append(res)
+                    registry.merge(snap, span_prefix=prefix)
+            for i, res in zip(pending, computed):
+                results[i] = res
+                if cache is not None:
+                    cache.store(namespace, (key_extra, cells[i]), res)
     return results

@@ -20,6 +20,7 @@ from typing import Callable
 
 import numpy as np
 
+import repro.observe as observe
 from repro.dag.graph import DAG
 from repro.resources.collection import ResourceCollection
 
@@ -224,8 +225,19 @@ def list_schedulers() -> list[str]:
 
 
 def schedule_dag(name: str, dag: DAG, rc: ResourceCollection, **kwargs) -> Schedule:
-    """Schedule ``dag`` on ``rc`` with the named heuristic."""
-    return get_scheduler(name)(dag, rc, **kwargs)
+    """Schedule ``dag`` on ``rc`` with the named heuristic.
+
+    Every run is metered (:mod:`repro.observe`): one ``schedule_dag`` span
+    plus ``scheduler.runs`` / ``scheduler.tasks_scheduled`` counters and a
+    per-heuristic run counter.
+    """
+    fn = get_scheduler(name)
+    with observe.span("schedule_dag"):
+        schedule = fn(dag, rc, **kwargs)
+    observe.inc("scheduler.runs")
+    observe.inc(f"scheduler.runs.{name}")
+    observe.inc("scheduler.tasks_scheduled", dag.n)
+    return schedule
 
 
 def _ensure_loaded() -> None:

@@ -78,6 +78,35 @@ def test_alternatives_skip_faster_clocks(tiny_size_model):
     assert alts[0][0].clock_max_mhz == pytest.approx(1500.0)
 
 
+def test_alternatives_offer_faster_bands_when_nothing_slower(tiny_size_model):
+    # Regression: asking for 3.0 GHz in an environment that only has faster
+    # bands used to return [] — a faster band trivially fulfills the
+    # request and must be offered, capped at the original RC size.
+    dag = montage_dag(montage_level_counts(15), ccr=0.01)
+    gen = ResourceSpecificationGenerator(tiny_size_model, target_clock_ghz=3.0)
+    spec = gen.generate(dag)
+    alts = alternative_specifications(dag, spec, (3.6, 3.3), max_size=60)
+    assert len(alts) == 2
+    for alt, turn in alts:
+        assert alt.clock_max_mhz > spec.clock_max_mhz
+        assert alt.size <= spec.size
+        assert alt.min_size <= alt.size
+        assert turn > 0
+    turns = [t for _, t in alts]
+    assert turns == sorted(turns)
+
+
+def test_alternatives_still_prefer_degrading_when_possible(tiny_size_model):
+    # With at least one band at-or-below the request, faster bands stay
+    # excluded (the Fig. VII-6 degradation axis).
+    dag = montage_dag(montage_level_counts(15), ccr=0.01)
+    gen = ResourceSpecificationGenerator(tiny_size_model, target_clock_ghz=3.0)
+    spec = gen.generate(dag)
+    alts = alternative_specifications(dag, spec, (3.6, 2.4), max_size=60)
+    assert len(alts) == 1
+    assert alts[0][0].clock_max_mhz == pytest.approx(2400.0)
+
+
 def test_alternatives_preserve_min_size_fraction(tiny_size_model):
     dag = montage_dag(montage_level_counts(15), ccr=0.01)
     gen = ResourceSpecificationGenerator(tiny_size_model, target_clock_ghz=3.5)

@@ -1,5 +1,7 @@
 """Tests for the chapter runner CLI (smoke scale, cheapest chapter only)."""
 
+import json
+
 import pytest
 
 from repro.experiments import runner
@@ -99,3 +101,100 @@ def test_chapter4_jobs_does_not_change_output(capsys):
     assert runner.main(["--chapter", "4", "--scale", "smoke", "--jobs", "2"]) == 0
     parallel = _tables(capsys.readouterr().out)
     assert serial == parallel
+
+
+def test_metrics_out_and_trace(tmp_path, capsys):
+    metrics = tmp_path / "m.json"
+    assert (
+        runner.main(
+            [
+                "--chapter",
+                "4",
+                "--scale",
+                "smoke",
+                "--metrics-out",
+                str(metrics),
+                "--trace",
+            ]
+        )
+        == 0
+    )
+    data = json.loads(metrics.read_text())
+    assert data["schema"] == 1
+    assert data["counters"]["scheduler.runs"] > 0
+    assert data["counters"]["scheduler.tasks_scheduled"] > 0
+    assert "chapter4" in data["spans"]
+    assert any(path.endswith("schedule_dag") for path in data["spans"])
+    err = capsys.readouterr().err
+    assert "spans (wall-clock):" in err
+    assert "counters:" in err
+
+
+def test_cli_forwards_trace_and_metrics_out(monkeypatch, tmp_path):
+    from repro.cli import main
+
+    seen = {}
+
+    def fake_main(argv):
+        seen["argv"] = argv
+        return 0
+
+    monkeypatch.setattr(runner, "main", fake_main)
+    out = str(tmp_path / "m.json")
+    assert (
+        main(
+            [
+                "experiments",
+                "--chapter",
+                "4",
+                "--scale",
+                "smoke",
+                "--trace",
+                "--metrics-out",
+                out,
+            ]
+        )
+        == 0
+    )
+    argv = seen["argv"]
+    assert "--trace" in argv
+    assert argv[argv.index("--metrics-out") + 1] == out
+
+
+def _chapter5_metrics(tmp_path, jobs: int, tag: str) -> dict:
+    metrics = tmp_path / f"metrics-{tag}.json"
+    assert (
+        runner.main(
+            [
+                "--chapter",
+                "5",
+                "--scale",
+                "smoke",
+                "--seed",
+                "0",
+                "--jobs",
+                str(jobs),
+                "--cache-dir",
+                str(tmp_path / f"cache-{tag}"),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        == 0
+    )
+    return json.loads(metrics.read_text())
+
+
+@pytest.mark.slow
+def test_chapter5_counter_totals_independent_of_jobs(tmp_path):
+    # The acceptance check for the observability layer: a chapter-5 smoke
+    # run emits span timings and cache hit/miss counters, and the counter
+    # totals are identical for --jobs 1 and --jobs 4 (worker metrics are
+    # merged back through map_cells).
+    serial = _chapter5_metrics(tmp_path, jobs=1, tag="j1")
+    parallel = _chapter5_metrics(tmp_path, jobs=4, tag="j4")
+    assert serial["counters"] == parallel["counters"]
+    assert serial["counters"]["cache.misses"] > 0
+    assert serial["counters"]["knee.evaluations"] > 0
+    assert "chapter5" in serial["spans"]
+    assert any(path.endswith("schedule_dag") for path in serial["spans"])

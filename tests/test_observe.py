@@ -1,0 +1,238 @@
+"""Tests for the tracing/metrics subsystem (repro.observe)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+import repro.observe as observe
+from repro.observe import SCHEMA_VERSION, MetricsRegistry
+from repro.parallel import ResultCache, map_cells
+
+
+# ----------------------------------------------------------------------
+# Counters / gauges
+# ----------------------------------------------------------------------
+def test_counter_increments_and_defaults():
+    reg = MetricsRegistry()
+    reg.inc("a")
+    reg.inc("a", 4)
+    reg.inc("b", 2.5)
+    snap = reg.snapshot()
+    assert snap["counters"] == {"a": 5, "b": 2.5}
+
+
+def test_gauge_last_write_wins():
+    reg = MetricsRegistry()
+    reg.gauge("jobs", 1)
+    reg.gauge("jobs", 8)
+    assert reg.snapshot()["gauges"] == {"jobs": 8}
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+def test_span_nesting_builds_paths():
+    reg = MetricsRegistry()
+    with reg.span("outer"):
+        with reg.span("inner"):
+            pass
+        with reg.span("inner"):
+            pass
+    spans = reg.snapshot()["spans"]
+    assert set(spans) == {"outer", "outer/inner"}
+    assert spans["outer"]["count"] == 1
+    assert spans["outer/inner"]["count"] == 2
+    assert spans["outer"]["total_s"] >= spans["outer/inner"]["total_s"]
+
+
+def test_span_aggregates_min_max():
+    reg = MetricsRegistry()
+    for _ in range(5):
+        with reg.span("s"):
+            pass
+    stat = reg.snapshot()["spans"]["s"]
+    assert stat["count"] == 5
+    assert 0 <= stat["min_s"] <= stat["max_s"] <= stat["total_s"]
+
+
+def test_span_stack_unwinds_on_exception():
+    reg = MetricsRegistry()
+    with pytest.raises(RuntimeError):
+        with reg.span("boom"):
+            raise RuntimeError("x")
+    assert reg.current_path() == ""
+    assert reg.snapshot()["spans"]["boom"]["count"] == 1
+
+
+def test_current_path():
+    reg = MetricsRegistry()
+    assert reg.current_path() == ""
+    with reg.span("a"):
+        with reg.span("b"):
+            assert reg.current_path() == "a/b"
+
+
+# ----------------------------------------------------------------------
+# Thread safety
+# ----------------------------------------------------------------------
+def test_concurrent_counters_and_spans_are_exact():
+    reg = MetricsRegistry()
+    n_threads, n_iter = 8, 500
+
+    def work(tid: int) -> None:
+        for _ in range(n_iter):
+            reg.inc("hits")
+            with reg.span("worker"):
+                with reg.span(f"t{tid}"):
+                    pass
+
+    threads = [threading.Thread(target=work, args=(t,)) for t in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    snap = reg.snapshot()
+    assert snap["counters"]["hits"] == n_threads * n_iter
+    assert snap["spans"]["worker"]["count"] == n_threads * n_iter
+    # Per-thread span stacks: every thread's nested path is intact.
+    for tid in range(n_threads):
+        assert snap["spans"][f"worker/t{tid}"]["count"] == n_iter
+
+
+# ----------------------------------------------------------------------
+# Snapshot / merge / JSON schema
+# ----------------------------------------------------------------------
+def test_snapshot_schema_and_json_round_trip():
+    reg = MetricsRegistry()
+    reg.inc("c", 3)
+    reg.gauge("g", 1.5)
+    with reg.span("s"):
+        pass
+    snap = json.loads(reg.to_json())
+    assert snap["schema"] == SCHEMA_VERSION
+    assert set(snap) == {"schema", "counters", "gauges", "spans"}
+    assert snap["counters"]["c"] == 3
+    assert snap["gauges"]["g"] == 1.5
+    assert set(snap["spans"]["s"]) == {"total_s", "count", "min_s", "max_s"}
+
+
+def test_merge_adds_counters_and_accumulates_spans():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for reg in (a, b):
+        reg.inc("n", 2)
+        with reg.span("s"):
+            pass
+    a.merge(b.snapshot())
+    snap = a.snapshot()
+    assert snap["counters"]["n"] == 4
+    assert snap["spans"]["s"]["count"] == 2
+
+
+def test_merge_with_span_prefix_reroots_paths():
+    parent, worker = MetricsRegistry(), MetricsRegistry()
+    with worker.span("cell"):
+        pass
+    with parent.span("sweep"):
+        parent.merge(worker.snapshot(), span_prefix=parent.current_path())
+    assert "sweep/cell" in parent.snapshot()["spans"]
+
+
+def test_reset_clears_everything():
+    reg = MetricsRegistry()
+    reg.inc("x")
+    reg.gauge("y", 1)
+    with reg.span("z"):
+        pass
+    reg.reset()
+    snap = reg.snapshot()
+    assert snap["counters"] == {} and snap["gauges"] == {} and snap["spans"] == {}
+
+
+# ----------------------------------------------------------------------
+# Module-level helpers / registry scoping
+# ----------------------------------------------------------------------
+def test_use_registry_isolates_and_restores():
+    inner = MetricsRegistry()
+    before = observe.get_registry()
+    with observe.use_registry(inner) as reg:
+        assert observe.get_registry() is inner is reg
+        observe.inc("scoped")
+        with observe.span("scoped_span"):
+            pass
+    assert observe.get_registry() is before
+    snap = inner.snapshot()
+    assert snap["counters"]["scoped"] == 1
+    assert "scoped_span" in snap["spans"]
+    assert "scoped" not in before.snapshot()["counters"]
+
+
+def test_render_table_mentions_all_sections():
+    reg = MetricsRegistry()
+    reg.inc("scheduler.runs", 7)
+    reg.gauge("parallel.jobs", 2)
+    with reg.span("chapter5"):
+        with reg.span("sweep"):
+            pass
+    table = reg.render_table()
+    assert "spans (wall-clock):" in table
+    assert "counters:" in table
+    assert "gauges:" in table
+    assert "scheduler.runs" in table and "7" in table
+    assert "chapter5" in table and "sweep" in table
+
+
+def test_render_table_empty_registry():
+    assert "no metrics" in MetricsRegistry().render_table()
+
+
+# ----------------------------------------------------------------------
+# Worker metrics round-trip through map_cells
+# ----------------------------------------------------------------------
+def _metered_square(x: int) -> int:
+    observe.inc("cells.metered")
+    observe.inc("cells.work", x)
+    with observe.span("cell"):
+        return x * x
+
+
+def _run_map(jobs: int) -> tuple[list[int], dict]:
+    reg = MetricsRegistry()
+    with observe.use_registry(reg):
+        with reg.span("top"):
+            out = map_cells(_metered_square, [1, 2, 3, 4], jobs=jobs)
+    return out, reg.snapshot()
+
+
+def test_worker_metrics_merge_matches_serial():
+    out1, snap1 = _run_map(1)
+    out2, snap2 = _run_map(2)
+    assert out1 == out2 == [1, 4, 9, 16]
+    # Counter totals must not depend on the worker count.
+    assert snap1["counters"] == snap2["counters"]
+    assert snap1["counters"]["cells.metered"] == 4
+    assert snap1["counters"]["cells.work"] == 10
+    # Worker spans re-root under the parent's active span path, so serial
+    # and parallel runs produce the same span tree.
+    assert "top/map_cells/cell" in snap1["spans"]
+    assert "top/map_cells/cell" in snap2["spans"]
+    assert snap2["spans"]["top/map_cells/cell"]["count"] == 4
+
+
+def test_cache_hit_miss_counters(tmp_path):
+    cache = ResultCache(tmp_path)
+    reg = MetricsRegistry()
+    with observe.use_registry(reg):
+        map_cells(_metered_square, [1, 2], cache=cache, namespace="sq", key_extra="v1")
+        map_cells(_metered_square, [1, 2], cache=cache, namespace="sq", key_extra="v1")
+    counters = reg.snapshot()["counters"]
+    assert counters["cache.misses"] == 2
+    assert counters["cache.hits"] == 2
+    assert counters["cache.misses.sq"] == 2
+    assert counters["cache.hits.sq"] == 2
+    # The second call computed nothing.
+    assert counters["cells.metered"] == 2
+    assert counters["parallel.cells_computed"] == 2
+    assert counters["parallel.cells_total"] == 4

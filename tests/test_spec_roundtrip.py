@@ -1,0 +1,144 @@
+"""Round-trip property tests: every generated specification must parse
+under our own language frontends (vgDL, ClassAds, SWORD), including for
+adversarial DAG names and owner strings (regression: `fork join & <x>`
+used to make ``to_sword_xml`` emit ill-formed XML)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.generator as generator_mod
+from repro.core.generator import ResourceSpecification, sanitize_dag_name
+from repro.selection.classad import parse_classad
+from repro.selection.sword import parse_sword_query
+from repro.selection.vgdl import parse_vgdl
+
+HEURISTICS = st.sampled_from(("mcp", "dls", "fca", "fcfs", "greedy"))
+#: Free-form text with the markup/quoting characters that used to break
+#: the renderers, plus arbitrary unicode (controls included — the XML
+#: renderer must drop what XML 1.0 cannot carry).
+ADVERSARIAL_TEXT = st.text(max_size=40) | st.text(
+    alphabet='&<>"\'\\/(){}[]; \t\n‘’', max_size=20
+)
+
+
+@st.composite
+def specs(draw):
+    size = draw(st.integers(min_value=1, max_value=2000))
+    min_size = draw(st.integers(min_value=1, max_value=size))
+    clock_min = draw(st.floats(min_value=1.0, max_value=1e6, allow_nan=False))
+    clock_max = clock_min * draw(st.floats(min_value=1.0, max_value=4.0))
+    return ResourceSpecification(
+        heuristic=draw(HEURISTICS),
+        size=size,
+        min_size=min_size,
+        clock_min_mhz=clock_min,
+        clock_max_mhz=clock_max,
+        connectivity=draw(st.sampled_from(("tight", "loose"))),
+        threshold=draw(st.floats(min_value=0.0001, max_value=0.5)),
+        dag_name=draw(ADVERSARIAL_TEXT),
+    )
+
+
+@given(spec=specs())
+@settings(max_examples=150, deadline=None)
+def test_vgdl_round_trip(spec):
+    parsed = parse_vgdl(spec.to_vgdl())
+    agg = parsed.aggregates[0]
+    assert (agg.lo, agg.hi) == (spec.min_size, spec.size)
+    assert agg.kind == ("TightBagOf" if spec.connectivity == "tight" else "LooseBagOf")
+    assert agg.rank is not None and agg.rank.unparse() == "Nodes"
+
+
+@given(spec=specs(), owner=ADVERSARIAL_TEXT, cmd=ADVERSARIAL_TEXT)
+@settings(max_examples=150, deadline=None)
+def test_classad_round_trip(spec, owner, cmd):
+    ad = parse_classad(spec.to_classad(owner=owner, cmd=cmd))
+    assert ad["Owner"].value == owner
+    assert ad["Cmd"].value == cmd
+    assert ad["SchedulingHeuristic"].value == spec.heuristic
+    port = ad["Ports"].items[0].ad
+    assert port["Count"].value == spec.size
+
+
+@given(spec=specs())
+@settings(max_examples=150, deadline=None)
+def test_sword_round_trip(spec):
+    query = parse_sword_query(spec.to_sword_xml())
+    group = query.groups[0]
+    assert group.num_machines == spec.size
+    assert group.name.endswith("_rc")
+    clock = [r for r in group.numeric if r.attr == "clock"]
+    assert clock and clock[0].required_lo == pytest.approx(spec.clock_min_mhz, abs=0.05)
+
+
+# ----------------------------------------------------------------------
+# Regressions for the confirmed escaping bug
+# ----------------------------------------------------------------------
+def _spec(name):
+    return ResourceSpecification(
+        heuristic="mcp",
+        size=16,
+        min_size=14,
+        clock_min_mhz=2100.0,
+        clock_max_mhz=3000.0,
+        connectivity="tight",
+        threshold=0.001,
+        dag_name=name,
+    )
+
+
+def test_sword_xml_escapes_ampersand_and_angle_brackets():
+    # Used to raise SwordError("invalid XML ...").
+    query = parse_sword_query(_spec("fork join & <x>").to_sword_xml())
+    assert query.groups[0].name == "fork join & <x>_rc"
+
+
+def test_sword_xml_drops_illegal_xml_codepoints():
+    query = parse_sword_query(_spec("a\x00b\x01c").to_sword_xml())
+    assert query.groups[0].name == "abc_rc"
+
+
+def test_classad_escapes_quote_injection():
+    evil = 'x"; Cmd = "rm -rf /'
+    ad = parse_classad(_spec("d").to_classad(owner=evil, cmd="run"))
+    assert ad["Owner"].value == evil
+    assert ad["Cmd"].value == "run"
+
+
+def test_classad_escapes_backslashes():
+    ad = parse_classad(_spec("d").to_classad(owner="a\\b\\", cmd='q"q'))
+    assert ad["Owner"].value == "a\\b\\"
+    assert ad["Cmd"].value == 'q"q'
+
+
+# ----------------------------------------------------------------------
+# dag-name sanitization in generate()
+# ----------------------------------------------------------------------
+def test_sanitize_dag_name():
+    assert sanitize_dag_name("montage(levels=20)") == "montage"
+    assert sanitize_dag_name("fork join & <x>") == "fork_join_x"
+    assert sanitize_dag_name("  ") == "dag"
+    assert sanitize_dag_name("((((") == "dag"
+    assert sanitize_dag_name("ok_name-1.2") == "ok_name-1.2"
+
+
+def test_generate_sanitizes_dag_name(tiny_size_model, small_montage):
+    from dataclasses import replace
+
+    from repro.core.generator import ResourceSpecificationGenerator
+
+    dag = replace(small_montage, name="fork join & <x> (v=1)")
+    spec = ResourceSpecificationGenerator(tiny_size_model).generate(dag)
+    assert spec.dag_name == "fork_join_x"
+    parse_sword_query(spec.to_sword_xml())
+
+
+# ----------------------------------------------------------------------
+# Doc/renderer agreement (Fig. VII-5 rank preference)
+# ----------------------------------------------------------------------
+def test_vgdl_rank_matches_module_docstring():
+    assert "[rank = Nodes]" in _spec("d").to_vgdl()
+    assert "``rank = Nodes``" in generator_mod.__doc__

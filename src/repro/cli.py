@@ -16,12 +16,39 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from typing import Any, Callable
 
 from repro.core.heuristic_model import HeuristicPredictionModel
 from repro.core.size_model import ObservationGrid, SizePredictionModel
 
 __all__ = ["main"]
+
+
+class CliError(Exception):
+    """A user-facing error: printed as one line to stderr, exit code 2."""
+
+
+def _load_model(loader: Callable[[Any], Any], path: str, what: str) -> Any:
+    """Load a model file, mapping failures to a one-line :class:`CliError`.
+
+    A missing or corrupt model file is an operator mistake, not a bug —
+    it gets a readable message and exit code 2, never a traceback.
+    """
+    try:
+        return loader(path)
+    except FileNotFoundError:
+        raise CliError(f"{what} file not found: {path}") from None
+    except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError, ValueError, OSError) as exc:
+        raise CliError(f"cannot load {what} from {path}: {exc}") from None
+
+
+def _save_model(model: Any, path: str, what: str) -> None:
+    try:
+        model.save(path)
+    except OSError as exc:
+        raise CliError(f"cannot write {what} to {path}: {exc}") from None
 
 _GRIDS = {
     "tiny": ObservationGrid(
@@ -47,7 +74,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     grid = _GRIDS[args.grid]
     print(f"training size model on the {args.grid!r} grid ...", file=sys.stderr)
     model = SizePredictionModel.train(grid, seed=args.seed, jobs=args.jobs)
-    model.save(args.output)
+    _save_model(model, args.output, "size model")
     print(f"size model saved to {args.output}")
     if args.heuristic_output:
         hgrid = ObservationGrid(
@@ -59,15 +86,15 @@ def _cmd_train(args: argparse.Namespace) -> int:
         )
         print("training heuristic model ...", file=sys.stderr)
         hmodel = HeuristicPredictionModel.train(hgrid, seed=args.seed, jobs=args.jobs)
-        hmodel.save(args.heuristic_output)
+        _save_model(hmodel, args.heuristic_output, "heuristic model")
         print(f"heuristic model saved to {args.heuristic_output}")
     return 0
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    model = SizePredictionModel.load(args.model)
+    model = _load_model(SizePredictionModel.load, args.model, "size model")
     hmodel = (
-        HeuristicPredictionModel.load(args.heuristic_model)
+        _load_model(HeuristicPredictionModel.load, args.heuristic_model, "heuristic model")
         if args.heuristic_model
         else None
     )
@@ -105,6 +132,13 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     argv += ["--all"] if args.chapter is None else ["--chapter", str(args.chapter)]
     if args.jobs is not None:
         argv += ["--jobs", str(args.jobs)]
+    if args.cache_dir is not None:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.no_cache:
+        argv += ["--no-cache"]
+    argv += ["--max-retries", str(args.max_retries), "--on-error", args.on_error]
+    if args.cell_timeout is not None:
+        argv += ["--cell-timeout", str(args.cell_timeout)]
     if args.trace:
         argv += ["--trace"]
     if args.metrics_out is not None:
@@ -154,6 +188,33 @@ def main(argv: list[str] | None = None) -> int:
         help="parallel workers (default: REPRO_JOBS or 1; 0 = all cores)",
     )
     p_exp.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result cache location (default: the runner's .repro_cache)",
+    )
+    p_exp.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk result cache"
+    )
+    p_exp.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="extra attempts per failing sweep cell (default 2)",
+    )
+    p_exp.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per cell attempt (enforced for --jobs > 1)",
+    )
+    p_exp.add_argument(
+        "--on-error",
+        choices=("raise", "retry", "skip"),
+        default="raise",
+        help="failed-cell discipline (default raise; see the runner docs)",
+    )
+    p_exp.add_argument(
         "--trace",
         action="store_true",
         help="print the tracing/metrics table to stderr after the run",
@@ -167,7 +228,11 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.set_defaults(fn=_cmd_experiments)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,23 +10,37 @@ it under the experiments namespace, next to the sweeps it powers::
 from repro.parallel import (
     DEFAULT_CACHE_DIR,
     MISS,
+    CellFailure,
+    FaultPolicy,
     ResultCache,
+    SweepError,
+    backoff_delay,
     canonical_key,
     cell_digest,
+    get_fault_policy,
     map_cells,
     resolve_jobs,
     rng_for_cell,
     seed_for_cell,
+    set_fault_policy,
+    use_fault_policy,
 )
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "MISS",
+    "CellFailure",
+    "FaultPolicy",
     "ResultCache",
+    "SweepError",
+    "backoff_delay",
     "canonical_key",
     "cell_digest",
+    "get_fault_policy",
     "map_cells",
     "resolve_jobs",
     "rng_for_cell",
     "seed_for_cell",
+    "set_fault_policy",
+    "use_fault_policy",
 ]

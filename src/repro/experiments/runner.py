@@ -13,9 +13,19 @@ and a code version tag.
 
 ``--trace`` prints the :mod:`repro.observe` span/counter table to stderr
 after the run; ``--metrics-out PATH`` writes the same registry as JSON.
-Counter totals are identical for every ``--jobs`` value (workers ship
-their metrics back through ``map_cells``); only wall-clock span values
-differ.
+Both are emitted even when a chapter fails part-way — a crashed run is
+exactly when you want its metrics.  Counter totals are identical for
+every ``--jobs`` value (workers ship their metrics back through
+``map_cells``); only wall-clock span values differ.
+
+``--max-retries`` / ``--cell-timeout`` / ``--on-error`` configure the
+fault policy (:class:`repro.parallel.FaultPolicy`) applied to every
+sweep of the run: per-cell retries with deterministic backoff, per-cell
+timeouts, and whether an exhausted cell aborts (``raise``, the default),
+raises after retrying (``retry``), or is skipped as a structured
+``CellFailure`` (``skip``).  Because every completed cell is checkpointed
+into the cache as it finishes, re-running an interrupted sweep with the
+same cache recomputes only the unfinished cells.
 """
 
 from __future__ import annotations
@@ -34,7 +44,13 @@ from repro.experiments import chapter6 as c6
 from repro.experiments import chapter7 as c7
 from repro.experiments.scales import Scale, get_scale
 from repro.experiments.tables import print_table
-from repro.parallel import DEFAULT_CACHE_DIR, MISS, ResultCache
+from repro.parallel import (
+    DEFAULT_CACHE_DIR,
+    MISS,
+    FaultPolicy,
+    ResultCache,
+    use_fault_policy,
+)
 
 __all__ = ["run_chapter4", "run_chapter5", "run_chapter6", "run_chapter7", "main"]
 
@@ -217,6 +233,26 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache", action="store_true", help="disable the on-disk result cache"
     )
     parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="extra attempts per failing sweep cell (default 2)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per cell attempt (enforced for --jobs > 1)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=("raise", "retry", "skip"),
+        default="raise",
+        help="failed-cell discipline: abort immediately, retry then abort, "
+        "or skip the cell as a structured failure (default raise)",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="print the span/counter table to stderr when the run finishes",
@@ -235,27 +271,40 @@ def main(argv: list[str] | None = None) -> int:
         chapters = [4, 5, 6, 7]
     if not chapters:
         parser.error("pass --chapter N or --all")
+    policy = FaultPolicy(
+        max_retries=args.max_retries,
+        cell_timeout=args.cell_timeout,
+        on_error=args.on_error,
+    )
+    if cache_dir is not None:
+        # Sweep start: clear temp-file droppings a killed run left behind.
+        ResultCache(cache_dir).prune_tmp()
     # A fresh registry per invocation: metrics describe this run only,
     # even when main() is called repeatedly in-process (tests, notebooks).
     with observe.use_registry(observe.MetricsRegistry()) as registry:
-        for ch in chapters:
-            print(f"===== Chapter {ch} ({scale.name} scale) =====")
-            t0 = time.perf_counter()
-            with registry.span(f"chapter{ch}"):
-                if ch == 4:
-                    run_chapter4(scale, seed=args.seed, jobs=args.jobs)
-                elif ch == 5:
-                    run_chapter5(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
-                elif ch == 6:
-                    run_chapter6(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
-                else:
-                    run_chapter7(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
-            print(f"===== Chapter {ch} done in {time.perf_counter() - t0:.1f}s =====\n")
-        if args.metrics_out:
-            Path(args.metrics_out).write_text(registry.to_json())
-            print(f"[metrics] written to {args.metrics_out}", file=sys.stderr)
-        if args.trace:
-            print(registry.render_table(), file=sys.stderr)
+        # try/finally: a chapter that raises must still emit its metrics —
+        # a failed run is exactly when the trace is needed.
+        try:
+            with use_fault_policy(policy):
+                for ch in chapters:
+                    print(f"===== Chapter {ch} ({scale.name} scale) =====")
+                    t0 = time.perf_counter()
+                    with registry.span(f"chapter{ch}"):
+                        if ch == 4:
+                            run_chapter4(scale, seed=args.seed, jobs=args.jobs)
+                        elif ch == 5:
+                            run_chapter5(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
+                        elif ch == 6:
+                            run_chapter6(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
+                        else:
+                            run_chapter7(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
+                    print(f"===== Chapter {ch} done in {time.perf_counter() - t0:.1f}s =====\n")
+        finally:
+            if args.metrics_out:
+                Path(args.metrics_out).write_text(registry.to_json())
+                print(f"[metrics] written to {args.metrics_out}", file=sys.stderr)
+            if args.trace:
+                print(registry.render_table(), file=sys.stderr)
     return 0
 
 

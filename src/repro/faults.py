@@ -1,0 +1,185 @@
+"""Deterministic fault injection for the parallel experiment engine.
+
+Long sweeps must survive the failure modes a real fleet throws at them:
+a cell raising a transient exception, a worker hanging, a worker being
+hard-killed (OOM killer, node reboot).  This module provides a
+*deterministic* chaos knob used by the test suite — and available on any
+run via the ``REPRO_FAULTS`` environment variable — to prove every
+recovery path in :func:`repro.parallel.map_cells`.
+
+Determinism is the whole point: whether a given cell faults, and how,
+is a pure function of ``(injector seed, cell digest, attempt number)``.
+No wall-clock randomness, no global state — the same spec produces the
+same faults on every run, in every process, for any worker count, so a
+faulted-and-recovered sweep can be asserted bit-identical to a clean one.
+
+Fault kinds
+-----------
+``raise``
+    The attempt raises :class:`InjectedFault` before the cell function
+    runs.
+``hang``
+    The attempt sleeps for ``hang_s`` seconds (default: an hour),
+    simulating a wedged worker.  Pair with ``FaultPolicy.cell_timeout``.
+``kill``
+    The worker process dies via ``os._exit`` — no exception, no cleanup,
+    exactly like a SIGKILL.  The parent sees ``BrokenProcessPool``.
+
+By default a doomed cell faults only on its first attempt
+(``attempts=1``), so a retrying executor recovers it; ``attempts=0``
+makes the fault permanent (a *poison* cell), which exercises quarantine.
+
+Spec strings
+------------
+``REPRO_FAULTS="raise=0.1,kill=0.02,hang=0,seed=7,attempts=1,hang_s=3600"``
+— any subset of keys; probabilities are per *cell* (the three kinds are
+mutually exclusive slices of one uniform draw).  :func:`parse_spec`
+builds the injector, :func:`from_env` reads the variable.
+
+.. warning::
+   With ``jobs=1`` the cell runs in the calling process: an injected
+   ``kill`` terminates *that process*, and a ``hang`` cannot be timed
+   out.  Use ``kill``/``hang`` injection only with ``jobs > 1``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "FaultInjector",
+    "InjectedFault",
+    "from_env",
+    "parse_spec",
+]
+
+#: Environment variable holding a fault spec string (see module docstring).
+ENV_VAR = "REPRO_FAULTS"
+
+#: Exit status used by injected worker kills (distinguishable in logs
+#: from ordinary crashes).
+KILL_EXIT_CODE = 43
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a ``raise``-kind injected fault."""
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Seeded, picklable decider of per-cell injected faults.
+
+    ``raise_p`` / ``hang_p`` / ``kill_p`` are mutually exclusive slices
+    of a single uniform draw per cell — derived from ``(seed, digest)``
+    only — so raising the kill probability never changes *which* cells
+    raise.  ``attempts`` caps how many attempts of a doomed cell fault
+    (``0`` = every attempt, i.e. a permanent fault).
+    """
+
+    raise_p: float = 0.0
+    hang_p: float = 0.0
+    kill_p: float = 0.0
+    seed: int = 0
+    attempts: int = 1
+    hang_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        for name in ("raise_p", "hang_p", "kill_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p!r}")
+        if self.raise_p + self.hang_p + self.kill_p > 1.0:
+            raise ValueError("fault probabilities must sum to at most 1")
+        if self.attempts < 0:
+            raise ValueError(f"attempts must be >= 0, got {self.attempts!r}")
+        if self.hang_s <= 0:
+            raise ValueError(f"hang_s must be positive, got {self.hang_s!r}")
+
+    # ------------------------------------------------------------------
+    def draw(self, digest: str) -> float:
+        """The uniform [0, 1) draw for a cell — pure in (seed, digest)."""
+        h = hashlib.sha256(f"faults:{self.seed}:{digest}".encode("utf-8")).digest()
+        return int.from_bytes(h[:8], "little") / 2**64
+
+    def decide(self, digest: str, attempt: int = 1) -> str | None:
+        """The fault for ``(cell digest, attempt)``: a kind name or ``None``.
+
+        Pure and side-effect free — tests use it to predict exactly which
+        cells of a sweep will fault under a given spec.
+        """
+        if self.attempts and attempt > self.attempts:
+            return None
+        u = self.draw(digest)
+        if u < self.raise_p:
+            return "raise"
+        if u < self.raise_p + self.hang_p:
+            return "hang"
+        if u < self.raise_p + self.hang_p + self.kill_p:
+            return "kill"
+        return None
+
+    def fire(self, digest: str, attempt: int = 1) -> None:
+        """Execute the decided fault (if any) for this attempt."""
+        kind = self.decide(digest, attempt)
+        if kind is None:
+            return
+        if kind == "raise":
+            raise InjectedFault(
+                f"injected fault: cell {digest[:12]} attempt {attempt}"
+            )
+        if kind == "hang":
+            time.sleep(self.hang_s)
+            return
+        # "kill": die the way a SIGKILLed worker dies — no exception
+        # propagation, no atexit, nothing for the pool to catch.
+        os._exit(KILL_EXIT_CODE)
+
+    def permanent(self) -> "FaultInjector":
+        """A copy whose faults fire on every attempt (poison cells)."""
+        return replace(self, attempts=0)
+
+
+# ----------------------------------------------------------------------
+# Spec parsing / environment activation
+# ----------------------------------------------------------------------
+_SPEC_KEYS = {
+    "raise": ("raise_p", float),
+    "hang": ("hang_p", float),
+    "kill": ("kill_p", float),
+    "seed": ("seed", int),
+    "attempts": ("attempts", int),
+    "hang_s": ("hang_s", float),
+}
+
+
+def parse_spec(spec: str) -> FaultInjector:
+    """Build a :class:`FaultInjector` from a ``k=v,k=v`` spec string."""
+    kwargs: dict[str, object] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        if not sep or key not in _SPEC_KEYS:
+            known = ", ".join(sorted(_SPEC_KEYS))
+            raise ValueError(
+                f"bad fault spec item {item!r} (known keys: {known})"
+            )
+        field, cast = _SPEC_KEYS[key]
+        try:
+            kwargs[field] = cast(value.strip())
+        except ValueError:
+            raise ValueError(f"bad value in fault spec item {item!r}") from None
+    return FaultInjector(**kwargs)  # type: ignore[arg-type]
+
+
+def from_env() -> FaultInjector | None:
+    """The injector described by ``REPRO_FAULTS``, or ``None`` if unset."""
+    spec = os.environ.get(ENV_VAR, "").strip()
+    if not spec:
+        return None
+    return parse_spec(spec)

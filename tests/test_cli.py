@@ -89,3 +89,101 @@ def test_train_writes_model(tmp_path, capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# ----------------------------------------------------------------------
+# Missing / corrupt model files: one-line error, exit code 2
+# ----------------------------------------------------------------------
+_PREDICT_ARGS = [
+    "--size", "100", "--ccr", "0.1", "--parallelism", "0.6", "--regularity", "0.5",
+]
+
+
+def test_predict_missing_model_exits_2(tmp_path, capsys):
+    rc = main(["predict", "--model", str(tmp_path / "nope.json"), *_PREDICT_ARGS])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: size model file not found")
+    assert "Traceback" not in err
+    assert len(err.strip().splitlines()) == 1
+
+
+def test_predict_corrupt_model_exits_2(tmp_path, capsys):
+    bad = tmp_path / "corrupt.json"
+    bad.write_text("{not json")
+    rc = main(["predict", "--model", str(bad), *_PREDICT_ARGS])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot load size model")
+    assert "Traceback" not in err
+
+
+def test_predict_wrong_schema_model_exits_2(tmp_path, capsys):
+    bad = tmp_path / "schema.json"
+    bad.write_text(json.dumps({"something": "else"}))
+    rc = main(["predict", "--model", str(bad), *_PREDICT_ARGS])
+    assert rc == 2
+    assert capsys.readouterr().err.startswith("error: cannot load size model")
+
+
+def test_predict_corrupt_heuristic_model_exits_2(model_path, tmp_path, capsys):
+    bad = tmp_path / "h.json"
+    bad.write_text("garbage")
+    rc = main(
+        ["predict", "--model", model_path, "--heuristic-model", str(bad), *_PREDICT_ARGS]
+    )
+    assert rc == 2
+    assert capsys.readouterr().err.startswith("error: cannot load heuristic model")
+
+
+def test_train_unwritable_output_exits_2(tmp_path, capsys):
+    missing_dir = tmp_path / "no" / "such" / "dir" / "m.json"
+    rc = main(["train", "--grid", "tiny", "--output", str(missing_dir)])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "error: cannot write size model" in err
+    assert "Traceback" not in err
+
+
+# ----------------------------------------------------------------------
+# experiments subcommand forwards cache and fault-policy flags
+# ----------------------------------------------------------------------
+def _forwarded_argv(monkeypatch, cli_args):
+    from repro.experiments import runner
+
+    seen = {}
+
+    def fake_main(argv):
+        seen["argv"] = argv
+        return 0
+
+    monkeypatch.setattr(runner, "main", fake_main)
+    assert main(["experiments", "--chapter", "4", "--scale", "smoke", *cli_args]) == 0
+    return seen["argv"]
+
+
+def test_experiments_forwards_cache_dir(monkeypatch, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    argv = _forwarded_argv(monkeypatch, ["--cache-dir", cache_dir])
+    assert argv[argv.index("--cache-dir") + 1] == cache_dir
+
+
+def test_experiments_forwards_no_cache(monkeypatch):
+    argv = _forwarded_argv(monkeypatch, ["--no-cache"])
+    assert "--no-cache" in argv
+
+
+def test_experiments_omits_cache_flags_by_default(monkeypatch):
+    argv = _forwarded_argv(monkeypatch, [])
+    assert "--cache-dir" not in argv  # runner's own default applies
+    assert "--no-cache" not in argv
+
+
+def test_experiments_forwards_fault_policy_flags(monkeypatch):
+    argv = _forwarded_argv(
+        monkeypatch,
+        ["--max-retries", "5", "--cell-timeout", "30", "--on-error", "skip"],
+    )
+    assert argv[argv.index("--max-retries") + 1] == "5"
+    assert argv[argv.index("--cell-timeout") + 1] == "30.0"
+    assert argv[argv.index("--on-error") + 1] == "skip"

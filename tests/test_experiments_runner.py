@@ -198,3 +198,93 @@ def test_chapter5_counter_totals_independent_of_jobs(tmp_path):
     assert serial["counters"]["knee.evaluations"] > 0
     assert "chapter5" in serial["spans"]
     assert any(path.endswith("schedule_dag") for path in serial["spans"])
+
+
+# ----------------------------------------------------------------------
+# Fault policy threading and failure-time metrics emission
+# ----------------------------------------------------------------------
+def test_fault_flags_install_ambient_policy(monkeypatch):
+    from repro import parallel
+
+    seen = {}
+
+    def fake_chapter4(scale, seed=0, jobs=None):
+        seen["policy"] = parallel.get_fault_policy()
+
+    monkeypatch.setattr(runner, "run_chapter4", fake_chapter4)
+    assert (
+        runner.main(
+            [
+                "--chapter", "4", "--scale", "smoke",
+                "--max-retries", "4", "--cell-timeout", "12.5", "--on-error", "retry",
+            ]
+        )
+        == 0
+    )
+    policy = seen["policy"]
+    assert policy.max_retries == 4
+    assert policy.cell_timeout == 12.5
+    assert policy.on_error == "retry"
+    # The ambient policy is restored once the run finishes.
+    assert parallel.get_fault_policy().on_error == "raise"
+
+
+def test_default_policy_is_fail_fast(monkeypatch):
+    from repro import parallel
+
+    seen = {}
+
+    def fake_chapter4(scale, seed=0, jobs=None):
+        seen["policy"] = parallel.get_fault_policy()
+
+    monkeypatch.setattr(runner, "run_chapter4", fake_chapter4)
+    assert runner.main(["--chapter", "4", "--scale", "smoke"]) == 0
+    assert seen["policy"].on_error == "raise"
+    assert seen["policy"].max_retries == 2
+
+
+def test_metrics_and_trace_emitted_when_chapter_raises(monkeypatch, tmp_path, capsys):
+    # A failed run is exactly when the metrics matter: --trace and
+    # --metrics-out must be honoured even though the chapter raised.
+    def exploding_chapter4(scale, seed=0, jobs=None):
+        import repro.observe as observe
+
+        observe.inc("test.progress_before_crash")
+        raise RuntimeError("chapter exploded")
+
+    monkeypatch.setattr(runner, "run_chapter4", exploding_chapter4)
+    metrics = tmp_path / "m.json"
+    with pytest.raises(RuntimeError, match="chapter exploded"):
+        runner.main(
+            [
+                "--chapter", "4", "--scale", "smoke",
+                "--metrics-out", str(metrics), "--trace",
+            ]
+        )
+    data = json.loads(metrics.read_text())
+    assert data["schema"] == 1
+    assert data["counters"]["test.progress_before_crash"] == 1
+    err = capsys.readouterr().err
+    assert "counters:" in err  # --trace table reached stderr too
+
+
+def test_runner_prunes_stale_cache_tmp_files(monkeypatch, tmp_path):
+    import os
+    import time as _time
+
+    from repro.parallel import ResultCache
+
+    cache_dir = tmp_path / "cache"
+    ns = cache_dir / "ns"
+    ns.mkdir(parents=True)
+    stale = ns / "orphan.tmp"
+    stale.write_text("droppings")
+    old = _time.time() - 7200
+    os.utime(stale, (old, old))
+
+    monkeypatch.setattr(runner, "run_chapter4", lambda scale, seed=0, jobs=None: None)
+    assert (
+        runner.main(["--chapter", "4", "--scale", "smoke", "--cache-dir", str(cache_dir)])
+        == 0
+    )
+    assert not stale.exists()

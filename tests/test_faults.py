@@ -1,0 +1,339 @@
+"""Fault-injection suite: proves every recovery path of the fault-tolerant
+parallel engine (:mod:`repro.parallel` + :mod:`repro.faults`).
+
+The acceptance bar from the issue:
+
+* retry-then-succeed gives **bit-identical** tables to a clean run for
+  any ``jobs`` value (~10% injected raises plus a worker hard-kill);
+* a worker hard-kill mid-sweep is recovered, and a *poison* cell that
+  kills its worker on every attempt is quarantined as a
+  :class:`CellFailure`;
+* an interrupted sweep resumes from the cache recomputing only the
+  unfinished cells (asserted via cache hit/miss counters).
+
+Everything here is deterministic: which cells fault, and how, is a pure
+function of the injector seed and the cell digest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.observe as observe
+from repro.faults import FaultInjector, InjectedFault, from_env, parse_spec
+from repro.parallel import (
+    MISS,
+    CellFailure,
+    FaultPolicy,
+    ResultCache,
+    SweepError,
+    cell_digest,
+    map_cells,
+    rng_for_cell,
+)
+
+CELLS = list(range(10))
+
+#: Fast policies for tests: no real backoff sleeps.
+RETRY = FaultPolicy(on_error="retry", max_retries=3, max_kills=2, backoff_base_s=0.0)
+SKIP = FaultPolicy(on_error="skip", max_retries=1, backoff_base_s=0.0)
+
+
+def _cell_fn(cell):
+    # Module-level and seed-derived so (a) the pool can pickle it and
+    # (b) "bit-identical" is a meaningful claim about real random streams.
+    rng = rng_for_cell(0, "faults-suite", cell)
+    return {"cell": cell, "draw": float(rng.uniform())}
+
+
+def _doomed(injector: FaultInjector, cells, kind: str) -> list:
+    """Which of ``cells`` the injector will hit with ``kind`` on attempt 1."""
+    return [c for c in cells if injector.decide(cell_digest(c), 1) == kind]
+
+
+def _find_seed(raise_p=0.0, kill_p=0.0, hang_p=0.0, *, want_raise=0, want_kill=0, want_hang=0):
+    """A seed under which the spec dooms exactly the wanted cell counts."""
+    for seed in range(500):
+        inj = FaultInjector(raise_p=raise_p, kill_p=kill_p, hang_p=hang_p, seed=seed)
+        if (
+            len(_doomed(inj, CELLS, "raise")) == want_raise
+            and len(_doomed(inj, CELLS, "kill")) == want_kill
+            and len(_doomed(inj, CELLS, "hang")) == want_hang
+        ):
+            return inj
+    raise AssertionError("no suitable injector seed found")
+
+
+def _run(jobs, policy, injector, cells=CELLS):
+    """map_cells under a private registry; returns (results, counters)."""
+    registry = observe.MetricsRegistry()
+    with observe.use_registry(registry):
+        out = map_cells(_cell_fn, cells, jobs=jobs, policy=policy, injector=injector)
+    return out, registry.snapshot()["counters"]
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return [_cell_fn(c) for c in CELLS]
+
+
+# ----------------------------------------------------------------------
+# Injector unit behaviour
+# ----------------------------------------------------------------------
+def test_decide_is_deterministic_and_attempt_gated():
+    inj = FaultInjector(raise_p=0.5, seed=1)
+    d = cell_digest("x")
+    assert inj.decide(d, 1) == inj.decide(d, 1)
+    # attempts=1 (default): the fault is transient — attempt 2 is clean.
+    assert inj.decide(d, 2) is None
+    assert inj.permanent().decide(d, 99) == inj.decide(d, 1)
+
+
+def test_draw_is_uniform_slice_exclusive():
+    # Raising kill_p must never change which cells raise: the kinds are
+    # slices of one per-cell draw.
+    a = FaultInjector(raise_p=0.2, seed=4)
+    b = FaultInjector(raise_p=0.2, kill_p=0.3, seed=4)
+    assert _doomed(a, CELLS, "raise") == _doomed(b, CELLS, "raise")
+
+
+def test_fire_raises_injected_fault():
+    inj = FaultInjector(raise_p=1.0, seed=0)
+    with pytest.raises(InjectedFault):
+        inj.fire(cell_digest("anything"), 1)
+    inj.fire(cell_digest("anything"), 2)  # past the attempt gate: no-op
+
+
+def test_parse_spec_roundtrip_and_errors(monkeypatch):
+    inj = parse_spec("raise=0.1, kill=0.05, seed=7, attempts=0, hang_s=12")
+    assert inj == FaultInjector(raise_p=0.1, kill_p=0.05, seed=7, attempts=0, hang_s=12.0)
+    with pytest.raises(ValueError):
+        parse_spec("explode=1.0")
+    with pytest.raises(ValueError):
+        parse_spec("raise=lots")
+    with pytest.raises(ValueError):
+        FaultInjector(raise_p=0.7, kill_p=0.7)  # probabilities sum > 1
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    assert from_env() is None
+    monkeypatch.setenv("REPRO_FAULTS", "raise=0.25,seed=3")
+    assert from_env() == FaultInjector(raise_p=0.25, seed=3)
+
+
+def test_env_injector_reaches_map_cells(monkeypatch):
+    # REPRO_FAULTS is the chaos knob for real runs: with on_error="raise"
+    # a doomed cell aborts the sweep.
+    inj = _find_seed(raise_p=0.3, want_raise=3)
+    monkeypatch.setenv("REPRO_FAULTS", f"raise=0.3,seed={inj.seed}")
+    with pytest.raises(InjectedFault):
+        map_cells(_cell_fn, CELLS, jobs=1, policy=FaultPolicy(on_error="raise"))
+
+
+# ----------------------------------------------------------------------
+# (a) retry-then-succeed is bit-identical to a clean run, any jobs value
+# ----------------------------------------------------------------------
+def test_retry_recovers_injected_raises_serial(clean):
+    inj = _find_seed(raise_p=0.3, want_raise=3)
+    out, counters = _run(1, RETRY, inj)
+    assert out == clean
+    assert counters["parallel.retries"] == 3
+    assert "parallel.failures" not in counters
+
+
+def test_retry_raises_bit_identical_any_jobs(clean):
+    inj = _find_seed(raise_p=0.3, want_raise=3)
+    for jobs in (2, 4):
+        out, counters = _run(jobs, RETRY, inj)
+        assert out == clean, f"jobs={jobs}"
+        assert counters["parallel.retries"] == 3
+
+
+def test_retry_raises_plus_one_hard_kill_bit_identical(clean):
+    # The acceptance scenario: ~10% of cells raise once, one cell
+    # hard-kills its worker once; on_error="retry" must still produce a
+    # bit-identical table, for any worker count.
+    inj = _find_seed(raise_p=0.1, kill_p=0.04, want_raise=1, want_kill=1)
+    for jobs in (2, 3):
+        out, counters = _run(jobs, RETRY, inj)
+        assert out == clean, f"jobs={jobs}"
+        assert counters["parallel.pool_restarts"] >= 1
+        assert counters["parallel.retries"] >= 2  # the raiser and the killer
+        assert "parallel.failures" not in counters
+
+
+# ----------------------------------------------------------------------
+# (b) hard-kill recovery and poison-cell quarantine
+# ----------------------------------------------------------------------
+def test_worker_hard_kill_recovered(clean):
+    inj = _find_seed(kill_p=0.04, want_kill=1)
+    out, counters = _run(2, RETRY, inj)
+    assert out == clean
+    assert counters["parallel.pool_restarts"] >= 1
+
+
+def test_poison_cell_quarantined_others_survive(clean):
+    inj = _find_seed(kill_p=0.04, want_kill=1).permanent()
+    (poison,) = _doomed(inj, CELLS, "kill")
+    out, counters = _run(2, RETRY, inj)
+    failures = [r for r in out if isinstance(r, CellFailure)]
+    assert len(failures) == 1
+    failure = failures[0]
+    assert failure.cell == poison
+    assert failure.cause == "worker-lost"
+    assert failure.attempts == RETRY.max_kills + 1
+    assert out.index(failure) == CELLS.index(poison)  # order preserved
+    assert [r for r in out if r is not failure] == [
+        r for r in clean if r["cell"] != poison
+    ]
+    assert counters["parallel.failures"] == 1
+    assert counters["parallel.pool_restarts"] >= RETRY.max_kills + 1
+
+
+def test_hang_recovered_by_cell_timeout(clean):
+    inj = _find_seed(hang_p=0.04, want_hang=1)
+    policy = FaultPolicy(
+        on_error="retry", max_retries=2, cell_timeout=0.75, backoff_base_s=0.0
+    )
+    out, counters = _run(2, policy, inj)
+    assert out == clean
+    assert counters["parallel.pool_restarts"] >= 1
+    assert counters["parallel.retries"] >= 1
+
+
+def test_permanent_hang_becomes_timeout_failure_under_skip(clean):
+    inj = _find_seed(hang_p=0.04, want_hang=1).permanent()
+    (hung,) = _doomed(inj, CELLS, "hang")
+    policy = FaultPolicy(
+        on_error="skip", max_retries=1, cell_timeout=0.6, backoff_base_s=0.0
+    )
+    out, counters = _run(2, policy, inj)
+    failures = [r for r in out if isinstance(r, CellFailure)]
+    assert len(failures) == 1
+    assert failures[0].cell == hung
+    assert failures[0].cause == "timeout"
+    assert counters["parallel.failures"] == 1
+
+
+# ----------------------------------------------------------------------
+# skip / retry / raise semantics with plain exceptions
+# ----------------------------------------------------------------------
+def _fails_on_two(cell):
+    if cell == 2:
+        raise ValueError("cell 2 always fails")
+    return {"cell": cell}
+
+
+def test_skip_mode_returns_structured_failure():
+    out = map_cells(_fails_on_two, [1, 2, 3], jobs=1, policy=SKIP, injector=None)
+    assert out[0] == {"cell": 1} and out[2] == {"cell": 3}
+    failure = out[1]
+    assert isinstance(failure, CellFailure)
+    assert failure.cause == "exception"
+    assert failure.attempts == SKIP.max_retries + 1
+    assert "ValueError" in failure.error and "ValueError" in failure.traceback
+
+
+def test_retry_mode_exhaustion_raises_sweep_error():
+    with pytest.raises(SweepError) as excinfo:
+        map_cells(_fails_on_two, [1, 2, 3], jobs=1, policy=RETRY, injector=None)
+    assert excinfo.value.failure.cell == 2
+    assert excinfo.value.failure.attempts == RETRY.max_retries + 1
+
+
+def test_raise_mode_fails_fast_with_original_exception():
+    registry = observe.MetricsRegistry()
+    with observe.use_registry(registry):
+        with pytest.raises(ValueError):
+            map_cells(
+                _fails_on_two,
+                [1, 2, 3],
+                jobs=1,
+                policy=FaultPolicy(on_error="raise"),
+                injector=None,
+            )
+    assert "parallel.retries" not in registry.snapshot()["counters"]
+
+
+def test_raise_mode_fails_fast_in_pool():
+    with pytest.raises((ValueError, SweepError)):
+        map_cells(
+            _fails_on_two,
+            [1, 2, 3, 4],
+            jobs=2,
+            policy=FaultPolicy(on_error="raise"),
+            injector=None,
+        )
+
+
+# ----------------------------------------------------------------------
+# (c) interrupt-then-resume: only unfinished cells are recomputed
+# ----------------------------------------------------------------------
+def _interrupt_at_six(cell):
+    if cell == 6:
+        raise KeyboardInterrupt  # simulated Ctrl-C mid-sweep
+    return _cell_fn(cell)
+
+
+def test_interrupted_sweep_resumes_from_cache(tmp_path, clean):
+    cache = ResultCache(tmp_path / "cache")
+    with pytest.raises(KeyboardInterrupt):
+        map_cells(
+            _interrupt_at_six, CELLS, jobs=1, cache=cache, namespace="sweep",
+            policy=RETRY, injector=None,
+        )
+    # Serial order: cells 0..5 completed and were checkpointed before the
+    # interrupt; 6..9 were never run.
+    for cell in range(6):
+        assert cache.get("sweep", (None, cell)) == clean[cell]
+    assert cache.get("sweep", (None, 6)) is MISS
+
+    registry = observe.MetricsRegistry()
+    with observe.use_registry(registry):
+        out = map_cells(
+            _cell_fn, CELLS, jobs=1, cache=cache, namespace="sweep",
+            policy=RETRY, injector=None,
+        )
+    counters = registry.snapshot()["counters"]
+    assert out == clean
+    # The whole point of incremental checkpointing: the resume recomputes
+    # only the unfinished cells.
+    assert counters["cache.hits"] == 6
+    assert counters["cache.misses"] == 4
+    assert counters["parallel.cells_computed"] == 4
+    assert counters["parallel.cells_checkpointed"] == 4
+
+
+def test_faulted_parallel_sweep_checkpoints_into_cache(tmp_path, clean):
+    # Even with raises + a worker kill, every completed cell lands in the
+    # cache, so a follow-up run is pure hits.
+    inj = _find_seed(raise_p=0.1, kill_p=0.04, want_raise=1, want_kill=1)
+    cache = ResultCache(tmp_path / "cache")
+    registry = observe.MetricsRegistry()
+    with observe.use_registry(registry):
+        out = map_cells(
+            _cell_fn, CELLS, jobs=2, cache=cache, namespace="sweep",
+            policy=RETRY, injector=inj,
+        )
+    assert out == clean
+    assert registry.snapshot()["counters"]["parallel.cells_checkpointed"] == len(CELLS)
+
+    registry = observe.MetricsRegistry()
+    with observe.use_registry(registry):
+        warm = map_cells(
+            _cell_fn, CELLS, jobs=1, cache=cache, namespace="sweep",
+            policy=RETRY, injector=None,
+        )
+    counters = registry.snapshot()["counters"]
+    assert warm == clean
+    assert counters["cache.hits"] == len(CELLS)
+    assert "cache.misses" not in counters
+
+
+def test_failed_cells_are_never_cached(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    out = map_cells(
+        _fails_on_two, [1, 2, 3], jobs=1, cache=cache, namespace="ns",
+        policy=SKIP, injector=None,
+    )
+    assert isinstance(out[1], CellFailure)
+    assert cache.get("ns", (None, 2)) is MISS
+    assert cache.get("ns", (None, 1)) == {"cell": 1}

@@ -5,6 +5,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 
 import pytest
 
@@ -155,3 +156,78 @@ def test_parallel_run_populates_cache_for_serial(tmp_path):
     a = map_cells(_square, [1, 2, 3], jobs=3, cache=cache, namespace="sq")
     b = map_cells(_square, [1, 2, 3], jobs=1, cache=cache, namespace="sq")
     assert a == b
+
+
+# ----------------------------------------------------------------------
+# prune_tmp: orphaned temp files from a SIGKILLed store()
+# ----------------------------------------------------------------------
+def _plant_tmp(cache, age_s):
+    # What a store() killed between write and rename leaves behind.
+    ns = cache.root / "ns"
+    ns.mkdir(parents=True, exist_ok=True)
+    tmp = ns / f"orphan{age_s}.tmp"
+    tmp.write_text("half-written payload")
+    stamp = time.time() - age_s
+    os.utime(tmp, (stamp, stamp))
+    return tmp
+
+
+def test_prune_tmp_removes_stale_keeps_fresh(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.store("ns", ("k",), 1)  # a real entry must survive pruning
+    stale = _plant_tmp(cache, age_s=7200)
+    fresh = _plant_tmp(cache, age_s=0)
+    assert cache.prune_tmp() == 1
+    assert not stale.exists()
+    assert fresh.exists()  # may belong to a concurrent store() in flight
+    assert cache.get("ns", ("k",)) == 1
+
+
+def test_prune_tmp_zero_age_removes_everything(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    _plant_tmp(cache, age_s=0)
+    _plant_tmp(cache, age_s=50)
+    assert cache.prune_tmp(max_age_s=0) == 2
+    assert not list(cache.root.glob("**/*.tmp"))
+
+
+def test_prune_tmp_on_missing_root_is_noop(tmp_path):
+    assert ResultCache(tmp_path / "never-created").prune_tmp() == 0
+
+
+def test_default_cache_prunes_stale_tmp(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+    stale = _plant_tmp(ResultCache(tmp_path / "envcache"), age_s=7200)
+    ResultCache.default()
+    assert not stale.exists()
+
+
+# ----------------------------------------------------------------------
+# Incremental checkpointing: results are stored as cells complete
+# ----------------------------------------------------------------------
+_STOP_AFTER_TWO = None
+
+
+def _square_then_stop(cell):
+    # Third invocation dies: anything checkpointed so far must survive.
+    with open(_STOP_AFTER_TWO, "a") as fh:
+        fh.write("x")
+    if os.path.getsize(_STOP_AFTER_TWO) > 2:
+        raise RuntimeError("simulated crash")
+    return _square(cell)
+
+
+def test_results_checkpointed_as_cells_complete(tmp_path):
+    global _STOP_AFTER_TWO
+    _STOP_AFTER_TWO = str(tmp_path / "count")
+    cache = ResultCache(tmp_path / "cache")
+    try:
+        with pytest.raises(RuntimeError):
+            map_cells(_square_then_stop, [1, 2, 3, 4], jobs=1, cache=cache, namespace="sq")
+    finally:
+        _STOP_AFTER_TWO = None
+    # The first two cells were stored before the crash — not buffered
+    # until the end of the batch.
+    assert cache.get("sq", (None, 1)) == _square(1)
+    assert cache.get("sq", (None, 2)) == _square(2)
+    assert cache.get("sq", (None, 3)) is MISS

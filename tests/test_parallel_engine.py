@@ -157,3 +157,65 @@ def test_observation_knees_seed_sensitivity():
     c = build_observation_knees(MICRO_GRID, seed=1, jobs=2)
     assert a == b
     assert a != c
+
+
+# ----------------------------------------------------------------------
+# Fault policy plumbing (the recovery paths themselves live in
+# tests/test_faults.py)
+# ----------------------------------------------------------------------
+from repro.parallel import (  # noqa: E402
+    FaultPolicy,
+    backoff_delay,
+    get_fault_policy,
+    set_fault_policy,
+    use_fault_policy,
+)
+
+
+def test_fault_policy_validation():
+    with pytest.raises(ValueError):
+        FaultPolicy(on_error="explode")
+    with pytest.raises(ValueError):
+        FaultPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        FaultPolicy(cell_timeout=0.0)
+    with pytest.raises(ValueError):
+        FaultPolicy(max_kills=-2)
+
+
+def test_backoff_is_deterministic_capped_and_grows():
+    policy = FaultPolicy(backoff_base_s=0.1, backoff_cap_s=0.5)
+    digest = cell_digest("some-cell")
+    first = backoff_delay(policy, digest, 1)
+    assert first == backoff_delay(policy, digest, 1)  # no wall-clock noise
+    assert 0.05 <= first <= 0.1  # base * jitter in [0.5, 1.0]
+    assert backoff_delay(policy, digest, 2) >= first
+    assert backoff_delay(policy, digest, 10) <= 0.5  # capped
+    assert backoff_delay(policy, cell_digest("other"), 1) != first  # per-cell jitter
+    assert backoff_delay(FaultPolicy(backoff_base_s=0.0), digest, 3) == 0.0
+
+
+def test_use_fault_policy_scopes_the_ambient_default():
+    baseline = get_fault_policy()
+    scoped = FaultPolicy(on_error="skip", max_retries=7)
+    with use_fault_policy(scoped):
+        assert get_fault_policy() is scoped
+    assert get_fault_policy() is baseline
+
+
+def test_set_fault_policy_returns_previous():
+    baseline = get_fault_policy()
+    new = FaultPolicy(on_error="retry")
+    try:
+        assert set_fault_policy(new) is baseline
+        assert get_fault_policy() is new
+    finally:
+        set_fault_policy(baseline)
+
+
+def test_map_cells_accepts_legacy_chunksize():
+    # chunksize predates the incremental dispatcher; it is accepted for
+    # API compatibility and ignored.
+    assert map_cells(_noisy_cell, [1, 2, 3], jobs=1, chunksize=8) == [
+        _noisy_cell(c) for c in [1, 2, 3]
+    ]

@@ -11,6 +11,11 @@ Commands
 ``experiments``
     Regenerate the paper's tables and figures (thin wrapper around
     :mod:`repro.experiments.runner`).
+``select``
+    Run the resilient end-to-end selection pipeline (generate → select →
+    bind → execute) against a churning platform and report the
+    :class:`~repro.selection.pipeline.SelectionOutcome`.  Exit code 0 when
+    the DAG completed, 1 when every ladder rung was refused.
 """
 
 from __future__ import annotations
@@ -125,6 +130,88 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_select(args: argparse.Namespace) -> int:
+    import repro.observe as observe
+    from repro.core.generator import ResourceSpecificationGenerator
+    from repro.experiments.chapter4 import build_universe
+    from repro.experiments.scales import get_scale
+    from repro.resources.churn import ChurnConfig, ResourceChurn, parse_churn_spec
+    from repro.selection.pipeline import PipelineConfig, SelectionPipeline
+
+    if args.dag:
+        from repro.dag.io import load_dag
+
+        dag = _load_model(load_dag, args.dag, "DAG")
+    else:
+        from repro.dag.montage import montage_dag
+
+        scale = get_scale(args.scale)
+        levels = args.montage_levels or scale.montage_levels
+        dag = montage_dag(levels, ccr=0.01)
+
+    if args.model:
+        model = _load_model(SizePredictionModel.load, args.model, "size model")
+    else:
+        print("no --model given: training on the 'tiny' grid ...", file=sys.stderr)
+        model = SizePredictionModel.train(_GRIDS["tiny"], seed=args.seed, jobs=args.jobs)
+
+    try:
+        churn_config = (
+            parse_churn_spec(args.churn) if args.churn else ChurnConfig()
+        )
+        pipeline_config = PipelineConfig(
+            max_respecs=args.max_respecs,
+            max_retries=args.max_retries,
+            backends=tuple(b.strip() for b in args.backends.split(",") if b.strip()),
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        raise CliError(str(exc)) from None
+
+    platform = build_universe(get_scale(args.scale), args.seed)
+    spec = ResourceSpecificationGenerator(model).generate(dag)
+    print(spec.describe())
+
+    registry = observe.MetricsRegistry()
+    with observe.use_registry(registry):
+        churn = ResourceChurn.from_config(platform, churn_config)
+        pipeline = SelectionPipeline(platform, churn, pipeline_config)
+        outcome = pipeline.run(dag, spec)
+
+    if outcome.fulfilled:
+        assert outcome.final_spec is not None
+        print(
+            f"fulfilled via {outcome.backend} "
+            f"(spec rung {outcome.spec_index}, {len(outcome.hosts)} hosts, "
+            f"{outcome.segments} segment(s))"
+        )
+        print(
+            f"turnaround {outcome.turnaround_s:.2f}s"
+            + (
+                f" vs {outcome.baseline_turnaround_s:.2f}s undisturbed "
+                f"(penalty {outcome.penalty * 100:+.1f}%)"
+                if outcome.penalty is not None
+                else ""
+            )
+        )
+    else:
+        print("unfulfilled: every ladder rung was refused")
+    print(
+        f"refusals={outcome.refusals} respecifications={outcome.respecifications} "
+        f"backend_fallbacks={outcome.backend_fallbacks} rebinds={outcome.rebinds}"
+    )
+    if args.outcome_out:
+        try:
+            with open(args.outcome_out, "w", encoding="utf-8") as fh:
+                json.dump(outcome.to_dict(), fh, indent=2)
+        except OSError as exc:
+            raise CliError(f"cannot write outcome to {args.outcome_out}: {exc}") from None
+        print(f"outcome written to {args.outcome_out}")
+    if args.trace:
+        print(registry.render_table(), file=sys.stderr)
+    return 0 if outcome.fulfilled else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import runner
 
@@ -176,6 +263,45 @@ def main(argv: list[str] | None = None) -> int:
     p_pred.add_argument("--heterogeneity-tolerance", type=float, default=0.3)
     p_pred.add_argument("--specs", action="store_true", help="print the three specification documents")
     p_pred.set_defaults(fn=_cmd_predict)
+
+    p_sel = sub.add_parser(
+        "select", help="resilient end-to-end selection against a churning platform"
+    )
+    p_sel.add_argument("--model", default=None, help="trained size-model JSON (default: train tiny)")
+    p_sel.add_argument("--dag", default=None, help="DAG JSON file (default: a Montage DAG)")
+    p_sel.add_argument(
+        "--montage-levels", type=int, default=None, help="Montage levels when no --dag is given"
+    )
+    p_sel.add_argument("--scale", default="smoke", choices=("smoke", "small", "paper"))
+    p_sel.add_argument("--seed", type=int, default=0)
+    p_sel.add_argument(
+        "--jobs", type=int, default=None, help="parallel workers for fallback training"
+    )
+    p_sel.add_argument(
+        "--churn",
+        default=None,
+        metavar="SPEC",
+        help="churn spec, e.g. 'fail=0.002,competitor=0.01,util=0.3,seed=7' "
+        "(keys: fail, rejoin, competitor, size, hold, util, horizon, seed)",
+    )
+    p_sel.add_argument(
+        "--max-respecs", type=int, default=3, help="alternative specifications per backend"
+    )
+    p_sel.add_argument(
+        "--max-retries", type=int, default=1, help="extra attempts per ladder rung"
+    )
+    p_sel.add_argument(
+        "--backends",
+        default="vges,classad,sword",
+        help="comma-separated backend ladder (vges, classad, sword)",
+    )
+    p_sel.add_argument(
+        "--outcome-out", default=None, metavar="PATH", help="write the SelectionOutcome as JSON"
+    )
+    p_sel.add_argument(
+        "--trace", action="store_true", help="print the run's metrics table to stderr"
+    )
+    p_sel.set_defaults(fn=_cmd_select)
 
     p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_exp.add_argument("--chapter", type=int, choices=(4, 5, 6, 7), default=None)

@@ -14,7 +14,8 @@ from __future__ import annotations
 import functools
 import json
 import math
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
@@ -25,7 +26,7 @@ from repro.dag.graph import DAG
 from repro.dag.metrics import characteristics
 from repro.dag.random_dag import RandomDagSpec, generate_random_dag
 from repro.core.knee import PrefixRCFactory, rc_size_grid, sweep_turnaround
-from repro.core.size_model import ObservationGrid, _sweep_max_size
+from repro.core.size_model import ObservationGrid, _metric_domain, _sweep_max_size
 from repro.parallel import ResultCache, map_cells, rng_for_cell
 from repro.scheduling.costmodel import DEFAULT_COST_MODEL, SchedulingCostModel
 
@@ -104,6 +105,7 @@ class HeuristicPredictionModel:
 
     observations: list[HeuristicObservation]
     heuristics: tuple[str, ...] = DEFAULT_HEURISTICS
+    _warned: bool = field(default=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -167,10 +169,43 @@ class HeuristicPredictionModel:
     def _features(size: int, ccr: float, alpha: float, beta: float) -> np.ndarray:
         return np.array([math.log2(max(2, size)) / 14.0, ccr, alpha, beta])
 
+    def _clamp_envelope(
+        self, size: int, ccr: float, alpha: float, beta: float
+    ) -> tuple[int, float, float, float]:
+        """Clamp (α, β) to their metric domain (see
+        :func:`repro.core.size_model._metric_domain`); count and warn on
+        first use.  Size/CCR are left alone — 1-NN distance handles any
+        measurable value, and measured characteristics routinely sit just
+        outside the parameter grid."""
+        (a_lo, a_hi), (b_lo, b_hi) = _metric_domain(
+            [o.size for o in self.observations] + [size]
+        )
+        clamped = (
+            size,
+            ccr,
+            min(max(alpha, a_lo), a_hi),
+            min(max(beta, b_lo), b_hi),
+        )
+        if clamped != (size, ccr, alpha, beta):
+            observe.inc("model.extrapolations")
+            if not self._warned:
+                self._warned = True
+                warnings.warn(
+                    f"heuristic-model query (size={size}, ccr={ccr}, "
+                    f"alpha={alpha}, beta={beta}) is outside the observation "
+                    "envelope; clamping (counted under 'model.extrapolations')",
+                    stacklevel=3,
+                )
+        return clamped
+
     def predict(self, size: int, ccr: float, alpha: float, beta: float) -> str:
-        """Best heuristic for the given DAG characteristics (1-NN)."""
+        """Best heuristic for the given DAG characteristics (1-NN).
+
+        Queries outside the observation envelope are clamped to it.
+        """
         if not self.observations:
             raise ValueError("model has no observations")
+        size, ccr, alpha, beta = self._clamp_envelope(size, ccr, alpha, beta)
         q = self._features(size, ccr, alpha, beta)
         best = min(
             self.observations,

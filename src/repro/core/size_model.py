@@ -26,7 +26,8 @@ from __future__ import annotations
 import functools
 import json
 import math
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
@@ -119,6 +120,23 @@ def _sweep_max_size(dag: DAG) -> int:
     return int(min(dag.n, max(8, math.ceil(1.5 * dag.width))))
 
 
+def _metric_domain(sizes: Iterable[int]) -> tuple[tuple[float, float], tuple[float, float]]:
+    """(α, β) ranges any *real* DAG can measure, given the largest size.
+
+    The §III.1.1 metrics have hard mathematical ranges: parallelism
+    ``log(n/height)/log(n)`` lies in [0, 1], and regularity
+    ``1 - max|size(l) - τ|/τ`` is at most 1 and at least ``2 - n`` (the
+    widest level can exceed τ by no more than ``n - τ``).  Queries outside
+    these bounds describe no DAG at all — only they are clamped.  Crucially
+    the envelope is *not* the grid's parameter range: the planes are
+    routinely evaluated at measured characteristics far outside it (Montage
+    measures β ≈ -2, §V.3.4.1) and the Table V-5 calibration depends on
+    that extrapolation.
+    """
+    n_hi = max(sizes)
+    return (0.0, 1.0), (2.0 - float(n_hi), 1.0)
+
+
 #: Bump when an algorithm change invalidates cached observation knees.
 KNEES_CACHE_VERSION = "1"
 
@@ -209,6 +227,14 @@ class SizePredictionModel:
     planes: dict[float, dict[tuple[int, float], tuple[float, float, float]]]
     heuristic: str = "mcp"
     heterogeneity: float = 0.0
+    #: Validity envelope for the planar axes — the mathematical range of the
+    #: measured §III.1.1 metrics (see :func:`_metric_domain`), NOT the grid's
+    #: parameter range.  Queries outside it describe no real DAG; they are
+    #: clamped (extrapolating a log2 plane explodes), counted under
+    #: ``model.extrapolations`` and warned about once per model instance.
+    alpha_range: tuple[float, float] = (-math.inf, math.inf)
+    beta_range: tuple[float, float] = (-math.inf, math.inf)
+    _warned: bool = field(default=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Training
@@ -246,12 +272,15 @@ class SizePredictionModel:
                     )
                     by_cell[(n, ccr)] = (float(coeffs[0]), float(coeffs[1]), float(coeffs[2]))
             planes[thr] = by_cell
+        alpha_range, beta_range = _metric_domain(grid.sizes)
         return cls(
             sizes=tuple(grid.sizes),
             ccrs=tuple(grid.ccrs),
             planes=planes,
             heuristic=heuristic,
             heterogeneity=grid.heterogeneity,
+            alpha_range=alpha_range,
+            beta_range=beta_range,
         )
 
     @classmethod
@@ -281,6 +310,31 @@ class SizePredictionModel:
         a, b, c = self.planes[thr][(n, ccr)]
         return 2.0 ** (a * alpha + b * beta + c)
 
+    def _clamp_envelope(
+        self, size: int, ccr: float, alpha: float, beta: float
+    ) -> tuple[float, float]:
+        """Clamp (α, β) to the metric-domain envelope; count and warn when
+        either leaves it.  Size/CCR need no guard: interpolation already
+        clamps them at the grid edges (seed behaviour), and any value is a
+        measurable quantity."""
+        a_lo, a_hi = self.alpha_range
+        b_lo, b_hi = self.beta_range
+        # A query's own size extends the attainable β floor (β ≥ 2 - n).
+        b_lo = min(b_lo, 2.0 - float(size))
+        outside = not (a_lo <= alpha <= a_hi) or not (b_lo <= beta <= b_hi)
+        if outside:
+            observe.inc("model.extrapolations")
+            if not self._warned:
+                self._warned = True
+                warnings.warn(
+                    f"size-model query (size={size}, ccr={ccr}, alpha={alpha}, "
+                    f"beta={beta}) is outside the observation envelope; "
+                    "clamping (further extrapolations are counted under "
+                    "'model.extrapolations' but not re-warned)",
+                    stacklevel=3,
+                )
+        return min(max(alpha, a_lo), a_hi), min(max(beta, b_lo), b_hi)
+
     def predict(
         self,
         size: int,
@@ -289,8 +343,13 @@ class SizePredictionModel:
         beta: float,
         threshold: float = DEFAULT_KNEE_THRESHOLD,
     ) -> int:
-        """Predicted best RC size for the given DAG characteristics."""
+        """Predicted best RC size for the given DAG characteristics.
+
+        Queries outside the observation envelope are clamped to it rather
+        than extrapolated (see :attr:`alpha_range`).
+        """
         thr = self._nearest_threshold(threshold)
+        alpha, beta = self._clamp_envelope(size, ccr, alpha, beta)
         lo_s, hi_s, ws = _bracket(self.sizes, float(size))
         lo_c, hi_c, wc = _bracket(self.ccrs, float(ccr))
         k00 = self._plane_knee(thr, int(lo_s), lo_c, alpha, beta)
@@ -325,6 +384,8 @@ class SizePredictionModel:
             "ccrs": list(self.ccrs),
             "heuristic": self.heuristic,
             "heterogeneity": self.heterogeneity,
+            "alpha_range": list(self.alpha_range),
+            "beta_range": list(self.beta_range),
             "planes": {
                 str(thr): {
                     f"{n}|{ccr}": list(coeffs) for (n, ccr), coeffs in cells.items()
@@ -348,6 +409,16 @@ class SizePredictionModel:
             planes=planes,
             heuristic=data.get("heuristic", "mcp"),
             heterogeneity=float(data.get("heterogeneity", 0.0)),
+            # Model files from before the envelope existed get the metric
+            # domain recomputed from their grid sizes.
+            alpha_range=tuple(
+                float(x)
+                for x in data.get("alpha_range", _metric_domain(data["sizes"])[0])
+            ),
+            beta_range=tuple(
+                float(x)
+                for x in data.get("beta_range", _metric_domain(data["sizes"])[1])
+            ),
         )
 
     def save(self, path: str | Path) -> None:

@@ -34,19 +34,82 @@ def dag_to_dict(dag: DAG) -> dict:
 
 
 def dag_from_dict(data: dict) -> DAG:
-    """Inverse of :func:`dag_to_dict`."""
+    """Inverse of :func:`dag_to_dict`.
+
+    Malformed payloads (edge rows that are not ``[src, dst, comm]``,
+    NaN/negative weights, edges to undeclared nodes, duplicate edges,
+    cycles) raise a one-line :class:`ValueError` naming the offending
+    node or edge, so a hand-written workflow file fails with a usable
+    message instead of a numpy shape error deep in the scheduler.
+    """
+    name = data.get("name", "dag")
+    if "comp" not in data:
+        raise ValueError(f"DAG {name!r}: missing required key 'comp'")
+    comp = np.asarray(data["comp"], dtype=np.float64)
+    if comp.ndim != 1:
+        raise ValueError(f"DAG {name!r}: 'comp' must be a flat list of task costs")
+    bad = np.flatnonzero(~(comp >= 0.0))  # catches both negatives and NaN
+    if bad.size:
+        v = int(bad[0])
+        raise ValueError(f"DAG {name!r}: node {v} has invalid computation cost {comp[v]!r}")
+
     edges = data.get("edges", [])
-    if edges:
-        src, dst, comm = zip(*edges)
-    else:
-        src, dst, comm = (), (), ()
+    rows: list[tuple[int, int, float]] = []
+    for k, row in enumerate(edges):
+        try:
+            s, d, c = row
+            rows.append((int(s), int(d), float(c)))
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"DAG {name!r}: edge {k} is {row!r}, expected [src, dst, comm]"
+            ) from None
+    n = comp.size
+    seen: set[tuple[int, int]] = set()
+    for k, (s, d, c) in enumerate(rows):
+        if not (0 <= s < n):
+            raise ValueError(f"DAG {name!r}: edge {k} source {s} is not a declared node (n={n})")
+        if not (0 <= d < n):
+            raise ValueError(
+                f"DAG {name!r}: edge {k} destination {d} is not a declared node (n={n})"
+            )
+        if not (c >= 0.0):
+            raise ValueError(f"DAG {name!r}: edge {k} ({s}->{d}) has invalid cost {c!r}")
+        if (s, d) in seen:
+            raise ValueError(f"DAG {name!r}: duplicate edge {s}->{d} (edge {k})")
+        seen.add((s, d))
+
+    _check_acyclic(name, n, rows)
+    src = [s for s, _, _ in rows]
+    dst = [d for _, d, _ in rows]
+    comm = [c for _, _, c in rows]
     return DAG(
-        comp=np.asarray(data["comp"], dtype=np.float64),
+        comp=comp,
         edge_src=np.asarray(src, dtype=np.int64),
         edge_dst=np.asarray(dst, dtype=np.int64),
         edge_comm=np.asarray(comm, dtype=np.float64),
-        name=data.get("name", "dag"),
+        name=name,
     )
+
+
+def _check_acyclic(name: str, n: int, rows: list[tuple[int, int, float]]) -> None:
+    """Kahn's algorithm; on failure name one node that sits on a cycle."""
+    indeg = [0] * n
+    succ: list[list[int]] = [[] for _ in range(n)]
+    for s, d, _ in rows:
+        succ[s].append(d)
+        indeg[d] += 1
+    ready = [v for v in range(n) if indeg[v] == 0]
+    done = 0
+    while ready:
+        v = ready.pop()
+        done += 1
+        for w in succ[v]:
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                ready.append(w)
+    if done != n:
+        v = min(v for v in range(n) if indeg[v] > 0)
+        raise ValueError(f"DAG {name!r}: cycle detected through node {v}")
 
 
 def save_dag(dag: DAG, path: str | Path) -> None:

@@ -14,6 +14,7 @@ practice.
 
 from __future__ import annotations
 
+import functools
 from typing import Sequence
 
 import numpy as np
@@ -27,8 +28,11 @@ from repro.dag.montage import montage_dag
 from repro.dag.random_dag import RandomDagSpec, generate_random_dag
 from repro.experiments.chapter4 import build_universe
 from repro.experiments.scales import Scale
+from repro.parallel import map_cells, rng_for_cell
+from repro.resources.churn import ChurnConfig, ResourceChurn
 from repro.resources.collection import REFERENCE_CLOCK_GHZ
 from repro.selection.classad import Matchmaker, machine_ads, parse_classad
+from repro.selection.pipeline import SelectionPipeline
 from repro.selection.sword import SwordEngine
 from repro.selection.vgdl import VgES
 
@@ -37,6 +41,7 @@ __all__ = [
     "clock_size_surface",
     "relative_size_threshold",
     "alternatives_demo",
+    "churn_penalty_sweep",
 ]
 
 
@@ -193,6 +198,87 @@ def alternatives_demo(
                 "clock_ghz": alt.clock_max_mhz / 1000.0,
                 "size": alt.size,
                 "note": f"predicted turnaround {turn:.1f}s",
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Spec-degradation penalty vs. churn rate (the resilient pipeline)
+# ----------------------------------------------------------------------
+def _churn_cell(
+    cell: tuple[float, int],
+    *,
+    size_model: SizePredictionModel,
+    scale: Scale,
+    seed: int,
+    utilization: float,
+) -> dict[str, float]:
+    """One (churn rate, repetition) cell: run the resilient pipeline on a
+    freshly churned universe and report its outcome summary."""
+    rate, rep = cell
+    platform = build_universe(scale, seed)
+    dag = montage_dag(scale.montage_levels, ccr=0.01)
+    spec = ResourceSpecificationGenerator(size_model, None).generate(dag)
+    churn_seed = int(rng_for_cell(seed, "churn", rate, rep).integers(2**31))
+    config = ChurnConfig(
+        fail_rate=rate / 5.0,
+        competitor_rate=rate,
+        utilization=utilization,
+        seed=churn_seed,
+    )
+    churn = ResourceChurn.from_config(platform, config)
+    outcome = SelectionPipeline(platform, churn).run(dag, spec)
+    return {
+        "fulfilled": 1.0 if outcome.fulfilled else 0.0,
+        "penalty": outcome.penalty if outcome.penalty is not None else float("nan"),
+        "refusals": float(outcome.refusals),
+        "respecifications": float(outcome.respecifications),
+        "backend_fallbacks": float(outcome.backend_fallbacks),
+        "rebinds": float(outcome.rebinds),
+    }
+
+
+def churn_penalty_sweep(
+    size_model: SizePredictionModel,
+    scale: Scale,
+    rates: Sequence[float] = (0.0, 0.005, 0.02),
+    reps: int = 2,
+    utilization: float = 0.3,
+    seed: int = 4,
+    jobs: int | None = None,
+) -> list[dict[str, object]]:
+    """Spec-degradation penalty vs. churn rate under the resilient
+    pipeline (the Chapter VII ladder exercised end-to-end).
+
+    ``rates`` are competitor-binding events per virtual second (host
+    failures arrive at a fifth of that).  Each cell is seeded with
+    :func:`~repro.parallel.rng_for_cell`, so the table is identical for
+    any ``jobs`` count.
+    """
+    cells = [(float(rate), rep) for rate in rates for rep in range(reps)]
+    fn = functools.partial(
+        _churn_cell,
+        size_model=size_model,
+        scale=scale,
+        seed=seed,
+        utilization=utilization,
+    )
+    per_cell = map_cells(fn, cells, jobs=jobs)
+    rows: list[dict[str, object]] = []
+    for rate in rates:
+        got = [r for (c_rate, _), r in zip(cells, per_cell) if c_rate == float(rate)]
+        penalties = [r["penalty"] for r in got if r["fulfilled"] and not np.isnan(r["penalty"])]
+        rows.append(
+            {
+                "churn_rate": rate,
+                "fulfilled": f"{sum(r['fulfilled'] for r in got):.0f}/{len(got)}",
+                "mean_penalty": round(float(np.mean(penalties)), 4) if penalties else "n/a",
+                "mean_refusals": round(float(np.mean([r["refusals"] for r in got])), 2),
+                "mean_respecs": round(
+                    float(np.mean([r["respecifications"] for r in got])), 2
+                ),
+                "mean_rebinds": round(float(np.mean([r["rebinds"] for r in got])), 2),
             }
         )
     return rows

@@ -207,6 +207,10 @@ def run_chapter7(
     print_table(c7.clock_size_surface(scale), "Fig VII-6: turn-around vs clock and RC size")
     print_table(c7.relative_size_threshold(scale), "Fig VII-7: relative size threshold 3.5 -> 3.0 GHz")
     print_table(c7.alternatives_demo(size_model, scale), "Alternative specifications")
+    print_table(
+        c7.churn_penalty_sweep(size_model, scale, seed=seed, jobs=jobs),
+        "Spec-degradation penalty vs churn rate (resilient pipeline)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

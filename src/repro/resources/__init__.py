@@ -16,6 +16,14 @@ from repro.resources.platform import Platform, PlatformConfig, generate_platform
 from repro.resources.collection import ResourceCollection, REFERENCE_CLOCK_GHZ, REFERENCE_BANDWIDTH_BPS
 from repro.resources.sharing import space_shared, time_shared
 from repro.resources.binding import Binder, BindingError, sample_busy_hosts
+from repro.resources.churn import (
+    ChurnConfig,
+    ChurnEvent,
+    ChurnTrace,
+    ResourceChurn,
+    generate_churn_trace,
+    parse_churn_spec,
+)
 
 __all__ = [
     "ClusterSpec",
@@ -35,4 +43,10 @@ __all__ = [
     "Binder",
     "BindingError",
     "sample_busy_hosts",
+    "ChurnConfig",
+    "ChurnEvent",
+    "ChurnTrace",
+    "ResourceChurn",
+    "generate_churn_trace",
+    "parse_churn_spec",
 ]

@@ -16,6 +16,11 @@ All engines select hosts from a :class:`repro.resources.platform.Platform`.
 from repro.selection.classad import ClassAd, parse_classad, Matchmaker
 from repro.selection.vgdl import parse_vgdl, VgES, VirtualGrid
 from repro.selection.sword import parse_sword_query, SwordEngine
+from repro.selection.pipeline import (
+    PipelineConfig,
+    SelectionOutcome,
+    SelectionPipeline,
+)
 
 __all__ = [
     "ClassAd",
@@ -26,4 +31,7 @@ __all__ = [
     "VirtualGrid",
     "parse_sword_query",
     "SwordEngine",
+    "PipelineConfig",
+    "SelectionOutcome",
+    "SelectionPipeline",
 ]

@@ -14,7 +14,8 @@ Condor matchmaker consumes:
   platform (Fig. II-3) and job-ad helpers.
 """
 
-from repro.selection.classad.parser import ClassAd, parse_classad, parse_expression
+from repro.selection.classad.lexer import ClassAdParseError, LexError
+from repro.selection.classad.parser import ClassAd, ParseError, parse_classad, parse_expression
 from repro.selection.classad.evaluator import (
     ERROR,
     UNDEFINED,
@@ -28,6 +29,9 @@ from repro.selection.classad.builders import machine_ad, machine_ads, job_reques
 
 __all__ = [
     "ClassAd",
+    "ClassAdParseError",
+    "LexError",
+    "ParseError",
     "parse_classad",
     "parse_expression",
     "EvalContext",

@@ -4,10 +4,50 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Token", "LexError", "tokenize"]
+__all__ = ["Token", "ClassAdParseError", "LexError", "tokenize"]
 
 
-class LexError(ValueError):
+class ClassAdParseError(ValueError):
+    """Structured error for malformed ClassAd input.
+
+    Both the tokeniser (:class:`LexError`) and the parser
+    (:class:`~repro.selection.classad.parser.ParseError`) raise subclasses
+    of this, so callers handling arbitrary input need exactly one except
+    clause.  When the character offset of the defect is known,
+    :meth:`attach_source` derives 1-based ``line`` / ``column`` and the
+    offending source ``context`` line; ``str()`` then includes them.
+    """
+
+    def __init__(self, message: str, pos: int | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.pos = pos
+        self.line: int | None = None
+        self.column: int | None = None
+        self.context: str | None = None
+
+    def attach_source(self, text: str) -> "ClassAdParseError":
+        """Derive line/column/context from ``text`` (idempotent)."""
+        if self.pos is None or self.line is not None:
+            return self
+        pos = min(max(self.pos, 0), len(text))
+        self.line = text.count("\n", 0, pos) + 1
+        bol = text.rfind("\n", 0, pos) + 1
+        eol = text.find("\n", pos)
+        eol = len(text) if eol < 0 else eol
+        self.column = pos - bol + 1
+        self.context = text[bol:eol]
+        shown = self.context.strip()
+        if len(shown) > 60:
+            shown = shown[:57] + "..."
+        detail = f" (line {self.line}, column {self.column})"
+        if shown:
+            detail += f": {shown!r}"
+        self.args = (self.message + detail,)
+        return self
+
+
+class LexError(ClassAdParseError):
     """Raised on malformed ClassAd input."""
 
 
@@ -32,7 +72,18 @@ _UNIT_SUFFIXES = {
 
 
 def tokenize(text: str) -> list[Token]:
-    """Turn ``text`` into a token list terminated by an EOF token."""
+    """Turn ``text`` into a token list terminated by an EOF token.
+
+    Malformed input raises :class:`LexError` with line/column/context
+    attached (see :class:`ClassAdParseError`).
+    """
+    try:
+        return _tokenize(text)
+    except ClassAdParseError as exc:
+        raise exc.attach_source(text)
+
+
+def _tokenize(text: str) -> list[Token]:
     tokens: list[Token] = []
     i = 0
     n = len(text)
@@ -49,7 +100,7 @@ def tokenize(text: str) -> list[Token]:
         if c == "/" and text[i : i + 2] == "/*":
             end = text.find("*/", i + 2)
             if end < 0:
-                raise LexError(f"unterminated comment at {i}")
+                raise LexError("unterminated comment", pos=i)
             i = end + 2
             continue
         if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
@@ -104,7 +155,7 @@ def tokenize(text: str) -> list[Token]:
                     out.append(text[j])
                     j += 1
             if j >= n:
-                raise LexError(f"unterminated string at {i}")
+                raise LexError("unterminated string", pos=i)
             tokens.append(Token("STRING", "".join(out), i))
             i = j + 1
             continue
@@ -124,7 +175,7 @@ def tokenize(text: str) -> list[Token]:
                     tokens.append(Token("OP", three, i))
                     i += 3
                     continue
-                raise LexError(f"unexpected characters {two!r} at {i}")
+                raise LexError(f"unexpected characters {two!r}", pos=i)
             tokens.append(Token("OP", two, i))
             i += 2
             continue
@@ -132,6 +183,6 @@ def tokenize(text: str) -> list[Token]:
             tokens.append(Token("OP", c, i))
             i += 1
             continue
-        raise LexError(f"unexpected character {c!r} at position {i}")
+        raise LexError(f"unexpected character {c!r}", pos=i)
     tokens.append(Token("EOF", None, n))
     return tokens

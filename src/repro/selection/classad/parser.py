@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
-from repro.selection.classad.lexer import Token, tokenize
+from repro.selection.classad.lexer import ClassAdParseError, Token, tokenize
 
 __all__ = [
     "Expr",
@@ -44,8 +44,14 @@ __all__ = [
 ]
 
 
-class ParseError(ValueError):
+class ParseError(ClassAdParseError):
     """Raised on syntactically invalid ClassAd text."""
+
+
+#: Maximum expression nesting depth; beyond this the parser refuses rather
+#: than exhausting the interpreter stack (a RecursionError from adversarial
+#: input like ``"("*10_000``).
+_MAX_DEPTH = 64
 
 
 # ----------------------------------------------------------------------
@@ -221,15 +227,27 @@ class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self.tokens = tokens
         self.i = 0
+        self.depth = 0
 
     # -- token helpers -------------------------------------------------
     def peek(self) -> Token:
         return self.tokens[self.i]
 
     def next(self) -> Token:
+        # Never advances past the trailing EOF token, so a parser that
+        # keeps asking for tokens after a truncated input sees EOF
+        # forever instead of raising IndexError.
         tok = self.tokens[self.i]
-        self.i += 1
+        if self.i < len(self.tokens) - 1:
+            self.i += 1
         return tok
+
+    def _enter(self) -> None:
+        self.depth += 1
+        if self.depth > _MAX_DEPTH:
+            raise ParseError(
+                f"expression nesting deeper than {_MAX_DEPTH}", pos=self.peek().pos
+            )
 
     def accept_op(self, *ops: str) -> str | None:
         tok = self.peek()
@@ -241,17 +259,21 @@ class _Parser:
     def expect_op(self, op: str) -> None:
         tok = self.next()
         if tok.kind != "OP" or tok.value != op:
-            raise ParseError(f"expected {op!r} at position {tok.pos}, got {tok.value!r}")
+            raise ParseError(f"expected {op!r}, got {tok.value!r}", pos=tok.pos)
 
     # -- grammar -------------------------------------------------------
     def expression(self) -> Expr:
-        cond = self.or_expr()
-        if self.accept_op("?"):
-            then = self.expression()
-            self.expect_op(":")
-            other = self.expression()
-            return Ternary(cond, then, other)
-        return cond
+        self._enter()
+        try:
+            cond = self.or_expr()
+            if self.accept_op("?"):
+                then = self.expression()
+                self.expect_op(":")
+                other = self.expression()
+                return Ternary(cond, then, other)
+            return cond
+        finally:
+            self.depth -= 1
 
     def or_expr(self) -> Expr:
         left = self.and_expr()
@@ -300,7 +322,11 @@ class _Parser:
     def unary(self) -> Expr:
         op = self.accept_op("!", "-", "+")
         if op:
-            operand = self.unary()
+            self._enter()
+            try:
+                operand = self.unary()
+            finally:
+                self.depth -= 1
             if op == "+":
                 return operand
             return UnaryOp(op, operand)
@@ -312,12 +338,12 @@ class _Parser:
             if self.accept_op("."):
                 tok = self.next()
                 if tok.kind != "IDENT":
-                    raise ParseError(f"expected attribute after '.' at {tok.pos}")
+                    raise ParseError("expected attribute after '.'", pos=tok.pos)
                 if isinstance(node, AttrRef) and node.scope is None:
                     node = AttrRef(str(tok.value), scope=node.name)
                 else:
                     raise ParseError(
-                        f"scoped reference requires a simple scope name at {tok.pos}"
+                        "scoped reference requires a simple scope name", pos=tok.pos
                     )
             elif (
                 isinstance(node, AttrRef)
@@ -369,7 +395,7 @@ class _Parser:
             return ListExpr(tuple(items))
         if tok.kind == "OP" and tok.value == "[":
             return RecordExpr(self.record_body())
-        raise ParseError(f"unexpected token {tok.value!r} at position {tok.pos}")
+        raise ParseError(f"unexpected token {tok.value!r}", pos=tok.pos)
 
     def record_body(self) -> ClassAd:
         """Parse the inside of ``[ name = expr ; ... ]`` after the '['."""
@@ -381,32 +407,47 @@ class _Parser:
                 return ad
             name_tok = self.next()
             if name_tok.kind != "IDENT":
-                raise ParseError(f"expected attribute name at {name_tok.pos}")
+                raise ParseError("expected attribute name", pos=name_tok.pos)
             self.expect_op("=")
             ad[str(name_tok.value)] = self.expression()
             # Attribute separator: ';' (optional before closing bracket).
             if not self.accept_op(";"):
                 tok = self.peek()
                 if not (tok.kind == "OP" and tok.value == "]"):
-                    raise ParseError(f"expected ';' or ']' at position {tok.pos}")
+                    raise ParseError("expected ';' or ']'", pos=tok.pos)
 
 
 def parse_expression(text: str) -> Expr:
-    """Parse a single ClassAd expression."""
-    parser = _Parser(tokenize(text))
-    expr = parser.expression()
-    tok = parser.peek()
-    if tok.kind != "EOF":
-        raise ParseError(f"trailing input at position {tok.pos}: {tok.value!r}")
-    return expr
+    """Parse a single ClassAd expression.
+
+    Malformed input raises :class:`ParseError` (or :class:`LexError
+    <repro.selection.classad.lexer.LexError>`) — both subclasses of
+    :class:`~repro.selection.classad.lexer.ClassAdParseError` — with
+    line/column/context attached.
+    """
+    try:
+        parser = _Parser(tokenize(text))
+        expr = parser.expression()
+        tok = parser.peek()
+        if tok.kind != "EOF":
+            raise ParseError(f"trailing input: {tok.value!r}", pos=tok.pos)
+        return expr
+    except ClassAdParseError as exc:
+        raise exc.attach_source(text)
 
 
 def parse_classad(text: str) -> ClassAd:
-    """Parse a full ClassAd: ``[ name = expr; ... ]``."""
-    parser = _Parser(tokenize(text))
-    parser.expect_op("[")
-    ad = parser.record_body()
-    tok = parser.peek()
-    if tok.kind != "EOF":
-        raise ParseError(f"trailing input at position {tok.pos}: {tok.value!r}")
-    return ad
+    """Parse a full ClassAd: ``[ name = expr; ... ]``.
+
+    Error behaviour matches :func:`parse_expression`.
+    """
+    try:
+        parser = _Parser(tokenize(text))
+        parser.expect_op("[")
+        ad = parser.record_body()
+        tok = parser.peek()
+        if tok.kind != "EOF":
+            raise ParseError(f"trailing input: {tok.value!r}", pos=tok.pos)
+        return ad
+    except ClassAdParseError as exc:
+        raise exc.attach_source(text)

@@ -1,0 +1,496 @@
+"""Resilient end-to-end selection: the Chapter VII degradation ladder.
+
+The happy path of the reproduction — ``generate() → select → bind →
+execute`` — assumes a static platform.  This module runs the same loop
+against a *dynamic* one (:mod:`repro.resources.churn`) and survives the
+two failure modes the dissertation designs for:
+
+**Fulfillment failure** (§VII, §II.2.3).  The selector returns too few
+hosts, or the :class:`~repro.resources.binding.Binder` refuses because a
+competitor bound the hosts during the selection window.  The pipeline
+walks a degradation ladder:
+
+1. *retry* the same specification after a bounded, deterministic backoff
+   (churn may release hosts);
+2. *respecify* along the Fig. VII-6/7 axes via
+   :func:`~repro.core.alternatives.alternative_specifications` (slower
+   clock band, larger RC);
+3. *fall back across backends* — vgES → ClassAd Gangmatching → SWORD —
+   restarting the spec ladder on each.
+
+**Mid-execution host loss.**  When a bound host fails while the DAG is
+running, the pipeline keeps every finished task, binds the fastest free
+replacements, and reschedules *only* the unfinished tasks (completed
+parents' outputs are assumed staged and re-fetchable, so cross-segment
+edges carry no extra cost).
+
+Everything runs on the churn state machine's virtual clock: backoff,
+selection latency and DAG execution all advance the same seeded timeline,
+so a run is a pure function of ``(platform, spec, churn trace, config)``
+and replays bit-identically.  Counters (:mod:`repro.observe`):
+``pipeline.refusals``, ``pipeline.respecifications``,
+``pipeline.backend_fallbacks``, ``pipeline.rebinds`` — a
+:class:`SelectionOutcome`'s fields agree with the registry's deltas.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import observe
+from repro.core.alternatives import alternative_specifications
+from repro.core.generator import ResourceSpecification
+from repro.dag.graph import DAG
+from repro.resources.binding import Binder, BindingError
+from repro.resources.churn import ChurnConfig, ResourceChurn
+from repro.resources.platform import Platform
+from repro.scheduling.base import schedule_dag
+from repro.selection.classad import Matchmaker, parse_classad
+from repro.selection.classad.builders import machine_ads
+from repro.selection.classad.evaluator import EvalContext, evaluate
+from repro.selection.sword import SwordEngine
+from repro.selection.vgdl import VgES
+
+__all__ = [
+    "BACKENDS",
+    "PipelineConfig",
+    "SelectionAttempt",
+    "SelectionOutcome",
+    "SelectionPipeline",
+    "PipelineError",
+]
+
+#: Backend ladder order: the paper's native system first, then the two
+#: foreign specification languages Chapter VII also generates.
+BACKENDS = ("vges", "classad", "sword")
+
+
+class PipelineError(RuntimeError):
+    """Raised for invalid pipeline configuration or inputs."""
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Degradation-ladder knobs (all deterministic; no wall clock)."""
+
+    #: Alternative specifications tried per backend after the original.
+    max_respecs: int = 3
+    #: Extra attempts per (backend, spec) rung after the first refusal.
+    max_retries: int = 1
+    #: Base backoff in virtual seconds; attempt ``k`` waits
+    #: ``backoff_s * 2**k`` scaled by a digest-derived jitter in [0.5, 1.5).
+    backoff_s: float = 5.0
+    #: Backend ladder, tried left to right.
+    backends: tuple[str, ...] = BACKENDS
+    #: Matchmaking is per-machine; advertise at most this many ads.
+    max_classad_machines: int = 400
+    #: Seed for the backoff jitter (independent of the churn seed).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_respecs < 0 or self.max_retries < 0:
+            raise ValueError("ladder depths must be non-negative")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be non-negative")
+        if not self.backends:
+            raise ValueError("at least one backend is required")
+        for b in self.backends:
+            if b not in BACKENDS:
+                raise ValueError(f"unknown backend {b!r} (known: {BACKENDS})")
+
+
+@dataclass(frozen=True)
+class SelectionAttempt:
+    """One rung-attempt of the ladder and how it ended.
+
+    ``result`` is ``bound`` or a refusal reason: ``insufficient`` (the
+    selector could not produce ``min_size`` hosts), ``race`` (a competitor
+    bound our hosts inside the selection window) or ``host_lost`` (a
+    selected host died inside the window).
+    """
+
+    backend: str
+    spec_index: int  # 0 = the original specification
+    attempt: int
+    time_s: float
+    result: str
+    n_hosts: int = 0
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-JSON rendering."""
+        return {
+            "backend": self.backend,
+            "spec_index": self.spec_index,
+            "attempt": self.attempt,
+            "time_s": self.time_s,
+            "result": self.result,
+            "n_hosts": self.n_hosts,
+        }
+
+
+@dataclass(frozen=True)
+class SelectionOutcome:
+    """Structured record of one resilient pipeline run.
+
+    The four count fields mirror the ``pipeline.*`` observe counters the
+    run increments, so an outcome can be cross-checked against a metrics
+    snapshot.  ``penalty`` is the relative turnaround cost versus the
+    undisturbed (churn-free, empty-platform) run of the original
+    specification: ``turnaround / baseline - 1``.
+    """
+
+    fulfilled: bool
+    backend: str | None
+    spec_index: int
+    final_spec: ResourceSpecification | None
+    hosts: tuple[int, ...]
+    attempts: tuple[SelectionAttempt, ...]
+    refusals: int
+    respecifications: int
+    backend_fallbacks: int
+    rebinds: int
+    segments: int
+    tasks_rescheduled: int
+    turnaround_s: float | None
+    baseline_turnaround_s: float | None
+
+    @property
+    def penalty(self) -> float | None:
+        """Relative turnaround penalty vs. the undisturbed run."""
+        if self.turnaround_s is None or not self.baseline_turnaround_s:
+            return None
+        return self.turnaround_s / self.baseline_turnaround_s - 1.0
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-JSON rendering (for ``--outcome-out``)."""
+        return {
+            "fulfilled": self.fulfilled,
+            "backend": self.backend,
+            "spec_index": self.spec_index,
+            "final_spec": (
+                None if self.final_spec is None else self.final_spec.describe()
+            ),
+            "hosts": list(self.hosts),
+            "attempts": [a.to_dict() for a in self.attempts],
+            "refusals": self.refusals,
+            "respecifications": self.respecifications,
+            "backend_fallbacks": self.backend_fallbacks,
+            "rebinds": self.rebinds,
+            "segments": self.segments,
+            "tasks_rescheduled": self.tasks_rescheduled,
+            "turnaround_s": self.turnaround_s,
+            "baseline_turnaround_s": self.baseline_turnaround_s,
+            "penalty": self.penalty,
+        }
+
+
+def _jitter(seed: int, backend: str, spec_index: int, attempt: int) -> float:
+    """Deterministic backoff jitter in [0.5, 1.5)."""
+    digest = hashlib.sha256(
+        f"pipeline:{seed}:{backend}:{spec_index}:{attempt}".encode()
+    ).digest()
+    return 0.5 + int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass
+class SelectionPipeline:
+    """Generate → select → bind → execute against a dynamic platform.
+
+    ``churn`` supplies the dynamics and the virtual clock; the pipeline
+    binds through ``churn.binder``, so competitor bindings and our own
+    contend for the same hosts.  ``alternatives`` may be passed explicitly
+    (tests); otherwise they are computed lazily from the platform's clock
+    bands on first fulfillment failure.
+    """
+
+    platform: Platform
+    churn: ResourceChurn
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+    alternatives: list[ResourceSpecification] | None = None
+
+    # ------------------------------------------------------------------
+    # Selection backends
+    # ------------------------------------------------------------------
+    def _free_hosts(self) -> set[int]:
+        """Hosts a selection may currently return."""
+        banned = self.churn.unavailable() | self.churn.binder.bound_hosts
+        return {h for h in range(self.platform.n_hosts) if h not in banned}
+
+    def _select(
+        self, backend: str, spec: ResourceSpecification
+    ) -> tuple[np.ndarray | None, float]:
+        """Run one backend; returns (host ids | None, selection latency)."""
+        unavailable = self.churn.unavailable() | self.churn.binder.bound_hosts
+        if backend == "vges":
+            engine = VgES(self.platform, unavailable=unavailable)
+            with observe.span("pipeline.select.vges"):
+                vg = engine.find_and_bind(spec.to_vgdl())
+            if vg is None:
+                return None, engine.platform.n_clusters * 1e-5
+            return vg.all_hosts(), vg.selection_time
+        if backend == "sword":
+            engine = SwordEngine(self.platform, unavailable=unavailable)
+            with observe.span("pipeline.select.sword"):
+                result = engine.query(spec.to_sword_xml())
+            latency = self.platform.n_clusters * 1e-5
+            if result is None:
+                return None, latency
+            return result.all_hosts(), latency
+        # classad: advertise the free hosts (strided when the universe is
+        # large — matchmaking is per-machine) and gangmatch the request.
+        free = sorted(self._free_hosts())
+        stride = max(1, len(free) // self.config.max_classad_machines)
+        ads = machine_ads(self.platform, free[::stride])
+        latency = max(1, len(ads)) * 1e-5
+        if spec.size > len(ads):
+            return None, latency
+        mm = Matchmaker(ads)
+        with observe.span("pipeline.select.classad"):
+            gang = mm.gangmatch(parse_classad(spec.to_classad()))
+        if gang is None:
+            return None, latency
+        hosts = []
+        for ad in gang.machines:
+            hid = evaluate(ad.get("HostId"), EvalContext(my=ad))
+            hosts.append(int(hid))
+        return np.asarray(sorted(hosts), dtype=np.int64), latency
+
+    # ------------------------------------------------------------------
+    # The degradation ladder
+    # ------------------------------------------------------------------
+    def _spec_ladder(self, dag: DAG, spec: ResourceSpecification) -> list[ResourceSpecification]:
+        if self.alternatives is None:
+            clocks = tuple(sorted({c.clock_ghz for c in self.platform.clusters}, reverse=True))
+            with observe.span("pipeline.respecify"):
+                alts = alternative_specifications(dag, spec, clocks)
+            # Drop alternatives identical to the original request — retrying
+            # the same rung is the *retry* rung's job, not respecification.
+            self.alternatives = [
+                a
+                for a, _ in alts
+                if (a.size, a.clock_min_mhz, a.clock_max_mhz)
+                != (spec.size, spec.clock_min_mhz, spec.clock_max_mhz)
+            ][: self.config.max_respecs]
+        return [spec] + list(self.alternatives[: self.config.max_respecs])
+
+    def run(self, dag: DAG, spec: ResourceSpecification) -> SelectionOutcome:
+        """Select, bind and execute ``dag`` under churn; never raises on
+        fulfillment failure (returns an unfulfilled outcome instead)."""
+        cfg = self.config
+        churn = self.churn
+        binder = churn.binder
+        attempts: list[SelectionAttempt] = []
+        counts = {"refusals": 0, "respecifications": 0, "backend_fallbacks": 0, "rebinds": 0}
+
+        def refuse(backend: str, s_idx: int, k: int, reason: str, n: int = 0) -> None:
+            counts["refusals"] += 1
+            observe.inc("pipeline.refusals")
+            attempts.append(SelectionAttempt(backend, s_idx, k, churn.now, reason, n))
+
+        bound: np.ndarray | None = None
+        used_backend: str | None = None
+        used_spec: ResourceSpecification | None = None
+        used_index = 0
+        churn.advance(churn.now)  # apply any events pending at t = now
+        with observe.span("pipeline.run"):
+            for b_idx, backend in enumerate(cfg.backends):
+                if bound is not None:
+                    break
+                if b_idx > 0:
+                    counts["backend_fallbacks"] += 1
+                    observe.inc("pipeline.backend_fallbacks")
+                for s_idx, sp in enumerate(self._iter_ladder(dag, spec)):
+                    if bound is not None:
+                        break
+                    if s_idx > 0:
+                        counts["respecifications"] += 1
+                        observe.inc("pipeline.respecifications")
+                    for k in range(cfg.max_retries + 1):
+                        if k > 0:
+                            delay = cfg.backoff_s * 2 ** (k - 1)
+                            delay *= _jitter(cfg.seed, backend, s_idx, k)
+                            churn.advance(churn.now + delay)
+                        hosts, latency = self._select(backend, sp)
+                        # The selection window: churn races us to the bind.
+                        churn.advance(churn.now + latency)
+                        if hosts is None or hosts.size < sp.min_size:
+                            refuse(backend, s_idx, k, "insufficient",
+                                   0 if hosts is None else int(hosts.size))
+                            continue
+                        if set(int(h) for h in hosts) & churn.dead:
+                            refuse(backend, s_idx, k, "host_lost", int(hosts.size))
+                            continue
+                        try:
+                            bound = binder.bind(hosts)
+                        except BindingError:
+                            refuse(backend, s_idx, k, "race", int(hosts.size))
+                            continue
+                        attempts.append(
+                            SelectionAttempt(
+                                backend, s_idx, k, churn.now, "bound", int(bound.size)
+                            )
+                        )
+                        used_backend, used_spec, used_index = backend, sp, s_idx
+                        break
+
+            if bound is None:
+                return SelectionOutcome(
+                    fulfilled=False,
+                    backend=None,
+                    spec_index=0,
+                    final_spec=None,
+                    hosts=(),
+                    attempts=tuple(attempts),
+                    refusals=counts["refusals"],
+                    respecifications=counts["respecifications"],
+                    backend_fallbacks=counts["backend_fallbacks"],
+                    rebinds=counts["rebinds"],
+                    segments=0,
+                    tasks_rescheduled=0,
+                    turnaround_s=None,
+                    baseline_turnaround_s=None,
+                )
+
+            segments, rescheduled, rebinds = self._execute(dag, used_spec, bound)
+            counts["rebinds"] += rebinds
+            turnaround = churn.now
+
+        baseline = self._baseline_turnaround(dag, spec)
+        return SelectionOutcome(
+            fulfilled=True,
+            backend=used_backend,
+            spec_index=used_index,
+            final_spec=used_spec,
+            hosts=tuple(int(h) for h in bound),
+            attempts=tuple(attempts),
+            refusals=counts["refusals"],
+            respecifications=counts["respecifications"],
+            backend_fallbacks=counts["backend_fallbacks"],
+            rebinds=counts["rebinds"],
+            segments=segments,
+            tasks_rescheduled=rescheduled,
+            turnaround_s=turnaround,
+            baseline_turnaround_s=baseline,
+        )
+
+    def _iter_ladder(self, dag: DAG, spec: ResourceSpecification):
+        """The original spec, then alternatives — computed lazily so a
+        first-rung success never pays for the Fig. VII-6 sweeps."""
+        yield spec
+        yield from self._spec_ladder(dag, spec)[1:]
+
+    # ------------------------------------------------------------------
+    # Execution with mid-run host loss
+    # ------------------------------------------------------------------
+    def _execute(
+        self, dag: DAG, spec: ResourceSpecification, bound: np.ndarray
+    ) -> tuple[int, int, int]:
+        """Run ``dag`` on the bound hosts under churn.
+
+        Returns ``(segments, tasks_rescheduled, rebinds)``; on return the
+        churn clock sits at the DAG's completion time and the hosts remain
+        bound (callers may release them).
+        """
+        churn = self.churn
+        binder = churn.binder
+        hosts = [int(h) for h in bound]
+        # Current sub-DAG and the original ids of its tasks.
+        sub = dag
+        orig_ids = np.arange(dag.n)
+        segments = 0
+        rescheduled = 0
+        rebinds = 0
+
+        while True:
+            segments += 1
+            rc = self.platform.rc_from_hosts(np.asarray(sorted(hosts), dtype=np.int64))
+            schedule = schedule_dag(spec.heuristic, sub, rc)
+            t0 = churn.now
+            end = t0 + schedule.makespan
+            # Which *our* host dies first while this segment runs?
+            fail = churn.next_failure(set(hosts), until=end)
+            if fail is None:
+                churn.advance(end)
+                return segments, rescheduled, rebinds
+
+            elapsed = fail.time - t0
+            unfinished = np.flatnonzero(schedule.finish > elapsed)
+            churn.advance(fail.time)  # applies the failure (and releases)
+            lost_now = [h for h in hosts if h in churn.dead]
+            hosts = [h for h in hosts if h not in churn.dead]
+
+            # Replace the losses with the fastest free hosts available.
+            need = max(1, len(lost_now))
+            free = sorted(
+                self._free_hosts(),
+                key=lambda h: (-self.platform.host_clock[h], h),
+            )
+            replacements = free[:need]
+            if replacements:
+                binder.bind(np.asarray(sorted(replacements), dtype=np.int64))
+                hosts.extend(int(h) for h in replacements)
+                rebinds += 1
+                observe.inc("pipeline.rebinds")
+            if not hosts:
+                raise PipelineError(
+                    "every bound host failed and no replacement is free"
+                )
+
+            if unfinished.size == 0:
+                # The failure hit after the last task finished on our hosts.
+                return segments, rescheduled, rebinds
+            rescheduled += int(unfinished.size)
+            observe.inc("pipeline.tasks_rescheduled", int(unfinished.size))
+            sub, orig_ids = _induced_subdag(sub, orig_ids, unfinished)
+
+    def _baseline_turnaround(self, dag: DAG, spec: ResourceSpecification) -> float | None:
+        """Turnaround of the undisturbed run: same platform, no churn, no
+        background load, an empty binder."""
+        quiet = ResourceChurn.from_config(self.platform, ChurnConfig(), Binder(self.platform))
+        baseline = SelectionPipeline(
+            platform=self.platform,
+            churn=quiet,
+            config=self.config,
+            alternatives=self.alternatives,
+        )
+        with observe.use_registry(observe.MetricsRegistry()):
+            outcome = baseline._run_undisturbed(dag, spec)
+        return outcome
+
+    def _run_undisturbed(self, dag: DAG, spec: ResourceSpecification) -> float | None:
+        """The churn-free reference run (selection latency + makespan)."""
+        for backend in self.config.backends:
+            hosts, latency = self._select(backend, spec)
+            if hosts is None or hosts.size < spec.min_size:
+                continue
+            self.churn.advance(self.churn.now + latency)
+            self.churn.binder.bind(hosts)
+            self._execute(dag, spec, hosts)
+            return self.churn.now
+        return None
+
+
+def _induced_subdag(
+    dag: DAG, orig_ids: np.ndarray, keep: np.ndarray
+) -> tuple[DAG, np.ndarray]:
+    """The sub-DAG induced by the (unfinished) tasks ``keep``.
+
+    Edges from dropped (completed) parents vanish: their outputs are
+    already staged and re-fetchable, so the restarted segment starts from
+    the surviving dependency structure only.
+    """
+    keep = np.asarray(keep, dtype=np.int64)
+    remap = -np.ones(dag.n, dtype=np.int64)
+    remap[keep] = np.arange(keep.size)
+    mask = (remap[dag.edge_src] >= 0) & (remap[dag.edge_dst] >= 0)
+    sub = DAG(
+        comp=dag.comp[keep],
+        edge_src=remap[dag.edge_src[mask]],
+        edge_dst=remap[dag.edge_dst[mask]],
+        edge_comm=dag.edge_comm[mask],
+        name=f"{dag.name}~resched",
+    )
+    return sub, orig_ids[keep]

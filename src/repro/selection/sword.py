@@ -251,9 +251,15 @@ class _Zone:
 
 @dataclass
 class SwordEngine:
-    """Penalty-minimising resource discovery over a synthetic platform."""
+    """Penalty-minimising resource discovery over a synthetic platform.
+
+    ``unavailable`` holds host ids that must never be selected (busy under
+    background load, dead, or bound by other users — see
+    :mod:`repro.resources.binding`).
+    """
 
     platform: Platform
+    unavailable: set[int] = field(default_factory=set)
 
     def query(self, query: SwordQuery | str) -> SwordResult | None:
         """Answer ``query``; None when no feasible configuration exists."""
@@ -371,7 +377,12 @@ class SwordEngine:
             total_pen = 0.0
             needed = group.num_machines
             for pen, cid in ranked:
-                hosts = np.flatnonzero(plat.host_cluster == cid)[:needed]
+                hosts = np.flatnonzero(plat.host_cluster == cid)
+                if self.unavailable:
+                    hosts = hosts[~np.isin(hosts, list(self.unavailable))]
+                hosts = hosts[:needed]
+                if hosts.size == 0:
+                    continue
                 chosen.append(hosts)
                 total_pen += pen * hosts.size
                 needed -= hosts.size

@@ -1,0 +1,171 @@
+"""Tests for the seeded resource-churn state machine."""
+
+import numpy as np
+import pytest
+
+from repro.resources.binding import Binder
+from repro.resources.churn import (
+    ChurnConfig,
+    ChurnEvent,
+    ChurnTrace,
+    ResourceChurn,
+    generate_churn_trace,
+    parse_churn_spec,
+)
+
+_CFG = ChurnConfig(fail_rate=0.01, competitor_rate=0.02, utilization=0.2, seed=5)
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        ChurnEvent(1.0, "explode", (0,))
+    with pytest.raises(ValueError):
+        ChurnEvent(-1.0, "fail", (0,))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ChurnConfig(fail_rate=-0.1)
+    with pytest.raises(ValueError):
+        ChurnConfig(utilization=1.5)
+    with pytest.raises(ValueError):
+        ChurnConfig(competitor_size=0)
+    with pytest.raises(ValueError):
+        ChurnConfig(horizon_s=0.0)
+
+
+def test_trace_requires_sorted_events():
+    with pytest.raises(ValueError):
+        ChurnTrace(events=(ChurnEvent(5.0, "fail", (0,)), ChurnEvent(1.0, "fail", (1,))))
+
+
+def test_trace_is_deterministic(small_platform):
+    t1 = generate_churn_trace(small_platform, _CFG)
+    t2 = generate_churn_trace(small_platform, _CFG)
+    assert t1.events == t2.events
+    assert t1.busy_hosts == t2.busy_hosts
+    t3 = generate_churn_trace(small_platform, _CFG.with_seed(6))
+    assert t3.events != t1.events
+
+
+def test_fail_join_and_bind_release_pairing(small_platform):
+    cfg = ChurnConfig(
+        fail_rate=0.01, rejoin_s=50.0, competitor_rate=0.02, competitor_hold_s=80.0, seed=1
+    )
+    trace = generate_churn_trace(small_platform, cfg)
+    by_ref: dict[int, list[ChurnEvent]] = {}
+    for e in trace.events:
+        by_ref.setdefault(e.ref, []).append(e)
+    kinds = {e.kind for e in trace.events}
+    assert {"fail", "join", "bind", "release"} <= kinds
+    for ref, events in by_ref.items():
+        if events[0].kind == "fail":
+            fail, join = events
+            assert join.kind == "join"
+            assert join.hosts == fail.hosts
+            assert join.time == pytest.approx(fail.time + 50.0)
+        elif events[0].kind == "bind":
+            bind, release = events
+            assert release.kind == "release"
+            assert release.hosts == bind.hosts
+            assert release.time == pytest.approx(bind.time + 80.0)
+            # Competitors grab a block from a single cluster.
+            clusters = {int(small_platform.host_cluster[h]) for h in bind.hosts}
+            assert len(clusters) == 1
+
+
+def test_competitor_block_respects_cluster_size(small_platform):
+    cfg = ChurnConfig(competitor_rate=0.05, competitor_size=10_000, seed=2)
+    trace = generate_churn_trace(small_platform, cfg)
+    for e in trace.events:
+        if e.kind == "bind":
+            cid = int(small_platform.host_cluster[e.hosts[0]])
+            members = int((small_platform.host_cluster == cid).sum())
+            assert len(e.hosts) == members
+
+
+def test_background_utilization(small_platform):
+    trace = generate_churn_trace(small_platform, ChurnConfig(utilization=0.3, seed=3))
+    frac = len(trace.busy_hosts) / small_platform.n_hosts
+    assert 0.1 < frac < 0.5
+    assert generate_churn_trace(small_platform, ChurnConfig()).busy_hosts == frozenset()
+
+
+def test_advance_applies_state_transitions(small_platform):
+    binder = Binder(small_platform)
+    trace = ChurnTrace(
+        events=(
+            ChurnEvent(10.0, "fail", (0,), ref=0),
+            ChurnEvent(20.0, "bind", (1, 2), ref=1),
+            ChurnEvent(30.0, "release", (1, 2), ref=1),
+            ChurnEvent(60.0, "join", (0,), ref=0),
+        ),
+        busy_hosts=frozenset({5}),
+    )
+    churn = ResourceChurn(small_platform, trace, binder)
+    binder.bind(np.array([0], dtype=np.int64))  # ours, until host 0 dies
+
+    applied = churn.advance(10.0)
+    assert [e.kind for e in applied] == ["fail"]
+    assert churn.dead == {0}
+    assert not binder.is_bound(0)  # failure releases our binding
+    assert churn.unavailable() == {0, 5}
+
+    churn.advance(20.0)
+    assert binder.is_bound(1) and binder.is_bound(2)
+    assert churn.competitor_held == {1, 2}
+
+    churn.advance(60.0)
+    assert churn.dead == set()
+    assert not binder.is_bound(1) and not binder.is_bound(2)
+    assert churn.competitor_held == set()
+
+
+def test_competitor_bind_skips_unfree_hosts(small_platform):
+    binder = Binder(small_platform)
+    binder.bind(np.array([1], dtype=np.int64))
+    trace = ChurnTrace(events=(ChurnEvent(1.0, "bind", (1, 2), ref=0),))
+    churn = ResourceChurn(small_platform, trace, binder)
+    churn.advance(1.0)
+    # The competitor only gets the free host; ours stays ours.
+    assert churn.competitor_held == {2}
+    assert binder.is_bound(1)
+
+
+def test_advance_backwards_rejected(small_platform):
+    churn = ResourceChurn.from_config(small_platform, ChurnConfig())
+    churn.advance(5.0)
+    with pytest.raises(ValueError):
+        churn.advance(4.0)
+
+
+def test_next_failure_window(small_platform):
+    trace = ChurnTrace(
+        events=(ChurnEvent(10.0, "fail", (3,), ref=0), ChurnEvent(50.0, "fail", (4,), ref=1))
+    )
+    churn = ResourceChurn(small_platform, trace, Binder(small_platform))
+    hit = churn.next_failure({3, 4}, until=100.0)
+    assert hit is not None and hit.time == 10.0
+    assert churn.next_failure({4}, until=20.0) is None  # outside window
+    assert churn.next_failure({9}, until=100.0) is None  # not our host
+    churn.advance(10.0)
+    late = churn.next_failure({3, 4}, until=100.0)
+    assert late is not None and late.time == 50.0  # already-applied events skipped
+
+
+def test_parse_churn_spec_roundtrip():
+    cfg = parse_churn_spec("fail=0.002,competitor=0.01,hold=300,size=8,rejoin=600,util=0.2,seed=7")
+    assert cfg == ChurnConfig(
+        fail_rate=0.002,
+        rejoin_s=600.0,
+        competitor_rate=0.01,
+        competitor_size=8,
+        competitor_hold_s=300.0,
+        utilization=0.2,
+        seed=7,
+    )
+    assert parse_churn_spec("") == ChurnConfig()
+    with pytest.raises(ValueError, match="known keys"):
+        parse_churn_spec("frequency=2")
+    with pytest.raises(ValueError, match="bad value"):
+        parse_churn_spec("fail=often")

@@ -1,0 +1,146 @@
+"""Robustness tests for the ClassAd front end: arbitrary input must either
+parse or raise :class:`ClassAdParseError` — never IndexError, KeyError or
+RecursionError."""
+
+import pytest
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.selection.classad import (
+    ClassAdParseError,
+    LexError,
+    ParseError,
+    parse_classad,
+    parse_expression,
+)
+from repro.selection.classad.lexer import tokenize
+
+_VALID_AD = (
+    '[ Type = "Request"; Count = 16; Clock = 2100.0;'
+    ' Requirements = other.Clock >= 2100 && other.OpSys == "LINUX";'
+    " Rank = other.Clock ]"
+)
+
+
+# ----------------------------------------------------------------------
+# Deterministic regressions: inputs that used to escape as IndexError /
+# RecursionError from the recursive-descent parser.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",  # empty input
+        "(",  # truncated group
+        "(" * 10_000,  # deep nesting (used to be RecursionError)
+        "-" * 10_000 + "1",  # deep unary chain
+        "[ Foo = 1",  # truncated record
+        "[ Foo = ",  # truncated binding
+        "1 +",  # dangling operator
+        '"unterminated',  # unterminated string
+        "/* open comment",  # unterminated comment
+        "a =? b",  # two chars of a three-char operator
+        "§",  # character outside the alphabet
+        "x.y.z",  # over-scoped reference
+        "{1, 2,",  # truncated list
+        "[ Foo = 1; Bar ]",  # missing '='
+        "f(1, 2",  # truncated call
+        "a ? b",  # ternary missing ':'
+    ],
+)
+def test_malformed_input_raises_structured_error(text):
+    for fn in (parse_expression, parse_classad):
+        with pytest.raises(ClassAdParseError):
+            fn(text)
+
+
+def test_error_carries_location_and_context():
+    with pytest.raises(ParseError) as exc_info:
+        parse_classad("[\n  Foo = 1;\n  Bar == 2;\n]")
+    err = exc_info.value
+    assert err.line == 3
+    assert err.column == 7
+    assert "Bar == 2" in err.context
+    assert "line 3" in str(err) and "column 7" in str(err)
+
+
+def test_lex_error_carries_location():
+    with pytest.raises(LexError) as exc_info:
+        parse_expression('Clock >= "oops')
+    err = exc_info.value
+    assert err.line == 1
+    assert err.column == 10
+    assert isinstance(err, ClassAdParseError)
+
+
+def test_error_hierarchy():
+    # One except clause covers both phases, and plain ValueError still works
+    # for legacy callers.
+    assert issubclass(LexError, ClassAdParseError)
+    assert issubclass(ParseError, ClassAdParseError)
+    assert issubclass(ClassAdParseError, ValueError)
+
+
+def test_tokenize_never_loses_eof():
+    # The parser relies on the trailing EOF token being sticky: repeatedly
+    # asking for tokens past the end must not raise IndexError.
+    from repro.selection.classad.parser import _Parser
+
+    parser = _Parser(tokenize("1 2 3"))
+    for _ in range(20):
+        tok = parser.next()
+    assert tok.kind == "EOF"
+
+
+def test_valid_ad_still_parses():
+    ad = parse_classad(_VALID_AD)
+    assert "Requirements" in ad and "Count" in ad
+
+
+# ----------------------------------------------------------------------
+# Fuzz: random mutations of a valid ClassAd.
+# ----------------------------------------------------------------------
+_REPLACEMENTS = ["", "(", ")", "[", "]", '"', ";", "=", "&&", "?", ".", "§", "=?", "/*"]
+
+_mutations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(_VALID_AD) - 1),
+        st.sampled_from(_REPLACEMENTS),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _mutate(text: str, edits) -> str:
+    out = text
+    for pos, repl in edits:
+        pos = min(pos, len(out) - 1) if out else 0
+        out = out[:pos] + repl + out[pos + 1 :]
+    return out
+
+
+@pytest.mark.slow
+@settings(max_examples=500, deadline=None)
+@given(_mutations)
+def test_fuzz_mutated_classads_parse_or_raise(edits):
+    """Any byte-level corruption of a valid ad either parses or raises
+    ClassAdParseError — no other exception type escapes."""
+    text = _mutate(_VALID_AD, edits)
+    try:
+        parse_classad(text)
+    except ClassAdParseError:
+        pass
+
+
+@pytest.mark.slow
+@settings(max_examples=500, deadline=None)
+@given(st.text(alphabet='abc01 ._;,=?!&|<>+-*/%(){}[]"\'\n§', max_size=80))
+def test_fuzz_arbitrary_text_parse_or_raise(text):
+    """Fully arbitrary text over the token alphabet never escapes the
+    structured-error contract."""
+    for fn in (parse_expression, parse_classad):
+        try:
+            fn(text)
+        except ClassAdParseError:
+            pass

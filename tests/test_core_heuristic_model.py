@@ -87,3 +87,21 @@ def test_train_small_grid():
 def test_predict_for_dag(small_montage):
     m = _model()
     assert m.predict_for_dag(small_montage) in m.heuristics
+
+
+def test_extrapolation_clamped_counted_and_warned_once():
+    import warnings
+
+    import repro.observe as observe
+
+    m = _model()
+    with observe.use_registry(observe.MetricsRegistry()) as reg:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            # No DAG measures alpha > 1 or beta > 1: both get clamped.
+            wild = m.predict(60, 0.01, 1.7, 0.5)
+            m.predict(60, 0.01, 0.5, 9.0)  # second extrapolation
+        clamped = m.predict(60, 0.01, 1.0, 0.5)
+    assert wild == clamped == "fca"
+    assert reg.snapshot()["counters"]["model.extrapolations"] == 2
+    assert len([w for w in caught if "envelope" in str(w.message)]) == 1

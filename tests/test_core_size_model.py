@@ -143,3 +143,55 @@ def test_train_convenience():
     )
     model = SizePredictionModel.train(grid, seed=1)
     assert model.predict(30, 0.1, 0.6, 0.5) >= 1
+
+
+# ----------------------------------------------------------------------
+# Out-of-envelope guardrails
+# ----------------------------------------------------------------------
+def test_extrapolation_clamped_counted_and_warned_once(tiny_size_model):
+    import warnings
+
+    import repro.observe as observe
+
+    model = SizePredictionModel.from_dict(tiny_size_model.to_dict())
+    a_lo, a_hi = model.alpha_range
+    with observe.use_registry(observe.MetricsRegistry()) as reg:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            wild = model.predict(60, 0.1, a_hi + 5.0, 0.5)
+            model.predict(60, 0.1, a_lo - 5.0, 0.5)  # second extrapolation
+        clamped = model.predict(60, 0.1, a_hi, 0.5)
+    assert wild == clamped  # clamped, not extrapolated
+    assert reg.snapshot()["counters"]["model.extrapolations"] == 2
+    assert len([w for w in caught if "envelope" in str(w.message)]) == 1
+
+
+def test_in_envelope_query_is_silent(tiny_size_model):
+    import warnings
+
+    import repro.observe as observe
+
+    model = SizePredictionModel.from_dict(tiny_size_model.to_dict())
+    n = model.sizes[0]
+    ccr = model.ccrs[0]
+    a = sum(model.alpha_range) / 2
+    b = sum(model.beta_range) / 2
+    with observe.use_registry(observe.MetricsRegistry()) as reg:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            model.predict(n, ccr, a, b)
+    assert "model.extrapolations" not in reg.snapshot()["counters"]
+    assert not caught
+
+
+def test_envelope_serialisation_roundtrip(tiny_size_model):
+    back = SizePredictionModel.from_dict(tiny_size_model.to_dict())
+    assert back.alpha_range == tiny_size_model.alpha_range
+    assert back.beta_range == tiny_size_model.beta_range
+    # Pre-envelope model files still load; the metric domain is recomputed
+    # from their grid sizes.
+    data = tiny_size_model.to_dict()
+    del data["alpha_range"], data["beta_range"]
+    legacy = SizePredictionModel.from_dict(data)
+    assert legacy.alpha_range == (0.0, 1.0)
+    assert legacy.beta_range == (2.0 - max(data["sizes"]), 1.0)

@@ -32,6 +32,77 @@ def test_edgeless_roundtrip():
     assert back.m == 0
 
 
+# ----------------------------------------------------------------------
+# Malformed-payload validation: each defect is reported as a one-line
+# ValueError naming the offending node or edge.
+# ----------------------------------------------------------------------
+def _payload(**overrides):
+    base = {
+        "name": "bad",
+        "comp": [1.0, 2.0, 3.0],
+        "edges": [[0, 1, 0.5], [1, 2, 0.25]],
+    }
+    base.update(overrides)
+    return base
+
+
+def test_from_dict_missing_comp():
+    with pytest.raises(ValueError, match="missing required key 'comp'"):
+        dag_from_dict({"name": "bad"})
+
+
+def test_from_dict_nan_comp_names_node():
+    with pytest.raises(ValueError, match="node 1 has invalid computation cost"):
+        dag_from_dict(_payload(comp=[1.0, float("nan"), 3.0]))
+
+
+def test_from_dict_negative_comp_names_node():
+    with pytest.raises(ValueError, match="node 2 has invalid computation cost"):
+        dag_from_dict(_payload(comp=[1.0, 2.0, -0.5]))
+
+
+def test_from_dict_bad_edge_shape_names_edge():
+    with pytest.raises(ValueError, match=r"edge 1 is \[1, 2\], expected \[src, dst, comm\]"):
+        dag_from_dict(_payload(edges=[[0, 1, 0.5], [1, 2]]))
+
+
+def test_from_dict_non_numeric_edge_names_edge():
+    with pytest.raises(ValueError, match="edge 0 is"):
+        dag_from_dict(_payload(edges=[[0, "x", 0.5]]))
+
+
+def test_from_dict_undeclared_endpoint_names_edge():
+    with pytest.raises(ValueError, match=r"edge 1 destination 9 is not a declared node \(n=3\)"):
+        dag_from_dict(_payload(edges=[[0, 1, 0.5], [1, 9, 0.25]]))
+    with pytest.raises(ValueError, match="edge 0 source -1 is not a declared node"):
+        dag_from_dict(_payload(edges=[[-1, 1, 0.5]]))
+
+
+def test_from_dict_nan_comm_names_edge():
+    with pytest.raises(ValueError, match=r"edge 1 \(1->2\) has invalid cost"):
+        dag_from_dict(_payload(edges=[[0, 1, 0.5], [1, 2, float("nan")]]))
+
+
+def test_from_dict_negative_comm_names_edge():
+    with pytest.raises(ValueError, match=r"edge 0 \(0->1\) has invalid cost -1.0"):
+        dag_from_dict(_payload(edges=[[0, 1, -1.0]]))
+
+
+def test_from_dict_duplicate_edge_named():
+    with pytest.raises(ValueError, match="duplicate edge 0->1"):
+        dag_from_dict(_payload(edges=[[0, 1, 0.5], [0, 1, 0.7]]))
+
+
+def test_from_dict_cycle_names_node():
+    with pytest.raises(ValueError, match="cycle detected through node 0"):
+        dag_from_dict(_payload(edges=[[0, 1, 0.5], [1, 2, 0.5], [2, 0, 0.5]]))
+
+
+def test_from_dict_self_loop_is_a_cycle():
+    with pytest.raises(ValueError, match="cycle detected through node 1"):
+        dag_from_dict(_payload(edges=[[1, 1, 0.5]]))
+
+
 def test_dot_export(diamond_dag):
     dot = dag_to_dot(diamond_dag)
     assert dot.startswith('digraph "diamond"')

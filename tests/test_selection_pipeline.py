@@ -1,0 +1,211 @@
+"""Tests for the resilient selection pipeline (the degradation ladder)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.observe as observe
+from repro.core.generator import ResourceSpecification
+from repro.experiments.chapter4 import build_universe
+from repro.experiments.scales import SMOKE
+from repro.resources.binding import Binder
+from repro.resources.churn import ChurnConfig, ChurnEvent, ChurnTrace, ResourceChurn
+from repro.scheduling.base import schedule_dag
+from repro.selection.pipeline import PipelineConfig, SelectionPipeline
+from repro.selection.vgdl import VgES
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return build_universe(SMOKE, seed=0)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ResourceSpecification(
+        heuristic="mcp",
+        size=24,
+        min_size=20,
+        clock_min_mhz=2000.0,
+        clock_max_mhz=4000.0,
+        connectivity="loose",
+        threshold=0.001,
+        dag_name="montage",
+    )
+
+
+def _quiet(platform):
+    return ResourceChurn.from_config(platform, ChurnConfig(), Binder(platform))
+
+
+def _smaller(spec):
+    return dataclasses.replace(spec, size=16, min_size=12)
+
+
+def _clean_run(platform, dag, spec, **cfg):
+    churn = _quiet(platform)
+    pipeline = SelectionPipeline(platform, churn, PipelineConfig(**cfg))
+    return pipeline.run(dag, spec)
+
+
+# ----------------------------------------------------------------------
+# Churn-free behaviour: the resilient loop must not perturb the happy path.
+# ----------------------------------------------------------------------
+def test_churn_free_run_matches_direct_select_and_schedule(platform, small_montage, spec):
+    outcome = _clean_run(platform, small_montage, spec)
+
+    vg = VgES(platform).find_and_bind(spec.to_vgdl())
+    hosts = np.sort(vg.all_hosts())
+    rc = platform.rc_from_hosts(hosts)
+    schedule = schedule_dag("mcp", small_montage, rc)
+
+    assert outcome.fulfilled
+    assert outcome.backend == "vges" and outcome.spec_index == 0
+    assert sorted(outcome.hosts) == [int(h) for h in hosts]
+    assert outcome.turnaround_s == vg.selection_time + schedule.makespan
+    assert outcome.baseline_turnaround_s == outcome.turnaround_s
+    assert outcome.penalty == 0.0
+    assert outcome.refusals == outcome.respecifications == outcome.backend_fallbacks == 0
+    assert outcome.rebinds == 0 and outcome.segments == 1 and outcome.tasks_rescheduled == 0
+    assert [a.result for a in outcome.attempts] == ["bound"]
+
+
+def test_same_seed_reruns_are_bit_identical(platform, small_montage, spec):
+    config = ChurnConfig(fail_rate=0.002, competitor_rate=0.01, utilization=0.25, seed=9)
+
+    def run():
+        churn = ResourceChurn.from_config(platform, config)
+        return SelectionPipeline(platform, churn, alternatives=[_smaller(spec)]).run(
+            small_montage, spec
+        )
+
+    assert run().to_dict() == run().to_dict()
+
+
+# ----------------------------------------------------------------------
+# Fulfillment failure: the ladder.
+# ----------------------------------------------------------------------
+def test_seeded_race_causes_exactly_one_respecification(platform, small_montage, spec):
+    clean = _clean_run(platform, small_montage, spec)
+    # A competitor binds some of the hosts we are about to pick, inside the
+    # selection window (selection latency is ~n_clusters * 1e-5 s).
+    trace = ChurnTrace(
+        events=(ChurnEvent(1e-7, "bind", tuple(sorted(clean.hosts)[:10]), ref=0),)
+    )
+    churn = ResourceChurn(platform, trace, Binder(platform))
+    pipeline = SelectionPipeline(
+        platform, churn, PipelineConfig(max_retries=0), alternatives=[_smaller(spec)]
+    )
+    with observe.use_registry(observe.MetricsRegistry()) as reg:
+        outcome = pipeline.run(small_montage, spec)
+
+    assert outcome.fulfilled
+    assert [a.result for a in outcome.attempts] == ["race", "bound"]
+    assert outcome.respecifications == 1
+    assert outcome.spec_index == 1
+    assert outcome.final_spec == _smaller(spec)
+    assert outcome.backend == "vges" and outcome.backend_fallbacks == 0
+    # The outcome's counts are exactly the observe counters of the run.
+    counters = reg.snapshot()["counters"]
+    assert counters["pipeline.refusals"] == outcome.refusals == 1
+    assert counters["pipeline.respecifications"] == outcome.respecifications
+    assert "pipeline.backend_fallbacks" not in counters
+    assert "pipeline.rebinds" not in counters
+
+
+def test_refusal_completes_via_alternative_specification(platform, small_montage, spec):
+    impossible = dataclasses.replace(
+        spec, size=platform.n_hosts + 50, min_size=platform.n_hosts + 10
+    )
+    churn = _quiet(platform)
+    pipeline = SelectionPipeline(
+        platform, churn, PipelineConfig(max_retries=0), alternatives=[spec]
+    )
+    outcome = pipeline.run(small_montage, impossible)
+    assert outcome.fulfilled
+    assert outcome.spec_index == 1 and outcome.final_spec == spec
+    assert outcome.backend == "vges" and outcome.backend_fallbacks == 0
+    assert outcome.refusals == 1 and outcome.respecifications == 1
+    assert outcome.attempts[0].result == "insufficient"
+
+
+def test_exhausted_ladder_returns_unfulfilled_outcome(platform, small_montage, spec):
+    impossible = dataclasses.replace(
+        spec, size=platform.n_hosts + 50, min_size=platform.n_hosts + 10
+    )
+    churn = _quiet(platform)
+    pipeline = SelectionPipeline(
+        platform, churn, PipelineConfig(max_retries=1, backends=("vges", "sword")),
+        alternatives=[],
+    )
+    outcome = pipeline.run(small_montage, impossible)
+    assert not outcome.fulfilled
+    assert outcome.turnaround_s is None and outcome.penalty is None
+    assert outcome.hosts == () and outcome.final_spec is None
+    # 2 backends x 1 spec x 2 attempts, every one a refusal.
+    assert outcome.refusals == len(outcome.attempts) == 4
+    assert outcome.backend_fallbacks == 1
+    assert all(a.result == "insufficient" for a in outcome.attempts)
+
+
+def test_retry_backoff_advances_virtual_clock(platform, small_montage, spec):
+    impossible = dataclasses.replace(
+        spec, size=platform.n_hosts + 50, min_size=platform.n_hosts + 10
+    )
+    churn = _quiet(platform)
+    pipeline = SelectionPipeline(
+        platform, churn, PipelineConfig(max_retries=2, backends=("vges",), backoff_s=5.0),
+        alternatives=[],
+    )
+    outcome = pipeline.run(small_montage, impossible)
+    times = [a.time_s for a in outcome.attempts]
+    assert len(times) == 3
+    # Backoff is bounded and jittered: attempt k waits 5 * 2**(k-1) * [0.5, 1.5).
+    assert 2.5 - 1e-6 <= times[1] - times[0] <= 7.5 + 1e-6
+    assert 5.0 - 1e-6 <= times[2] - times[1] <= 15.0 + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Mid-execution host loss.
+# ----------------------------------------------------------------------
+def test_mid_execution_kill_reschedules_only_unfinished_tasks(platform, small_montage, spec):
+    clean = _clean_run(platform, small_montage, spec)
+    bind_time = clean.attempts[0].time_s
+    makespan = clean.turnaround_s - bind_time
+    hosts = np.asarray(sorted(clean.hosts), dtype=np.int64)
+    schedule = schedule_dag("mcp", small_montage, platform.rc_from_hosts(hosts))
+    kill_time = bind_time + 0.5 * makespan
+    expected_unfinished = int((schedule.finish > kill_time - bind_time).sum())
+    assert 0 < expected_unfinished < small_montage.n
+
+    victim = int(hosts[0])
+    trace = ChurnTrace(events=(ChurnEvent(kill_time, "fail", (victim,), ref=0),))
+    churn = ResourceChurn(platform, trace, Binder(platform))
+    with observe.use_registry(observe.MetricsRegistry()) as reg:
+        outcome = SelectionPipeline(platform, churn).run(small_montage, spec)
+
+    assert outcome.fulfilled
+    assert outcome.segments == 2
+    assert outcome.rebinds == 1
+    assert outcome.tasks_rescheduled == expected_unfinished
+    # The DAG still completes; the clock moved past the kill.  (Turnaround
+    # may even beat the clean run: completed parents' outputs are staged,
+    # so the restarted sub-DAG sheds its cross-segment edges.)
+    assert outcome.turnaround_s > kill_time
+    assert outcome.penalty is not None
+    counters = reg.snapshot()["counters"]
+    assert counters["pipeline.rebinds"] == outcome.rebinds
+    assert counters["pipeline.tasks_rescheduled"] == outcome.tasks_rescheduled
+
+
+# ----------------------------------------------------------------------
+# The experiment cell: jobs-count independence (slow).
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_churn_penalty_sweep_is_jobs_independent(tiny_size_model):
+    from repro.experiments.chapter7 import churn_penalty_sweep
+
+    serial = churn_penalty_sweep(tiny_size_model, SMOKE, rates=(0.0, 0.01), reps=1, jobs=1)
+    parallel = churn_penalty_sweep(tiny_size_model, SMOKE, rates=(0.0, 0.01), reps=1, jobs=2)
+    assert serial == parallel

@@ -12,7 +12,7 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.core.knee import PrefixRCFactory, knee_from_curve, rc_size_grid, sweep_turnaround
-from repro.core.size_model import SizePredictionModel, _sweep_max_size
+from repro.core.size_model import _sweep_max_size
 from repro.dag.random_dag import RandomDagSpec, generate_random_dag
 from repro.experiments.tables import print_table
 

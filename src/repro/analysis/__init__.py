@@ -1,0 +1,78 @@
+"""Static analysis over resource specifications (the ``repro lint`` engine).
+
+The subsystem has four layers:
+
+* :mod:`repro.analysis.diagnostics` — the shared :class:`Diagnostic`
+  record (stable ``SPEC###`` codes, severity, message, source span);
+* :mod:`repro.analysis.expr` — interval analysis, type inference and
+  dead-clause detection over the ClassAd expression AST;
+* per-language checkers (:mod:`~repro.analysis.classad`,
+  :mod:`~repro.analysis.vgdl`, :mod:`~repro.analysis.sword`) plus the
+  language-detecting front door :func:`lint_text`;
+* :mod:`repro.analysis.preflight` — platform-aware satisfiability:
+  which clause eliminates the last host, without binding anything.
+
+Everything is deterministic and side-effect free, so the selection
+pipeline can consult it without perturbing seeded replay.
+"""
+
+from repro.analysis.classad import analyze_classad_request, analyze_classad_text
+from repro.analysis.diagnostics import (
+    DIAGNOSTIC_CODES,
+    SEVERITIES,
+    Diagnostic,
+    DiagnosticReport,
+    Span,
+)
+from repro.analysis.expr import (
+    DEFAULT_VOCABULARY,
+    NONNEGATIVE_ATTRIBUTES,
+    Interval,
+    analyze_constraint,
+    infer_type,
+)
+from repro.analysis.preflight import (
+    PreflightResult,
+    cluster_ads,
+    preflight_constraint,
+    preflight_document,
+    preflight_specification,
+)
+from repro.analysis.spec import (
+    LANGUAGES,
+    SpecificationLintError,
+    analyze_specification,
+    detect_language,
+    lint_text,
+)
+from repro.analysis.sword import analyze_sword_query, analyze_sword_text
+from repro.analysis.vgdl import analyze_vgdl_spec, analyze_vgdl_text
+
+__all__ = [
+    "DIAGNOSTIC_CODES",
+    "SEVERITIES",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Span",
+    "Interval",
+    "DEFAULT_VOCABULARY",
+    "NONNEGATIVE_ATTRIBUTES",
+    "analyze_constraint",
+    "infer_type",
+    "analyze_classad_text",
+    "analyze_classad_request",
+    "analyze_vgdl_text",
+    "analyze_vgdl_spec",
+    "analyze_sword_text",
+    "analyze_sword_query",
+    "LANGUAGES",
+    "SpecificationLintError",
+    "detect_language",
+    "lint_text",
+    "analyze_specification",
+    "PreflightResult",
+    "cluster_ads",
+    "preflight_constraint",
+    "preflight_document",
+    "preflight_specification",
+]

@@ -1,0 +1,188 @@
+"""Typed diagnostics for the specification static analyzer.
+
+Every finding any checker in :mod:`repro.analysis` emits is a
+:class:`Diagnostic`: a stable code (``SPEC101``), a severity, a one-line
+message, the language of the offending document and — whenever the source
+offset is known — a :class:`Span` carrying 1-based line/column plus the
+offending source line (derived with the same machinery the parsers use
+for :meth:`~repro.selection.classad.lexer.ClassAdParseError.attach_source`).
+
+The code table is the single source of truth: tests assert every code a
+checker can emit is registered here, and the documentation table is
+generated from it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.selection.classad.lexer import source_location
+
+__all__ = [
+    "DIAGNOSTIC_CODES",
+    "SEVERITIES",
+    "Span",
+    "Diagnostic",
+    "DiagnosticReport",
+]
+
+#: Severities in decreasing order of gravity.  ``error`` findings make a
+#: specification unusable (contradictions, type errors, syntax errors);
+#: ``warning`` findings are suspicious but not fatal (dead clauses,
+#: attributes no backend provides).
+SEVERITIES = ("error", "warning", "info")
+
+#: Stable diagnostic codes → one-line description.  Codes are never
+#: renumbered; retired codes are removed but their numbers stay burnt.
+DIAGNOSTIC_CODES: dict[str, str] = {
+    "SPEC001": "specification does not parse (syntax error)",
+    "SPEC101": "contradictory numeric constraints (empty interval)",
+    "SPEC102": "always-true (dead) clause: adds nothing to the constraint",
+    "SPEC103": "type-mismatched comparison",
+    "SPEC104": "reference to an attribute no backend provides",
+    "SPEC105": "constant-false clause: the constraint can never hold",
+    "SPEC106": "unsatisfiable OR-branch (dead disjunct)",
+    "SPEC110": "invalid requested count (must be a positive integer)",
+    "SPEC120": "rank expression is not numeric",
+    "SPEC130": "non-positive SWORD resource budget",
+    "SPEC131": "contradictory duplicate SWORD requirements for one attribute",
+    "SPEC133": "latency bound below the platform model's intra-cluster floor",
+    "SPEC201": "a clause eliminates every host of the platform snapshot",
+    "SPEC202": "too few matching hosts in the platform snapshot",
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """A source location: character offset plus derived line/column.
+
+    ``line``/``column`` are 1-based; ``context`` is the full source line
+    containing the offset.
+    """
+
+    pos: int
+    line: int
+    column: int
+    context: str = ""
+
+    @classmethod
+    def from_pos(cls, text: str, pos: int) -> "Span":
+        """Span at character offset ``pos`` of ``text``."""
+        line, column, context = source_location(text, pos)
+        return cls(pos=pos, line=line, column=column, context=context)
+
+    def describe(self) -> str:
+        """Human-readable ``line L, column C`` rendering."""
+        return f"line {self.line}, column {self.column}"
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-JSON rendering."""
+        return {
+            "pos": self.pos,
+            "line": self.line,
+            "column": self.column,
+            "context": self.context,
+        }
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    ``lang`` names the analyzed document's language (``classad``,
+    ``vgdl``, ``sword`` or ``spec`` for whole-specification findings);
+    ``attr`` is the offending attribute when one is identifiable.
+    """
+
+    code: str
+    severity: str
+    message: str
+    lang: str
+    span: Span | None = None
+    attr: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.code not in DIAGNOSTIC_CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def format(self) -> str:
+        """One-line rendering: ``SPEC101 error [classad] line 3, col 5: …``."""
+        where = f" {self.span.describe()}" if self.span is not None else ""
+        return f"{self.code} {self.severity} [{self.lang}]{where}: {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-JSON rendering."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "lang": self.lang,
+            "span": None if self.span is None else self.span.to_dict(),
+            "attr": self.attr,
+        }
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of diagnostics with severity helpers."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        code: str,
+        severity: str,
+        message: str,
+        lang: str,
+        span: Span | None = None,
+        attr: str | None = None,
+    ) -> Diagnostic:
+        """Append a new diagnostic and return it."""
+        diag = Diagnostic(code, severity, message, lang, span, attr)
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, other: "DiagnosticReport | Iterable[Diagnostic]") -> None:
+        """Append all diagnostics from ``other``."""
+        if isinstance(other, DiagnosticReport):
+            self.diagnostics.extend(other.diagnostics)
+        else:
+            self.diagnostics.extend(other)
+
+    def errors(self) -> list[Diagnostic]:
+        """The error-level findings."""
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    def warnings(self) -> list[Diagnostic]:
+        """The warning-level findings."""
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def has_errors(self) -> bool:
+        """True when at least one error-level finding exists."""
+        return any(d.severity == "error" for d in self.diagnostics)
+
+    def codes(self) -> list[str]:
+        """The codes present, in emission order (with duplicates)."""
+        return [d.code for d in self.diagnostics]
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def render(self) -> str:
+        """Multi-line pretty rendering (one :meth:`Diagnostic.format` per
+        finding), or ``"clean"`` when empty."""
+        if not self.diagnostics:
+            return "clean"
+        return "\n".join(d.format() for d in self.diagnostics)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON rendering: a list of diagnostic dicts."""
+        return json.dumps([d.to_dict() for d in self.diagnostics], indent=indent)

@@ -1,0 +1,644 @@
+"""Expression-level static analysis over the ClassAd AST.
+
+This is the engine behind all three language checkers: interval analysis
+over numeric attributes (detecting contradictory conjunctions such as
+``Clock >= 3000 && Clock <= 2000``), per-attribute type inference against
+the attribute vocabulary the synthetic platform actually advertises,
+constant folding of attribute-free subexpressions, and dead-clause
+detection.  Everything here is *sound but incomplete*: a clean report does
+not prove satisfiability, but every ``SPEC101``/``SPEC105`` finding is a
+genuine contradiction.
+
+The semantics mirror :mod:`repro.selection.classad.evaluator` — in
+particular the boundary case ``Clock >= 2.0 && Clock <= 2.0`` is the
+non-empty point interval ``[2.0, 2.0]``, not a contradiction.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.diagnostics import DiagnosticReport, Span
+from repro.selection.classad.evaluator import (
+    ErrorValue,
+    EvalContext,
+    Undefined,
+    evaluate,
+)
+from repro.selection.classad.parser import (
+    AttrRef,
+    BinaryOp,
+    ClassAd,
+    Expr,
+    FuncCall,
+    ListExpr,
+    Literal,
+    RecordExpr,
+    Ternary,
+    UnaryOp,
+)
+
+__all__ = [
+    "Interval",
+    "DEFAULT_VOCABULARY",
+    "NONNEGATIVE_ATTRIBUTES",
+    "infer_type",
+    "iter_conjuncts",
+    "iter_disjuncts",
+    "attr_refs",
+    "fold_constant",
+    "analyze_constraint",
+]
+
+
+#: Attribute → type vocabulary, assembled from every attribute any backend
+#: in this repo advertises: :func:`repro.selection.classad.builders.machine_ad`,
+#: :meth:`repro.resources.platform.Platform.host_attributes`, the vgDL
+#: evaluator's cluster ads, and the job-request side.  Keys are lowercase.
+DEFAULT_VOCABULARY: dict[str, str] = {
+    # numeric
+    "clock": "number",
+    "clockghz": "number",
+    "memory": "number",
+    "freemem": "number",
+    "freedisk": "number",
+    "disk": "number",
+    "kflops": "number",
+    "nodes": "number",
+    "loadavg": "number",
+    "cpuload": "number",
+    "keyboardidle": "number",
+    "clusterid": "number",
+    "hostid": "number",
+    "imagesize": "number",
+    "count": "number",
+    "mips": "number",
+    # string
+    "arch": "string",
+    "opsys": "string",
+    "os": "string",
+    "region": "string",
+    "name": "string",
+    "machine": "string",
+    "type": "string",
+    "cluster": "string",
+    "processor": "string",
+    "owner": "string",
+    "cmd": "string",
+    # expression-valued (type depends on the ad)
+    "requirements": "bool",
+    "rank": "number",
+}
+
+#: Attributes whose physical domain is ``[0, +inf)`` — a clause like
+#: ``Clock >= 0`` is therefore dead (SPEC102) rather than informative.
+NONNEGATIVE_ATTRIBUTES: frozenset[str] = frozenset(
+    {
+        "clock",
+        "clockghz",
+        "memory",
+        "freemem",
+        "freedisk",
+        "disk",
+        "kflops",
+        "nodes",
+        "loadavg",
+        "cpuload",
+        "keyboardidle",
+        "imagesize",
+        "count",
+        "mips",
+    }
+)
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+_FLIPPED_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "=="}
+
+_COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A numeric interval with independently open/closed endpoints.
+
+    ``lo``/``hi`` may be ``-inf``/``+inf``; ``lo_open``/``hi_open`` record
+    strictness, so ``Clock > 2000`` is ``(2000, +inf)`` while
+    ``Clock >= 2000`` is ``[2000, +inf)``.
+    """
+
+    lo: float = -math.inf
+    hi: float = math.inf
+    lo_open: bool = False
+    hi_open: bool = False
+
+    @classmethod
+    def from_comparison(cls, op: str, value: float) -> "Interval | None":
+        """Interval implied by ``attr OP value``; ``None`` when the operator
+        constrains nothing representable (``!=``)."""
+        if op == ">=":
+            return cls(lo=value)
+        if op == ">":
+            return cls(lo=value, lo_open=True)
+        if op == "<=":
+            return cls(hi=value)
+        if op == "<":
+            return cls(hi=value, hi_open=True)
+        if op == "==":
+            return cls(lo=value, hi=value)
+        return None
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no number lies in the interval (boundary equality
+        ``[c, c]`` is non-empty)."""
+        if self.lo > self.hi:
+            return True
+        if self.lo == self.hi:
+            return self.lo_open or self.hi_open
+        return False
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """The intersection of two intervals (possibly empty)."""
+        if other.lo > self.lo:
+            lo, lo_open = other.lo, other.lo_open
+        elif other.lo < self.lo:
+            lo, lo_open = self.lo, self.lo_open
+        else:
+            lo, lo_open = self.lo, self.lo_open or other.lo_open
+        if other.hi < self.hi:
+            hi, hi_open = other.hi, other.hi_open
+        elif other.hi > self.hi:
+            hi, hi_open = self.hi, self.hi_open
+        else:
+            hi, hi_open = self.hi, self.hi_open or other.hi_open
+        return Interval(lo, hi, lo_open, hi_open)
+
+    def describe(self, name: str = "x") -> str:
+        """Human-readable constraint, e.g. ``2000 <= Clock < 4000``."""
+        parts = []
+        if self.lo != -math.inf:
+            parts.append(f"{_fmt_num(self.lo)} {'<' if self.lo_open else '<='} ")
+        parts.append(name)
+        if self.hi != math.inf:
+            parts.append(f" {'<' if self.hi_open else '<='} {_fmt_num(self.hi)}")
+        if len(parts) == 1:
+            return f"{name} unconstrained"
+        return "".join(parts)
+
+
+def _fmt_num(v: float) -> str:
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+def iter_conjuncts(expr: Expr) -> Iterator[Expr]:
+    """Yield the leaves of a ``&&`` chain (the expression itself when it is
+    not a conjunction)."""
+    if isinstance(expr, BinaryOp) and expr.op == "&&":
+        yield from iter_conjuncts(expr.left)
+        yield from iter_conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def iter_disjuncts(expr: Expr) -> Iterator[Expr]:
+    """Yield the leaves of a ``||`` chain."""
+    if isinstance(expr, BinaryOp) and expr.op == "||":
+        yield from iter_disjuncts(expr.left)
+        yield from iter_disjuncts(expr.right)
+    else:
+        yield expr
+
+
+def _walk(expr: Expr) -> Iterator[Expr]:
+    """Pre-order walk over every node of the expression tree."""
+    yield expr
+    if isinstance(expr, UnaryOp):
+        yield from _walk(expr.operand)
+    elif isinstance(expr, BinaryOp):
+        yield from _walk(expr.left)
+        yield from _walk(expr.right)
+    elif isinstance(expr, Ternary):
+        yield from _walk(expr.cond)
+        yield from _walk(expr.then)
+        yield from _walk(expr.other)
+    elif isinstance(expr, (ListExpr,)):
+        for item in expr.items:
+            yield from _walk(item)
+    elif isinstance(expr, FuncCall):
+        for arg in expr.args:
+            yield from _walk(arg)
+    elif isinstance(expr, RecordExpr):
+        for _, sub in expr.ad.items():
+            yield from _walk(sub)
+
+
+def attr_refs(expr: Expr) -> list[AttrRef]:
+    """All attribute references anywhere in the expression tree."""
+    return [node for node in _walk(expr) if isinstance(node, AttrRef)]
+
+
+def fold_constant(expr: Expr) -> object | None:
+    """Evaluate ``expr`` when it contains no attribute references.
+
+    Returns the evaluated value (which may be the UNDEFINED or ERROR
+    sentinel), or ``None`` when the expression depends on attributes and
+    cannot be folded.
+    """
+    if attr_refs(expr):
+        return None
+    return evaluate(expr, EvalContext(my=ClassAd()))
+
+
+def infer_type(expr: Expr, vocab: dict[str, str] | None = None) -> str:
+    """Best-effort static type: ``number``/``string``/``bool``/``undefined``
+    /``error``/``list``/``record``/``unknown``."""
+    vocab = DEFAULT_VOCABULARY if vocab is None else vocab
+    if isinstance(expr, Literal):
+        v = expr.value
+        if isinstance(v, bool):
+            return "bool"
+        if isinstance(v, (int, float)):
+            return "number"
+        if isinstance(v, str):
+            return "string"
+        if isinstance(v, Undefined):
+            return "undefined"
+        if isinstance(v, ErrorValue):
+            return "error"
+        return "unknown"
+    if isinstance(expr, AttrRef):
+        return vocab.get(expr.name.lower(), "unknown")
+    if isinstance(expr, UnaryOp):
+        return "bool" if expr.op == "!" else "number"
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("&&", "||", "=?=", "=!=") or expr.op in _COMPARISON_OPS:
+            return "bool"
+        if expr.op == "+":
+            lt = infer_type(expr.left, vocab)
+            rt = infer_type(expr.right, vocab)
+            if lt == "string" and rt == "string":
+                return "string"
+            return "number"
+        return "number"
+    if isinstance(expr, Ternary):
+        then_t = infer_type(expr.then, vocab)
+        other_t = infer_type(expr.other, vocab)
+        return then_t if then_t == other_t else "unknown"
+    if isinstance(expr, ListExpr):
+        return "list"
+    if isinstance(expr, RecordExpr):
+        return "record"
+    if isinstance(expr, FuncCall):
+        name = expr.name.lower()
+        if name in ("isundefined", "iserror"):
+            return "bool"
+        if name == "strcat":
+            return "string"
+        if name in ("floor", "ceiling", "round", "min", "max", "size"):
+            return "number"
+        return "unknown"
+    return "unknown"
+
+
+# ----------------------------------------------------------------------
+# Constraint analysis
+# ----------------------------------------------------------------------
+def _numeric_bound(conj: Expr) -> tuple[AttrRef, str, float] | None:
+    """Decompose ``attr OP number`` / ``number OP attr`` conjuncts."""
+    if not (isinstance(conj, BinaryOp) and conj.op in ("<", "<=", ">", ">=", "==")):
+        return None
+    left, right = conj.left, conj.right
+    if isinstance(left, AttrRef) and _is_number_literal(right):
+        return left, conj.op, float(right.value)  # type: ignore[union-attr, arg-type]
+    if isinstance(right, AttrRef) and _is_number_literal(left):
+        return right, _FLIPPED_OP[conj.op], float(left.value)  # type: ignore[union-attr, arg-type]
+    return None
+
+
+def _string_equality(conj: Expr) -> tuple[AttrRef, str] | None:
+    """Decompose ``attr == "value"`` / ``"value" == attr`` conjuncts."""
+    if not (isinstance(conj, BinaryOp) and conj.op == "=="):
+        return None
+    left, right = conj.left, conj.right
+    if isinstance(left, AttrRef) and isinstance(right, Literal) and isinstance(right.value, str):
+        return left, right.value
+    if isinstance(right, AttrRef) and isinstance(left, Literal) and isinstance(left.value, str):
+        return right, left.value
+    return None
+
+
+def _is_number_literal(expr: Expr) -> bool:
+    return (
+        isinstance(expr, Literal)
+        and isinstance(expr.value, (int, float))
+        and not isinstance(expr.value, bool)
+    )
+
+
+def _attr_key(ref: AttrRef) -> tuple[str, str]:
+    return ((ref.scope or "").lower(), ref.name.lower())
+
+
+def _attr_display(ref: AttrRef) -> str:
+    return f"{ref.scope}.{ref.name}" if ref.scope else ref.name
+
+
+class _ConstraintAnalyzer:
+    """Single-pass analyzer over one boolean constraint expression."""
+
+    def __init__(
+        self,
+        *,
+        lang: str,
+        text: str | None,
+        vocab: dict[str, str],
+        nonneg: frozenset[str],
+        vgdl_bare_strings: bool,
+        report: DiagnosticReport,
+    ) -> None:
+        self.lang = lang
+        self.text = text
+        self.vocab = vocab
+        self.nonneg = nonneg
+        self.vgdl_bare_strings = vgdl_bare_strings
+        self.report = report
+        self.intervals: dict[tuple[str, str], Interval] = {}
+        self.interval_names: dict[tuple[str, str], str] = {}
+        self.string_eq: dict[tuple[str, str], str] = {}
+
+    # -- span helper ---------------------------------------------------
+    def span(self, node: Expr) -> Span | None:
+        """Span of a node's first token, when source text is available."""
+        if self.text is None or node.pos is None:
+            return None
+        return Span.from_pos(self.text, node.pos)
+
+    # -- entry ---------------------------------------------------------
+    def analyze(self, expr: Expr) -> None:
+        """Analyze one constraint expression top-down."""
+        for conj in iter_conjuncts(expr):
+            self._conjunct(conj)
+
+    # -- per-conjunct pipeline -----------------------------------------
+    def _conjunct(self, conj: Expr) -> None:
+        suppressed = self._check_types(conj)
+        self._check_attr_refs(conj)
+        if suppressed:
+            return
+        if isinstance(conj, BinaryOp) and conj.op == "||":
+            self._disjunction(conj)
+            return
+        folded = fold_constant(conj)
+        if folded is not None:
+            self._constant(conj, folded)
+            return
+        bound = _numeric_bound(conj)
+        if bound is not None:
+            self._numeric(conj, *bound)
+            return
+        eq = _string_equality(conj)
+        if eq is not None:
+            self._string(conj, *eq)
+
+    def _check_types(self, conj: Expr) -> bool:
+        """Emit SPEC103 (or the vgDL bare-string SPEC104 variant) for every
+        type-mismatched comparison in the subtree.  Returns True when a
+        finding was emitted, so downstream checks don't cascade."""
+        emitted = False
+        for node in _walk(conj):
+            if not (isinstance(node, BinaryOp) and node.op in _COMPARISON_OPS):
+                continue
+            lt = infer_type(node.left, self.vocab)
+            rt = infer_type(node.right, self.vocab)
+            if self.vgdl_bare_strings and self._bare_string_numeric(node, lt, rt):
+                emitted = True
+                continue
+            concrete = {"number", "string", "bool"}
+            if lt in concrete and rt in concrete and lt != rt:
+                self.report.add(
+                    "SPEC103",
+                    "error",
+                    f"comparison {node.unparse()} mixes {lt} and {rt}; "
+                    "it always evaluates to ERROR and never matches",
+                    self.lang,
+                    span=self.span(node),
+                )
+                emitted = True
+        return emitted
+
+    def _bare_string_numeric(self, node: BinaryOp, lt: str, rt: str) -> bool:
+        """vgDL rewrites unknown bare identifiers to string literals, so
+        ``Speed >= 3`` reaches the AST as ``"Speed" >= 3``.  Surface that as
+        an unknown-attribute finding with a hint, not a bare type error."""
+        for side, side_t, other_t in ((node.left, lt, rt), (node.right, rt, lt)):
+            if (
+                isinstance(side, Literal)
+                and isinstance(side.value, str)
+                and _IDENT_RE.match(side.value)
+                and other_t == "number"
+            ):
+                self.report.add(
+                    "SPEC104",
+                    "error",
+                    f"{side.value!r} is not a known attribute; vgDL treats "
+                    "unknown identifiers as string literals, so "
+                    f"{node.unparse()} compares a string with a number and "
+                    "never matches",
+                    self.lang,
+                    span=self.span(node),
+                    attr=side.value,
+                )
+                return True
+        return False
+
+    def _check_attr_refs(self, conj: Expr) -> None:
+        """SPEC104 for references to attributes no backend advertises."""
+        for ref in attr_refs(conj):
+            if ref.name.lower() not in self.vocab:
+                self.report.add(
+                    "SPEC104",
+                    "warning",
+                    f"attribute {_attr_display(ref)!r} is not provided by any "
+                    "backend; it evaluates to UNDEFINED",
+                    self.lang,
+                    span=self.span(ref),
+                    attr=ref.name,
+                )
+
+    def _disjunction(self, conj: BinaryOp) -> None:
+        """Analyze each OR-branch independently; a contradictory branch is a
+        dead disjunct (SPEC106), all branches dead is SPEC105."""
+        branches = list(iter_disjuncts(conj))
+        dead = 0
+        for branch in branches:
+            sub = _ConstraintAnalyzer(
+                lang=self.lang,
+                text=self.text,
+                vocab=self.vocab,
+                nonneg=self.nonneg,
+                vgdl_bare_strings=self.vgdl_bare_strings,
+                report=DiagnosticReport(),
+            )
+            sub.analyze(branch)
+            branch_dead = any(d.code in ("SPEC101", "SPEC105") for d in sub.report)
+            if branch_dead:
+                dead += 1
+                self.report.add(
+                    "SPEC106",
+                    "warning",
+                    f"OR-branch {branch.unparse()} is unsatisfiable on its own "
+                    "(dead disjunct)",
+                    self.lang,
+                    span=self.span(branch),
+                )
+            # Surface non-contradiction findings (type errors, unknown
+            # attributes) from inside the branch; suppress the branch-local
+            # contradiction codes already summarised as SPEC106.
+            for d in sub.report:
+                if d.code not in ("SPEC101", "SPEC105", "SPEC102"):
+                    self.report.diagnostics.append(d)
+        if branches and dead == len(branches):
+            self.report.add(
+                "SPEC105",
+                "error",
+                f"every branch of {conj.unparse()} is unsatisfiable; the "
+                "clause can never hold",
+                self.lang,
+                span=self.span(conj),
+            )
+
+    def _constant(self, conj: Expr, value: object) -> None:
+        """Classify an attribute-free conjunct by its folded value."""
+        is_plain_number = isinstance(value, (int, float)) and not isinstance(value, bool)
+        if value is False or (is_plain_number and value == 0):
+            self.report.add(
+                "SPEC105",
+                "error",
+                f"clause {conj.unparse()} is constant false; the constraint "
+                "can never hold",
+                self.lang,
+                span=self.span(conj),
+            )
+        elif value is True or (is_plain_number and value != 0):
+            self.report.add(
+                "SPEC102",
+                "warning",
+                f"clause {conj.unparse()} is constant true (dead clause)",
+                self.lang,
+                span=self.span(conj),
+            )
+        elif isinstance(value, ErrorValue):
+            self.report.add(
+                "SPEC103",
+                "error",
+                f"clause {conj.unparse()} always evaluates to ERROR",
+                self.lang,
+                span=self.span(conj),
+            )
+
+    def _numeric(self, conj: Expr, ref: AttrRef, op: str, value: float) -> None:
+        """Fold ``attr OP value`` into the running interval for ``attr``."""
+        attr_t = self.vocab.get(ref.name.lower())
+        if attr_t is not None and attr_t != "number":
+            # Already reported as SPEC103 by _check_types.
+            return
+        new = Interval.from_comparison(op, value)
+        if new is None:
+            return
+        key = _attr_key(ref)
+        name = _attr_display(ref)
+        if key not in self.intervals and ref.name.lower() in self.nonneg:
+            self.intervals[key] = Interval(lo=0.0)
+        old = self.intervals.get(key, Interval())
+        merged = old.intersect(new)
+        self.interval_names[key] = name
+        if merged.is_empty and not old.is_empty:
+            self.report.add(
+                "SPEC101",
+                "error",
+                f"contradictory constraints on {name}: {conj.unparse()} leaves "
+                f"no value in {old.describe(name)}",
+                self.lang,
+                span=self.span(conj),
+                attr=ref.name,
+            )
+        elif merged == old and not old.is_empty:
+            self.report.add(
+                "SPEC102",
+                "warning",
+                f"clause {conj.unparse()} is implied by the domain or earlier "
+                f"constraints ({old.describe(name)}); dead clause",
+                self.lang,
+                span=self.span(conj),
+                attr=ref.name,
+            )
+        self.intervals[key] = merged
+
+    def _string(self, conj: Expr, ref: AttrRef, value: str) -> None:
+        """Track ``attr == "value"`` equalities; conflicting duplicates are
+        contradictions."""
+        key = _attr_key(ref)
+        name = _attr_display(ref)
+        prev = self.string_eq.get(key)
+        if prev is None:
+            self.string_eq[key] = value.lower()
+        elif prev != value.lower():
+            self.report.add(
+                "SPEC101",
+                "error",
+                f"contradictory constraints on {name}: it cannot equal both "
+                f"{prev!r} and {value!r}",
+                self.lang,
+                span=self.span(conj),
+                attr=ref.name,
+            )
+        else:
+            self.report.add(
+                "SPEC102",
+                "warning",
+                f"clause {conj.unparse()} repeats an earlier equality (dead "
+                "clause)",
+                self.lang,
+                span=self.span(conj),
+                attr=ref.name,
+            )
+
+
+def analyze_constraint(
+    expr: Expr,
+    *,
+    lang: str,
+    text: str | None = None,
+    vocab: dict[str, str] | None = None,
+    nonneg: frozenset[str] | None = None,
+    vgdl_bare_strings: bool = False,
+    report: DiagnosticReport | None = None,
+) -> DiagnosticReport:
+    """Statically analyze one boolean constraint expression.
+
+    Emits SPEC101 (contradictory numeric/string constraints), SPEC102
+    (dead clauses), SPEC103 (type-mismatched comparisons), SPEC104
+    (unknown attributes; with a vgDL-specific hint when
+    ``vgdl_bare_strings`` is set), SPEC105 (constant-false clauses) and
+    SPEC106 (dead OR-branches) into ``report`` (a fresh one when omitted)
+    and returns it.  ``text`` is the original source, used to attach spans.
+    """
+    analyzer = _ConstraintAnalyzer(
+        lang=lang,
+        text=text,
+        vocab=DEFAULT_VOCABULARY if vocab is None else vocab,
+        nonneg=NONNEGATIVE_ATTRIBUTES if nonneg is None else nonneg,
+        vgdl_bare_strings=vgdl_bare_strings,
+        report=DiagnosticReport() if report is None else report,
+    )
+    analyzer.analyze(expr)
+    return analyzer.report

@@ -1,0 +1,424 @@
+"""Platform-aware satisfiability preflight.
+
+Given a platform snapshot, answer *statically* — without binding anything
+or advancing any clock — whether a specification can possibly be
+fulfilled, and when it cannot, report *which clause eliminates the last
+host*.  The checks are deliberately sound-only:
+
+* clause-by-clause host elimination over per-cluster advertisement ads
+  (clusters are homogeneous, so one evaluation per cluster covers every
+  host), and
+* capacity — do enough matching hosts exist at all?
+
+Connectivity, latency-zone packing and contention are *not* modelled
+here: a spec this module calls unsatisfiable is genuinely hopeless on the
+platform, while a "satisfiable" verdict still may fail dynamically.  That
+one-sidedness is what lets :class:`~repro.selection.pipeline
+.SelectionPipeline` prune ladder rungs without ever skipping a
+fulfillable alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.expr import iter_conjuncts
+from repro.selection.classad.evaluator import EvalContext, evaluate
+from repro.selection.classad.lexer import ClassAdParseError
+from repro.selection.classad.parser import (
+    AttrRef,
+    ClassAd,
+    Expr,
+    ListExpr,
+    Literal,
+    RecordExpr,
+    parse_classad,
+    parse_expression,
+)
+from repro.selection.sword import SwordError, parse_sword_query
+from repro.selection.vgdl import VgdlError, parse_vgdl
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.generator import ResourceSpecification
+    from repro.resources.platform import Platform
+
+__all__ = ["PreflightResult", "cluster_ads", "preflight_constraint", "preflight_specification", "preflight_document"]
+
+
+@dataclass(frozen=True)
+class PreflightResult:
+    """Outcome of a satisfiability preflight.
+
+    ``trace`` records, clause by clause, how many hosts survived; when the
+    count reaches zero, ``eliminating_clause`` names the culprit.
+    """
+
+    satisfiable: bool
+    matching_hosts: int
+    required_hosts: int
+    report: DiagnosticReport = field(default_factory=DiagnosticReport)
+    eliminating_clause: str | None = None
+    trace: tuple[tuple[str, int], ...] = ()
+
+    def describe(self) -> str:
+        """One-line human-readable verdict."""
+        if self.satisfiable:
+            return (
+                f"satisfiable: {self.matching_hosts} matching hosts "
+                f"(need {self.required_hosts})"
+            )
+        first = self.report.errors()[0] if self.report.errors() else None
+        return first.format() if first is not None else "unsatisfiable"
+
+
+def cluster_ads(platform: "Platform") -> list[tuple[ClassAd, int]]:
+    """Per-cluster advertisement ads and host counts.
+
+    The attribute set is the union of every name a backend advertises —
+    vgDL cluster ads, ClassAd machine ads and the platform host
+    attributes — so any request the generator can emit evaluates without
+    UNDEFINED surprises.
+    """
+    out: list[tuple[ClassAd, int]] = []
+    for spec in platform.clusters:
+        ad = ClassAd.from_values(
+            {
+                "Type": "Machine",
+                "Clock": spec.clock_ghz * 1000.0,
+                "ClockGhz": spec.clock_ghz,
+                "Memory": spec.memory_mb,
+                "FreeMem": spec.memory_mb,
+                "Disk": 20.0 * spec.memory_mb,
+                "FreeDisk": 20.0 * spec.memory_mb,
+                "Processor": spec.arch,
+                "Arch": spec.arch,
+                "OpSys": spec.os,
+                "OS": spec.os,
+                "Region": platform.region_of_cluster(spec.cluster_id),
+                "Nodes": spec.n_hosts,
+                "KFlops": spec.clock_ghz * 1.0e6,
+                "Cluster": spec.name,
+                "LoadAvg": 0.0,
+                "CpuLoad": 0.0,
+                "KeyboardIdle": 3600,
+            }
+        )
+        out.append((ad, int(spec.n_hosts)))
+    return out
+
+
+def preflight_constraint(
+    constraint: Expr,
+    platform: "Platform",
+    *,
+    min_hosts: int = 1,
+    label: str | None = None,
+    lang: str = "classad",
+    report: DiagnosticReport | None = None,
+) -> PreflightResult:
+    """Eliminate hosts clause by clause against the platform snapshot.
+
+    ``label`` is the Gangmatch port label when the constraint references
+    the candidate through a scope (``cpu.Clock``); without it the
+    candidate ad is the evaluation subject itself (vgDL style).  Emits
+    SPEC201 when a clause eliminates the last host and SPEC202 when the
+    survivors number fewer than ``min_hosts``.
+    """
+    report = DiagnosticReport() if report is None else report
+    ads = cluster_ads(platform)
+    empty = ClassAd()
+    alive = list(range(len(ads)))
+    trace: list[tuple[str, int]] = []
+    eliminating: str | None = None
+    for conj in iter_conjuncts(constraint):
+        survivors = []
+        for idx in alive:
+            ad = ads[idx][0]
+            if label is None:
+                ctx = EvalContext(my=ad)
+            else:
+                ctx = EvalContext(my=empty, bindings={label: ad})
+            if evaluate(conj, ctx) is True:
+                survivors.append(idx)
+        hosts = sum(ads[i][1] for i in survivors)
+        clause = conj.unparse()
+        trace.append((clause, hosts))
+        if not survivors and alive:
+            eliminating = clause
+            report.add(
+                "SPEC201",
+                "error",
+                f"clause {clause} eliminates every host of the platform "
+                f"snapshot ({platform.n_hosts} hosts in "
+                f"{platform.n_clusters} clusters)",
+                lang,
+            )
+            alive = survivors
+            break
+        alive = survivors
+    matching = sum(ads[i][1] for i in alive)
+    if eliminating is None and matching < min_hosts:
+        report.add(
+            "SPEC202",
+            "error",
+            f"only {matching} hosts match the constraint but the request "
+            f"needs at least {min_hosts}",
+            lang,
+        )
+    return PreflightResult(
+        satisfiable=not report.has_errors,
+        matching_hosts=matching,
+        required_hosts=min_hosts,
+        report=report,
+        eliminating_clause=eliminating,
+        trace=tuple(trace),
+    )
+
+
+def preflight_specification(
+    spec: "ResourceSpecification", platform: "Platform"
+) -> PreflightResult:
+    """Preflight a generated :class:`ResourceSpecification`.
+
+    Checks the *weakest common* hard requirements of the three rendered
+    languages — the clock floor and the minimum host count — so the
+    verdict is sound for every backend: unsatisfiable here means no
+    backend can ever fulfill the spec on this platform.
+    """
+    constraint = parse_expression(f"Clock >= {spec.clock_min_mhz:.0f}")
+    return preflight_constraint(
+        constraint,
+        platform,
+        min_hosts=spec.min_size,
+        lang="spec",
+    )
+
+
+def preflight_document(
+    text: str, platform: "Platform", lang: str
+) -> PreflightResult:
+    """Preflight a specification *document* against a platform snapshot.
+
+    Dispatches on ``lang`` (``vgdl``/``classad``/``sword``).  Parse errors
+    surface as SPEC001; otherwise each aggregate/port/group is preflighted
+    and the first unsatisfiable one determines the verdict.
+    """
+    report = DiagnosticReport()
+    if lang == "vgdl":
+        return _preflight_vgdl(text, platform, report)
+    if lang == "classad":
+        return _preflight_classad(text, platform, report)
+    if lang == "sword":
+        return _preflight_sword(text, platform, report)
+    raise ValueError(f"unknown specification language {lang!r}")
+
+
+def _parse_failure(report: DiagnosticReport, message: str, lang: str) -> PreflightResult:
+    report.add("SPEC001", "error", message, lang)
+    return PreflightResult(
+        satisfiable=False, matching_hosts=0, required_hosts=0, report=report
+    )
+
+
+def _preflight_vgdl(
+    text: str, platform: "Platform", report: DiagnosticReport
+) -> PreflightResult:
+    try:
+        spec = parse_vgdl(text)
+    except VgdlError as exc:
+        return _parse_failure(report, str(exc), "vgdl")
+    worst: PreflightResult | None = None
+    total_lo = 0
+    for agg in spec.aggregates:
+        total_lo += agg.lo
+        res = preflight_constraint(
+            agg.constraint,
+            platform,
+            min_hosts=agg.lo,
+            lang="vgdl",
+            report=report,
+        )
+        if worst is None or (not res.satisfiable and worst.satisfiable):
+            worst = res
+    if total_lo > platform.n_hosts:
+        report.add(
+            "SPEC202",
+            "error",
+            f"the aggregates need {total_lo} hosts combined but the platform "
+            f"has only {platform.n_hosts}",
+            "vgdl",
+        )
+    assert worst is not None  # parse_vgdl guarantees >= 1 aggregate
+    return PreflightResult(
+        satisfiable=not report.has_errors,
+        matching_hosts=worst.matching_hosts,
+        required_hosts=worst.required_hosts,
+        report=report,
+        eliminating_clause=worst.eliminating_clause,
+        trace=worst.trace,
+    )
+
+
+def _port_label(port: ClassAd) -> str | None:
+    label = port.get("Label")
+    if isinstance(label, AttrRef) and label.scope is None:
+        return label.name
+    if isinstance(label, Literal) and isinstance(label.value, str):
+        return label.value
+    return None
+
+
+def _preflight_classad(
+    text: str, platform: "Platform", report: DiagnosticReport
+) -> PreflightResult:
+    try:
+        ad = parse_classad(text)
+    except ClassAdParseError as exc:
+        return _parse_failure(report, exc.message, "classad")
+    worst: PreflightResult | None = None
+    ports = ad.get("Ports")
+    port_ads = (
+        [p.ad for p in ports.items if isinstance(p, RecordExpr)]
+        if isinstance(ports, ListExpr)
+        else []
+    )
+    for port in port_ads:
+        constraint = port.get("Constraint")
+        if constraint is None:
+            continue
+        count = port.get("Count")
+        need = (
+            int(count.value)
+            if isinstance(count, Literal)
+            and isinstance(count.value, int)
+            and not isinstance(count.value, bool)
+            and count.value >= 1
+            else 1
+        )
+        res = preflight_constraint(
+            constraint,
+            platform,
+            min_hosts=need,
+            label=_port_label(port),
+            lang="classad",
+            report=report,
+        )
+        if worst is None or (not res.satisfiable and worst.satisfiable):
+            worst = res
+    requirements = ad.get("Requirements")
+    if worst is None and requirements is not None:
+        worst = preflight_constraint(
+            requirements, platform, min_hosts=1, lang="classad", report=report
+        )
+    if worst is None:
+        return PreflightResult(
+            satisfiable=not report.has_errors,
+            matching_hosts=platform.n_hosts,
+            required_hosts=0,
+            report=report,
+        )
+    return PreflightResult(
+        satisfiable=not report.has_errors,
+        matching_hosts=worst.matching_hosts,
+        required_hosts=worst.required_hosts,
+        report=report,
+        eliminating_clause=worst.eliminating_clause,
+        trace=worst.trace,
+    )
+
+
+def _preflight_sword(
+    text: str, platform: "Platform", report: DiagnosticReport
+) -> PreflightResult:
+    try:
+        query = parse_sword_query(text)
+    except SwordError as exc:
+        return _parse_failure(report, str(exc), "sword")
+    matching = platform.n_hosts
+    required = 0
+    eliminating: str | None = None
+    trace: list[tuple[str, int]] = []
+    for group in query.groups:
+        required = max(required, group.num_machines)
+        alive = list(range(platform.n_clusters))
+        hosts = platform.n_hosts
+        for req in group.numeric:
+            survivors = []
+            for cid in alive:
+                spec = platform.clusters[cid]
+                values = {
+                    "cpu_load": 0.0,
+                    "free_mem": float(spec.memory_mb),
+                    "free_disk": 20.0 * spec.memory_mb,
+                    "clock": spec.clock_ghz * 1000.0,
+                    "num_cpus": 1.0,
+                }
+                v = values.get(req.attr)
+                if v is None or (req.required_lo <= v <= req.required_hi):
+                    survivors.append(cid)
+            hosts = sum(platform.clusters[c].n_hosts for c in survivors)
+            clause = (
+                f"{req.attr} in [{req.required_lo}, {req.required_hi}] "
+                f"(group {group.name!r})"
+            )
+            trace.append((clause, hosts))
+            if not survivors and alive:
+                eliminating = clause
+                report.add(
+                    "SPEC201",
+                    "error",
+                    f"requirement {clause} eliminates every host of the "
+                    "platform snapshot",
+                    "sword",
+                )
+                alive = survivors
+                break
+            alive = survivors
+        for cat in group.categorical:
+            if eliminating is not None or cat.penalty_rate > 0:
+                continue
+            survivors = []
+            for cid in alive:
+                spec = platform.clusters[cid]
+                cats = {
+                    "os": spec.os,
+                    "arch": spec.arch,
+                    "network_coordinate_center": platform.region_of_cluster(cid),
+                }
+                actual = cats.get(cat.attr)
+                if actual is None or actual.lower() == cat.value.lower():
+                    survivors.append(cid)
+            hosts = sum(platform.clusters[c].n_hosts for c in survivors)
+            clause = f"{cat.attr} == {cat.value!r} (group {group.name!r})"
+            trace.append((clause, hosts))
+            if not survivors and alive:
+                eliminating = clause
+                report.add(
+                    "SPEC201",
+                    "error",
+                    f"requirement {clause} eliminates every host of the "
+                    "platform snapshot",
+                    "sword",
+                )
+            alive = survivors
+        if eliminating is None and hosts < group.num_machines:
+            report.add(
+                "SPEC202",
+                "error",
+                f"only {hosts} hosts satisfy group {group.name!r} but it "
+                f"needs {group.num_machines}",
+                "sword",
+            )
+        matching = min(matching, hosts)
+        if eliminating is not None:
+            break
+    return PreflightResult(
+        satisfiable=not report.has_errors,
+        matching_hosts=matching,
+        required_hosts=required,
+        report=report,
+        eliminating_clause=eliminating,
+        trace=tuple(trace),
+    )

@@ -1,0 +1,104 @@
+"""Whole-specification linting: language detection and multi-language checks.
+
+:func:`lint_text` is the entry point behind ``repro lint``: it detects (or
+is told) the document language and dispatches to the right analyzer.
+:func:`analyze_specification` renders a generated
+:class:`~repro.core.generator.ResourceSpecification` in all three
+languages and lints each rendering — the generator's self-check: an
+error-level finding in its own output is a bug, not user input.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.classad import analyze_classad_text
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.sword import analyze_sword_text
+from repro.analysis.vgdl import analyze_vgdl_text
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.generator import ResourceSpecification
+
+__all__ = [
+    "LANGUAGES",
+    "SpecificationLintError",
+    "detect_language",
+    "lint_text",
+    "analyze_specification",
+]
+
+#: The specification languages the linter understands.
+LANGUAGES = ("vgdl", "classad", "sword")
+
+#: File-name suffix → language, for CLI convenience.
+_SUFFIXES = {
+    ".vgdl": "vgdl",
+    ".classad": "classad",
+    ".ad": "classad",
+    ".xml": "sword",
+    ".sword": "sword",
+}
+
+
+class SpecificationLintError(ValueError):
+    """A generated specification failed its own static analysis.
+
+    Raised by :meth:`ResourceSpecificationGenerator.generate
+    <repro.core.generator.ResourceSpecificationGenerator.generate>` when
+    the spec it just built carries an error-level finding — that is a
+    generator bug, and failing loudly beats submitting a request no
+    matchmaker can satisfy.  ``report`` holds the findings.
+    """
+
+    def __init__(self, message: str, report: DiagnosticReport) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+def detect_language(text: str, filename: str | None = None) -> str:
+    """Guess the specification language of ``text``.
+
+    The file suffix wins when recognised; otherwise the first
+    non-whitespace character decides: ``<`` is SWORD XML, ``[`` is a
+    ClassAd, anything else is vgDL.
+    """
+    if filename is not None:
+        for suffix, lang in _SUFFIXES.items():
+            if filename.lower().endswith(suffix):
+                return lang
+    stripped = text.lstrip()
+    if stripped.startswith("<"):
+        return "sword"
+    if stripped.startswith("["):
+        return "classad"
+    return "vgdl"
+
+
+def lint_text(text: str, lang: str | None = None, filename: str | None = None) -> DiagnosticReport:
+    """Statically analyze one specification document.
+
+    ``lang`` forces the language; otherwise it is detected from
+    ``filename``/``text`` via :func:`detect_language`.
+    """
+    lang = detect_language(text, filename) if lang is None else lang
+    if lang == "vgdl":
+        return analyze_vgdl_text(text)
+    if lang == "classad":
+        return analyze_classad_text(text)
+    if lang == "sword":
+        return analyze_sword_text(text)
+    raise ValueError(f"unknown specification language {lang!r} (known: {LANGUAGES})")
+
+
+def analyze_specification(spec: "ResourceSpecification") -> DiagnosticReport:
+    """Lint a generated specification in all three output languages.
+
+    Returns the merged report; error-level findings mean the rendered
+    documents themselves are broken (the generator self-check's trigger).
+    """
+    report = DiagnosticReport()
+    report.extend(analyze_vgdl_text(spec.to_vgdl()))
+    report.extend(analyze_classad_text(spec.to_classad()))
+    report.extend(analyze_sword_text(spec.to_sword_xml()))
+    return report

@@ -15,7 +15,13 @@ Commands
     Run the resilient end-to-end selection pipeline (generate → select →
     bind → execute) against a churning platform and report the
     :class:`~repro.selection.pipeline.SelectionOutcome`.  Exit code 0 when
-    the DAG completed, 1 when every ladder rung was refused.
+    the DAG completed, 1 when every ladder rung was refused, 2 when a
+    user-provided ``--spec`` is statically unsatisfiable.
+``lint``
+    Statically analyze resource-specification documents (vgDL, ClassAd,
+    SWORD XML): contradictions, dead clauses, type errors, unknown
+    attributes — optionally with a platform satisfiability preflight.
+    Exit code 0 when clean (warnings allowed), 1 on error-level findings.
 """
 
 from __future__ import annotations
@@ -130,9 +136,70 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import detect_language, lint_text, preflight_document
+
+    platform = None
+    if args.platform:
+        from repro.experiments.chapter4 import build_universe
+        from repro.experiments.scales import get_scale
+
+        platform = build_universe(get_scale(args.platform), args.platform_seed)
+
+    any_errors = False
+    results: list[tuple[str, str, Any]] = []
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise CliError(f"cannot read {path}: {exc}") from None
+        lang = args.lang or detect_language(text, filename=path)
+        report = lint_text(text, lang=lang)
+        if platform is not None and not report.has_errors:
+            report.extend(preflight_document(text, platform, lang).report)
+        any_errors = any_errors or report.has_errors
+        results.append((path, lang, report))
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    path: {"lang": lang, "diagnostics": [d.to_dict() for d in report]}
+                    for path, lang, report in results
+                },
+                indent=2,
+            )
+        )
+    else:
+        for path, lang, report in results:
+            if not len(report):
+                print(f"{path}: clean ({lang})")
+            else:
+                print(f"{path} ({lang}):")
+                for diag in report:
+                    print(f"  {diag.format()}")
+    return 1 if any_errors else 0
+
+
+def _reject_unsatisfiable(spec: Any, platform: Any) -> None:
+    """Raise :class:`CliError` when a user-provided spec can never be
+    fulfilled — one diagnostic line (code + span), exit code 2, instead of
+    burning the whole retry ladder on a hopeless request."""
+    from repro.analysis import analyze_specification, preflight_specification
+
+    report = analyze_specification(spec)
+    report.extend(preflight_specification(spec, platform).report)
+    errors = report.errors()
+    if errors:
+        raise CliError(
+            f"specification is statically unsatisfiable: {errors[0].format()}"
+        )
+
+
 def _cmd_select(args: argparse.Namespace) -> int:
     import repro.observe as observe
-    from repro.core.generator import ResourceSpecificationGenerator
+    from repro.core.generator import ResourceSpecification, ResourceSpecificationGenerator
     from repro.experiments.chapter4 import build_universe
     from repro.experiments.scales import get_scale
     from repro.resources.churn import ChurnConfig, ResourceChurn, parse_churn_spec
@@ -149,7 +216,9 @@ def _cmd_select(args: argparse.Namespace) -> int:
         levels = args.montage_levels or scale.montage_levels
         dag = montage_dag(levels, ccr=0.01)
 
-    if args.model:
+    if args.spec:
+        model = None  # the user supplies the spec; no size model needed
+    elif args.model:
         model = _load_model(SizePredictionModel.load, args.model, "size model")
     else:
         print("no --model given: training on the 'tiny' grid ...", file=sys.stderr)
@@ -169,7 +238,23 @@ def _cmd_select(args: argparse.Namespace) -> int:
         raise CliError(str(exc)) from None
 
     platform = build_universe(get_scale(args.scale), args.seed)
-    spec = ResourceSpecificationGenerator(model).generate(dag)
+    if args.spec:
+
+        def _load_spec(path: str) -> ResourceSpecification:
+            with open(path, encoding="utf-8") as fh:
+                return ResourceSpecification.from_dict(json.load(fh))
+
+        spec = _load_model(_load_spec, args.spec, "resource specification")
+        # A user-provided spec may be hopeless; refuse it up front with one
+        # diagnostic line instead of walking the whole retry ladder.
+        _reject_unsatisfiable(spec, platform)
+    else:
+        spec = ResourceSpecificationGenerator(model).generate(dag)
+    if args.lint:
+        from repro.analysis import analyze_specification
+
+        report = analyze_specification(spec)
+        print(f"lint: {report.render()}")
     print(spec.describe())
 
     registry = observe.MetricsRegistry()
@@ -198,7 +283,8 @@ def _cmd_select(args: argparse.Namespace) -> int:
         print("unfulfilled: every ladder rung was refused")
     print(
         f"refusals={outcome.refusals} respecifications={outcome.respecifications} "
-        f"backend_fallbacks={outcome.backend_fallbacks} rebinds={outcome.rebinds}"
+        f"backend_fallbacks={outcome.backend_fallbacks} rebinds={outcome.rebinds} "
+        f"respecs_pruned={outcome.respecs_pruned}"
     )
     if args.outcome_out:
         try:
@@ -301,7 +387,44 @@ def main(argv: list[str] | None = None) -> int:
     p_sel.add_argument(
         "--trace", action="store_true", help="print the run's metrics table to stderr"
     )
+    p_sel.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help="user-provided ResourceSpecification JSON (see to_dict); "
+        "statically-unsatisfiable specs are rejected with exit code 2",
+    )
+    p_sel.add_argument(
+        "--lint",
+        action="store_true",
+        help="print the spec's static-analysis report before selecting",
+    )
     p_sel.set_defaults(fn=_cmd_select)
+
+    p_lint = sub.add_parser(
+        "lint", help="statically analyze resource-specification documents"
+    )
+    p_lint.add_argument("files", nargs="+", metavar="FILE", help="spec documents to analyze")
+    p_lint.add_argument(
+        "--lang",
+        choices=("vgdl", "classad", "sword"),
+        default=None,
+        help="force the specification language (default: detect per file)",
+    )
+    p_lint.add_argument(
+        "--platform",
+        default=None,
+        choices=("smoke", "small", "paper"),
+        metavar="SCALE",
+        help="also preflight satisfiability against a platform of this scale",
+    )
+    p_lint.add_argument(
+        "--platform-seed", type=int, default=0, help="seed for the preflight platform"
+    )
+    p_lint.add_argument(
+        "--json", action="store_true", help="emit diagnostics as JSON instead of text"
+    )
+    p_lint.set_defaults(fn=_cmd_lint)
 
     p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_exp.add_argument("--chapter", type=int, choices=(4, 5, 6, 7), default=None)

@@ -15,6 +15,7 @@ specifications by predicted turn-around.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -23,6 +24,9 @@ from repro.core.generator import ResourceSpecification
 from repro.core.knee import PrefixRCFactory, rc_size_grid, sweep_turnaround, TurnaroundCurve
 from repro.resources.collection import REFERENCE_CLOCK_GHZ
 from repro.scheduling.costmodel import DEFAULT_COST_MODEL, SchedulingCostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resources.platform import Platform
 
 __all__ = ["ClockSizePoint", "clock_size_tradeoff", "size_to_match", "alternative_specifications"]
 
@@ -82,6 +86,7 @@ def alternative_specifications(
     max_size: int | None = None,
     slack: float = 0.05,
     cost_model: SchedulingCostModel = DEFAULT_COST_MODEL,
+    platform: "Platform | None" = None,
 ) -> list[tuple[ResourceSpecification, float]]:
     """Ranked alternatives when ``spec`` cannot be fulfilled.
 
@@ -95,9 +100,16 @@ def alternative_specifications(
     offered with the RC size capped at the original (faster hosts never
     need a larger collection to match), rather than silently reporting no
     alternatives.
+
+    With a ``platform``, the explored sizes are additionally capped at the
+    platform's host count — an alternative requesting more hosts than
+    exist is statically unsatisfiable and would only be pruned again by
+    the pipeline's preflight.
     """
     if max_size is None:
         max_size = int(min(dag.n, max(8, 4 * spec.size)))
+    if platform is not None:
+        max_size = max(1, min(max_size, platform.n_hosts))
     orig_clock = spec.clock_max_mhz / 1000.0
     # Reference turn-around of the original specification.
     orig_speed = orig_clock / REFERENCE_CLOCK_GHZ

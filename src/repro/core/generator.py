@@ -74,6 +74,24 @@ def _classad_string(value: str) -> str:
     return '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
 
 
+def _self_check(spec: "ResourceSpecification") -> None:
+    """Lint ``spec``'s three renderings; error findings raise.
+
+    Imported lazily: :mod:`repro.analysis` depends on this module for
+    typing, and the check is optional (``self_check=False``).
+    """
+    from repro.analysis.spec import SpecificationLintError, analyze_specification
+
+    report = analyze_specification(spec)
+    if report.has_errors:
+        first = report.errors()[0]
+        raise SpecificationLintError(
+            f"generated specification failed its own static analysis: "
+            f"{first.format()}",
+            report,
+        )
+
+
 @dataclass(frozen=True)
 class ResourceSpecification:
     """A generated resource request (the output of Fig. VII-1)."""
@@ -181,6 +199,59 @@ class ResourceSpecification:
             f"{self.threshold * 100:.1f}%)."
         )
 
+    # ------------------------------------------------------------------
+    # Plain-dict round-trip (the ``repro select --spec`` file format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable rendering (``dag_characteristics`` excluded —
+        it is derived from the DAG, not part of the request)."""
+        return {
+            "heuristic": self.heuristic,
+            "size": self.size,
+            "min_size": self.min_size,
+            "clock_min_mhz": self.clock_min_mhz,
+            "clock_max_mhz": self.clock_max_mhz,
+            "connectivity": self.connectivity,
+            "threshold": self.threshold,
+            "dag_name": self.dag_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "ResourceSpecification":
+        """Rebuild a specification from :meth:`to_dict` output.
+
+        Unknown keys are rejected so a typo (``clock_min``) fails loudly
+        instead of silently falling back to a default.
+        """
+        if not isinstance(data, dict):
+            raise ValueError("resource specification must be a JSON object")
+        allowed = {
+            "heuristic",
+            "size",
+            "min_size",
+            "clock_min_mhz",
+            "clock_max_mhz",
+            "connectivity",
+            "threshold",
+            "dag_name",
+        }
+        unknown = set(data) - allowed
+        if unknown:
+            raise ValueError(f"unknown specification fields: {sorted(unknown)}")
+        missing = {"heuristic", "size", "min_size", "clock_min_mhz", "clock_max_mhz"} - set(data)
+        if missing:
+            raise ValueError(f"missing specification fields: {sorted(missing)}")
+        return cls(
+            heuristic=str(data["heuristic"]),
+            size=int(data["size"]),  # type: ignore[arg-type]
+            min_size=int(data["min_size"]),  # type: ignore[arg-type]
+            clock_min_mhz=float(data["clock_min_mhz"]),  # type: ignore[arg-type]
+            clock_max_mhz=float(data["clock_max_mhz"]),  # type: ignore[arg-type]
+            connectivity=str(data.get("connectivity", "tight")),
+            threshold=float(data.get("threshold", DEFAULT_KNEE_THRESHOLD)),  # type: ignore[arg-type]
+            dag_name=sanitize_dag_name(str(data.get("dag_name", "dag"))),
+        )
+
 
 @dataclass
 class ResourceSpecificationGenerator:
@@ -204,6 +275,10 @@ class ResourceSpecificationGenerator:
     target_clock_ghz: float = 3.0
     heterogeneity_tolerance: float = 0.3
     min_size_fraction: float = 0.9
+    #: Lint every generated spec in all three output languages; an
+    #: error-level finding is a generator bug and raises
+    #: :class:`~repro.analysis.spec.SpecificationLintError`.
+    self_check: bool = True
 
     def generate(
         self,
@@ -235,7 +310,7 @@ class ResourceSpecificationGenerator:
         clock_max = self.target_clock_ghz * 1000.0
         clock_min = clock_max * (1.0 - self.heterogeneity_tolerance)
         connectivity = "loose" if ch.ccr < LOOSE_CCR_THRESHOLD else "tight"
-        return ResourceSpecification(
+        spec = ResourceSpecification(
             heuristic=heuristic,
             size=size,
             min_size=max(1, int(round(self.min_size_fraction * size))),
@@ -246,6 +321,9 @@ class ResourceSpecificationGenerator:
             dag_name=sanitize_dag_name(dag.name),
             dag_characteristics=ch,
         )
+        if self.self_check:
+            _self_check(spec)
+        return spec
 
     def _choose_threshold(
         self, dag: DAG, ch: DagCharacteristics, utility: UtilityFunction

@@ -311,7 +311,9 @@ class ResultCache:
             max_age_s = self.TMP_MAX_AGE_S
         if not self.root.is_dir():
             return 0
-        cutoff = time.time() - max_age_s
+        # st_mtime comparison is inherently wall-clock; never feeds
+        # experiment state.
+        cutoff = time.time() - max_age_s  # lint: allow
         removed = 0
         for tmp in self.root.glob("**/*.tmp"):
             try:

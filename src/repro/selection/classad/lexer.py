@@ -4,7 +4,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Token", "ClassAdParseError", "LexError", "tokenize"]
+__all__ = ["Token", "ClassAdParseError", "LexError", "tokenize", "source_location"]
+
+
+def source_location(text: str, pos: int) -> tuple[int, int, str]:
+    """1-based ``(line, column, context_line)`` of offset ``pos`` in ``text``.
+
+    The shared span machinery: parse errors (:meth:`attach_source`) and the
+    static analyzer's :class:`~repro.analysis.diagnostics.Span` both derive
+    their line/column/context from this.
+    """
+    pos = min(max(pos, 0), len(text))
+    line = text.count("\n", 0, pos) + 1
+    bol = text.rfind("\n", 0, pos) + 1
+    eol = text.find("\n", pos)
+    eol = len(text) if eol < 0 else eol
+    return line, pos - bol + 1, text[bol:eol]
 
 
 class ClassAdParseError(ValueError):
@@ -30,13 +45,7 @@ class ClassAdParseError(ValueError):
         """Derive line/column/context from ``text`` (idempotent)."""
         if self.pos is None or self.line is not None:
             return self
-        pos = min(max(self.pos, 0), len(text))
-        self.line = text.count("\n", 0, pos) + 1
-        bol = text.rfind("\n", 0, pos) + 1
-        eol = text.find("\n", pos)
-        eol = len(text) if eol < 0 else eol
-        self.column = pos - bol + 1
-        self.context = text[bol:eol]
+        self.line, self.column, self.context = source_location(text, self.pos)
         shown = self.context.strip()
         if len(shown) > 60:
             shown = shown[:57] + "..."

@@ -58,7 +58,15 @@ _MAX_DEPTH = 64
 # AST
 # ----------------------------------------------------------------------
 class Expr:
-    """Base class for expression nodes."""
+    """Base class for expression nodes.
+
+    Every node carries an optional ``pos`` — the character offset of the
+    node's first token in the source text it was parsed from.  ``pos`` is
+    excluded from equality/hashing so structurally identical expressions
+    from different source locations still compare equal; it exists purely
+    so downstream tooling (the :mod:`repro.analysis` linters) can attach
+    source spans to diagnostics.
+    """
 
     def unparse(self) -> str:  # pragma: no cover - overridden
         """Render this node back to parsable ClassAd text."""
@@ -68,6 +76,7 @@ class Expr:
 @dataclass(frozen=True)
 class Literal(Expr):
     value: object  # int | float | str | bool | Undefined-sentinel
+    pos: int | None = field(default=None, compare=False, repr=False)
 
     def unparse(self) -> str:
         """Render this node back to parsable ClassAd text."""
@@ -85,6 +94,7 @@ class Literal(Expr):
 class AttrRef(Expr):
     name: str
     scope: str | None = None  # e.g. "cpu" in cpu.KFlops, or MY/TARGET
+    pos: int | None = field(default=None, compare=False, repr=False)
 
     def unparse(self) -> str:
         """Render this node back to parsable ClassAd text."""
@@ -95,6 +105,7 @@ class AttrRef(Expr):
 class UnaryOp(Expr):
     op: str
     operand: Expr
+    pos: int | None = field(default=None, compare=False, repr=False)
 
     def unparse(self) -> str:
         """Render this node back to parsable ClassAd text."""
@@ -106,6 +117,7 @@ class BinaryOp(Expr):
     op: str
     left: Expr
     right: Expr
+    pos: int | None = field(default=None, compare=False, repr=False)
 
     def unparse(self) -> str:
         """Render this node back to parsable ClassAd text."""
@@ -117,6 +129,7 @@ class Ternary(Expr):
     cond: Expr
     then: Expr
     other: Expr
+    pos: int | None = field(default=None, compare=False, repr=False)
 
     def unparse(self) -> str:
         """Render this node back to parsable ClassAd text."""
@@ -126,6 +139,7 @@ class Ternary(Expr):
 @dataclass(frozen=True)
 class ListExpr(Expr):
     items: tuple[Expr, ...]
+    pos: int | None = field(default=None, compare=False, repr=False)
 
     def unparse(self) -> str:
         """Render this node back to parsable ClassAd text."""
@@ -136,6 +150,7 @@ class ListExpr(Expr):
 class FuncCall(Expr):
     name: str
     args: tuple[Expr, ...]
+    pos: int | None = field(default=None, compare=False, repr=False)
 
     def unparse(self) -> str:
         """Render this node back to parsable ClassAd text."""
@@ -202,6 +217,7 @@ class RecordExpr(Expr):
     """A nested ClassAd literal appearing inside an expression."""
 
     ad: ClassAd
+    pos: int | None = field(default=None, compare=False, repr=False)
 
     def unparse(self) -> str:
         """Render this node back to parsable ClassAd text."""
@@ -270,7 +286,7 @@ class _Parser:
                 then = self.expression()
                 self.expect_op(":")
                 other = self.expression()
-                return Ternary(cond, then, other)
+                return Ternary(cond, then, other, pos=cond.pos)
             return cond
         finally:
             self.depth -= 1
@@ -278,13 +294,13 @@ class _Parser:
     def or_expr(self) -> Expr:
         left = self.and_expr()
         while self.accept_op("||"):
-            left = BinaryOp("||", left, self.and_expr())
+            left = BinaryOp("||", left, self.and_expr(), pos=left.pos)
         return left
 
     def and_expr(self) -> Expr:
         left = self.eq_expr()
         while self.accept_op("&&"):
-            left = BinaryOp("&&", left, self.eq_expr())
+            left = BinaryOp("&&", left, self.eq_expr(), pos=left.pos)
         return left
 
     def eq_expr(self) -> Expr:
@@ -293,7 +309,7 @@ class _Parser:
             op = self.accept_op("==", "!=", "=?=", "=!=")
             if not op:
                 return left
-            left = BinaryOp(op, left, self.rel_expr())
+            left = BinaryOp(op, left, self.rel_expr(), pos=left.pos)
 
     def rel_expr(self) -> Expr:
         left = self.add_expr()
@@ -301,7 +317,7 @@ class _Parser:
             op = self.accept_op("<", "<=", ">", ">=")
             if not op:
                 return left
-            left = BinaryOp(op, left, self.add_expr())
+            left = BinaryOp(op, left, self.add_expr(), pos=left.pos)
 
     def add_expr(self) -> Expr:
         left = self.mul_expr()
@@ -309,7 +325,7 @@ class _Parser:
             op = self.accept_op("+", "-")
             if not op:
                 return left
-            left = BinaryOp(op, left, self.mul_expr())
+            left = BinaryOp(op, left, self.mul_expr(), pos=left.pos)
 
     def mul_expr(self) -> Expr:
         left = self.unary()
@@ -317,9 +333,10 @@ class _Parser:
             op = self.accept_op("*", "/", "%")
             if not op:
                 return left
-            left = BinaryOp(op, left, self.unary())
+            left = BinaryOp(op, left, self.unary(), pos=left.pos)
 
     def unary(self) -> Expr:
+        op_pos = self.peek().pos
         op = self.accept_op("!", "-", "+")
         if op:
             self._enter()
@@ -329,7 +346,7 @@ class _Parser:
                 self.depth -= 1
             if op == "+":
                 return operand
-            return UnaryOp(op, operand)
+            return UnaryOp(op, operand, pos=op_pos)
         return self.postfix()
 
     def postfix(self) -> Expr:
@@ -340,7 +357,7 @@ class _Parser:
                 if tok.kind != "IDENT":
                     raise ParseError("expected attribute after '.'", pos=tok.pos)
                 if isinstance(node, AttrRef) and node.scope is None:
-                    node = AttrRef(str(tok.value), scope=node.name)
+                    node = AttrRef(str(tok.value), scope=node.name, pos=node.pos)
                 else:
                     raise ParseError(
                         "scoped reference requires a simple scope name", pos=tok.pos
@@ -358,29 +375,29 @@ class _Parser:
                     while self.accept_op(","):
                         args.append(self.expression())
                 self.expect_op(")")
-                node = FuncCall(node.name, tuple(args))
+                node = FuncCall(node.name, tuple(args), pos=node.pos)
             else:
                 return node
 
     def primary(self) -> Expr:
         tok = self.next()
         if tok.kind == "NUMBER":
-            return Literal(tok.value)
+            return Literal(tok.value, pos=tok.pos)
         if tok.kind == "STRING":
-            return Literal(tok.value)
+            return Literal(tok.value, pos=tok.pos)
         if tok.kind == "IDENT":
             low = str(tok.value).lower()
             if low in _KEYWORD_LITERALS:
-                return Literal(_KEYWORD_LITERALS[low])
+                return Literal(_KEYWORD_LITERALS[low], pos=tok.pos)
             if low == "undefined":
                 from repro.selection.classad.evaluator import UNDEFINED
 
-                return Literal(UNDEFINED)
+                return Literal(UNDEFINED, pos=tok.pos)
             if low == "error":
                 from repro.selection.classad.evaluator import ERROR
 
-                return Literal(ERROR)
-            return AttrRef(str(tok.value))
+                return Literal(ERROR, pos=tok.pos)
+            return AttrRef(str(tok.value), pos=tok.pos)
         if tok.kind == "OP" and tok.value == "(":
             inner = self.expression()
             self.expect_op(")")
@@ -392,9 +409,9 @@ class _Parser:
                 while self.accept_op(","):
                     items.append(self.expression())
             self.expect_op("}")
-            return ListExpr(tuple(items))
+            return ListExpr(tuple(items), pos=tok.pos)
         if tok.kind == "OP" and tok.value == "[":
-            return RecordExpr(self.record_body())
+            return RecordExpr(self.record_body(), pos=tok.pos)
         raise ParseError(f"unexpected token {tok.value!r}", pos=tok.pos)
 
     def record_body(self) -> ClassAd:

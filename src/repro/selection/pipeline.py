@@ -29,8 +29,20 @@ selection latency and DAG execution all advance the same seeded timeline,
 so a run is a pure function of ``(platform, spec, churn trace, config)``
 and replays bit-identically.  Counters (:mod:`repro.observe`):
 ``pipeline.refusals``, ``pipeline.respecifications``,
-``pipeline.backend_fallbacks``, ``pipeline.rebinds`` — a
-:class:`SelectionOutcome`'s fields agree with the registry's deltas.
+``pipeline.backend_fallbacks``, ``pipeline.rebinds``,
+``pipeline.respecs_pruned`` — a :class:`SelectionOutcome`'s fields agree
+with the registry's deltas.
+
+Before submitting an *alternative* specification, the ladder consults the
+static analyzer's platform preflight
+(:func:`~repro.analysis.preflight.preflight_specification`): a rung that
+no backend could ever fulfill on this platform (clock floor above every
+cluster, or more hosts than exist) is skipped and counted under
+``pipeline.respecs_pruned``.  The original specification is never pruned —
+refusing the user's own request is the ladder's job to discover and
+report, not the analyzer's to silently skip.  The preflight is a pure
+function of the static platform (it ignores churn and bindings and never
+advances the virtual clock), so seeded replay stays bit-identical.
 """
 
 from __future__ import annotations
@@ -41,6 +53,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import observe
+from repro.analysis.preflight import preflight_specification
 from repro.core.alternatives import alternative_specifications
 from repro.core.generator import ResourceSpecification
 from repro.dag.graph import DAG
@@ -156,6 +169,9 @@ class SelectionOutcome:
     tasks_rescheduled: int
     turnaround_s: float | None
     baseline_turnaround_s: float | None
+    #: Ladder alternatives skipped because the static preflight proved them
+    #: unsatisfiable on the platform (mirrors ``pipeline.respecs_pruned``).
+    respecs_pruned: int = 0
 
     @property
     def penalty(self) -> float | None:
@@ -184,6 +200,7 @@ class SelectionOutcome:
             "turnaround_s": self.turnaround_s,
             "baseline_turnaround_s": self.baseline_turnaround_s,
             "penalty": self.penalty,
+            "respecs_pruned": self.respecs_pruned,
         }
 
 
@@ -210,6 +227,11 @@ class SelectionPipeline:
     churn: ResourceChurn
     config: PipelineConfig = field(default_factory=PipelineConfig)
     alternatives: list[ResourceSpecification] | None = None
+    #: Cached static-preflight verdicts per alternative (pure function of
+    #: the platform, so one evaluation covers every backend pass).
+    _preflight_ok: dict[tuple[int, int, float], bool] = field(
+        default_factory=dict, init=False, repr=False
+    )
 
     # ------------------------------------------------------------------
     # Selection backends
@@ -265,7 +287,7 @@ class SelectionPipeline:
         if self.alternatives is None:
             clocks = tuple(sorted({c.clock_ghz for c in self.platform.clusters}, reverse=True))
             with observe.span("pipeline.respecify"):
-                alts = alternative_specifications(dag, spec, clocks)
+                alts = alternative_specifications(dag, spec, clocks, platform=self.platform)
             # Drop alternatives identical to the original request — retrying
             # the same rung is the *retry* rung's job, not respecification.
             self.alternatives = [
@@ -283,7 +305,13 @@ class SelectionPipeline:
         churn = self.churn
         binder = churn.binder
         attempts: list[SelectionAttempt] = []
-        counts = {"refusals": 0, "respecifications": 0, "backend_fallbacks": 0, "rebinds": 0}
+        counts = {
+            "refusals": 0,
+            "respecifications": 0,
+            "backend_fallbacks": 0,
+            "rebinds": 0,
+            "respecs_pruned": 0,
+        }
 
         def refuse(backend: str, s_idx: int, k: int, reason: str, n: int = 0) -> None:
             counts["refusals"] += 1
@@ -302,7 +330,7 @@ class SelectionPipeline:
                 if b_idx > 0:
                     counts["backend_fallbacks"] += 1
                     observe.inc("pipeline.backend_fallbacks")
-                for s_idx, sp in enumerate(self._iter_ladder(dag, spec)):
+                for s_idx, sp in self._iter_ladder(dag, spec, counts):
                     if bound is not None:
                         break
                     if s_idx > 0:
@@ -352,6 +380,7 @@ class SelectionPipeline:
                     tasks_rescheduled=0,
                     turnaround_s=None,
                     baseline_turnaround_s=None,
+                    respecs_pruned=counts["respecs_pruned"],
                 )
 
             segments, rescheduled, rebinds = self._execute(dag, used_spec, bound)
@@ -374,13 +403,37 @@ class SelectionPipeline:
             tasks_rescheduled=rescheduled,
             turnaround_s=turnaround,
             baseline_turnaround_s=baseline,
+            respecs_pruned=counts["respecs_pruned"],
         )
 
-    def _iter_ladder(self, dag: DAG, spec: ResourceSpecification):
-        """The original spec, then alternatives — computed lazily so a
-        first-rung success never pays for the Fig. VII-6 sweeps."""
-        yield spec
-        yield from self._spec_ladder(dag, spec)[1:]
+    def _iter_ladder(self, dag: DAG, spec: ResourceSpecification, counts=None):
+        """``(spec_index, spec)`` rungs: the original spec, then alternatives
+        — computed lazily so a first-rung success never pays for the
+        Fig. VII-6 sweeps.
+
+        Alternatives the static preflight proves unsatisfiable on the
+        platform are skipped (their index stays burnt, so ``spec_index`` in
+        attempts/outcomes still names the ladder position) and counted in
+        ``counts["respecs_pruned"]`` / ``pipeline.respecs_pruned``.  The
+        original specification (index 0) is never pruned.
+        """
+        yield 0, spec
+        for s_idx, alt in enumerate(self._spec_ladder(dag, spec)[1:], start=1):
+            if not self._preflight(alt):
+                if counts is not None:
+                    counts["respecs_pruned"] += 1
+                observe.inc("pipeline.respecs_pruned")
+                continue
+            yield s_idx, alt
+
+    def _preflight(self, spec: ResourceSpecification) -> bool:
+        """Cached static satisfiability of one spec on the platform."""
+        key = (spec.size, spec.min_size, spec.clock_min_mhz)
+        ok = self._preflight_ok.get(key)
+        if ok is None:
+            ok = preflight_specification(spec, self.platform).satisfiable
+            self._preflight_ok[key] = ok
+        return ok
 
     # ------------------------------------------------------------------
     # Execution with mid-run host loss

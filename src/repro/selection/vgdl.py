@@ -94,7 +94,15 @@ KNOWN_ATTRIBUTES = {
 
 
 class VgdlError(ValueError):
-    """Raised on malformed vgDL."""
+    """Raised on malformed vgDL.
+
+    ``pos`` (when known) is the character offset of the defect in the
+    source text, for span-carrying diagnostics.
+    """
+
+    def __init__(self, message: str, pos: int | None = None) -> None:
+        super().__init__(message)
+        self.pos = pos
 
 
 @dataclass(frozen=True)
@@ -155,23 +163,35 @@ class VirtualGrid:
 # Parsing
 # ----------------------------------------------------------------------
 def _rewrite_bare_strings(expr: Expr) -> Expr:
-    """Turn unknown bare identifiers into string literals (vgDL style)."""
+    """Turn unknown bare identifiers into string literals (vgDL style).
+
+    Source positions survive the rewrite so the static analyzer can still
+    point at the original token.
+    """
     if isinstance(expr, AttrRef):
         if expr.scope is None and expr.name.lower() not in KNOWN_ATTRIBUTES:
-            return Literal(expr.name)
+            return Literal(expr.name, pos=expr.pos)
         return expr
     if isinstance(expr, BinaryOp):
-        return BinaryOp(expr.op, _rewrite_bare_strings(expr.left), _rewrite_bare_strings(expr.right))
+        return BinaryOp(
+            expr.op,
+            _rewrite_bare_strings(expr.left),
+            _rewrite_bare_strings(expr.right),
+            pos=expr.pos,
+        )
     if isinstance(expr, UnaryOp):
-        return UnaryOp(expr.op, _rewrite_bare_strings(expr.operand))
+        return UnaryOp(expr.op, _rewrite_bare_strings(expr.operand), pos=expr.pos)
     if isinstance(expr, Ternary):
         return Ternary(
             _rewrite_bare_strings(expr.cond),
             _rewrite_bare_strings(expr.then),
             _rewrite_bare_strings(expr.other),
+            pos=expr.pos,
         )
     if isinstance(expr, FuncCall):
-        return FuncCall(expr.name, tuple(_rewrite_bare_strings(a) for a in expr.args))
+        return FuncCall(
+            expr.name, tuple(_rewrite_bare_strings(a) for a in expr.args), pos=expr.pos
+        )
     return expr
 
 
@@ -179,7 +199,7 @@ class _VgdlParser(_Parser):
     def spec(self) -> VgdlSpec:
         name_tok = self.next()
         if name_tok.kind != "IDENT":
-            raise VgdlError("vgDL must start with '<name> ='")
+            raise VgdlError("vgDL must start with '<name> ='", pos=name_tok.pos)
         self.expect_op("=")
         aggregates = [self.aggregate()]
         connectors: list[str] = []
@@ -193,7 +213,9 @@ class _VgdlParser(_Parser):
                 break
         tok = self.peek()
         if tok.kind != "EOF":
-            raise VgdlError(f"trailing vgDL input at position {tok.pos}: {tok.value!r}")
+            raise VgdlError(
+                f"trailing vgDL input at position {tok.pos}: {tok.value!r}", pos=tok.pos
+            )
         return VgdlSpec(str(name_tok.value), tuple(aggregates), tuple(connectors))
 
     def aggregate(self) -> VgdlAggregate:
@@ -205,13 +227,14 @@ class _VgdlParser(_Parser):
         kind_tok = self.next()
         if kind_tok.kind != "IDENT" or str(kind_tok.value) not in AGGREGATE_KINDS:
             raise VgdlError(
-                f"expected aggregate kind at {kind_tok.pos}, got {kind_tok.value!r}"
+                f"expected aggregate kind at {kind_tok.pos}, got {kind_tok.value!r}",
+                pos=kind_tok.pos,
             )
         kind = str(kind_tok.value)
         self.expect_op("(")
         var_tok = self.next()
         if var_tok.kind != "IDENT":
-            raise VgdlError(f"expected variable name at {var_tok.pos}")
+            raise VgdlError(f"expected variable name at {var_tok.pos}", pos=var_tok.pos)
         var = str(var_tok.value)
         self.expect_op(")")
 
@@ -228,11 +251,11 @@ class _VgdlParser(_Parser):
             else:
                 lo_tok = self.next()
                 if lo_tok.kind != "NUMBER":
-                    raise VgdlError(f"expected size range at {lo_tok.pos}")
+                    raise VgdlError(f"expected size range at {lo_tok.pos}", pos=lo_tok.pos)
                 self.expect_op(":")
                 hi_tok = self.next()
                 if hi_tok.kind != "NUMBER":
-                    raise VgdlError(f"expected size range at {hi_tok.pos}")
+                    raise VgdlError(f"expected size range at {hi_tok.pos}", pos=hi_tok.pos)
                 lo, hi = int(lo_tok.value), int(hi_tok.value)
                 self.expect_op("]")
         if lo < 1 or hi < lo:
@@ -242,7 +265,8 @@ class _VgdlParser(_Parser):
         body_var = self.next()
         if body_var.kind != "IDENT" or str(body_var.value) != var:
             raise VgdlError(
-                f"aggregate body must define {var!r}, got {body_var.value!r}"
+                f"aggregate body must define {var!r}, got {body_var.value!r}",
+                pos=body_var.pos,
             )
         self.expect_op("=")
         self.expect_op("[")
@@ -257,7 +281,7 @@ def parse_vgdl(text: str) -> VgdlSpec:
     try:
         return _VgdlParser(tokenize(text)).spec()
     except ParseError as exc:
-        raise VgdlError(str(exc)) from exc
+        raise VgdlError(str(exc), pos=exc.pos) from exc
 
 
 # ----------------------------------------------------------------------

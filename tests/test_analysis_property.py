@@ -1,0 +1,82 @@
+"""Property test: every generated specification is lint-clean.
+
+The generator's output feeds three different selection engines; a spec
+that trips its own static analyzer (contradictory clock band, bad count,
+type-mismatched constraint) would be a generator bug.  Hypothesis drives
+the generator across the chapter-7 style sweep axes — DAG family, size,
+CCR, target clock, knee threshold — and asserts every rendering in every
+language analyzes clean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import analyze_specification, lint_text
+from repro.core.generator import ResourceSpecificationGenerator
+from repro.core.size_model import (
+    ObservationGrid,
+    SizePredictionModel,
+    build_observation_knees,
+)
+from repro.dag.montage import montage_dag, montage_level_counts
+from repro.dag.random_dag import RandomDagSpec, generate_random_dag
+
+TINY_GRID = ObservationGrid(
+    sizes=(40, 120),
+    ccrs=(0.01, 0.5),
+    parallelisms=(0.4, 0.7),
+    regularities=(0.1, 0.8),
+    instances=1,
+    thresholds=(0.001, 0.05),
+)
+
+
+@pytest.fixture(scope="module")
+def size_model() -> SizePredictionModel:
+    knees = build_observation_knees(TINY_GRID, seed=0)
+    return SizePredictionModel.fit(TINY_GRID, knees)
+
+
+def _dag(family: str, size: int, ccr: float, seed: int):
+    if family == "montage":
+        return montage_dag(montage_level_counts(size), ccr=ccr)
+    rng = np.random.default_rng(seed)
+    return generate_random_dag(
+        RandomDagSpec(size=size, ccr=ccr, parallelism=0.6, regularity=0.5, density=0.4),
+        rng,
+    )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    family=st.sampled_from(["montage", "random"]),
+    size=st.integers(min_value=20, max_value=120),
+    ccr=st.sampled_from([0.01, 0.1, 0.5]),
+    clock_ghz=st.sampled_from([2.0, 3.0, 3.5]),
+    threshold=st.sampled_from([0.001, 0.05]),
+    seed=st.integers(min_value=0, max_value=3),
+)
+def test_every_generated_spec_is_lint_clean(
+    size_model, family, size, ccr, clock_ghz, threshold, seed
+):
+    dag = _dag(family, size, ccr, seed)
+    gen = ResourceSpecificationGenerator(size_model, target_clock_ghz=clock_ghz)
+    # generate() already self-checks (raises on error-level findings); we
+    # additionally assert zero *warnings*: generated specs must be pristine.
+    spec = gen.generate(dag, threshold=threshold)
+    report = analyze_specification(spec)
+    assert len(report) == 0, report.render()
+    # The per-language front door agrees with the merged self-check.
+    for lang, text in (
+        ("vgdl", spec.to_vgdl()),
+        ("classad", spec.to_classad()),
+        ("sword", spec.to_sword_xml()),
+    ):
+        assert not lint_text(text, lang=lang).has_errors

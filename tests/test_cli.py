@@ -187,3 +187,112 @@ def test_experiments_forwards_fault_policy_flags(monkeypatch):
     assert argv[argv.index("--max-retries") + 1] == "5"
     assert argv[argv.index("--cell-timeout") + 1] == "30.0"
     assert argv[argv.index("--on-error") + 1] == "skip"
+
+
+# ----------------------------------------------------------------------
+# `repro lint` and `repro select --spec/--lint`.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def spec_files(tmp_path_factory):
+    """A clean spec (three languages + JSON) and a contradictory ClassAd."""
+    from repro.core.generator import ResourceSpecification
+
+    d = tmp_path_factory.mktemp("lint")
+    spec = ResourceSpecification(
+        heuristic="mcp", size=24, min_size=20, clock_min_mhz=2000.0,
+        clock_max_mhz=4000.0, connectivity="loose", threshold=0.001,
+        dag_name="montage",
+    )
+    paths = {}
+    for name, text in (
+        ("ok.vgdl", spec.to_vgdl()),
+        ("ok.classad", spec.to_classad()),
+        ("ok.xml", spec.to_sword_xml()),
+    ):
+        p = d / name
+        p.write_text(text)
+        paths[name] = str(p)
+    bad = d / "bad.classad"
+    bad.write_text(
+        '[\n  Type = "Job";\n  Ports = {\n    [\n      Label = cpu;\n'
+        "      Count = 4;\n"
+        "      Constraint = cpu.Clock >= 3000 && cpu.Clock <= 2000;\n"
+        "      Rank = cpu.Clock\n    ]\n  }\n]\n"
+    )
+    paths["bad.classad"] = str(bad)
+    spec_json = d / "spec.json"
+    spec_json.write_text(json.dumps(spec.to_dict()))
+    paths["spec.json"] = str(spec_json)
+    unsat_json = d / "unsat.json"
+    data = spec.to_dict()
+    data.update(clock_min_mhz=99999.0, clock_max_mhz=99999.0)
+    unsat_json.write_text(json.dumps(data))
+    paths["unsat.json"] = str(unsat_json)
+    return paths
+
+
+def test_lint_clean_files_exit_0(spec_files, capsys):
+    rc = main(["lint", spec_files["ok.vgdl"], spec_files["ok.classad"],
+               spec_files["ok.xml"]])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert out.count("clean") == 3
+
+
+def test_lint_contradiction_exit_1_with_code_and_span(spec_files, capsys):
+    rc = main(["lint", spec_files["bad.classad"]])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "SPEC101" in out and "line 7" in out
+
+
+def test_lint_json_output(spec_files, capsys):
+    rc = main(["lint", "--json", spec_files["bad.classad"]])
+    assert rc == 1
+    data = json.loads(capsys.readouterr().out)
+    [entry] = data.values()
+    assert entry["lang"] == "classad"
+    assert entry["diagnostics"][0]["code"] == "SPEC101"
+    assert entry["diagnostics"][0]["span"]["line"] == 7
+
+
+def test_lint_with_platform_preflight(spec_files, capsys):
+    rc = main(["lint", "--platform", "smoke", spec_files["ok.vgdl"]])
+    assert rc == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_missing_file_exits_2(tmp_path, capsys):
+    rc = main(["lint", str(tmp_path / "nope.vgdl")])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_select_user_spec_runs(model_path, spec_files, capsys):
+    rc = main([
+        "select", "--scale", "smoke", "--seed", "1",
+        "--spec", spec_files["spec.json"], "--lint",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "lint: clean" in out
+    assert "respecs_pruned=" in out
+
+
+def test_select_unsatisfiable_spec_exits_2(model_path, spec_files, capsys):
+    rc = main([
+        "select", "--scale", "smoke", "--seed", "1",
+        "--spec", spec_files["unsat.json"],
+    ])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "statically unsatisfiable" in err
+    assert "SPEC201" in err
+
+
+def test_select_malformed_spec_json_exits_2(tmp_path, capsys):
+    p = tmp_path / "broken.json"
+    p.write_text("{not json")
+    rc = main(["select", "--scale", "smoke", "--spec", str(p)])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err

@@ -125,3 +125,70 @@ def test_generator_explicit_threshold(tiny_size_model, small_montage):
 
 def test_loose_ccr_threshold_constant():
     assert 0.0 < LOOSE_CCR_THRESHOLD < 0.1
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip (the `repro select --spec` input format).
+# ----------------------------------------------------------------------
+def test_to_dict_from_dict_round_trip():
+    spec = _spec(connectivity="loose", threshold=0.05)
+    assert ResourceSpecification.from_dict(spec.to_dict()) == spec
+
+
+def test_from_dict_defaults_optional_fields():
+    spec = ResourceSpecification.from_dict(
+        dict(heuristic="mcp", size=10, min_size=8, clock_min_mhz=2000.0,
+             clock_max_mhz=3000.0)
+    )
+    assert spec.connectivity == "tight"
+    assert spec.size == 10
+
+
+def test_from_dict_rejects_unknown_keys():
+    data = _spec().to_dict()
+    data["frobnication"] = 1
+    with pytest.raises(ValueError):
+        ResourceSpecification.from_dict(data)
+
+
+def test_from_dict_rejects_missing_required_keys():
+    data = _spec().to_dict()
+    del data["size"]
+    with pytest.raises(ValueError):
+        ResourceSpecification.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# The generator's static-analysis self-check.
+# ----------------------------------------------------------------------
+def test_generate_self_check_passes_on_real_output(tiny_size_model, small_montage):
+    # Default self_check=True: generation succeeds and the spec is clean.
+    spec = ResourceSpecificationGenerator(tiny_size_model).generate(small_montage)
+    from repro.analysis import analyze_specification
+
+    assert not analyze_specification(spec).has_errors
+
+
+def test_generate_self_check_catches_broken_renderer(tiny_size_model, small_montage, monkeypatch):
+    # Sabotage a renderer: the self-check must refuse to return the spec.
+    from repro.analysis.spec import SpecificationLintError
+
+    def broken(self):
+        return "VG =\nLooseBagOf(nodes) [4:8]\n{\n  nodes = [ (Speed >= 3) ]\n}"
+
+    monkeypatch.setattr(ResourceSpecification, "to_vgdl", broken)
+    gen = ResourceSpecificationGenerator(tiny_size_model)
+    with pytest.raises(SpecificationLintError) as exc:
+        gen.generate(small_montage)
+    assert "SPEC104" in str(exc.value)
+    assert exc.value.report.has_errors
+
+
+def test_generate_self_check_can_be_disabled(tiny_size_model, small_montage, monkeypatch):
+    def broken(self):
+        return "VG = LooseBagOf("
+
+    monkeypatch.setattr(ResourceSpecification, "to_vgdl", broken)
+    gen = ResourceSpecificationGenerator(tiny_size_model, self_check=False)
+    spec = gen.generate(small_montage)  # no raise
+    assert spec.size >= 1

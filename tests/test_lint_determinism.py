@@ -1,0 +1,97 @@
+"""Tests for scripts/lint_determinism.py (the seeded-code hygiene gate)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "lint_determinism.py"
+
+
+@pytest.fixture(scope="module")
+def det():
+    spec = importlib.util.spec_from_file_location("lint_determinism", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves cls.__module__ through sys.modules at class
+    # creation time, so the module must be registered before exec.
+    sys.modules["lint_determinism"] = module
+    spec.loader.exec_module(module)
+    yield module
+    sys.modules.pop("lint_determinism", None)
+
+
+def _lint(det, tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return det.lint_file(path)
+
+
+def test_unseeded_default_rng_flagged(det, tmp_path):
+    findings = _lint(det, tmp_path, "import numpy as np\nrng = np.random.default_rng()\n")
+    assert [f.code for f in findings] == ["DET001"]
+
+
+def test_seeded_default_rng_clean(det, tmp_path):
+    findings = _lint(det, tmp_path, "import numpy as np\nrng = np.random.default_rng(42)\n")
+    assert findings == []
+
+
+def test_stdlib_random_import_and_call_flagged(det, tmp_path):
+    findings = _lint(det, tmp_path, "import random\nx = random.random()\n")
+    codes = [f.code for f in findings]
+    assert codes == ["DET001", "DET001"]
+
+
+def test_wall_clock_flagged_outside_observe(det, tmp_path):
+    findings = _lint(det, tmp_path, "import time\nt = time.time()\n")
+    assert [f.code for f in findings] == ["DET002"]
+
+
+def test_wall_clock_allowed_in_observe(det, tmp_path):
+    findings = _lint(det, tmp_path, "import time\nt = time.time()\n", name="observe.py")
+    assert findings == []
+
+
+def test_allow_comment_suppresses(det, tmp_path):
+    findings = _lint(det, tmp_path, "import time\nt = time.time()  # lint: allow\n")
+    assert findings == []
+
+
+def test_set_iteration_flagged(det, tmp_path):
+    findings = _lint(det, tmp_path, "for x in {1, 2, 3}:\n    print(x)\n")
+    assert [f.code for f in findings] == ["DET003"]
+
+
+def test_set_comprehension_source_flagged(det, tmp_path):
+    findings = _lint(det, tmp_path, "ys = [y for y in set([3, 1])]\n")
+    assert [f.code for f in findings] == ["DET003"]
+
+
+def test_sorted_set_iteration_clean(det, tmp_path):
+    # Wrapping in sorted() launders the hash-randomised order away.
+    findings = _lint(det, tmp_path, "ys = sorted(y for y in set([3, 1]))\n")
+    assert findings == []
+
+
+def test_list_iteration_clean(det, tmp_path):
+    findings = _lint(det, tmp_path, "for x in [1, 2]:\n    print(x)\n")
+    assert findings == []
+
+
+def test_syntax_error_is_det000(det, tmp_path):
+    findings = _lint(det, tmp_path, "def broken(:\n")
+    assert [f.code for f in findings] == ["DET000"]
+
+
+def test_repo_tree_is_clean(det):
+    # The real gate: src/repro must carry no unsuppressed findings.
+    root = SCRIPT.parent.parent / "src" / "repro"
+    findings = det.lint_tree(root)
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_finding_format_is_clickable(det, tmp_path):
+    [f] = _lint(det, tmp_path, "import time\nt = time.time()\n")
+    assert f.format().startswith(str(tmp_path))
+    assert ":2: DET002" in f.format()

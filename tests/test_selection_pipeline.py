@@ -209,3 +209,65 @@ def test_churn_penalty_sweep_is_jobs_independent(tiny_size_model):
     serial = churn_penalty_sweep(tiny_size_model, SMOKE, rates=(0.0, 0.01), reps=1, jobs=1)
     parallel = churn_penalty_sweep(tiny_size_model, SMOKE, rates=(0.0, 0.01), reps=1, jobs=2)
     assert serial == parallel
+
+
+# ----------------------------------------------------------------------
+# Static preflight pruning of the respecification ladder.
+# ----------------------------------------------------------------------
+def test_unsatisfiable_alternative_is_pruned_not_submitted(platform, small_montage, spec):
+    impossible_original = dataclasses.replace(
+        spec, size=platform.n_hosts + 50, min_size=platform.n_hosts + 10
+    )
+    unsat_alt = dataclasses.replace(spec, clock_min_mhz=99999.0, clock_max_mhz=99999.0)
+    ok_alt = _smaller(spec)
+    churn = _quiet(platform)
+    pipeline = SelectionPipeline(
+        platform,
+        churn,
+        PipelineConfig(max_retries=0),
+        alternatives=[unsat_alt, ok_alt],
+    )
+    with observe.use_registry(observe.MetricsRegistry()) as reg:
+        outcome = pipeline.run(small_montage, impossible_original)
+
+    assert outcome.fulfilled
+    # The unsatisfiable alternative was never attempted; its ladder index
+    # stays burnt, so the fulfilling rung is index 2, not 1.
+    assert outcome.spec_index == 2
+    assert outcome.final_spec == ok_alt
+    assert [a.spec_index for a in outcome.attempts] == [0, 2]
+    assert outcome.respecs_pruned == 1
+    counters = reg.snapshot()["counters"]
+    assert counters["pipeline.respecs_pruned"] == outcome.respecs_pruned
+    assert "respecs_pruned" in outcome.to_dict()
+
+
+def test_original_spec_is_never_pruned(platform, small_montage, spec):
+    # The original request is statically unsatisfiable — the pipeline must
+    # still attempt it (refusal semantics), not silently skip it.
+    impossible = dataclasses.replace(spec, clock_min_mhz=99999.0, clock_max_mhz=99999.0)
+    churn = _quiet(platform)
+    pipeline = SelectionPipeline(
+        platform, churn, PipelineConfig(max_retries=0), alternatives=[]
+    )
+    with observe.use_registry(observe.MetricsRegistry()):
+        outcome = pipeline.run(small_montage, impossible)
+    assert not outcome.fulfilled
+    assert outcome.attempts and outcome.attempts[0].spec_index == 0
+    assert outcome.respecs_pruned == 0
+
+
+def test_replay_bit_identical_with_preflight_enabled(platform, small_montage, spec):
+    # Seeded churn + an unsatisfiable alternative in the ladder: the
+    # analyzer consults only the static platform, so replay stays
+    # bit-identical even though pruning happens mid-run.
+    config = ChurnConfig(fail_rate=0.002, competitor_rate=0.01, utilization=0.25, seed=9)
+    unsat_alt = dataclasses.replace(spec, clock_min_mhz=99999.0, clock_max_mhz=99999.0)
+
+    def run():
+        churn = ResourceChurn.from_config(platform, config)
+        return SelectionPipeline(
+            platform, churn, alternatives=[unsat_alt, _smaller(spec)]
+        ).run(small_montage, spec)
+
+    assert run().to_dict() == run().to_dict()

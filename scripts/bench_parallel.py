@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import subprocess
 import time
 
 from repro.core.size_model import build_observation_knees
@@ -38,6 +39,21 @@ def _workload(scale, jobs: int):
         "knee_vs_size": c5.knee_vs_size(scale, seed=0, jobs=jobs),
         "knee_vs_ccr": c5.knee_vs_ccr(scale, size=scale.size_grid.sizes[0], seed=0, jobs=jobs),
     }
+
+
+def _git_sha() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+        )
+    except Exception:
+        return "unknown"
 
 
 def main() -> int:
@@ -65,6 +81,8 @@ def main() -> int:
 
     report = {
         "scale": scale.name,
+        "git_sha": _git_sha(),
+        "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "cpu_count": os.cpu_count(),
         "jobs": jobs,
         "serial_seconds": round(serial_s, 3),

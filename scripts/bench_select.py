@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""Selection hot-path benchmark: indexed vs naive candidate pruning.
+
+Times :meth:`repro.selection.classad.Matchmaker.match` and the vgDL
+cluster scan over synthetic platforms of growing host count (1e2–1e5 at
+``--scale full``), with ``indexing="on"`` versus ``indexing="off"``, and
+writes specs/sec plus p50/p99 per-query latency to ``BENCH_select.json``.
+Every timed configuration first asserts that the indexed and naive paths
+return **bit-identical ordered match lists** — a divergence aborts the run
+with a non-zero exit code — and the report additionally replays a seeded
+:class:`~repro.selection.pipeline.SelectionPipeline` run under churn with
+indexing on and off, requiring identical ``SelectionOutcome.to_dict()``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_select.py [--scale smoke|bench|full]
+
+The matchmaker population is reused across repetitions, so the indexed
+numbers reflect the warm-index steady state of a long-lived service (the
+index build cost is reported separately per host count).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import subprocess
+import time
+
+import numpy as np
+
+from repro.resources.binding import Binder
+from repro.resources.churn import ChurnConfig, ResourceChurn
+from repro.resources.generator import ClusterSpec
+from repro.resources.platform import Platform
+from repro.selection.classad import Matchmaker, parse_classad
+from repro.selection.classad.builders import machine_ads
+from repro.selection.pipeline import PipelineConfig, SelectionPipeline
+from repro.selection.vgdl import VgES, parse_vgdl
+
+#: Host counts per scale.  ``smoke`` must stay fast enough for the tier-1
+#: smoke test; ``full`` reaches the 1e5 ceiling of the ROADMAP item.
+SCALES = {
+    "smoke": {"sizes": (100, 1000), "reps": 5},
+    "bench": {"sizes": (100, 1000, 10_000), "reps": 10},
+    "full": {"sizes": (100, 1000, 10_000, 100_000), "reps": 10},
+}
+
+HOSTS_PER_CLUSTER = 50
+
+#: Benchmarked request ads.  ``selective`` matches a small slice of the
+#: population (where pruning shines — the acceptance criterion measures
+#: this one at 10k hosts); ``broad`` matches roughly half (worst case for
+#: an index: little to prune).
+SPECS = {
+    "selective": """[
+        Requirements = TARGET.Clock >= 3400 && TARGET.OpSys == "LINUX"
+            && TARGET.Memory >= 2000;
+        Rank = TARGET.Clock;
+    ]""",
+    "broad": """[
+        Requirements = TARGET.Clock >= 2000 && TARGET.OpSys == "LINUX";
+        Rank = TARGET.Clock;
+    ]""",
+}
+
+VGDL_SPEC = """vg =
+LooseBagOf(nodes) [4:16] [rank = Nodes] {
+  nodes = [ (Clock >= 3000) && (Memory >= 2000) ]
+}"""
+
+
+def make_platform(n_hosts: int, seed: int) -> Platform:
+    """Deterministic synthetic platform with ``n_hosts`` hosts."""
+    n_clusters = max(1, n_hosts // HOSTS_PER_CLUSTER)
+    rng = np.random.default_rng(seed)
+    clusters = [
+        ClusterSpec(
+            cluster_id=c,
+            n_hosts=HOSTS_PER_CLUSTER,
+            clock_ghz=float(rng.choice([1.0, 1.5, 2.0, 2.5, 3.0, 3.5])),
+            memory_mb=int(rng.choice([512, 1024, 2048, 4096])),
+            arch="x86",
+            os=str(rng.choice(["LINUX", "SOLARIS"])),
+        )
+        for c in range(n_clusters)
+    ]
+    bw = np.full((n_clusters, n_clusters), 1.0e9)
+    return Platform(clusters=clusters, bandwidth_bps=bw)
+
+
+def _match_key(matches) -> list[tuple[int, float]]:
+    """Order-sensitive identity of a match list (ad object id + rank)."""
+    return [(id(m.machine), m.rank) for m in matches]
+
+
+def _time_queries(fn, reps: int) -> dict[str, float]:
+    """p50/p99 latency (ms) and specs/sec over ``reps`` identical queries."""
+    lat = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        lat.append(time.perf_counter() - t0)
+    lat.sort()
+    p50 = statistics.median(lat)
+    p99 = lat[min(len(lat) - 1, int(round(0.99 * (len(lat) - 1))))]
+    return {
+        "p50_ms": round(p50 * 1e3, 4),
+        "p99_ms": round(p99 * 1e3, 4),
+        "specs_per_sec": round(1.0 / statistics.mean(lat), 2),
+    }
+
+
+def bench_match(platform: Platform, reps: int) -> list[dict]:
+    """Matchmaker.match indexed vs naive over every benchmark spec."""
+    ads = machine_ads(platform, range(platform.n_hosts))
+    mm_on = Matchmaker(list(ads), indexing="on")
+    mm_off = Matchmaker(list(ads), indexing="off")
+    t0 = time.perf_counter()
+    mm_on._host_index()
+    build_s = time.perf_counter() - t0
+    rows = []
+    for name, text in SPECS.items():
+        req = parse_classad(text)
+        on = mm_on.match(req)
+        off = mm_off.match(req)
+        if _match_key(on) != _match_key(off):
+            raise SystemExit(
+                f"FATAL: indexed and naive match lists diverge "
+                f"(spec={name}, hosts={platform.n_hosts})"
+            )
+        rows.append(
+            {
+                "workload": "classad_match",
+                "spec": name,
+                "n_hosts": platform.n_hosts,
+                "n_matches": len(on),
+                "index_build_ms": round(build_s * 1e3, 3),
+                "identical_output": True,
+                "naive": _time_queries(lambda: mm_off.match(req), reps),
+                "indexed": _time_queries(lambda: mm_on.match(req), reps),
+            }
+        )
+        rows[-1]["speedup"] = round(
+            rows[-1]["naive"]["p50_ms"] / max(rows[-1]["indexed"]["p50_ms"], 1e-9), 2
+        )
+    return rows
+
+
+def bench_vgdl(platform: Platform, reps: int) -> dict:
+    """vgDL cluster scan indexed vs naive."""
+    spec = parse_vgdl(VGDL_SPEC)
+    constraint = spec.aggregates[0].constraint
+    v_on = VgES(platform, indexing="on")
+    v_off = VgES(platform, indexing="off")
+    on = v_on.matching_clusters(constraint)
+    off = v_off.matching_clusters(constraint)
+    if not np.array_equal(on, off):
+        raise SystemExit(
+            f"FATAL: indexed and naive cluster lists diverge (hosts={platform.n_hosts})"
+        )
+    row = {
+        "workload": "vgdl_matching_clusters",
+        "n_hosts": platform.n_hosts,
+        "n_clusters": platform.n_clusters,
+        "n_matches": int(on.size),
+        "identical_output": True,
+        "naive": _time_queries(lambda: v_off.matching_clusters(constraint), reps),
+        "indexed": _time_queries(lambda: v_on.matching_clusters(constraint), reps),
+    }
+    row["speedup"] = round(
+        row["naive"]["p50_ms"] / max(row["indexed"]["p50_ms"], 1e-9), 2
+    )
+    return row
+
+
+def pipeline_replay_identical() -> bool:
+    """Seeded SelectionPipeline outcome, indexing on vs off, under churn."""
+    from repro.core.generator import ResourceSpecification
+    from repro.dag import montage_dag, montage_level_counts
+
+    platform = make_platform(1000, seed=3)
+    dag = montage_dag(montage_level_counts(10), ccr=0.01)
+    spec = ResourceSpecification(
+        heuristic="mcp",
+        size=16,
+        min_size=12,
+        clock_min_mhz=2000.0,
+        clock_max_mhz=4000.0,
+        connectivity="loose",
+        threshold=0.001,
+        dag_name="montage",
+    )
+    churn_config = ChurnConfig(fail_rate=0.002, competitor_rate=0.01, seed=9)
+    outcomes = []
+    for mode in ("on", "off"):
+        churn = ResourceChurn.from_config(platform, churn_config, Binder(platform))
+        pipeline = SelectionPipeline(
+            platform, churn, PipelineConfig(indexing=mode)
+        )
+        outcomes.append(pipeline.run(dag, spec).to_dict())
+    return outcomes[0] == outcomes[1]
+
+
+def _git_sha() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+        )
+    except Exception:
+        return "unknown"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", choices=tuple(SCALES))
+    parser.add_argument("--output", default="BENCH_select.json")
+    args = parser.parse_args()
+
+    cfg = SCALES[args.scale]
+    results = []
+    for n_hosts in cfg["sizes"]:
+        platform = make_platform(n_hosts, seed=1)
+        results.extend(bench_match(platform, cfg["reps"]))
+        results.append(bench_vgdl(platform, cfg["reps"]))
+        print(f"... {n_hosts} hosts done", flush=True)
+
+    replay_ok = pipeline_replay_identical()
+    if not replay_ok:
+        raise SystemExit(
+            "FATAL: seeded SelectionPipeline outcomes differ between "
+            "indexing=on and indexing=off"
+        )
+
+    report = {
+        "scale": args.scale,
+        "git_sha": _git_sha(),
+        "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "identical_output": True,
+        "pipeline_replay_identical": replay_ok,
+        "results": results,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

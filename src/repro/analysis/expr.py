@@ -50,6 +50,8 @@ __all__ = [
     "iter_disjuncts",
     "attr_refs",
     "fold_constant",
+    "numeric_bound",
+    "string_equality",
     "analyze_constraint",
 ]
 
@@ -312,8 +314,15 @@ def infer_type(expr: Expr, vocab: dict[str, str] | None = None) -> str:
 # ----------------------------------------------------------------------
 # Constraint analysis
 # ----------------------------------------------------------------------
-def _numeric_bound(conj: Expr) -> tuple[AttrRef, str, float] | None:
-    """Decompose ``attr OP number`` / ``number OP attr`` conjuncts."""
+def numeric_bound(conj: Expr) -> tuple[AttrRef, str, float] | None:
+    """Decompose ``attr OP number`` / ``number OP attr`` conjuncts.
+
+    Returns ``(ref, op, value)`` with ``op`` normalised so the attribute
+    sits on the left (``3 < Clock`` becomes ``Clock > 3``), or ``None``
+    when the conjunct is not a numeric bound.  This is the typed clause
+    fact the interval analysis *and* the index planner
+    (:mod:`repro.selection.index`) both consume.
+    """
     if not (isinstance(conj, BinaryOp) and conj.op in ("<", "<=", ">", ">=", "==")):
         return None
     left, right = conj.left, conj.right
@@ -324,8 +333,13 @@ def _numeric_bound(conj: Expr) -> tuple[AttrRef, str, float] | None:
     return None
 
 
-def _string_equality(conj: Expr) -> tuple[AttrRef, str] | None:
-    """Decompose ``attr == "value"`` / ``"value" == attr`` conjuncts."""
+def string_equality(conj: Expr) -> tuple[AttrRef, str] | None:
+    """Decompose ``attr == "value"`` / ``"value" == attr`` conjuncts.
+
+    The second clause-fact extractor shared by the static analyzer and
+    the index planner; the returned value is *not* lowercased (the ClassAd
+    evaluator compares strings case-insensitively, so consumers decide).
+    """
     if not (isinstance(conj, BinaryOp) and conj.op == "=="):
         return None
     left, right = conj.left, conj.right
@@ -401,11 +415,11 @@ class _ConstraintAnalyzer:
         if folded is not None:
             self._constant(conj, folded)
             return
-        bound = _numeric_bound(conj)
+        bound = numeric_bound(conj)
         if bound is not None:
             self._numeric(conj, *bound)
             return
-        eq = _string_equality(conj)
+        eq = string_equality(conj)
         if eq is not None:
             self._string(conj, *eq)
 

@@ -233,6 +233,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
             backends=tuple(b.strip() for b in args.backends.split(",") if b.strip()),
             seed=args.seed,
+            indexing=args.indexing,
         )
     except ValueError as exc:
         raise CliError(str(exc)) from None
@@ -398,6 +399,14 @@ def main(argv: list[str] | None = None) -> int:
         "--lint",
         action="store_true",
         help="print the spec's static-analysis report before selecting",
+    )
+    p_sel.add_argument(
+        "--indexing",
+        default="auto",
+        choices=("on", "off", "auto"),
+        help="candidate pruning in the selection backends; results are "
+        "identical in all modes (auto engages the index only for "
+        "indexable constraints)",
     )
     p_sel.set_defaults(fn=_cmd_select)
 

@@ -14,6 +14,12 @@ All engines select hosts from a :class:`repro.resources.platform.Platform`.
 """
 
 from repro.selection.classad import ClassAd, parse_classad, Matchmaker
+from repro.selection.index import (
+    INDEXING_MODES,
+    HostIndex,
+    IndexPlan,
+    plan_constraint,
+)
 from repro.selection.vgdl import parse_vgdl, VgES, VirtualGrid
 from repro.selection.sword import parse_sword_query, SwordEngine
 from repro.selection.pipeline import (
@@ -26,6 +32,10 @@ __all__ = [
     "ClassAd",
     "parse_classad",
     "Matchmaker",
+    "INDEXING_MODES",
+    "HostIndex",
+    "IndexPlan",
+    "plan_constraint",
     "parse_vgdl",
     "VgES",
     "VirtualGrid",

@@ -30,7 +30,16 @@ from repro.selection.classad.parser import (
     UnaryOp,
 )
 
-__all__ = ["Undefined", "ErrorValue", "UNDEFINED", "ERROR", "EvalContext", "EvalError", "evaluate"]
+__all__ = [
+    "Undefined",
+    "ErrorValue",
+    "UNDEFINED",
+    "ERROR",
+    "EvalContext",
+    "EvalError",
+    "evaluate",
+    "as_logical",
+]
 
 
 class EvalError(RuntimeError):
@@ -215,6 +224,17 @@ def _as_logical(v: object) -> object:
         # Numeric values coerce as in Condor: non-zero is true.
         return v != 0
     return ERROR
+
+
+def as_logical(v: object) -> object:
+    """The truth value an operand contributes inside ``&&``/``||``.
+
+    Public so consumers that split a conjunction apart (the index planner's
+    residual check) can reproduce the chain's coercion exactly: a bare
+    numeric conjunct counts as true iff non-zero, anything non-coercible is
+    ERROR.
+    """
+    return _as_logical(v)
 
 
 def _is_identical(a: object, b: object) -> bool:

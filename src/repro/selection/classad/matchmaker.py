@@ -15,6 +15,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.selection.classad.evaluator import EvalContext, evaluate
+from repro.selection.index import (
+    HostIndex,
+    IndexPlan,
+    plan_constraint,
+    residual_ok,
+    validate_indexing,
+)
 from repro.selection.classad.parser import (
     AttrRef,
     BinaryOp,
@@ -94,13 +101,38 @@ def _rank_value(rank_expr: Expr | None, ctx: EvalContext) -> float:
 
 @dataclass
 class Matchmaker:
-    """A central clearinghouse holding advertised machine ads."""
+    """A central clearinghouse holding advertised machine ads.
+
+    ``indexing`` selects the candidate-pruning strategy for :meth:`match`
+    and :meth:`gangmatch`: ``"off"`` scans every ad per query (the naive
+    path), ``"on"`` always routes through a :class:`HostIndex`, and
+    ``"auto"`` (default) engages the index only when the request's
+    constraint yields at least one indexable clause fact.  All three
+    produce bit-identical results — the index changes candidate
+    enumeration, never match semantics or ordering.
+    """
 
     machines: list[ClassAd] = field(default_factory=list)
+    indexing: str = "auto"
+    _index: HostIndex | None = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        validate_indexing(self.indexing)
 
     def advertise(self, ad: ClassAd) -> None:
         """Post a resource-provider ad."""
         self.machines.append(ad)
+        self._index = None
+
+    # -- index plumbing -------------------------------------------------
+    def _host_index(self) -> HostIndex:
+        """The (lazily rebuilt) index over the current ad population."""
+        if self._index is None or self._index.n != len(self.machines):
+            self._index = HostIndex.from_ads(self.machines)
+        return self._index
+
+    def _engaged(self, plan: IndexPlan) -> bool:
+        return self.indexing == "on" or (self.indexing == "auto" and plan.prunes)
 
     # ------------------------------------------------------------------
     def satisfies(self, request: ClassAd, machine: ClassAd) -> bool:
@@ -115,13 +147,37 @@ class Matchmaker:
 
     def match(self, request: ClassAd, limit: int | None = None) -> list[Match]:
         """All machines matching ``request``, best rank first."""
-        results: list[Match] = []
-        for machine in self.machines:
-            if self.satisfies(request, machine):
-                rank = _rank_value(
-                    request.get("Rank"), EvalContext(my=request, target=machine)
-                )
+        r1 = _requirements(request)
+        plan = plan_constraint(r1, request=request) if self.indexing != "off" else None
+        if plan is not None and self._engaged(plan):
+            rows, full = self._host_index().candidates(plan)
+            full_set = set(full.tolist())
+            results = []
+            # Ascending row order reproduces the naive scan order, so the
+            # stable rank sort below tie-breaks identically.
+            for idx in rows.tolist():
+                machine = self.machines[idx]
+                req_ctx = EvalContext(my=request, target=machine)
+                if idx in full_set:
+                    ok1 = r1 is None or evaluate(r1, req_ctx) is True
+                else:
+                    ok1 = residual_ok(plan, req_ctx)
+                if not ok1:
+                    continue
+                r2 = _requirements(machine)
+                if r2 is not None:
+                    if evaluate(r2, EvalContext(my=machine, target=request)) is not True:
+                        continue
+                rank = _rank_value(request.get("Rank"), req_ctx)
                 results.append(Match(machine, rank))
+        else:
+            results = []
+            for machine in self.machines:
+                if self.satisfies(request, machine):
+                    rank = _rank_value(
+                        request.get("Rank"), EvalContext(my=request, target=machine)
+                    )
+                    results.append(Match(machine, rank))
         results.sort(key=lambda m: -m.rank)
         return results if limit is None else results[:limit]
 
@@ -140,20 +196,44 @@ class Matchmaker:
         bindings: dict[str, ClassAd] = {}
         ranks: dict[str, float] = {}
 
-        def bind(i: int) -> bool:
-            if i == len(ports):
-                return True
-            label, port_ad = ports[i]
+        # One plan per port: the port's own label names the machine being
+        # tried (``cpu.Clock`` while binding port cpu), so it is a machine
+        # scope alongside TARGET; earlier/later port labels stay residual.
+        plans: list[IndexPlan | None] = []
+        for label, port_ad in ports:
+            if self.indexing == "off":
+                plans.append(None)
+                continue
+            plan = plan_constraint(
+                _requirements(port_ad),
+                request=request,
+                machine_scopes=("target", label),
+            )
+            plans.append(plan if self._engaged(plan) else None)
+
+        def port_candidates(i: int, label: str, port_ad: ClassAd) -> list[tuple[float, int]]:
+            plan = plans[i]
+            constraint = _requirements(port_ad)
+            if plan is not None:
+                rows, full = self._host_index().candidates(plan)
+                pool = rows.tolist()
+                full_set = set(full.tolist())
+            else:
+                pool = range(len(self.machines))
+                full_set = None
             candidates: list[tuple[float, int]] = []
-            for idx, machine in enumerate(self.machines):
+            for idx in pool:
                 if idx in used:
                     continue
+                machine = self.machines[idx]
                 trial = dict(bindings)
                 trial[label] = machine
                 ctx = EvalContext(my=request, target=machine, bindings=trial)
-                constraint = _requirements(port_ad)
-                ok = evaluate(constraint, ctx) if constraint is not None else True
-                if ok is not True:
+                if full_set is None or idx in full_set:
+                    ok = evaluate(constraint, ctx) is True if constraint is not None else True
+                else:
+                    ok = residual_ok(plan, ctx)
+                if not ok:
                     continue
                 mreq = _requirements(machine)
                 if mreq is not None:
@@ -162,6 +242,13 @@ class Matchmaker:
                         continue
                 rank = _rank_value(port_ad.get("Rank"), ctx)
                 candidates.append((rank, idx))
+            return candidates
+
+        def bind(i: int) -> bool:
+            if i == len(ports):
+                return True
+            label, port_ad = ports[i]
+            candidates = port_candidates(i, label, port_ad)
             candidates.sort(key=lambda t: (-t[0], t[1]))
             for rank, idx in candidates:
                 used.add(idx)

@@ -64,6 +64,7 @@ from repro.scheduling.base import schedule_dag
 from repro.selection.classad import Matchmaker, parse_classad
 from repro.selection.classad.builders import machine_ads
 from repro.selection.classad.evaluator import EvalContext, evaluate
+from repro.selection.index import INDEXING_MODES
 from repro.selection.sword import SwordEngine
 from repro.selection.vgdl import VgES
 
@@ -102,6 +103,10 @@ class PipelineConfig:
     max_classad_machines: int = 400
     #: Seed for the backoff jitter (independent of the churn seed).
     seed: int = 0
+    #: Candidate pruning in the selection backends: ``on``/``off``/``auto``
+    #: (see :mod:`repro.selection.index`).  All three settings produce
+    #: bit-identical outcomes; only the selection wall-clock changes.
+    indexing: str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_respecs < 0 or self.max_retries < 0:
@@ -113,6 +118,10 @@ class PipelineConfig:
         for b in self.backends:
             if b not in BACKENDS:
                 raise ValueError(f"unknown backend {b!r} (known: {BACKENDS})")
+        if self.indexing not in INDEXING_MODES:
+            raise ValueError(
+                f"indexing must be one of {INDEXING_MODES}, got {self.indexing!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -247,14 +256,18 @@ class SelectionPipeline:
         """Run one backend; returns (host ids | None, selection latency)."""
         unavailable = self.churn.unavailable() | self.churn.binder.bound_hosts
         if backend == "vges":
-            engine = VgES(self.platform, unavailable=unavailable)
+            engine = VgES(
+                self.platform, unavailable=unavailable, indexing=self.config.indexing
+            )
             with observe.span("pipeline.select.vges"):
                 vg = engine.find_and_bind(spec.to_vgdl())
             if vg is None:
                 return None, engine.platform.n_clusters * 1e-5
             return vg.all_hosts(), vg.selection_time
         if backend == "sword":
-            engine = SwordEngine(self.platform, unavailable=unavailable)
+            engine = SwordEngine(
+                self.platform, unavailable=unavailable, indexing=self.config.indexing
+            )
             with observe.span("pipeline.select.sword"):
                 result = engine.query(spec.to_sword_xml())
             latency = self.platform.n_clusters * 1e-5
@@ -269,7 +282,7 @@ class SelectionPipeline:
         latency = max(1, len(ads)) * 1e-5
         if spec.size > len(ads):
             return None, latency
-        mm = Matchmaker(ads)
+        mm = Matchmaker(ads, indexing=self.config.indexing)
         with observe.span("pipeline.select.classad"):
             gang = mm.gangmatch(parse_classad(spec.to_classad()))
         if gang is None:

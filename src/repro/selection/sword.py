@@ -41,6 +41,7 @@ from repro.resources.platform import (
     LATENCY_INTRA_DOMAIN_MS,
     Platform,
 )
+from repro.selection.index import validate_indexing
 
 __all__ = [
     "NumericRequirement",
@@ -260,6 +261,19 @@ class SwordEngine:
 
     platform: Platform
     unavailable: set[int] = field(default_factory=set)
+    #: ``on``/``off``/``auto`` — SWORD queries are always numeric/categorical
+    #: bounds over the columnar cluster table, so ``auto`` behaves like
+    #: ``on``: feasibility and penalty are computed vectorized over all
+    #: clusters once per group (same element-wise operation sequence as the
+    #: per-cluster path, so penalties are bit-identical float64).
+    indexing: str = "auto"
+
+    _cluster_cols: "dict[str, dict[str, np.ndarray]] | None" = field(
+        default=None, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        validate_indexing(self.indexing)
 
     def query(self, query: SwordQuery | str) -> SwordResult | None:
         """Answer ``query``; None when no feasible configuration exists."""
@@ -355,12 +369,65 @@ class SwordEngine:
                 penalty += req.penalty_rate
         return penalty
 
+    def _columns(self) -> "dict[str, dict[str, np.ndarray]]":
+        """Columnar cluster attribute table (cached; clusters are immutable)."""
+        if self._cluster_cols is None:
+            specs = self.platform.clusters
+            n = len(specs)
+            mem = np.array([s.memory_mb for s in specs], dtype=np.float64)
+            ghz = np.array([s.clock_ghz for s in specs], dtype=np.float64)
+            self._cluster_cols = {
+                "values": {
+                    "cpu_load": np.zeros(n, dtype=np.float64),
+                    "free_mem": mem,
+                    "free_disk": 20.0 * mem,
+                    "clock": ghz * 1000.0,
+                    "num_cpus": np.ones(n, dtype=np.float64),
+                },
+                "cats": {
+                    "os": np.array([s.os.lower() for s in specs]),
+                    "arch": np.array([s.arch.lower() for s in specs]),
+                    "network_coordinate_center": np.array(
+                        [
+                            self.platform.region_of_cluster(c).lower()
+                            for c in range(n)
+                        ]
+                    ),
+                },
+            }
+        return self._cluster_cols
+
+    def _group_penalty_table(self, group: SwordGroup) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized per-cluster (feasible, per-host penalty) for one group.
+
+        Applies the same requirement operations in the same order as
+        :meth:`_cluster_penalty`, element-wise over every cluster at once.
+        """
+        cols = self._columns()
+        n = self.platform.n_clusters
+        feasible = np.ones(n, dtype=bool)
+        penalty = np.zeros(n, dtype=np.float64)
+        for req in group.numeric:
+            v = cols["values"][req.attr]
+            feasible &= req.feasible(v)
+            penalty += req.penalty(v)
+        for req in group.categorical:
+            mismatch = cols["cats"][req.attr] != req.value.lower()
+            if req.penalty_rate <= 0:
+                feasible &= ~mismatch
+            else:
+                penalty += np.where(mismatch, req.penalty_rate, 0.0)
+        return feasible, penalty
+
     def _group_options(
         self, group: SwordGroup, budget: int
     ) -> list[tuple[float, _Zone, np.ndarray]]:
         plat = self.platform
         opts: list[tuple[float, _Zone, np.ndarray]] = []
         visited = 0
+        vectorized = self.indexing != "off"
+        if vectorized:
+            feas, pen_arr = self._group_penalty_table(group)
         for zone in self._zones_for(group.latency):
             if visited >= budget:
                 break
@@ -368,10 +435,14 @@ class SwordEngine:
             cids = self._zone_clusters(zone)
             # Cheapest hosts in the zone: clusters sorted by per-host penalty.
             ranked: list[tuple[float, int]] = []
-            for cid in cids:
-                pen = self._cluster_penalty(group, int(cid))
-                if pen is not None:
-                    ranked.append((pen, int(cid)))
+            if vectorized:
+                for cid in cids[feas[cids]]:
+                    ranked.append((float(pen_arr[cid]), int(cid)))
+            else:
+                for cid in cids:
+                    pen = self._cluster_penalty(group, int(cid))
+                    if pen is not None:
+                        ranked.append((pen, int(cid)))
             ranked.sort()
             chosen: list[np.ndarray] = []
             total_pen = 0.0

@@ -35,3 +35,6 @@ def test_bench_script_produces_report(tmp_path):
     assert report["identical_output"] is True
     assert report["serial_seconds"] > 0 and report["parallel_seconds"] > 0
     assert report["cpu_count"] == os.cpu_count()
+    # Provenance: the report must say which tree produced it and when.
+    assert report["git_sha"] not in ("", None)
+    assert report["timestamp_utc"].endswith("Z")

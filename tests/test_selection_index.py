@@ -1,0 +1,554 @@
+"""Differential tests for the indexed selection hot path.
+
+Three layers, mirroring the equivalence contract of
+:mod:`repro.selection.index`:
+
+* planner/index unit tests — edge intervals (open/closed endpoints,
+  ``>=``/``<=`` boundary equality), contradiction short-circuit *without
+  evaluation*, MY-shadowing, opaque attributes, availability masking;
+* differential suites — indexed vs naive paths must return identical
+  ordered results for Matchmaker.match/gangmatch, vgES cluster matching
+  and SWORD queries, including a Hypothesis sweep over random platforms
+  and specifications rendered in all three languages;
+* end-to-end replay — a seeded :class:`SelectionPipeline` run under churn
+  must produce byte-identical ``SelectionOutcome.to_dict()`` with
+  ``indexing="on"`` and ``"off"``.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.generator import ResourceSpecification
+from repro.dag import montage_dag, montage_level_counts
+from repro.resources.binding import Binder
+from repro.resources.churn import ChurnConfig, ChurnEvent, ResourceChurn
+from repro.resources.generator import ClusterSpec
+from repro.resources.platform import Platform
+from repro.selection.classad import Matchmaker, parse_classad
+from repro.selection.classad.builders import machine_ads
+from repro.selection.classad.parser import ClassAd, Literal, parse_expression
+from repro.selection.index import (
+    INDEXING_MODES,
+    HostIndex,
+    plan_constraint,
+    validate_indexing,
+)
+from repro.selection.pipeline import PipelineConfig, SelectionPipeline
+from repro.selection.sword import SwordEngine
+from repro.selection.vgdl import VgES, parse_vgdl
+
+
+def make_platform(
+    n_clusters: int = 20, hosts_per_cluster: int = 10, seed: int = 0
+) -> Platform:
+    rng = np.random.default_rng(seed)
+    clusters = [
+        ClusterSpec(
+            cluster_id=c,
+            n_hosts=hosts_per_cluster,
+            clock_ghz=float(rng.choice([1.0, 1.5, 2.0, 2.5, 3.0, 3.5])),
+            memory_mb=int(rng.choice([512, 1024, 2048, 4096])),
+            arch=str(rng.choice(["x86", "sparc"])),
+            os=str(rng.choice(["LINUX", "SOLARIS"])),
+        )
+        for c in range(n_clusters)
+    ]
+    bw = np.full((n_clusters, n_clusters), 1.0e9)
+    return Platform(clusters=clusters, bandwidth_bps=bw)
+
+
+# ----------------------------------------------------------------------
+# Planner unit tests
+# ----------------------------------------------------------------------
+def test_indexing_mode_validation():
+    for mode in INDEXING_MODES:
+        assert validate_indexing(mode) == mode
+    with pytest.raises(ValueError):
+        validate_indexing("sometimes")
+    with pytest.raises(ValueError):
+        Matchmaker([], indexing="yes")
+
+
+def test_planner_open_vs_closed_endpoints():
+    strict = plan_constraint(parse_expression("TARGET.Clock > 2000"))
+    closed = plan_constraint(parse_expression("TARGET.Clock >= 2000"))
+    assert strict.intervals["clock"].lo_open is True
+    assert closed.intervals["clock"].lo_open is False
+    hi = plan_constraint(parse_expression("TARGET.Clock < 2000 && TARGET.Clock >= 100"))
+    assert hi.intervals["clock"].hi_open is True
+    assert hi.intervals["clock"].lo == 100.0
+
+
+def test_planner_boundary_equality_is_not_a_contradiction():
+    plan = plan_constraint(
+        parse_expression("TARGET.Clock >= 2000 && TARGET.Clock <= 2000")
+    )
+    assert not plan.contradiction
+    iv = plan.intervals["clock"]
+    assert iv.lo == iv.hi == 2000.0 and not iv.is_empty
+
+
+def test_planner_contradiction_detection():
+    plan = plan_constraint(
+        parse_expression("TARGET.Clock >= 3000 && TARGET.Clock <= 2000")
+    )
+    assert plan.contradiction and plan.prunes
+    eq = plan_constraint(
+        parse_expression('TARGET.OpSys == "LINUX" && TARGET.OpSys == "SOLARIS"')
+    )
+    assert eq.contradiction
+
+
+def test_planner_strict_flag_and_constant_conjuncts():
+    # A bare non-boolean constant constraint never matches at top level...
+    top = plan_constraint(parse_expression("5"))
+    assert top.strict and top.contradiction
+    # ...but coerces to true inside a && chain (Condor numeric truthiness).
+    chain = plan_constraint(parse_expression("TARGET.Clock >= 2000 && 5"))
+    assert not chain.strict and not chain.contradiction
+    false_chain = plan_constraint(parse_expression("TARGET.Clock >= 2000 && 0"))
+    assert false_chain.contradiction
+
+
+def test_planner_respects_request_shadowing():
+    request = parse_classad("[ Clock = 9999; Requirements = Clock >= 3000 ]")
+    plan = plan_constraint(request.get("Requirements"), request=request)
+    # Unscoped Clock resolves MY-first to the request's own value, so the
+    # clause must stay residual, not become a machine-column probe.
+    assert "clock" not in plan.intervals
+    assert len(plan.residual) == 1
+    scoped = plan_constraint(
+        parse_expression("TARGET.Clock >= 3000"), request=request
+    )
+    assert "clock" in scoped.intervals
+
+
+def test_planner_foreign_scope_goes_residual():
+    plan = plan_constraint(
+        parse_expression("cpu.Clock >= 3000"), machine_scopes=("target",)
+    )
+    assert not plan.intervals and len(plan.residual) == 1
+    gang = plan_constraint(
+        parse_expression("cpu.Clock >= 3000"), machine_scopes=("target", "cpu")
+    )
+    assert "clock" in gang.intervals
+
+
+def test_contradiction_short_circuits_without_evaluation(monkeypatch):
+    """A contradictory constraint must yield zero candidates with no
+    ClassAd evaluation at all."""
+    plat = make_platform(4)
+    ads = machine_ads(plat, range(plat.n_hosts))
+    mm = Matchmaker(list(ads), indexing="on")
+    mm._host_index()  # build before evaluation is forbidden
+
+    def boom(*a, **k):  # pragma: no cover - must never run
+        raise AssertionError("evaluate() called on a contradictory plan")
+
+    import repro.selection.classad.matchmaker as mmod
+    import repro.selection.index as imod
+
+    monkeypatch.setattr(mmod, "evaluate", boom)
+    monkeypatch.setattr(imod, "evaluate", boom)
+    req = parse_classad(
+        "[ Requirements = TARGET.Clock >= 3000 && TARGET.Clock <= 2000; Rank = 0 ]"
+    )
+    assert mm.match(req) == []
+
+
+# ----------------------------------------------------------------------
+# HostIndex unit tests
+# ----------------------------------------------------------------------
+def test_host_index_range_and_equality_queries():
+    plat = make_platform(10)
+    index = HostIndex.from_platform(plat)
+    table = plat.host_table()
+    plan = plan_constraint(
+        parse_expression('Clock >= 2000 && OpSys == "linux"'),
+        machine_scopes=("my", "self"),
+    )
+    rows, full = index.candidates(plan)
+    assert full.size == 0
+    expected = np.flatnonzero(
+        (table["clock"] >= 2000)
+        & (np.char.lower(table["opsys"].astype(str)) == "linux")
+    )
+    np.testing.assert_array_equal(rows, expected)
+    # Case-insensitivity: the query value's case must not matter.
+    shout = plan_constraint(
+        parse_expression('OpSys == "LINUX"'), machine_scopes=("my", "self")
+    )
+    np.testing.assert_array_equal(
+        index.candidates(shout)[0],
+        np.flatnonzero(np.char.lower(table["opsys"].astype(str)) == "linux"),
+    )
+
+
+def test_host_index_boundary_rows_follow_endpoint_openness():
+    ads = [ClassAd.from_values({"Clock": float(v)}) for v in (1000, 2000, 3000)]
+    index = HostIndex.from_ads(ads)
+    closed = plan_constraint(parse_expression("TARGET.Clock >= 2000"))
+    opened = plan_constraint(parse_expression("TARGET.Clock > 2000"))
+    np.testing.assert_array_equal(index.candidates(closed)[0], [1, 2])
+    np.testing.assert_array_equal(index.candidates(opened)[0], [2])
+    below = plan_constraint(parse_expression("TARGET.Clock <= 2000"))
+    np.testing.assert_array_equal(index.candidates(below)[0], [0, 1])
+
+
+def test_host_index_opaque_attributes_need_full_check():
+    ads = [
+        ClassAd.from_values({"Clock": 3000.0}),
+        ClassAd.from_values({"Clock": 1000.0}),
+    ]
+    expr_ad = ClassAd()
+    expr_ad["Clock"] = parse_expression("1500 + 1600")  # non-literal: opaque
+    ads.append(expr_ad)
+    index = HostIndex.from_ads(ads)
+    plan = plan_constraint(parse_expression("TARGET.Clock >= 2000"))
+    rows, full = index.candidates(plan)
+    np.testing.assert_array_equal(rows, [0, 2])
+    np.testing.assert_array_equal(full, [2])
+
+
+def test_host_index_missing_attribute_prunes_row():
+    ads = [ClassAd.from_values({"Clock": 3000.0}), ClassAd.from_values({"Memory": 512})]
+    index = HostIndex.from_ads(ads)
+    plan = plan_constraint(parse_expression("TARGET.Clock >= 1000"))
+    np.testing.assert_array_equal(index.candidates(plan)[0], [0])
+
+
+def test_host_index_ignores_non_indexable_literals():
+    ads = [ClassAd.from_values({"Started": True}), ClassAd.from_values({"Started": False})]
+    index = HostIndex.from_ads(ads)
+    assert "started" not in index.numeric and "started" not in index.categorical
+
+
+# ----------------------------------------------------------------------
+# Invalidation under churn and binding
+# ----------------------------------------------------------------------
+def test_availability_mask_hides_and_resurfaces_hosts():
+    plat = make_platform(6)
+    index = HostIndex.from_platform(plat)
+    plan = plan_constraint(
+        parse_expression("Clock >= 0"), machine_scopes=("my", "self")
+    )
+    all_rows = index.candidates(plan)[0]
+    assert all_rows.size == plat.n_hosts
+    index.mark_unavailable([3, 5, 7])
+    rows = index.candidates(plan)[0]
+    assert not {3, 5, 7} & set(rows.tolist())
+    index.mark_available([5])
+    rows = index.candidates(plan)[0]
+    assert 5 in rows and 3 not in rows
+
+
+def test_apply_event_covers_all_churn_kinds():
+    plat = make_platform(4)
+    index = HostIndex.from_platform(plat)
+    plan = plan_constraint(
+        parse_expression("Clock >= 0"), machine_scopes=("my", "self")
+    )
+    index.apply_event(ChurnEvent(time=1.0, kind="fail", hosts=(0, 1)))
+    index.apply_event(ChurnEvent(time=2.0, kind="bind", hosts=(2,)))
+    rows = set(index.candidates(plan)[0].tolist())
+    assert not {0, 1, 2} & rows
+    index.apply_event(ChurnEvent(time=3.0, kind="join", hosts=(1,)))
+    index.apply_event(ChurnEvent(time=4.0, kind="release", hosts=(2,)))
+    rows = set(index.candidates(plan)[0].tolist())
+    assert {1, 2} <= rows and 0 not in rows
+    unknown = type("FakeEvent", (), {"kind": "evaporate", "hosts": ()})()
+    with pytest.raises(ValueError):
+        index.apply_event(unknown)
+
+
+def test_incremental_updates_match_full_rebuild_under_churn():
+    """Folding a churn trace into the mask event-by-event must equal a
+    fresh index built from the final unavailable set — a stale index must
+    never surface a dead or bound host."""
+    plat = make_platform(12, seed=4)
+    churn = ResourceChurn.from_config(
+        plat,
+        ChurnConfig(fail_rate=0.02, rejoin_s=100.0, competitor_rate=0.05,
+                    competitor_hold_s=50.0, utilization=0.0, seed=7),
+        Binder(plat),
+    )
+    incremental = HostIndex.from_platform(plat)
+    plan = plan_constraint(
+        parse_expression("Clock >= 0"), machine_scopes=("my", "self")
+    )
+    for t in (50.0, 150.0, 400.0, 900.0):
+        for event in churn.advance(t):
+            incremental.apply_event(event)
+        banned = churn.unavailable() | churn.binder.bound_hosts
+        rebuilt = HostIndex.from_platform(plat, unavailable=banned)
+        inc_rows = incremental.candidates(plan)[0]
+        np.testing.assert_array_equal(inc_rows, rebuilt.candidates(plan)[0])
+        assert not banned & set(inc_rows.tolist())
+
+
+def test_binder_bind_release_invalidation():
+    plat = make_platform(5)
+    binder = Binder(plat)
+    index = HostIndex.from_platform(plat)
+    plan = plan_constraint(
+        parse_expression("Clock >= 0"), machine_scopes=("my", "self")
+    )
+    taken = binder.bind(np.array([2, 3, 11], dtype=np.int64))
+    index.mark_unavailable(taken)
+    assert not {2, 3, 11} & set(index.candidates(plan)[0].tolist())
+    binder.release(np.array([3], dtype=np.int64))
+    index.mark_available([3])
+    rows = set(index.candidates(plan)[0].tolist())
+    assert 3 in rows and 2 not in rows
+
+
+# ----------------------------------------------------------------------
+# Differential equivalence: indexed vs naive
+# ----------------------------------------------------------------------
+def _match_key(matches):
+    return [(id(m.machine), m.rank) for m in matches]
+
+
+EDGE_REQUESTS = [
+    # The generator's shape: range + equality + rank.
+    '[ Requirements = TARGET.Clock >= 2500 && TARGET.OpSys == "LINUX"'
+    " && TARGET.Memory >= 1000; Rank = TARGET.Clock ]",
+    # Boundary equality on both ends.
+    "[ Requirements = TARGET.Clock >= 2000 && TARGET.Clock <= 2000; Rank = 0 ]",
+    # Contradiction: must match nothing on both paths.
+    "[ Requirements = TARGET.Clock > 3000 && TARGET.Clock < 2000; Rank = 0 ]",
+    # Numeric truthiness inside a chain vs strict top level.
+    "[ Requirements = TARGET.Clock >= 2000 && 5; Rank = 0 ]",
+    "[ Requirements = 5; Rank = 0 ]",
+    # UNDEFINED reference and ERROR-typed comparison.
+    "[ Requirements = TARGET.NoSuchAttr >= 10; Rank = 0 ]",
+    '[ Requirements = TARGET.Clock >= "fast"; Rank = 0 ]',
+    # Mixed-case string equality (evaluator compares case-insensitively).
+    '[ Requirements = TARGET.OpSys == "linux"; Rank = TARGET.Memory ]',
+    # Request-ad shadowing: unscoped Clock is the request's own.
+    "[ Clock = 9999; Requirements = Clock >= 3000 && TARGET.Memory >= 512; Rank = 0 ]",
+    # Disjunction: not indexable, must fall back cleanly.
+    '[ Requirements = TARGET.Clock >= 3000 || TARGET.OpSys == "SOLARIS"; Rank = 0 ]',
+    # No Requirements at all.
+    "[ Rank = TARGET.Clock ]",
+]
+
+
+@pytest.mark.parametrize("text", EDGE_REQUESTS)
+def test_match_indexed_equals_naive(text):
+    plat = make_platform(15, seed=2)
+    ads = machine_ads(plat, range(plat.n_hosts))
+    req = parse_classad(text)
+    naive = Matchmaker(list(ads), indexing="off").match(req)
+    for mode in ("on", "auto"):
+        assert _match_key(Matchmaker(list(ads), indexing=mode).match(req)) == _match_key(
+            naive
+        )
+
+
+def test_gangmatch_indexed_equals_naive():
+    plat = make_platform(15, seed=3)
+    ads = machine_ads(plat, range(plat.n_hosts))
+    spec = ResourceSpecification(
+        heuristic="mcp",
+        size=6,
+        min_size=4,
+        clock_min_mhz=2000.0,
+        clock_max_mhz=4000.0,
+        connectivity="loose",
+        threshold=0.001,
+        dag_name="montage",
+    )
+    request = parse_classad(spec.to_classad())
+    naive = Matchmaker(list(ads), indexing="off").gangmatch(request)
+    for mode in ("on", "auto"):
+        gang = Matchmaker(list(ads), indexing=mode).gangmatch(request)
+        assert (gang is None) == (naive is None)
+        if gang is not None:
+            assert [id(m) for m in gang.machines] == [id(m) for m in naive.machines]
+            assert gang.ranks == naive.ranks
+
+
+def test_match_after_advertise_uses_fresh_index():
+    plat = make_platform(5)
+    ads = machine_ads(plat, range(plat.n_hosts))
+    req = parse_classad("[ Requirements = TARGET.Clock >= 0; Rank = 0 ]")
+    mm = Matchmaker(list(ads[:-1]), indexing="on")
+    before = len(mm.match(req))
+    mm.advertise(ads[-1])
+    assert len(mm.match(req)) == before + 1
+
+
+def _vg_key(vg):
+    if vg is None:
+        return None
+    return [h.tolist() for h in vg.hosts_per_aggregate]
+
+
+VGDL_SPECS = [
+    "vg = LooseBagOf(nodes) [2:8] [rank = Nodes] { nodes = [ (Clock >= 2000) ] }",
+    "vg = TightBagOf(nodes) [2:8] { nodes = [ (Clock >= 2000) && (Memory >= 1024) ] }",
+    "vg = ClusterOf(nodes) [2:4] { nodes = [ (OpSys == LINUX) ] }",
+    "vg = LooseBagOf(nodes) [1:4] { nodes = [ (Clock >= 9000) ] }",  # infeasible
+]
+
+
+@pytest.mark.parametrize("text", VGDL_SPECS)
+def test_vges_indexed_equals_naive(text):
+    plat = make_platform(15, seed=5)
+    spec = parse_vgdl(text)
+    naive_engine = VgES(plat, indexing="off")
+    naive = naive_engine.find_and_bind(spec)
+    for mode in ("on", "auto"):
+        engine = VgES(plat, indexing=mode)
+        for agg in spec.aggregates:
+            np.testing.assert_array_equal(
+                engine.matching_clusters(agg.constraint),
+                naive_engine.matching_clusters(agg.constraint),
+            )
+        assert _vg_key(engine.find_and_bind(spec)) == _vg_key(naive)
+
+
+def test_sword_indexed_equals_naive():
+    plat = make_platform(15, seed=6)
+    spec = ResourceSpecification(
+        heuristic="mcp",
+        size=6,
+        min_size=4,
+        clock_min_mhz=2000.0,
+        clock_max_mhz=4000.0,
+        connectivity="loose",
+        threshold=0.001,
+        dag_name="montage",
+    )
+    xml = spec.to_sword_xml()
+    naive = SwordEngine(plat, indexing="off").query(xml)
+    for mode in ("on", "auto"):
+        result = SwordEngine(plat, indexing=mode).query(xml)
+        assert (result is None) == (naive is None)
+        if result is not None:
+            assert result.penalty == naive.penalty
+            assert set(result.hosts) == set(naive.hosts)
+            for name in result.hosts:
+                np.testing.assert_array_equal(result.hosts[name], naive.hosts[name])
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random platforms + specs in all three languages
+# ----------------------------------------------------------------------
+_spec_strategy = st.builds(
+    ResourceSpecification,
+    heuristic=st.just("mcp"),
+    size=st.integers(min_value=2, max_value=12),
+    min_size=st.just(1),
+    clock_min_mhz=st.sampled_from([1000.0, 2000.0, 2600.0, 3400.0, 9000.0]),
+    clock_max_mhz=st.just(10_000.0),
+    connectivity=st.sampled_from(["loose", "tight"]),
+    threshold=st.just(0.001),
+    dag_name=st.just("montage"),
+)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=10_000), spec=_spec_strategy)
+def test_property_indexed_equals_naive_in_all_three_languages(seed, spec):
+    plat = make_platform(n_clusters=8, hosts_per_cluster=4, seed=seed)
+
+    # ClassAd gangmatch.
+    ads = machine_ads(plat, range(plat.n_hosts))
+    request = parse_classad(spec.to_classad())
+    g_on = Matchmaker(list(ads), indexing="on").gangmatch(request)
+    g_off = Matchmaker(list(ads), indexing="off").gangmatch(request)
+    assert (g_on is None) == (g_off is None)
+    if g_on is not None:
+        assert [id(m) for m in g_on.machines] == [id(m) for m in g_off.machines]
+
+    # vgDL.
+    v_on = VgES(plat, indexing="on").find_and_bind(spec.to_vgdl())
+    v_off = VgES(plat, indexing="off").find_and_bind(spec.to_vgdl())
+    assert _vg_key(v_on) == _vg_key(v_off)
+
+    # SWORD.
+    s_on = SwordEngine(plat, indexing="on").query(spec.to_sword_xml())
+    s_off = SwordEngine(plat, indexing="off").query(spec.to_sword_xml())
+    assert (s_on is None) == (s_off is None)
+    if s_on is not None:
+        assert s_on.penalty == s_off.penalty
+        for name in s_on.hosts:
+            np.testing.assert_array_equal(s_on.hosts[name], s_off.hosts[name])
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_property_match_equal_on_churned_platform(seed):
+    """Indexed vs naive bilateral match over the *free* subset of a churned
+    platform — unavailable hosts excluded from the advertised population."""
+    plat = make_platform(n_clusters=8, hosts_per_cluster=4, seed=seed)
+    churn = ResourceChurn.from_config(
+        plat,
+        ChurnConfig(fail_rate=0.05, competitor_rate=0.05, utilization=0.2,
+                    seed=seed),
+        Binder(plat),
+    )
+    churn.advance(200.0)
+    banned = churn.unavailable() | churn.binder.bound_hosts
+    free = [h for h in range(plat.n_hosts) if h not in banned]
+    ads = machine_ads(plat, free)
+    req = parse_classad(
+        '[ Requirements = TARGET.Clock >= 2000 && TARGET.OpSys == "LINUX";'
+        " Rank = TARGET.Clock ]"
+    )
+    assert _match_key(Matchmaker(list(ads), indexing="on").match(req)) == _match_key(
+        Matchmaker(list(ads), indexing="off").match(req)
+    )
+
+
+# ----------------------------------------------------------------------
+# Seeded pipeline replay: the degradation ladder end to end
+# ----------------------------------------------------------------------
+def _pipeline_outcome(indexing: str, churn_config: ChurnConfig) -> dict:
+    plat = make_platform(n_clusters=20, hosts_per_cluster=10, seed=8)
+    dag = montage_dag(montage_level_counts(10), ccr=0.01)
+    spec = ResourceSpecification(
+        heuristic="mcp",
+        size=16,
+        min_size=12,
+        clock_min_mhz=2000.0,
+        clock_max_mhz=4000.0,
+        connectivity="loose",
+        threshold=0.001,
+        dag_name="montage",
+    )
+    churn = ResourceChurn.from_config(plat, churn_config, Binder(plat))
+    pipeline = SelectionPipeline(plat, churn, PipelineConfig(indexing=indexing))
+    return pipeline.run(dag, spec).to_dict()
+
+
+def test_pipeline_replay_identical_quiet():
+    quiet = ChurnConfig()
+    assert _pipeline_outcome("on", quiet) == _pipeline_outcome("off", quiet)
+
+
+def test_pipeline_replay_identical_under_churn_and_ladder():
+    """Churn forces refusals/retries through the degradation ladder; the
+    outcome (attempt sequence, hosts, counters, timings) must not depend on
+    the indexing mode."""
+    churned = ChurnConfig(
+        fail_rate=0.002, competitor_rate=0.01, utilization=0.25, seed=9
+    )
+    on = _pipeline_outcome("on", churned)
+    off = _pipeline_outcome("off", churned)
+    auto = _pipeline_outcome("auto", churned)
+    assert on == off == auto

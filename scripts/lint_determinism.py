@@ -18,6 +18,12 @@ discipline usually erodes:
   order is hash-randomised across processes, so any downstream effect of
   the order is nondeterministic.  Wrapping the iteration directly in
   ``sorted(…)`` is exempt — the order is laundered away.
+* **DET004 — wall-clock awaits.**  ``asyncio.sleep(delay)`` with a
+  non-zero delay (real-time waiting inside what must be a virtual-time
+  simulation — the selection service's clock is the churn state
+  machine's, never the event loop's), and ``loop.time()`` (the event
+  loop's wall clock) outside ``observe.py``.  ``asyncio.sleep(0)`` — a
+  pure yield point — is allowed.
 
 A finding is suppressed by a ``# lint: allow`` comment on the offending
 line (optionally with a reason after it).  Run from the repo root::
@@ -45,6 +51,10 @@ WALL_CLOCK_CALLS = {
     ("datetime", "now"),
     ("datetime", "utcnow"),
     ("datetime", "today"),
+    # The asyncio event loop's clock: wall time by another name.  Matched
+    # on the receiver being called ``loop`` (or ``*.loop``) — the idiomatic
+    # name everywhere an event loop is held.
+    ("loop", "time"),
 }
 
 ALLOW_MARKER = "# lint: allow"
@@ -74,6 +84,18 @@ def _dotted(node: ast.AST) -> str | None:
         parts.append(node.id)
         return ".".join(reversed(parts))
     return None
+
+
+def _is_zero_delay(node: ast.Call) -> bool:
+    """True only for a literal-zero first argument: ``asyncio.sleep(0)``.
+
+    Anything else — a variable, an expression, a non-zero literal, or no
+    argument at all — is treated as a (potential) real-time wait.
+    """
+    if node.keywords or len(node.args) != 1:
+        return False
+    arg = node.args[0]
+    return isinstance(arg, ast.Constant) and arg.value == 0
 
 
 def _is_set_expr(node: ast.AST) -> bool:
@@ -147,6 +169,16 @@ class _Linter(ast.NodeVisitor):
                 node,
                 f"wall-clock read {target}() outside observe.py; "
                 "thread a clock in or justify with '# lint: allow'",
+            )
+            return
+        if parts[-2:] == ("asyncio", "sleep") and not _is_zero_delay(node):
+            self._flag(
+                "DET004",
+                node,
+                "asyncio.sleep with a non-zero delay waits in wall time; "
+                "simulations must sleep on the virtual clock "
+                "(repro.service.VirtualClock), and a pure yield point is "
+                "asyncio.sleep(0)",
             )
 
     def visit_Import(self, node: ast.Import) -> None:

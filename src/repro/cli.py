@@ -17,6 +17,12 @@ Commands
     :class:`~repro.selection.pipeline.SelectionOutcome`.  Exit code 0 when
     the DAG completed, 1 when every ladder rung was refused, 2 when a
     user-provided ``--spec`` is statically unsatisfiable.
+``serve``
+    Run the deterministic multi-tenant selection service: N concurrent
+    spec requests over one shared churning platform, with admission
+    control, conflict retry and fairness accounting.  Prints a per-tenant
+    outcome table.  Exit code 0 when every request was admitted and
+    fulfilled, 1 otherwise.
 ``lint``
     Statically analyze resource-specification documents (vgDL, ClassAd,
     SWORD XML): contradictions, dead clauses, type errors, unknown
@@ -299,6 +305,106 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0 if outcome.fulfilled else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import repro.observe as observe
+    from repro.experiments.chapter4 import build_universe
+    from repro.experiments.scales import get_scale
+    from repro.experiments.tables import print_table
+    from repro.resources.churn import ChurnConfig, parse_churn_spec
+    from repro.selection.pipeline import PipelineConfig
+    from repro.service import (
+        SelectionService,
+        ServiceConfig,
+        ServiceError,
+        load_requests,
+        synthesize_requests,
+    )
+
+    try:
+        churn_config = parse_churn_spec(args.churn) if args.churn else ChurnConfig()
+        pipeline_config = PipelineConfig(
+            max_respecs=args.max_respecs,
+            max_retries=args.max_retries,
+            backends=tuple(b.strip() for b in args.backends.split(",") if b.strip()),
+            seed=args.seed,
+            indexing=args.indexing,
+        )
+        service_config = ServiceConfig(
+            queue_capacity=args.queue_capacity,
+            max_inflight=args.max_inflight,
+            interleave_seed=args.interleave_seed,
+            pipeline=pipeline_config,
+        )
+    except ValueError as exc:
+        raise CliError(str(exc)) from None
+
+    platform = build_universe(get_scale(args.scale), args.seed)
+    try:
+        if args.requests:
+            requests = load_requests(args.requests)
+        else:
+            requests = synthesize_requests(platform, args.tenants, seed=args.seed)
+    except (OSError, json.JSONDecodeError, ServiceError) as exc:
+        raise CliError(str(exc)) from None
+
+    registry = observe.MetricsRegistry()
+    with observe.use_registry(registry):
+        service = SelectionService(platform, churn_config, service_config)
+        try:
+            report = service.run(requests)
+        except ServiceError as exc:
+            raise CliError(str(exc)) from None
+
+    rows = []
+    for o in report.outcomes:
+        oc = o.outcome
+        rows.append(
+            {
+                "tenant": o.tenant,
+                "arrival_s": round(o.arrival_s, 2),
+                "admitted": "yes" if o.admitted else "REFUSED",
+                "queue_wait_s": "-" if o.queue_wait_s is None else round(o.queue_wait_s, 2),
+                "result": (
+                    "-"
+                    if oc is None
+                    else (f"fulfilled:{oc.backend}" if oc.fulfilled else "unfulfilled")
+                ),
+                "hosts": "-" if oc is None else len(oc.hosts),
+                "refusals": "-" if oc is None else oc.refusals,
+                "turnaround_s": (
+                    "-"
+                    if oc is None or oc.turnaround_s is None
+                    else round(oc.turnaround_s, 2)
+                ),
+                "penalty": (
+                    "-"
+                    if oc is None or oc.penalty is None
+                    else f"{oc.penalty * 100:+.1f}%"
+                ),
+            }
+        )
+    print_table(rows, f"Service outcomes ({len(report.outcomes)} requests)")
+    counters = registry.snapshot()["counters"]
+    print(
+        f"admitted={report.n_admitted} refused={report.n_refused} "
+        f"fulfilled={report.n_fulfilled} "
+        f"bind_conflicts={int(counters.get('service.bind_conflicts', 0))} "
+        f"batches={int(counters.get('service.batches', 0))} "
+        f"queue_wait_p99={report.fairness.get('queue_wait_p99', 0.0):.2f}s"
+    )
+    if args.outcome_out:
+        try:
+            with open(args.outcome_out, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=2)
+        except OSError as exc:
+            raise CliError(f"cannot write outcomes to {args.outcome_out}: {exc}") from None
+        print(f"outcomes written to {args.outcome_out}")
+    if args.trace:
+        print(registry.render_table(), file=sys.stderr)
+    all_good = report.n_refused == 0 and report.n_fulfilled == len(report.outcomes)
+    return 0 if all_good else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments import runner
 
@@ -409,6 +515,69 @@ def main(argv: list[str] | None = None) -> int:
         "indexable constraints)",
     )
     p_sel.set_defaults(fn=_cmd_select)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="deterministic multi-tenant selection service over one shared platform",
+    )
+    p_srv.add_argument(
+        "--tenants",
+        type=int,
+        default=8,
+        help="synthesize this many tenant requests (ignored with --requests)",
+    )
+    p_srv.add_argument(
+        "--requests",
+        default=None,
+        metavar="FILE",
+        help="JSON request file: a list of {tenant, arrival_s, size, levels?, "
+        "ccr?, clock_ghz?} objects (see repro.service.load_requests)",
+    )
+    p_srv.add_argument("--scale", default="smoke", choices=("smoke", "small", "paper"))
+    p_srv.add_argument("--seed", type=int, default=0)
+    p_srv.add_argument(
+        "--churn",
+        default=None,
+        metavar="SPEC",
+        help="churn spec, e.g. 'fail=0.002,competitor=0.01,util=0.3,seed=7'",
+    )
+    p_srv.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=16,
+        help="waiting-room size; arrivals beyond it are refused",
+    )
+    p_srv.add_argument(
+        "--max-inflight", type=int, default=4, help="concurrent execution slots"
+    )
+    p_srv.add_argument(
+        "--interleave-seed",
+        type=int,
+        default=0,
+        help="shuffles same-instant task wakeups; outcomes are invariant",
+    )
+    p_srv.add_argument(
+        "--max-respecs", type=int, default=3, help="alternative specifications per backend"
+    )
+    p_srv.add_argument(
+        "--max-retries", type=int, default=1, help="extra attempts per ladder rung"
+    )
+    p_srv.add_argument(
+        "--backends",
+        default="vges,classad,sword",
+        help="comma-separated backend ladder (vges, classad, sword)",
+    )
+    p_srv.add_argument(
+        "--indexing", default="auto", choices=("on", "off", "auto"),
+        help="candidate pruning in the selection backends",
+    )
+    p_srv.add_argument(
+        "--outcome-out", default=None, metavar="PATH", help="write all outcomes as JSON"
+    )
+    p_srv.add_argument(
+        "--trace", action="store_true", help="print the run's metrics table to stderr"
+    )
+    p_srv.set_defaults(fn=_cmd_serve)
 
     p_lint = sub.add_parser(
         "lint", help="statically analyze resource-specification documents"

@@ -42,6 +42,7 @@ __all__ = [
     "relative_size_threshold",
     "alternatives_demo",
     "churn_penalty_sweep",
+    "tenant_contention_sweep",
 ]
 
 
@@ -279,6 +280,106 @@ def churn_penalty_sweep(
                     float(np.mean([r["respecifications"] for r in got])), 2
                 ),
                 "mean_rebinds": round(float(np.mean([r["rebinds"] for r in got])), 2),
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant contention vs. tenant count (the selection service)
+# ----------------------------------------------------------------------
+def _contention_cell(
+    cell: tuple[int, int],
+    *,
+    scale: Scale,
+    seed: int,
+    utilization: float,
+    rate: float,
+) -> dict[str, float]:
+    """One (tenant count, repetition) cell: serve N concurrent tenants on
+    a freshly churned universe and summarize the service report."""
+    import repro.observe as observe
+    from repro.selection.pipeline import PipelineConfig
+    from repro.service import SelectionService, ServiceConfig, synthesize_requests
+
+    n_tenants, rep = cell
+    platform = build_universe(scale, seed)
+    churn_seed = int(rng_for_cell(seed, "tenants", n_tenants, rep).integers(2**31))
+    config = ChurnConfig(
+        fail_rate=rate / 5.0,
+        competitor_rate=rate,
+        utilization=utilization,
+        seed=churn_seed,
+    )
+    requests = synthesize_requests(platform, n_tenants, seed=churn_seed)
+    registry = observe.MetricsRegistry()
+    with observe.use_registry(registry):
+        service = SelectionService(
+            platform, config, ServiceConfig(pipeline=PipelineConfig())
+        )
+        report = service.run(requests)
+    counters = registry.snapshot()["counters"]
+    penalties = [
+        o.outcome.penalty
+        for o in report.outcomes
+        if o.outcome is not None and o.outcome.penalty is not None
+    ]
+    return {
+        "n": float(len(report.outcomes)),
+        "admitted": float(report.n_admitted),
+        "fulfilled": float(report.n_fulfilled),
+        "mean_penalty": float(np.mean(penalties)) if penalties else float("nan"),
+        "queue_wait_p99": float(report.fairness.get("queue_wait_p99", 0.0)),
+        "bind_conflicts": float(counters.get("service.bind_conflicts", 0)),
+    }
+
+
+def tenant_contention_sweep(
+    scale: Scale,
+    tenant_counts: Sequence[int] = (1, 2, 4, 8),
+    reps: int = 2,
+    utilization: float = 0.3,
+    rate: float = 0.01,
+    seed: int = 5,
+    jobs: int | None = None,
+) -> list[dict[str, object]]:
+    """Turnaround penalty and refusal rate vs. tenant count under the
+    multi-tenant selection service (the Chapter VII story at service
+    scale: contention, not churn, becomes the dominant penalty).
+
+    Each cell is seeded with :func:`~repro.parallel.rng_for_cell`, so the
+    table is identical for any ``jobs`` count.
+    """
+    cells = [(int(n), rep) for n in tenant_counts for rep in range(reps)]
+    fn = functools.partial(
+        _contention_cell,
+        scale=scale,
+        seed=seed,
+        utilization=utilization,
+        rate=rate,
+    )
+    per_cell = map_cells(fn, cells, jobs=jobs)
+    rows: list[dict[str, object]] = []
+    for n in tenant_counts:
+        got = [r for (c_n, _), r in zip(cells, per_cell) if c_n == int(n)]
+        total = sum(r["n"] for r in got)
+        penalties = [r["mean_penalty"] for r in got if not np.isnan(r["mean_penalty"])]
+        rows.append(
+            {
+                "tenants": int(n),
+                "fulfilled": f"{sum(r['fulfilled'] for r in got):.0f}/{total:.0f}",
+                "refusal_rate": round(
+                    float(sum(r["n"] - r["admitted"] for r in got) / total), 3
+                ),
+                "mean_penalty": (
+                    round(float(np.mean(penalties)), 4) if penalties else "n/a"
+                ),
+                "queue_wait_p99_s": round(
+                    float(np.mean([r["queue_wait_p99"] for r in got])), 2
+                ),
+                "bind_conflicts": round(
+                    float(np.mean([r["bind_conflicts"] for r in got])), 1
+                ),
             }
         )
     return rows

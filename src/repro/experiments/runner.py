@@ -211,6 +211,10 @@ def run_chapter7(
         c7.churn_penalty_sweep(size_model, scale, seed=seed, jobs=jobs),
         "Spec-degradation penalty vs churn rate (resilient pipeline)",
     )
+    print_table(
+        c7.tenant_contention_sweep(scale, seed=seed, jobs=jobs),
+        "Multi-tenant contention sweep (selection service)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:

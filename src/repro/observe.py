@@ -7,9 +7,14 @@ how often the hot operations run.  This module provides the plumbing:
 
 ``span(name)``
     Context manager recording nested wall-clock timings.  Spans aggregate
-    by *path* — the ``/``-joined stack of active span names on the current
-    thread — so repeated executions of the same code path fold into one
-    entry (total / count / min / max) instead of an unbounded event log.
+    by *path* — the ``/``-joined stack of active span names in the current
+    execution context — so repeated executions of the same code path fold
+    into one entry (total / count / min / max) instead of an unbounded
+    event log.  The stack lives in a :mod:`contextvars` ``ContextVar``,
+    so both threads *and* interleaved asyncio-style tasks on one thread
+    (the multi-tenant selection service) each see their own nesting path;
+    a ``threading.local`` stack would let one tenant's open span leak
+    into another tenant's path whenever their steps interleave.
 
 ``inc(name, value)`` / ``gauge(name, value)``
     Named monotonic counters (scheduled tasks, cells computed, cache
@@ -33,6 +38,7 @@ acquisition and a dict update, and a span adds two ``perf_counter`` calls
 
 from __future__ import annotations
 
+import contextvars
 import json
 import threading
 import time
@@ -69,14 +75,21 @@ _SEP = "/"
 class MetricsRegistry:
     """Thread-safe store of counters, gauges, and aggregated spans.
 
-    All mutating operations take an internal lock; the span *stack* is
-    per-thread, so concurrently traced threads never corrupt each other's
-    nesting paths.
+    All mutating operations take an internal lock; the span *stack* is a
+    per-context :class:`contextvars.ContextVar` holding an immutable
+    tuple, so concurrently traced threads — and interleaved tasks
+    multiplexed onto one thread, each stepped in its own
+    :class:`contextvars.Context` — never corrupt each other's nesting
+    paths.  (Threads start with a fresh context, so the old per-thread
+    isolation is preserved; a copied context shares only the immutable
+    tuple, never a mutable stack.)
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._local = threading.local()
+        self._stack_var: contextvars.ContextVar[tuple[str, ...]] = (
+            contextvars.ContextVar("repro.observe.span_stack", default=())
+        )
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         # path -> [total_s, count, min_s, max_s]
@@ -95,29 +108,22 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[name] = value
 
-    def _stack(self) -> list[str]:
-        stack = getattr(self._local, "stack", None)
-        if stack is None:
-            stack = []
-            self._local.stack = stack
-        return stack
-
     def current_path(self) -> str:
-        """The ``/``-joined path of spans active on this thread."""
-        return _SEP.join(self._stack())
+        """The ``/``-joined path of spans active in this context."""
+        return _SEP.join(self._stack_var.get())
 
     @contextmanager
     def span(self, name: str) -> Iterator[None]:
         """Time a block under ``name``, nested below any active spans."""
-        stack = self._stack()
-        stack.append(name)
+        stack = self._stack_var.get() + (name,)
+        token = self._stack_var.set(stack)
         path = _SEP.join(stack)
         t0 = time.perf_counter()
         try:
             yield
         finally:
             dt = time.perf_counter() - t0
-            stack.pop()
+            self._stack_var.reset(token)
             self._record_span(path, dt, 1, dt, dt)
 
     def _record_span(

@@ -17,6 +17,7 @@ never returns busy or already-bound hosts.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,43 +33,92 @@ class BindingError(RuntimeError):
 
 @dataclass
 class Binder:
-    """All-or-nothing host binding over a platform."""
+    """All-or-nothing host binding over a platform.
+
+    Every operation that reads or writes the bound set holds an internal
+    lock, so the conflict scan and the update of :meth:`bind` are one
+    atomic step: two concurrent callers racing for an overlapping host set
+    see exactly one winner, never a double-binding (the check-then-act
+    race a shared multi-tenant binder would otherwise hit).
+
+    :meth:`bind` keeps the historical contract — an empty request raises
+    ``BindingError("empty bind request")`` because a *pipeline* asking to
+    bind nothing is a logic error worth surfacing.  The service hot path
+    uses :meth:`try_bind`, where an empty request is a legitimate no-op
+    (a zero-size gang port mid-ladder) and conflicts are returned as data
+    instead of raised.
+    """
 
     platform: Platform
     _bound: set[int] = field(default_factory=set)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     @property
     def bound_hosts(self) -> set[int]:
-        return set(self._bound)
+        with self._lock:
+            return set(self._bound)
 
     def is_bound(self, host_id: int) -> bool:
         """Whether ``host_id`` is currently bound."""
-        return int(host_id) in self._bound
+        with self._lock:
+            return int(host_id) in self._bound
+
+    def _validated_ids(self, host_ids: np.ndarray) -> list[int]:
+        """Shape/range validation shared by bind and try_bind."""
+        ids = [int(h) for h in np.asarray(host_ids).ravel()]
+        if len(set(ids)) != len(ids):
+            raise BindingError("bind request repeats a host")
+        for h in ids:
+            if not 0 <= h < self.platform.n_hosts:
+                raise BindingError(f"host {h} does not exist")
+        return ids
 
     def bind(self, host_ids: np.ndarray) -> np.ndarray:
         """Atomically bind the given hosts; raises if any is taken."""
         ids = [int(h) for h in np.asarray(host_ids).ravel()]
         if not ids:
             raise BindingError("empty bind request")
-        if len(set(ids)) != len(ids):
-            raise BindingError("bind request repeats a host")
-        for h in ids:
-            if not 0 <= h < self.platform.n_hosts:
-                raise BindingError(f"host {h} does not exist")
-        conflicts = [h for h in ids if h in self._bound]
-        if conflicts:
-            raise BindingError(f"hosts already bound: {conflicts[:5]}")
-        self._bound.update(ids)
+        self._validated_ids(ids)
+        with self._lock:
+            conflicts = [h for h in ids if h in self._bound]
+            if conflicts:
+                raise BindingError(f"hosts already bound: {conflicts[:5]}")
+            self._bound.update(ids)
         return np.asarray(sorted(ids), dtype=np.int64)
+
+    def try_bind(self, host_ids: np.ndarray) -> list[int]:
+        """Bind-if-free: the conflict set instead of an exception.
+
+        Returns the (sorted) list of requested hosts that were already
+        bound; when it is empty the whole request was bound atomically.
+        On any conflict *nothing* is bound (all-or-nothing, like
+        :meth:`bind`).  An empty request is a no-op success — a zero-size
+        gang port may legitimately ask for zero hosts.  Malformed requests
+        (repeated or nonexistent hosts) still raise: those are caller
+        bugs, not contention.
+        """
+        ids = self._validated_ids(host_ids)
+        if not ids:
+            return []
+        with self._lock:
+            conflicts = sorted(h for h in ids if h in self._bound)
+            if conflicts:
+                return conflicts
+            self._bound.update(ids)
+        return []
 
     def release(self, host_ids: np.ndarray) -> None:
         """Release previously bound hosts (idempotent per host)."""
-        for h in np.asarray(host_ids).ravel():
-            self._bound.discard(int(h))
+        with self._lock:
+            for h in np.asarray(host_ids).ravel():
+                self._bound.discard(int(h))
 
     def release_all(self) -> None:
         """Release every bound host."""
-        self._bound.clear()
+        with self._lock:
+            self._bound.clear()
 
 
 def sample_busy_hosts(

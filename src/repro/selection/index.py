@@ -401,6 +401,19 @@ class HostIndex:
         else:  # pragma: no cover - future event kinds must not silently pass
             raise ValueError(f"unknown churn event kind {event.kind!r}")
 
+    def available_count(self, row_mask: np.ndarray | None = None) -> int:
+        """Number of available rows, optionally within ``row_mask``.
+
+        ``row_mask`` is a boolean array over all rows (e.g. a clock-band
+        predicate); the count is ``available & row_mask``.  This is the
+        service's admission short-circuit: when fewer hosts than a spec's
+        ``min_size`` are available in its clock band, no backend can
+        possibly fulfill it and the engines need not be consulted.
+        """
+        if row_mask is None:
+            return int(np.count_nonzero(self.available))
+        return int(np.count_nonzero(self.available & row_mask))
+
     # -- queries ---------------------------------------------------------
     def candidates(self, plan: IndexPlan) -> tuple[np.ndarray, np.ndarray]:
         """Rows that can possibly satisfy ``plan``'s indexed fragment.

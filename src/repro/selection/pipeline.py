@@ -75,6 +75,8 @@ __all__ = [
     "SelectionOutcome",
     "SelectionPipeline",
     "PipelineError",
+    "select_once",
+    "backoff_jitter",
 ]
 
 #: Backend ladder order: the paper's native system first, then the two
@@ -213,12 +215,94 @@ class SelectionOutcome:
         }
 
 
-def _jitter(seed: int, backend: str, spec_index: int, attempt: int) -> float:
-    """Deterministic backoff jitter in [0.5, 1.5)."""
+def backoff_jitter(seed: int, backend: str, spec_index: int, attempt: int) -> float:
+    """Deterministic backoff jitter in [0.5, 1.5).
+
+    ``backend`` is a free-form key: the pipeline passes the backend name,
+    the multi-tenant service mixes the tenant/request id in so that two
+    tenants refused at the same instant back off by different amounts
+    (synchronized retries would collide forever).
+    """
     digest = hashlib.sha256(
         f"pipeline:{seed}:{backend}:{spec_index}:{attempt}".encode()
     ).digest()
     return 0.5 + int.from_bytes(digest[:8], "big") / 2**64
+
+
+_jitter = backoff_jitter
+
+
+def select_once(
+    platform: Platform,
+    backend: str,
+    spec: ResourceSpecification,
+    unavailable: set[int],
+    *,
+    indexing: str = "auto",
+    max_classad_machines: int = 400,
+    engine_cache: dict | None = None,
+) -> tuple[np.ndarray | None, float]:
+    """Run one selection backend; returns ``(host ids | None, latency)``.
+
+    The single-request core shared by :class:`SelectionPipeline` and the
+    multi-tenant service (:mod:`repro.service`).  ``unavailable`` is the
+    full banned set — dead, busy *and* bound hosts.
+
+    ``engine_cache`` (any mutable mapping) lets a caller reuse constructed
+    engines across calls **as long as ``unavailable`` is unchanged** — the
+    caller owns invalidation (the service keys its cache on a platform
+    state epoch).  The engines keep no per-query state, so cached and
+    fresh runs return bit-identical hosts and latencies.
+    """
+    if backend == "vges":
+        engine = None if engine_cache is None else engine_cache.get("vges")
+        if engine is None:
+            engine = VgES(platform, unavailable=set(unavailable), indexing=indexing)
+            if engine_cache is not None:
+                engine_cache["vges"] = engine
+        with observe.span("pipeline.select.vges"):
+            vg = engine.find_and_bind(spec.to_vgdl())
+        if vg is None:
+            return None, engine.platform.n_clusters * 1e-5
+        return vg.all_hosts(), vg.selection_time
+    if backend == "sword":
+        engine = None if engine_cache is None else engine_cache.get("sword")
+        if engine is None:
+            engine = SwordEngine(
+                platform, unavailable=set(unavailable), indexing=indexing
+            )
+            if engine_cache is not None:
+                engine_cache["sword"] = engine
+        with observe.span("pipeline.select.sword"):
+            result = engine.query(spec.to_sword_xml())
+        latency = platform.n_clusters * 1e-5
+        if result is None:
+            return None, latency
+        return result.all_hosts(), latency
+    # classad: advertise the free hosts (strided when the universe is
+    # large — matchmaking is per-machine) and gangmatch the request.
+    cached = None if engine_cache is None else engine_cache.get("classad")
+    if cached is None:
+        free = sorted(h for h in range(platform.n_hosts) if h not in unavailable)
+        stride = max(1, len(free) // max_classad_machines)
+        ads = machine_ads(platform, free[::stride])
+        mm = Matchmaker(ads, indexing=indexing)
+        if engine_cache is not None:
+            engine_cache["classad"] = (mm, ads)
+    else:
+        mm, ads = cached
+    latency = max(1, len(ads)) * 1e-5
+    if spec.size > len(ads):
+        return None, latency
+    with observe.span("pipeline.select.classad"):
+        gang = mm.gangmatch(parse_classad(spec.to_classad()))
+    if gang is None:
+        return None, latency
+    hosts = []
+    for ad in gang.machines:
+        hid = evaluate(ad.get("HostId"), EvalContext(my=ad))
+        hosts.append(int(hid))
+    return np.asarray(sorted(hosts), dtype=np.int64), latency
 
 
 @dataclass
@@ -255,43 +339,14 @@ class SelectionPipeline:
     ) -> tuple[np.ndarray | None, float]:
         """Run one backend; returns (host ids | None, selection latency)."""
         unavailable = self.churn.unavailable() | self.churn.binder.bound_hosts
-        if backend == "vges":
-            engine = VgES(
-                self.platform, unavailable=unavailable, indexing=self.config.indexing
-            )
-            with observe.span("pipeline.select.vges"):
-                vg = engine.find_and_bind(spec.to_vgdl())
-            if vg is None:
-                return None, engine.platform.n_clusters * 1e-5
-            return vg.all_hosts(), vg.selection_time
-        if backend == "sword":
-            engine = SwordEngine(
-                self.platform, unavailable=unavailable, indexing=self.config.indexing
-            )
-            with observe.span("pipeline.select.sword"):
-                result = engine.query(spec.to_sword_xml())
-            latency = self.platform.n_clusters * 1e-5
-            if result is None:
-                return None, latency
-            return result.all_hosts(), latency
-        # classad: advertise the free hosts (strided when the universe is
-        # large — matchmaking is per-machine) and gangmatch the request.
-        free = sorted(self._free_hosts())
-        stride = max(1, len(free) // self.config.max_classad_machines)
-        ads = machine_ads(self.platform, free[::stride])
-        latency = max(1, len(ads)) * 1e-5
-        if spec.size > len(ads):
-            return None, latency
-        mm = Matchmaker(ads, indexing=self.config.indexing)
-        with observe.span("pipeline.select.classad"):
-            gang = mm.gangmatch(parse_classad(spec.to_classad()))
-        if gang is None:
-            return None, latency
-        hosts = []
-        for ad in gang.machines:
-            hid = evaluate(ad.get("HostId"), EvalContext(my=ad))
-            hosts.append(int(hid))
-        return np.asarray(sorted(hosts), dtype=np.int64), latency
+        return select_once(
+            self.platform,
+            backend,
+            spec,
+            unavailable,
+            indexing=self.config.indexing,
+            max_classad_machines=self.config.max_classad_machines,
+        )
 
     # ------------------------------------------------------------------
     # The degradation ladder

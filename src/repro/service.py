@@ -1,0 +1,1046 @@
+"""Selection as a service: many tenants, one platform, virtual time.
+
+The dissertation's vgFAB exists because many users select and bind
+against one live inventory at once (§II.2.3); a
+:class:`~repro.selection.pipeline.SelectionPipeline` still assumes each
+run owns the platform.  This module runs *N* concurrent tenant requests
+— each walking the same Chapter VII degradation ladder — over one shared
+``Platform`` + ``Binder`` + churn trace, and keeps every run a pure
+function of its seeds.
+
+Determinism model
+-----------------
+There is no wall clock and no real event loop.  Tenants are plain
+``async def`` coroutines driven by a tiny trampoline kernel
+(:class:`_Kernel`) whose heap is keyed on **virtual** time; ``await``
+points are either virtual sleeps or service futures.  Two mechanisms
+make an N-tenant run replay bit-identically for *any* interleaving seed:
+
+* every mutation of shared state (selection, binding, rebinding,
+  release, admission) is submitted as an *operation* to a dispatcher
+  task that runs after all same-instant tenant steps (a later kernel
+  tier) and processes each batch in canonical ``(tenant, seq)`` order —
+  so the interleaving seed permutes same-instant *wakeup* order only,
+  never the order shared state is touched in;
+* tenant coroutines read only deterministic views between operations
+  (the immutable churn trace, ``churn.dead`` at the current instant).
+
+The interleaving seed (:attr:`ServiceConfig.interleave_seed`) shuffles
+same-instant wakeups via a digest, exactly so tests can *prove* outcome
+equality across schedules.
+
+Amortization
+------------
+One warm :class:`~repro.selection.index.HostIndex` snapshot is kept per
+*state epoch* (bumped on churn events and on every bind/release) and
+answers two hot paths: a conservative short-circuit that refuses a
+selection without engine construction when fewer hosts than the spec's
+``min_size`` are available in its clock band, and availability-mask
+maintenance.  Selection engines, respecification ladders, static
+preflights and baseline turnarounds are cached and shared across
+tenants; same-instant operations are dispatched as one batch (one
+engine build serves every compatible queued request).
+
+Accounting
+----------
+Fairness and starvation are observable through ``service.*`` counters
+(admissions, refusals, bind_conflicts, completions, batches,
+batched_ops, engine_reuses, index_shortcircuits, preflight_hits,
+churn_events, execution_aborts) and gauges (queue-wait p50/p99 per
+tenant and overall, batch size mean/max).  Per-tenant outcomes reuse
+:class:`~repro.selection.pipeline.SelectionOutcome`, so the established
+``pipeline.*`` counter cross-checks hold per tenant too.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import hashlib
+import heapq
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro import observe
+from repro.analysis.preflight import preflight_specification
+from repro.core.alternatives import alternative_specifications
+from repro.core.generator import ResourceSpecification
+from repro.dag.graph import DAG
+from repro.dag.montage import montage_dag, montage_level_counts
+from repro.resources.binding import Binder
+from repro.resources.churn import ChurnConfig, ResourceChurn
+from repro.resources.platform import Platform
+from repro.scheduling.base import schedule_dag
+from repro.selection.index import HostIndex
+from repro.selection.pipeline import (
+    PipelineConfig,
+    SelectionAttempt,
+    SelectionOutcome,
+    SelectionPipeline,
+    _induced_subdag,
+    backoff_jitter,
+    select_once,
+)
+
+__all__ = [
+    "ServiceError",
+    "ServiceConfig",
+    "TenantRequest",
+    "TenantOutcome",
+    "ServiceReport",
+    "SelectionService",
+    "synthesize_requests",
+    "load_requests",
+    "make_spec",
+]
+
+
+class ServiceError(RuntimeError):
+    """Invalid service configuration/input, or a scheduling invariant
+    violation (a tenant that never completed — a deadlock, which the
+    deterministic kernel turns into a reproducible error)."""
+
+
+# ======================================================================
+# The virtual-time kernel
+# ======================================================================
+class _SleepUntil:
+    """Awaitable: suspend the task until the given virtual time."""
+
+    __slots__ = ("time",)
+
+    def __init__(self, time: float) -> None:
+        self.time = float(time)
+
+    def __await__(self):
+        yield self
+
+
+class ServiceFuture:
+    """A one-shot future resolved by the dispatcher.
+
+    Awaiting an unresolved future suspends the task until
+    :meth:`resolve`; awaiting a resolved one returns immediately.
+    """
+
+    __slots__ = ("_kernel", "_done", "_value", "_waiters")
+
+    def __init__(self, kernel: "_Kernel") -> None:
+        self._kernel = kernel
+        self._done = False
+        self._value: Any = None
+        self._waiters: list[_Task] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def resolve(self, value: Any = None) -> None:
+        if self._done:
+            raise ServiceError("future already resolved")
+        self._done = True
+        self._value = value
+        for task in self._waiters:
+            self._kernel._schedule(task, self._kernel.now)
+        self._waiters.clear()
+
+    def __await__(self):
+        if not self._done:
+            yield self
+        return self._value
+
+
+class _Task:
+    """One coroutine on the kernel heap, stepped in its own context."""
+
+    __slots__ = ("id", "coro", "tier", "name", "context", "finished", "result", "wakes")
+
+    def __init__(self, task_id: int, coro, tier: int, name: str) -> None:
+        self.id = task_id
+        self.coro = coro
+        self.tier = tier
+        self.name = name
+        # A private contextvars.Context per task — matching asyncio.Task
+        # semantics — so each tenant has an isolated observe span stack.
+        self.context = contextvars.copy_context()
+        self.finished = False
+        self.result: Any = None
+        self.wakes = 0
+
+
+class _Kernel:
+    """Deterministic trampoline over ``(time, tier, shuffle, seq)``.
+
+    Tasks at the same instant run in shuffle order — a digest of
+    ``(interleave_seed, task id, wake count)`` — so the seed permutes
+    same-instant wakeups and *only* that.  ``tier`` orders task classes
+    within an instant: tenants (0) before the dispatcher (1), so a
+    dispatch batch always contains every operation submitted at that
+    instant so far.  ``on_advance`` fires exactly once per distinct
+    time before any task at that time runs (the churn hook).
+    """
+
+    def __init__(
+        self, interleave_seed: int = 0, on_advance: Callable[[float], None] | None = None
+    ) -> None:
+        self.now = 0.0
+        self._interleave_seed = int(interleave_seed)
+        self._on_advance = on_advance
+        self._heap: list[tuple[float, int, int, int, _Task]] = []
+        self._seq = 0
+        self._n_tasks = 0
+
+    def future(self) -> ServiceFuture:
+        return ServiceFuture(self)
+
+    def spawn(self, coro, *, tier: int = 0, start_at: float = 0.0, name: str = "") -> _Task:
+        self._n_tasks += 1
+        task = _Task(self._n_tasks, coro, tier, name)
+        self._schedule(task, max(float(start_at), self.now))
+        return task
+
+    def _shuffle_key(self, task: _Task) -> int:
+        task.wakes += 1
+        digest = hashlib.sha256(
+            f"interleave:{self._interleave_seed}:{task.id}:{task.wakes}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def _schedule(self, task: _Task, time: float) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, task.tier, self._shuffle_key(task), self._seq, task))
+
+    def run(self) -> None:
+        while self._heap:
+            time, _tier, _shuf, _seq, task = heapq.heappop(self._heap)
+            if task.finished:  # pragma: no cover - defensive
+                continue
+            if time > self.now:
+                if self._on_advance is not None:
+                    self._on_advance(time)
+                self.now = time
+            self._step(task)
+
+    def _step(self, task: _Task) -> None:
+        try:
+            request = task.context.run(task.coro.send, None)
+        except StopIteration as stop:
+            task.finished = True
+            task.result = stop.value
+            return
+        if isinstance(request, _SleepUntil):
+            self._schedule(task, max(request.time, self.now))
+        elif isinstance(request, ServiceFuture):
+            if request._done:  # pragma: no cover - awaits return early
+                self._schedule(task, self.now)
+            else:
+                request._waiters.append(task)
+        else:
+            raise ServiceError(f"task {task.name!r} awaited a foreign object: {request!r}")
+
+
+class VirtualClock:
+    """The tenant-facing face of the kernel clock (no wall time)."""
+
+    def __init__(self, kernel: _Kernel) -> None:
+        self._kernel = kernel
+
+    @property
+    def now(self) -> float:
+        return self._kernel.now
+
+    async def sleep(self, delay: float) -> None:
+        if delay < 0:
+            raise ServiceError("cannot sleep a negative virtual delay")
+        await _SleepUntil(self._kernel.now + float(delay))
+
+    async def sleep_until(self, time: float) -> None:
+        await _SleepUntil(max(float(time), self._kernel.now))
+
+
+# ======================================================================
+# Requests / outcomes
+# ======================================================================
+@dataclass(frozen=True)
+class TenantRequest:
+    """One tenant's spec request: run ``dag`` under ``spec``, arriving
+    at virtual time ``arrival_s``."""
+
+    tenant: int
+    dag: DAG
+    spec: ResourceSpecification
+    arrival_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.tenant < 0:
+            raise ServiceError("tenant ids must be non-negative")
+        if self.arrival_s < 0:
+            raise ServiceError("arrival_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class TenantOutcome:
+    """What happened to one request.
+
+    ``admitted=False`` means admission control refused it (queue full) —
+    ``outcome`` is then None.  An admitted request always carries a
+    :class:`SelectionOutcome`; its ``turnaround_s`` is measured from
+    *arrival* (queue wait included), which is what the tenant feels.
+    """
+
+    tenant: int
+    request_id: int
+    arrival_s: float
+    admitted: bool
+    queue_wait_s: float | None
+    outcome: SelectionOutcome | None
+    completion_s: float | None
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-JSON rendering (for ``--outcome-out`` and replay tests)."""
+        return {
+            "tenant": self.tenant,
+            "request_id": self.request_id,
+            "arrival_s": self.arrival_s,
+            "admitted": self.admitted,
+            "queue_wait_s": self.queue_wait_s,
+            "outcome": None if self.outcome is None else self.outcome.to_dict(),
+            "completion_s": self.completion_s,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """All tenant outcomes plus the run's fairness gauges."""
+
+    outcomes: tuple[TenantOutcome, ...]
+    fairness: dict[str, float]
+
+    @property
+    def n_admitted(self) -> int:
+        return sum(1 for o in self.outcomes if o.admitted)
+
+    @property
+    def n_refused(self) -> int:
+        return len(self.outcomes) - self.n_admitted
+
+    @property
+    def n_fulfilled(self) -> int:
+        return sum(1 for o in self.outcomes if o.outcome is not None and o.outcome.fulfilled)
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-JSON rendering of every outcome plus the fairness gauges."""
+        return {
+            "outcomes": [o.to_dict() for o in self.outcomes],
+            "fairness": dict(self.fairness),
+        }
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Admission control + determinism knobs for one service run."""
+
+    #: Requests allowed to wait for an execution slot; arrivals beyond
+    #: this are refused outright (``service.refusals``).
+    queue_capacity: int = 16
+    #: Concurrent ladder/execution slots (admitted, not yet finished).
+    max_inflight: int = 4
+    #: Shuffles same-instant wakeup order only; outcomes are invariant.
+    interleave_seed: int = 0
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 0:
+            raise ServiceError("queue_capacity must be non-negative")
+        if self.max_inflight < 1:
+            raise ServiceError("max_inflight must be at least 1")
+
+
+@dataclass
+class _Op:
+    """One shared-state operation, processed in canonical request order.
+
+    The sort key is ``(tenant, rid, seq)``: a coroutine has at most one
+    outstanding op, so within a batch ``(tenant, rid)`` is unique and
+    the global submission ``seq`` (which *does* depend on same-instant
+    wakeup order) never decides between two tenants.
+    """
+
+    kind: str  # admit | select | bind | rebind | finish
+    tenant: int
+    rid: int
+    seq: int
+    payload: Any
+    future: ServiceFuture
+
+
+def _spec_key(spec: ResourceSpecification) -> tuple:
+    return (
+        spec.heuristic,
+        spec.size,
+        spec.min_size,
+        spec.clock_min_mhz,
+        spec.clock_max_mhz,
+        spec.connectivity,
+        spec.threshold,
+    )
+
+
+def _percentile(sorted_values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(np.ceil(pct / 100.0 * len(sorted_values))))
+    return float(sorted_values[min(rank, len(sorted_values)) - 1])
+
+
+# ======================================================================
+# The service
+# ======================================================================
+@dataclass
+class SelectionService:
+    """A multi-tenant selection service over one shared platform.
+
+    ``run(requests)`` replays bit-identically for fixed ``(platform,
+    churn_config, config, requests)`` — including across interleave
+    seeds.  Each call builds a fresh ``Binder`` + churn state machine
+    from ``churn_config``, so back-to-back runs are independent.
+    """
+
+    platform: Platform
+    churn_config: ChurnConfig = field(default_factory=ChurnConfig)
+    config: ServiceConfig = field(default_factory=ServiceConfig)
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[TenantRequest]) -> ServiceReport:
+        """Serve every request to completion; return the full report.
+
+        Tenants run concurrently on the virtual-time kernel: admission
+        control first, then each walks the retry/respecify/fallback
+        ladder against the shared churned platform, executes its DAG,
+        and releases its hosts.  Deterministic: bit-identical outcomes
+        and counters for fixed inputs, for any ``interleave_seed``.
+        """
+        reqs = sorted(requests, key=lambda r: (r.arrival_s, r.tenant))
+        if not reqs:
+            raise ServiceError("no requests to serve")
+
+        # Fresh per-run shared state.
+        self._binder = Binder(self.platform)
+        self._churn = ResourceChurn.from_config(
+            self.platform, self.churn_config, self._binder
+        )
+        self._index = HostIndex.from_platform(
+            self.platform, unavailable=self._churn.unavailable()
+        )
+        # Engines compare ``Clock`` in MHz; keep a dedicated MHz column so
+        # the short-circuit band test hits the exact same float boundary.
+        self._clock_mhz = self.platform.host_clock * 1000.0
+        self._state_epoch = 0
+        self._engines: dict = {}
+        self._engine_epoch = -1
+        self._ladder_cache: dict = {}
+        self._preflight_cache: dict = {}
+        self._baseline_cache: dict = {}
+        self._inflight = 0
+        self._waiting: list[_Op] = []
+        self._pending_ops: list[_Op] = []
+        self._op_seq = 0
+        self._signal_fut: ServiceFuture | None = None
+        self._queue_waits: dict[int, list[float]] = {}
+        self._batch_sizes: list[int] = []
+
+        self._kernel = _Kernel(self.config.interleave_seed, self._on_advance)
+        self._clock = VirtualClock(self._kernel)
+        # Apply anything pending at t = 0 (busy hosts are pre-masked).
+        events = self._churn.advance(0.0)
+        if events:
+            self._state_epoch += 1
+            self._refresh_mask(h for e in events for h in e.hosts)
+
+        self._kernel.spawn(self._dispatch_loop(), tier=1, name="dispatcher")
+        tasks = [
+            self._kernel.spawn(
+                self._tenant(req, rid),
+                tier=0,
+                start_at=req.arrival_s,
+                name=f"tenant{req.tenant}#{rid}",
+            )
+            for rid, req in enumerate(reqs)
+        ]
+        with observe.span("service.run"):
+            self._kernel.run()
+
+        stuck = [t.name for t in tasks if not t.finished]
+        if stuck:
+            raise ServiceError(f"tenants never completed (deadlock): {stuck}")
+        outcomes = tuple(t.result for t in tasks)
+        fairness = self._finalize_fairness()
+        return ServiceReport(outcomes=outcomes, fairness=fairness)
+
+    # ------------------------------------------------------------------
+    # Kernel hooks
+    # ------------------------------------------------------------------
+    def _on_advance(self, to_time: float) -> None:
+        """Apply churn up to ``to_time`` before any task at that time."""
+        events = self._churn.advance(to_time)
+        if events:
+            self._state_epoch += 1
+            observe.inc("service.churn_events", len(events))
+            self._refresh_mask(h for e in events for h in e.hosts)
+
+    def _refresh_mask(self, host_ids: Iterable[int]) -> None:
+        """Re-derive the index availability of ``host_ids`` from ground
+        truth.  (Churn ``release`` events list the competitor's whole
+        grab tuple while only the subset it actually held was bound, so
+        blind per-event masking would drift; ground truth never does.)"""
+        unavailable = self._churn.unavailable()
+        bound = self._binder.bound_hosts
+        free: list[int] = []
+        taken: list[int] = []
+        for h in sorted({int(x) for x in host_ids}):
+            if h in unavailable or h in bound:
+                taken.append(h)
+            else:
+                free.append(h)
+        if free:
+            self._index.mark_available(free)
+        if taken:
+            self._index.mark_unavailable(taken)
+
+    # ------------------------------------------------------------------
+    # Tenant -> dispatcher plumbing
+    # ------------------------------------------------------------------
+    async def _call(self, kind: str, tenant: int, rid: int, payload: Any) -> Any:
+        self._op_seq += 1
+        op = _Op(kind, tenant, rid, self._op_seq, payload, self._kernel.future())
+        self._pending_ops.append(op)
+        if self._signal_fut is not None:
+            signal, self._signal_fut = self._signal_fut, None
+            signal.resolve()
+        return await op.future
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            if not self._pending_ops:
+                self._signal_fut = self._kernel.future()
+                await self._signal_fut
+            # Canonical order: outcomes must not depend on which tenant
+            # happened to wake first within this instant.
+            batch = sorted(
+                self._pending_ops, key=lambda op: (op.tenant, op.rid, op.seq)
+            )
+            self._pending_ops.clear()
+            observe.inc("service.batches")
+            observe.inc("service.batched_ops", len(batch))
+            self._batch_sizes.append(len(batch))
+            for op in batch:
+                self._process_op(op)
+
+    def _process_op(self, op: _Op) -> None:
+        handler = getattr(self, f"_op_{op.kind}", None)
+        if handler is None:
+            raise ServiceError(f"unknown service op {op.kind!r}")
+        handler(op)
+
+    # -- operations ------------------------------------------------------
+    def _op_admit(self, op: _Op) -> None:
+        if self._inflight < self.config.max_inflight:
+            self._grant(op)
+        elif len(self._waiting) >= self.config.queue_capacity:
+            observe.inc("service.refusals")
+            op.future.resolve(None)
+        else:
+            self._waiting.append(op)
+
+    def _grant(self, op: _Op) -> None:
+        self._inflight += 1
+        observe.inc("service.admissions")
+        op.future.resolve(self._kernel.now)
+
+    def _op_select(self, op: _Op) -> None:
+        backend, spec = op.payload
+        band = self._clock_mhz >= spec.clock_min_mhz
+        if self._index.available_count(band) < spec.min_size:
+            # No backend can produce min_size hosts in the clock band —
+            # all three treat the lower clock bound as hard — so skip
+            # engine construction and reproduce the exact miss latency.
+            observe.inc("service.index_shortcircuits")
+            op.future.resolve((None, self._miss_latency(backend)))
+            return
+        if self._engine_epoch != self._state_epoch:
+            self._engines = {}
+            self._engine_epoch = self._state_epoch
+        if backend in self._engines:
+            observe.inc("service.engine_reuses")
+        unavailable = self._churn.unavailable() | self._binder.bound_hosts
+        cfg = self.config.pipeline
+        hosts, latency = select_once(
+            self.platform,
+            backend,
+            spec,
+            unavailable,
+            indexing=cfg.indexing,
+            max_classad_machines=cfg.max_classad_machines,
+            engine_cache=self._engines,
+        )
+        op.future.resolve((hosts, latency))
+
+    def _miss_latency(self, backend: str) -> float:
+        """Selection latency of a refused query, without the engine.
+
+        Must match :func:`select_once` exactly: vgES and SWORD charge a
+        linear cluster-table pass; ClassAd charges per advertised ad
+        (the free-host count strided to ``max_classad_machines``).
+        """
+        if backend in ("vges", "sword"):
+            return self.platform.n_clusters * 1e-5
+        n_free = self._index.available_count()
+        stride = max(1, n_free // self.config.pipeline.max_classad_machines)
+        n_ads = len(range(0, n_free, stride))
+        return max(1, n_ads) * 1e-5
+
+    def _op_bind(self, op: _Op) -> None:
+        hosts = np.asarray(op.payload)
+        conflicts = self._binder.try_bind(hosts)
+        if conflicts:
+            observe.inc("service.bind_conflicts")
+        elif hosts.size:
+            self._state_epoch += 1
+            self._index.mark_unavailable(int(h) for h in hosts.ravel())
+        op.future.resolve(conflicts)
+
+    def _op_rebind(self, op: _Op) -> None:
+        need = int(op.payload)
+        unavailable = self._churn.unavailable() | self._binder.bound_hosts
+        free = sorted(
+            (h for h in range(self.platform.n_hosts) if h not in unavailable),
+            key=lambda h: (-self.platform.host_clock[h], h),
+        )
+        replacements = free[:need]
+        if replacements:
+            conflicts = self._binder.try_bind(
+                np.asarray(sorted(replacements), dtype=np.int64)
+            )
+            if conflicts:  # pragma: no cover - free is derived from bound
+                raise ServiceError(f"rebind conflicts on free hosts: {conflicts}")
+            self._state_epoch += 1
+            self._index.mark_unavailable(replacements)
+        op.future.resolve([int(h) for h in replacements])
+
+    def _op_finish(self, op: _Op) -> None:
+        held = [int(h) for h in op.payload if self._binder.is_bound(int(h))]
+        if held:
+            self._binder.release(np.asarray(held, dtype=np.int64))
+            self._state_epoch += 1
+            self._refresh_mask(held)
+        self._inflight -= 1
+        observe.inc("service.completions")
+        if self._waiting and self._inflight < self.config.max_inflight:
+            self._grant(self._waiting.pop(0))
+        op.future.resolve(None)
+
+    # ------------------------------------------------------------------
+    # Shared (amortized) derivations — all pure functions of static
+    # inputs, so cache contents are interleaving-invariant.
+    # ------------------------------------------------------------------
+    def _alternatives(self, dag: DAG, spec: ResourceSpecification) -> list:
+        key = (id(dag), _spec_key(spec))
+        alts = self._ladder_cache.get(key)
+        if alts is None:
+            clocks = tuple(
+                sorted({c.clock_ghz for c in self.platform.clusters}, reverse=True)
+            )
+            with observe.span("pipeline.respecify"):
+                raw = alternative_specifications(
+                    dag, spec, clocks, platform=self.platform
+                )
+            alts = [
+                a
+                for a, _ in raw
+                if (a.size, a.clock_min_mhz, a.clock_max_mhz)
+                != (spec.size, spec.clock_min_mhz, spec.clock_max_mhz)
+            ][: self.config.pipeline.max_respecs]
+            self._ladder_cache[key] = alts
+        else:
+            observe.inc("service.ladder_shared_hits")
+        return alts
+
+    def _preflight(self, spec: ResourceSpecification) -> bool:
+        key = (spec.size, spec.min_size, spec.clock_min_mhz)
+        ok = self._preflight_cache.get(key)
+        if ok is None:
+            ok = preflight_specification(spec, self.platform).satisfiable
+            self._preflight_cache[key] = ok
+        else:
+            observe.inc("service.preflight_hits")
+        return ok
+
+    def _baseline(self, dag: DAG, spec: ResourceSpecification, alternatives: list) -> float | None:
+        key = (id(dag), _spec_key(spec))
+        if key in self._baseline_cache:
+            observe.inc("service.baseline_shared_hits")
+        else:
+            pipe = SelectionPipeline(
+                platform=self.platform,
+                churn=self._churn,  # unused by the baseline (quiet copy inside)
+                config=self.config.pipeline,
+                alternatives=list(alternatives),
+            )
+            self._baseline_cache[key] = pipe._baseline_turnaround(dag, spec)
+        return self._baseline_cache[key]
+
+    def _iter_ladder(self, dag: DAG, spec: ResourceSpecification, counts: dict):
+        """Mirror of ``SelectionPipeline._iter_ladder`` over shared caches."""
+        yield 0, spec
+        for s_idx, alt in enumerate(self._alternatives(dag, spec), start=1):
+            if not self._preflight(alt):
+                counts["respecs_pruned"] += 1
+                observe.inc("pipeline.respecs_pruned")
+                continue
+            yield s_idx, alt
+
+    # ------------------------------------------------------------------
+    # The per-tenant coroutine
+    # ------------------------------------------------------------------
+    async def _tenant(self, req: TenantRequest, request_id: int) -> TenantOutcome:
+        cfg = self.config.pipeline
+        clock = self._clock
+
+        admit_at = await self._call("admit", req.tenant, request_id, None)
+        if admit_at is None:
+            return TenantOutcome(
+                tenant=req.tenant,
+                request_id=request_id,
+                arrival_s=req.arrival_s,
+                admitted=False,
+                queue_wait_s=None,
+                outcome=None,
+                completion_s=None,
+            )
+        wait = admit_at - req.arrival_s
+        self._queue_waits.setdefault(req.tenant, []).append(wait)
+
+        attempts: list[SelectionAttempt] = []
+        counts = {
+            "refusals": 0,
+            "respecifications": 0,
+            "backend_fallbacks": 0,
+            "rebinds": 0,
+            "respecs_pruned": 0,
+        }
+
+        def refuse(backend: str, s_idx: int, k: int, reason: str, n: int = 0) -> None:
+            counts["refusals"] += 1
+            observe.inc("pipeline.refusals")
+            attempts.append(SelectionAttempt(backend, s_idx, k, clock.now, reason, n))
+
+        bound: np.ndarray | None = None
+        used_backend: str | None = None
+        used_spec: ResourceSpecification | None = None
+        used_index = 0
+        # Mixing the tenant/request id into the jitter key desynchronizes
+        # retries: two tenants refused at the same instant back off by
+        # different amounts instead of colliding forever.
+        jitter_tag = f"@tenant{req.tenant}.{request_id}"
+        for b_idx, backend in enumerate(cfg.backends):
+            if bound is not None:
+                break
+            if b_idx > 0:
+                counts["backend_fallbacks"] += 1
+                observe.inc("pipeline.backend_fallbacks")
+            for s_idx, sp in self._iter_ladder(req.dag, req.spec, counts):
+                if bound is not None:
+                    break
+                if s_idx > 0:
+                    counts["respecifications"] += 1
+                    observe.inc("pipeline.respecifications")
+                for k in range(cfg.max_retries + 1):
+                    if k > 0:
+                        delay = cfg.backoff_s * 2 ** (k - 1)
+                        delay *= backoff_jitter(cfg.seed, backend + jitter_tag, s_idx, k)
+                        await clock.sleep(delay)
+                    hosts, latency = await self._call(
+                        "select", req.tenant, request_id, (backend, sp)
+                    )
+                    # The selection window: churn and the other tenants
+                    # race us to the bind.
+                    await clock.sleep(latency)
+                    if hosts is None or hosts.size < sp.min_size:
+                        refuse(backend, s_idx, k, "insufficient",
+                               0 if hosts is None else int(hosts.size))
+                        continue
+                    if set(int(h) for h in hosts) & self._churn.dead:
+                        refuse(backend, s_idx, k, "host_lost", int(hosts.size))
+                        continue
+                    conflicts = await self._call("bind", req.tenant, request_id, hosts)
+                    if conflicts:
+                        refuse(backend, s_idx, k, "race", int(hosts.size))
+                        continue
+                    bound = np.asarray(sorted(int(h) for h in hosts), dtype=np.int64)
+                    attempts.append(
+                        SelectionAttempt(
+                            backend, s_idx, k, clock.now, "bound", int(bound.size)
+                        )
+                    )
+                    used_backend, used_spec, used_index = backend, sp, s_idx
+                    break
+
+        if bound is None:
+            await self._call("finish", req.tenant, request_id, ())
+            outcome = SelectionOutcome(
+                fulfilled=False,
+                backend=None,
+                spec_index=0,
+                final_spec=None,
+                hosts=(),
+                attempts=tuple(attempts),
+                refusals=counts["refusals"],
+                respecifications=counts["respecifications"],
+                backend_fallbacks=counts["backend_fallbacks"],
+                rebinds=counts["rebinds"],
+                segments=0,
+                tasks_rescheduled=0,
+                turnaround_s=None,
+                baseline_turnaround_s=None,
+                respecs_pruned=counts["respecs_pruned"],
+            )
+            return TenantOutcome(
+                tenant=req.tenant,
+                request_id=request_id,
+                arrival_s=req.arrival_s,
+                admitted=True,
+                queue_wait_s=wait,
+                outcome=outcome,
+                completion_s=clock.now,
+            )
+
+        assert used_spec is not None
+        held, segments, rescheduled, aborted = await self._run_dag(
+            req, request_id, used_spec, bound, counts
+        )
+        if aborted:
+            observe.inc("service.execution_aborts")
+        baseline = None
+        if not aborted:
+            baseline = self._baseline(
+                req.dag, req.spec, self._alternatives(req.dag, req.spec)
+            )
+        await self._call("finish", req.tenant, request_id, tuple(held))
+
+        outcome = SelectionOutcome(
+            fulfilled=not aborted,
+            backend=used_backend,
+            spec_index=used_index,
+            final_spec=used_spec,
+            hosts=tuple(int(h) for h in bound),
+            attempts=tuple(attempts),
+            refusals=counts["refusals"],
+            respecifications=counts["respecifications"],
+            backend_fallbacks=counts["backend_fallbacks"],
+            rebinds=counts["rebinds"],
+            segments=segments,
+            tasks_rescheduled=rescheduled,
+            turnaround_s=None if aborted else clock.now - req.arrival_s,
+            baseline_turnaround_s=baseline,
+            respecs_pruned=counts["respecs_pruned"],
+        )
+        return TenantOutcome(
+            tenant=req.tenant,
+            request_id=request_id,
+            arrival_s=req.arrival_s,
+            admitted=True,
+            queue_wait_s=wait,
+            outcome=outcome,
+            completion_s=clock.now,
+        )
+
+    async def _run_dag(
+        self,
+        req: TenantRequest,
+        request_id: int,
+        spec: ResourceSpecification,
+        bound: np.ndarray,
+        counts: dict,
+    ) -> tuple[list[int], int, int, bool]:
+        """Async mirror of ``SelectionPipeline._execute``.
+
+        Returns ``(held hosts, segments, tasks_rescheduled, aborted)``.
+        Unlike the pipeline — whose single tenant crashing is fine to
+        surface as an exception — losing every host with no free
+        replacement is reported as an aborted outcome so the service
+        keeps serving the other tenants.
+        """
+        clock = self._clock
+        churn = self._churn
+        hosts = [int(h) for h in bound]
+        sub = req.dag
+        orig_ids = np.arange(req.dag.n)
+        segments = 0
+        rescheduled = 0
+
+        while True:
+            segments += 1
+            rc = self.platform.rc_from_hosts(np.asarray(sorted(hosts), dtype=np.int64))
+            schedule = schedule_dag(spec.heuristic, sub, rc)
+            t0 = clock.now
+            end = t0 + schedule.makespan
+            fail = churn.next_failure(set(hosts), until=end)
+            if fail is None:
+                await clock.sleep_until(end)
+                return hosts, segments, rescheduled, False
+
+            elapsed = fail.time - t0
+            unfinished = np.flatnonzero(schedule.finish > elapsed)
+            await clock.sleep_until(fail.time)  # applies the failure
+            lost_now = [h for h in hosts if h in churn.dead]
+            hosts = [h for h in hosts if h not in churn.dead]
+
+            need = max(1, len(lost_now))
+            replacements = await self._call("rebind", req.tenant, request_id, need)
+            if replacements:
+                hosts.extend(replacements)
+                counts["rebinds"] += 1
+                observe.inc("pipeline.rebinds")
+            if not hosts:
+                return hosts, segments, rescheduled, True
+            if unfinished.size == 0:
+                # The failure hit after the last task finished on our hosts.
+                return hosts, segments, rescheduled, False
+            rescheduled += int(unfinished.size)
+            observe.inc("pipeline.tasks_rescheduled", int(unfinished.size))
+            sub, orig_ids = _induced_subdag(sub, orig_ids, unfinished)
+
+    # ------------------------------------------------------------------
+    def _finalize_fairness(self) -> dict[str, float]:
+        fairness: dict[str, float] = {}
+        all_waits: list[float] = []
+        for tenant in sorted(self._queue_waits):
+            waits = sorted(self._queue_waits[tenant])
+            p50 = _percentile(waits, 50.0)
+            p99 = _percentile(waits, 99.0)
+            fairness[f"queue_wait_p50.tenant{tenant}"] = p50
+            fairness[f"queue_wait_p99.tenant{tenant}"] = p99
+            observe.gauge(f"service.queue_wait_p50.tenant{tenant}", p50)
+            observe.gauge(f"service.queue_wait_p99.tenant{tenant}", p99)
+            all_waits.extend(waits)
+        all_waits.sort()
+        fairness["queue_wait_p50"] = _percentile(all_waits, 50.0)
+        fairness["queue_wait_p99"] = _percentile(all_waits, 99.0)
+        observe.gauge("service.queue_wait_p50", fairness["queue_wait_p50"])
+        observe.gauge("service.queue_wait_p99", fairness["queue_wait_p99"])
+        if self._batch_sizes:
+            fairness["batch_size_max"] = float(max(self._batch_sizes))
+            fairness["batch_size_mean"] = float(
+                sum(self._batch_sizes) / len(self._batch_sizes)
+            )
+            observe.gauge("service.batch_size_max", fairness["batch_size_max"])
+            observe.gauge("service.batch_size_mean", fairness["batch_size_mean"])
+        return fairness
+
+
+# ======================================================================
+# Request construction
+# ======================================================================
+def make_spec(
+    dag: DAG,
+    size: int,
+    *,
+    clock_ghz: float = 3.0,
+    heterogeneity_tolerance: float = 0.3,
+    heuristic: str = "mcp",
+    threshold: float = 0.01,
+    ccr: float = 0.01,
+) -> ResourceSpecification:
+    """A resource specification for ``dag`` without a trained size model
+    (the service's request files name sizes explicitly)."""
+    size = int(max(1, size))
+    return ResourceSpecification(
+        heuristic=heuristic,
+        size=size,
+        min_size=max(1, int(round(0.9 * size))),
+        clock_min_mhz=clock_ghz * 1000.0 * (1.0 - heterogeneity_tolerance),
+        clock_max_mhz=clock_ghz * 1000.0,
+        connectivity="loose" if ccr < 0.05 else "tight",
+        threshold=threshold,
+        dag_name=dag.name,
+    )
+
+
+def synthesize_requests(
+    platform: Platform,
+    n_tenants: int,
+    *,
+    seed: int = 0,
+    spacing_s: float = 2.0,
+    levels: int = 3,
+    ccr: float = 0.01,
+) -> list[TenantRequest]:
+    """A deterministic contended workload for ``repro serve --tenants N``.
+
+    Tenants arrive in pairs (``spacing_s`` apart per pair) so same-instant
+    selections collide at the binder, and RC sizes vary per tenant.  All
+    tenants share one Montage DAG — which is also what exercises the
+    service's shared ladder/preflight/baseline caches.
+    """
+    if n_tenants < 1:
+        raise ServiceError("need at least one tenant")
+    rng = np.random.default_rng(seed)
+    dag = montage_dag(montage_level_counts(levels), ccr=ccr)
+    requests = []
+    for t in range(n_tenants):
+        size = int(rng.integers(4, 9))
+        requests.append(
+            TenantRequest(
+                tenant=t,
+                dag=dag,
+                spec=make_spec(dag, size, ccr=ccr),
+                arrival_s=float(t // 2) * float(spacing_s),
+            )
+        )
+    return requests
+
+
+def load_requests(path: str) -> list[TenantRequest]:
+    """Parse a request file (JSON list) into :class:`TenantRequest`\\ s.
+
+    Each entry: ``{"tenant": int, "arrival_s": float, "size": int,
+    "levels": int?, "ccr": float?, "clock_ghz": float?}`` — ``levels``
+    (default 3) and ``ccr`` (default 0.01) shape the tenant's Montage
+    DAG; ``size``/``clock_ghz`` shape its specification.  Identical
+    ``(levels, ccr)`` entries share one DAG object, which lets the
+    service share their derived caches too.
+    """
+    with open(path, encoding="utf-8") as fh:
+        entries = json.load(fh)
+    if not isinstance(entries, list) or not entries:
+        raise ServiceError(f"{path}: expected a non-empty JSON list of requests")
+    dags: dict[tuple[int, float], DAG] = {}
+    requests = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ServiceError(f"{path}: request {i} is not an object")
+        try:
+            tenant = int(entry.get("tenant", i))
+            arrival = float(entry.get("arrival_s", 0.0))
+            size = int(entry["size"])
+            levels = int(entry.get("levels", 3))
+            ccr = float(entry.get("ccr", 0.01))
+            clock_ghz = float(entry.get("clock_ghz", 3.0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"{path}: request {i} is malformed: {exc}") from None
+        dag_key = (levels, ccr)
+        if dag_key not in dags:
+            dags[dag_key] = montage_dag(montage_level_counts(levels), ccr=ccr)
+        dag = dags[dag_key]
+        requests.append(
+            TenantRequest(
+                tenant=tenant,
+                dag=dag,
+                spec=make_spec(dag, size, clock_ghz=clock_ghz, ccr=ccr),
+                arrival_s=arrival,
+            )
+        )
+    return requests

@@ -1,7 +1,12 @@
 """Tests for resource binding and selection under load."""
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.resources.binding import Binder, BindingError, sample_busy_hosts
 from repro.selection.vgdl import VgES
@@ -36,6 +41,39 @@ def test_bind_validates_request(small_platform):
         b.bind(np.array([3, 3]))
     with pytest.raises(BindingError):
         b.bind(np.array([10**9]))
+
+
+def test_try_bind_success_and_conflict(small_platform):
+    b = Binder(small_platform)
+    assert b.try_bind(np.array([3, 1, 2])) == []
+    assert b.bound_hosts == {1, 2, 3}
+    # Conflicts come back sorted, and the request binds nothing at all.
+    assert b.try_bind(np.array([5, 3, 1, 4])) == [1, 3]
+    assert not b.is_bound(4) and not b.is_bound(5)
+
+
+def test_try_bind_empty_is_noop_success(small_platform):
+    # A zero-size gang port may legitimately request zero hosts: the
+    # service path treats that as a successful no-op ...
+    b = Binder(small_platform)
+    assert b.try_bind(np.array([], dtype=int)) == []
+    assert b.bound_hosts == set()
+
+
+def test_bind_empty_still_raises(small_platform):
+    # ... while the pipeline-layer `bind` keeps its historical contract:
+    # a pipeline asking to bind nothing is a logic error worth surfacing.
+    b = Binder(small_platform)
+    with pytest.raises(BindingError, match="empty bind request"):
+        b.bind(np.array([], dtype=int))
+
+
+def test_try_bind_rejects_malformed(small_platform):
+    b = Binder(small_platform)
+    with pytest.raises(BindingError):
+        b.try_bind(np.array([2, 2]))
+    with pytest.raises(BindingError):
+        b.try_bind(np.array([small_platform.n_hosts]))
 
 
 def test_release_is_idempotent(small_platform):
@@ -83,6 +121,78 @@ def test_integrated_find_and_bind(small_platform):
     assert binder.bound_hosts == a | b
     # The engine's own unavailable set was restored.
     assert vges.unavailable == set()
+
+
+# ----------------------------------------------------------------------
+# Concurrency: the check-then-act race try_bind/bind must never lose
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    requests=st.lists(
+        st.sets(st.integers(min_value=0, max_value=39), min_size=1, max_size=6),
+        min_size=2,
+        max_size=12,
+    ),
+    n_workers=st.integers(min_value=2, max_value=6),
+)
+def test_concurrent_try_bind_never_double_binds(small_platform, requests, n_workers):
+    """Hammer one Binder from a thread pool; ownership stays exclusive.
+
+    Each worker try_binds a host set and, on success, records itself as
+    the owner of every host in it.  Without the internal lock the
+    conflict scan and the update race, and two winners appear.
+    """
+    binder = Binder(small_platform)
+    owners: dict[int, list[int]] = {}
+    owners_lock = threading.Lock()
+    barrier = threading.Barrier(min(n_workers, len(requests)))
+
+    def worker(wid: int, hosts: set[int]) -> None:
+        try:
+            barrier.wait(timeout=5)
+        except threading.BrokenBarrierError:
+            pass
+        if binder.try_bind(np.array(sorted(hosts))) == []:
+            with owners_lock:
+                for h in hosts:
+                    owners.setdefault(h, []).append(wid)
+
+    with ThreadPoolExecutor(max_workers=n_workers) as pool:
+        futures = [pool.submit(worker, i, req) for i, req in enumerate(requests)]
+        for f in futures:
+            f.result()
+
+    for host, who in owners.items():
+        assert len(who) == 1, f"host {host} double-bound by workers {who}"
+    assert binder.bound_hosts == set(owners)
+
+
+def test_concurrent_bind_release_cycles_stay_consistent(small_platform):
+    """bind/release churn from many threads leaves no phantom bindings."""
+    binder = Binder(small_platform)
+    errors: list[Exception] = []
+
+    def churn_worker(hosts: np.ndarray) -> None:
+        try:
+            for _ in range(200):
+                if binder.try_bind(hosts) == []:
+                    assert all(binder.is_bound(int(h)) for h in hosts)
+                    binder.release(hosts)
+        except Exception as exc:  # pragma: no cover - only on regression
+            errors.append(exc)
+
+    # Two pairs fight over the same ranges; the fifth straddles both.
+    ranges = [(0, 4), (4, 8), (0, 4), (4, 8), (2, 6)]
+    threads = [
+        threading.Thread(target=churn_worker, args=(np.arange(lo, hi),))
+        for lo, hi in ranges
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert binder.bound_hosts == set()
 
 
 def test_integrated_bind_exhaustion(small_platform):

@@ -296,3 +296,58 @@ def test_select_malformed_spec_json_exits_2(tmp_path, capsys):
     rc = main(["select", "--scale", "smoke", "--spec", str(p)])
     assert rc == 2
     assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# serve: the multi-tenant selection service, end to end
+# ----------------------------------------------------------------------
+def test_serve_end_to_end_smoke(capsys):
+    rc = main(["serve", "--scale", "smoke", "--tenants", "4", "--seed", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Service outcomes (4 requests)" in out
+    assert "fulfilled:" in out
+    assert "admitted=4 refused=0 fulfilled=4" in out
+
+
+def test_serve_with_request_file_and_outcome_out(tmp_path, capsys):
+    reqs = tmp_path / "requests.json"
+    reqs.write_text(json.dumps([
+        {"tenant": 0, "arrival_s": 0.0, "size": 5},
+        {"tenant": 1, "arrival_s": 0.0, "size": 6},
+    ]))
+    out_path = tmp_path / "outcomes.json"
+    rc = main([
+        "serve", "--scale", "smoke", "--seed", "3",
+        "--requests", str(reqs), "--outcome-out", str(out_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Service outcomes (2 requests)" in out
+    dumped = json.loads(out_path.read_text())
+    assert {o["tenant"] for o in dumped["outcomes"]} == {0, 1}
+    assert all(o["admitted"] for o in dumped["outcomes"])
+    assert "queue_wait_p99" in dumped["fairness"]
+
+
+def test_serve_refusals_exit_1(capsys):
+    rc = main([
+        "serve", "--scale", "smoke", "--tenants", "6", "--seed", "0",
+        "--max-inflight", "1", "--queue-capacity", "0",
+    ])
+    assert rc == 1
+    assert "REFUSED" in capsys.readouterr().out
+
+
+def test_serve_malformed_request_file_exits_2(tmp_path, capsys):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps([{"tenant": 0}]))  # missing "size"
+    rc = main(["serve", "--scale", "smoke", "--requests", str(p)])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_serve_bad_churn_spec_exits_2(capsys):
+    rc = main(["serve", "--scale", "smoke", "--churn", "nonsense=1"])
+    assert rc == 2
+    assert "error:" in capsys.readouterr().err

@@ -79,6 +79,43 @@ def test_list_iteration_clean(det, tmp_path):
     assert findings == []
 
 
+def test_asyncio_sleep_nonzero_delay_flagged(det, tmp_path):
+    findings = _lint(det, tmp_path, "import asyncio\nasyncio.sleep(5)\n")
+    assert [f.code for f in findings] == ["DET004"]
+
+
+def test_asyncio_sleep_variable_delay_flagged(det, tmp_path):
+    # A variable delay can't be proven zero, so it counts as wall time.
+    src = "import asyncio\nasync def f(d):\n    await asyncio.sleep(d)\n"
+    findings = _lint(det, tmp_path, src)
+    assert [f.code for f in findings] == ["DET004"]
+
+
+def test_asyncio_sleep_zero_is_clean(det, tmp_path):
+    # asyncio.sleep(0) is a pure yield point, not a wall-clock wait.
+    src = "import asyncio\nasync def f():\n    await asyncio.sleep(0)\n"
+    assert _lint(det, tmp_path, src) == []
+
+
+def test_loop_time_flagged_as_wall_clock(det, tmp_path):
+    src = (
+        "import asyncio\n"
+        "loop = asyncio.get_event_loop()\n"
+        "t = loop.time()\n"
+    )
+    findings = _lint(det, tmp_path, src)
+    assert [f.code for f in findings] == ["DET002"]
+
+
+def test_loop_time_allowed_in_observe(det, tmp_path):
+    src = (
+        "import asyncio\n"
+        "loop = asyncio.get_event_loop()\n"
+        "t = loop.time()\n"
+    )
+    assert _lint(det, tmp_path, src, name="observe.py") == []
+
+
 def test_syntax_error_is_det000(det, tmp_path):
     findings = _lint(det, tmp_path, "def broken(:\n")
     assert [f.code for f in findings] == ["DET000"]

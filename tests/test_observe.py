@@ -103,6 +103,65 @@ def test_concurrent_counters_and_spans_are_exact():
 
 
 # ----------------------------------------------------------------------
+# Task safety: the span stack is a ContextVar, so interleaved tasks in
+# separate contexts (asyncio tasks, the service's virtual-time kernel)
+# each see their own stack — threading.local could not provide this.
+# ----------------------------------------------------------------------
+def test_interleaved_contexts_keep_separate_span_stacks():
+    import contextvars
+
+    reg = MetricsRegistry()
+    paths: dict[str, str] = {}
+
+    def tenant(name: str):
+        with reg.span(name):
+            paths[f"{name}.outer"] = reg.current_path()
+            yield
+            with reg.span("inner"):
+                paths[f"{name}.inner"] = reg.current_path()
+                yield
+        yield
+
+    ctx_a, ctx_b = contextvars.copy_context(), contextvars.copy_context()
+    gen_a, gen_b = tenant("a"), tenant("b")
+    # Interleave the two generators step by step, each in its own context
+    # — exactly how the service kernel resumes tenant coroutines.
+    for gen, ctx in [(gen_a, ctx_a), (gen_b, ctx_b)] * 3:
+        ctx.run(next, gen)
+
+    assert paths == {
+        "a.outer": "a",
+        "b.outer": "b",
+        "a.inner": "a/inner",
+        "b.inner": "b/inner",
+    }
+    spans = reg.snapshot()["spans"]
+    # No cross-contamination: no a/b, b/a, or deeper mixtures.
+    assert set(spans) == {"a", "b", "a/inner", "b/inner"}
+
+
+def test_asyncio_tasks_isolate_span_stacks():
+    import asyncio
+
+    reg = MetricsRegistry()
+    paths: list[str] = []
+
+    async def tenant(name: str) -> None:
+        with reg.span(name):
+            await asyncio.sleep(0)
+            with reg.span("work"):
+                await asyncio.sleep(0)
+                paths.append(reg.current_path())
+
+    async def main() -> None:
+        await asyncio.gather(tenant("t0"), tenant("t1"))
+
+    asyncio.run(main())
+    assert sorted(paths) == ["t0/work", "t1/work"]
+    assert set(reg.snapshot()["spans"]) == {"t0", "t1", "t0/work", "t1/work"}
+
+
+# ----------------------------------------------------------------------
 # Snapshot / merge / JSON schema
 # ----------------------------------------------------------------------
 def test_snapshot_schema_and_json_round_trip():

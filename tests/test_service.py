@@ -1,0 +1,336 @@
+"""Tests for the multi-tenant selection service (repro.service).
+
+The headline guarantees under test:
+
+* **Replay** — for a fixed ``(platform, churn_config, config, requests)``
+  tuple, every tenant's ``SelectionOutcome`` is bit-identical across
+  repeated runs *and* across interleave seeds (the seed may only permute
+  same-instant wakeup order, never outcomes).
+* **Safety** — the shared Binder never double-binds a host, checked with
+  a recording subclass that shadows ownership independently.
+* **Accounting** — the ``service.*`` fairness counters equal the
+  aggregates recomputed from the outcomes themselves.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.observe as observe
+from repro.observe import MetricsRegistry
+from repro.resources.binding import Binder
+from repro.resources.churn import ChurnConfig
+from repro.selection.pipeline import PipelineConfig
+from repro.service import (
+    SelectionService,
+    ServiceConfig,
+    ServiceError,
+    TenantRequest,
+    load_requests,
+    make_spec,
+    synthesize_requests,
+)
+
+CHURNY = ChurnConfig(
+    fail_rate=0.002, competitor_rate=0.01, utilization=0.3, seed=11
+)
+QUIET = ChurnConfig()
+
+
+def _serve(platform, requests, churn=CHURNY, **cfg_kwargs):
+    """Run the service under an isolated registry; return (report, counters)."""
+    registry = MetricsRegistry()
+    with observe.use_registry(registry):
+        service = SelectionService(platform, churn, ServiceConfig(**cfg_kwargs))
+        report = service.run(requests)
+    return report, registry.snapshot()["counters"]
+
+
+def _race_attempts(report) -> int:
+    return sum(
+        1
+        for o in report.outcomes
+        if o.outcome is not None
+        for a in o.outcome.attempts
+        if a.result == "race"
+    )
+
+
+# ----------------------------------------------------------------------
+# Replay determinism
+# ----------------------------------------------------------------------
+def test_same_seed_replay_is_bit_identical(small_platform):
+    requests = synthesize_requests(small_platform, 8, seed=3)
+    r1, c1 = _serve(small_platform, requests)
+    r2, c2 = _serve(small_platform, requests)
+    assert [o.to_dict() for o in r1.outcomes] == [o.to_dict() for o in r2.outcomes]
+    assert r1.fairness == r2.fairness
+    assert c1 == c2
+    # The workload actually exercises the service: everyone completes.
+    assert r1.n_admitted == 8
+    assert r1.n_fulfilled == 8
+
+
+def test_outcomes_invariant_across_interleave_seeds(small_platform):
+    requests = synthesize_requests(small_platform, 8, seed=3)
+    r0, c0 = _serve(small_platform, requests, interleave_seed=0)
+    r99, c99 = _serve(small_platform, requests, interleave_seed=99)
+    assert [o.to_dict() for o in r0.outcomes] == [o.to_dict() for o in r99.outcomes]
+    # Not just the outcomes: the full counter set is interleave-invariant.
+    assert c0 == c99
+
+
+# ----------------------------------------------------------------------
+# Binder safety under contention
+# ----------------------------------------------------------------------
+class _RecordingBinder(Binder):
+    """Shadow-ownership binder: independently detects double-binding."""
+
+    def __post_init__(self) -> None:  # pragma: no cover - dataclass hook absent
+        pass
+
+    def try_bind(self, host_ids):
+        if not hasattr(self, "shadow"):
+            self.shadow: set[int] = set()
+            self.grants: int = 0
+        ids = [int(h) for h in np.asarray(host_ids).ravel()]
+        conflicts = super().try_bind(host_ids)
+        if not conflicts and ids:
+            doubled = self.shadow & set(ids)
+            assert not doubled, f"double-binding detected: {sorted(doubled)}"
+            self.shadow.update(ids)
+            self.grants += 1
+        return conflicts
+
+    def release(self, host_ids):
+        if hasattr(self, "shadow"):
+            self.shadow -= {int(h) for h in np.asarray(host_ids).ravel()}
+        super().release(host_ids)
+
+
+def test_never_double_binds(small_platform, monkeypatch):
+    monkeypatch.setattr("repro.service.Binder", _RecordingBinder)
+    requests = synthesize_requests(small_platform, 8, seed=3)
+    report, _ = _serve(small_platform, requests)
+    assert report.n_fulfilled == 8  # the shadow assertions all held
+
+
+def test_all_hosts_released_after_run(small_platform):
+    requests = synthesize_requests(small_platform, 6, seed=0)
+    registry = MetricsRegistry()
+    with observe.use_registry(registry):
+        service = SelectionService(small_platform, CHURNY, ServiceConfig())
+        service.run(requests)
+    # Only competitor grabs may remain; nothing the tenants bound.
+    tenant_bound = service._binder.bound_hosts - service._churn.competitor_held
+    assert tenant_bound == set()
+
+
+# ----------------------------------------------------------------------
+# Fairness counters == outcome aggregates
+# ----------------------------------------------------------------------
+def test_counters_cross_check_outcomes(small_platform):
+    requests = synthesize_requests(small_platform, 8, seed=3)
+    report, counters = _serve(small_platform, requests)
+    assert counters["service.admissions"] == report.n_admitted
+    assert counters.get("service.refusals", 0) == report.n_refused
+    assert counters["service.completions"] == report.n_admitted
+    assert counters.get("service.bind_conflicts", 0) == _race_attempts(report)
+    # Queue-wait gauges equal percentiles of the outcomes' own waits.
+    waits = sorted(o.queue_wait_s for o in report.outcomes if o.admitted)
+    assert report.fairness["queue_wait_p99"] == pytest.approx(waits[-1])
+    assert report.fairness["queue_wait_p50"] in waits
+
+
+# ----------------------------------------------------------------------
+# The seeded two-tenant bind collision
+# ----------------------------------------------------------------------
+def test_two_tenant_collision_one_winner_one_retry(small_platform):
+    # synthesize_requests pairs arrivals: tenants 0 and 1 both arrive at
+    # t=0, select from the identical availability snapshot, and submit
+    # bind in the same dispatch batch — a guaranteed overlap on a quiet
+    # platform.  Canonical op order makes tenant 0 the winner.
+    requests = synthesize_requests(small_platform, 2, seed=3)
+    assert requests[0].arrival_s == requests[1].arrival_s == 0.0
+    report, counters = _serve(small_platform, requests, churn=QUIET)
+    assert report.n_fulfilled == 2
+    races = {
+        o.tenant: [a for a in o.outcome.attempts if a.result == "race"]
+        for o in report.outcomes
+    }
+    assert races[0] == []  # first in canonical order: binds cleanly
+    assert len(races[1]) == 1  # loser records exactly one race...
+    assert report.outcomes[1].outcome.attempts[-1].result == "bound"  # ...then wins
+    assert counters["service.bind_conflicts"] == 1
+    # And the whole collision resolves identically on replay.
+    r2, c2 = _serve(small_platform, requests, churn=QUIET)
+    assert [o.to_dict() for o in r2.outcomes] == [
+        o.to_dict() for o in report.outcomes
+    ]
+
+
+# ----------------------------------------------------------------------
+# Admission control: starvation bound and refusals
+# ----------------------------------------------------------------------
+def test_starvation_bounded_under_admission_pressure(small_platform):
+    # One execution slot, six same-instant tenants: FIFO grant means
+    # everyone runs, and waits grow monotonically in grant order.
+    requests = synthesize_requests(small_platform, 6, seed=0, spacing_s=0.0)
+    report, counters = _serve(
+        small_platform, requests, churn=QUIET, max_inflight=1, queue_capacity=16
+    )
+    assert report.n_refused == 0
+    assert report.n_fulfilled == 6
+    waits = [o.queue_wait_s for o in sorted(report.outcomes, key=lambda o: o.tenant)]
+    assert waits == sorted(waits)  # FIFO: no tenant overtakes an earlier one
+    assert waits[0] == 0.0
+    assert waits[-1] > 0.0  # pressure was real
+    # Every queued tenant waited at most the sum of its predecessors'
+    # service times — i.e. the service kept making progress.
+    completions = sorted(o.completion_s for o in report.outcomes)
+    assert waits[-1] <= completions[-2]
+
+
+def test_queue_overflow_refuses_deterministically(small_platform):
+    requests = synthesize_requests(small_platform, 4, seed=0, spacing_s=0.0)
+    report, counters = _serve(
+        small_platform, requests, churn=QUIET, max_inflight=1, queue_capacity=0
+    )
+    assert report.n_admitted == 1
+    assert report.n_refused == 3
+    assert counters["service.refusals"] == 3
+    for o in report.outcomes:
+        if not o.admitted:
+            assert o.outcome is None and o.queue_wait_s is None
+    r2, _ = _serve(
+        small_platform, requests, churn=QUIET, max_inflight=1, queue_capacity=0
+    )
+    assert [o.to_dict() for o in r2.outcomes] == [o.to_dict() for o in report.outcomes]
+
+
+# ----------------------------------------------------------------------
+# Inputs and configuration
+# ----------------------------------------------------------------------
+def test_empty_request_list_raises(small_platform):
+    service = SelectionService(small_platform, QUIET, ServiceConfig())
+    with pytest.raises(ServiceError):
+        service.run([])
+
+
+def test_request_and_config_validation(small_platform, small_montage):
+    spec = make_spec(small_montage, 6)
+    with pytest.raises(ServiceError):
+        TenantRequest(tenant=-1, dag=small_montage, spec=spec)
+    with pytest.raises(ServiceError):
+        TenantRequest(tenant=0, dag=small_montage, spec=spec, arrival_s=-1.0)
+    with pytest.raises(ServiceError):
+        ServiceConfig(max_inflight=0)
+    with pytest.raises(ServiceError):
+        ServiceConfig(queue_capacity=-1)
+
+
+def test_make_spec_shapes_specification(small_montage):
+    spec = make_spec(small_montage, 10, clock_ghz=2.0, heterogeneity_tolerance=0.5)
+    assert spec.size == 10
+    assert spec.min_size == 9
+    assert spec.clock_min_mhz == pytest.approx(1000.0)
+    assert spec.clock_max_mhz == pytest.approx(2000.0)
+    assert spec.connectivity == "loose"
+
+
+def test_load_requests_round_trip(tmp_path):
+    path = tmp_path / "requests.json"
+    path.write_text(
+        json.dumps(
+            [
+                {"tenant": 0, "arrival_s": 0.0, "size": 6},
+                {"tenant": 1, "arrival_s": 1.5, "size": 8, "levels": 3},
+                {"tenant": 2, "size": 4, "levels": 4, "ccr": 0.2},
+            ]
+        )
+    )
+    requests = load_requests(str(path))
+    assert [r.tenant for r in requests] == [0, 1, 2]
+    assert requests[1].arrival_s == 1.5
+    # Identical (levels, ccr) share one DAG object (cache-shareable)...
+    assert requests[0].dag is requests[1].dag
+    # ...while a different shape gets its own.
+    assert requests[2].dag is not requests[0].dag
+    assert requests[2].spec.connectivity == "tight"
+
+
+def test_load_requests_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps([{"tenant": 0}]))  # missing "size"
+    with pytest.raises(ServiceError):
+        load_requests(str(path))
+    path.write_text(json.dumps({}))
+    with pytest.raises(ServiceError):
+        load_requests(str(path))
+
+
+def test_synthesize_requests_validation(small_platform):
+    with pytest.raises(ServiceError):
+        synthesize_requests(small_platform, 0)
+
+
+# ----------------------------------------------------------------------
+# Execution under churn keeps serving (aborts are outcomes, not crashes)
+# ----------------------------------------------------------------------
+def test_heavy_churn_degrades_but_never_crashes(small_platform):
+    heavy = ChurnConfig(
+        fail_rate=0.05, competitor_rate=0.05, utilization=0.5, seed=2
+    )
+    requests = synthesize_requests(small_platform, 6, seed=1)
+    report, counters = _serve(small_platform, requests, churn=heavy)
+    assert len(report.outcomes) == 6
+    # Whatever happened, accounting still balances.
+    assert counters["service.completions"] == report.n_admitted
+    unfulfilled = [
+        o
+        for o in report.outcomes
+        if o.admitted and (o.outcome is None or not o.outcome.fulfilled)
+    ]
+    aborts = counters.get("service.execution_aborts", 0)
+    assert aborts <= len(unfulfilled) + report.n_fulfilled  # sanity: bounded
+    r2, c2 = _serve(small_platform, requests, churn=heavy)
+    assert [o.to_dict() for o in r2.outcomes] == [o.to_dict() for o in report.outcomes]
+    assert c2 == counters
+
+
+# ----------------------------------------------------------------------
+# Amortization counters move under a shared workload
+# ----------------------------------------------------------------------
+def test_shared_caches_amortize_repeat_work(small_platform):
+    requests = synthesize_requests(small_platform, 8, seed=3)
+    _, counters = _serve(small_platform, requests)
+    # All eight tenants share one DAG: the ladder/preflight/baseline work
+    # is done once and then served from the shared caches.
+    assert counters.get("service.ladder_shared_hits", 0) > 0
+    assert counters.get("service.baseline_shared_hits", 0) > 0
+    assert counters["service.batches"] >= 1
+    assert counters["service.batched_ops"] >= counters["service.batches"]
+
+
+@pytest.mark.slow
+def test_tenant_contention_sweep_is_jobs_invariant():
+    from repro.experiments import chapter7 as c7
+    from repro.experiments.scales import get_scale
+
+    scale = get_scale("smoke")
+    rows1 = c7.tenant_contention_sweep(scale, tenant_counts=(1, 2), reps=1, jobs=1)
+    rows2 = c7.tenant_contention_sweep(scale, tenant_counts=(1, 2), reps=1, jobs=2)
+    assert rows1 == rows2
+    assert [r["tenants"] for r in rows1] == [1, 2]
+    for row in rows1:
+        assert set(row) >= {
+            "tenants",
+            "fulfilled",
+            "refusal_rate",
+            "mean_penalty",
+            "queue_wait_p99_s",
+            "bind_conflicts",
+        }

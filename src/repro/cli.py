@@ -20,9 +20,14 @@ Commands
 ``serve``
     Run the deterministic multi-tenant selection service: N concurrent
     spec requests over one shared churning platform, with admission
-    control, conflict retry and fairness accounting.  Prints a per-tenant
-    outcome table.  Exit code 0 when every request was admitted and
-    fulfilled, 1 otherwise.
+    control, deadlines, circuit breakers, brownout, conflict retry,
+    fairness accounting, seeded chaos injection (``--faults``) and a
+    write-ahead journal (``--journal`` / ``--resume``).  Prints a
+    per-tenant outcome table.  Exit codes: 0 all requests fulfilled;
+    1 at least one admitted request went unfulfilled; 2 admission
+    control refused or shed requests (or a malformed spec/flag);
+    3 the service crashed mid-run while journaled — the printed
+    ``--resume`` command replays to the exact uninterrupted state.
 ``lint``
     Statically analyze resource-specification documents (vgDL, ClassAd,
     SWORD XML): contradictions, dead clauses, type errors, unknown
@@ -306,10 +311,14 @@ def _cmd_select(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import math
+
     import repro.observe as observe
     from repro.experiments.chapter4 import build_universe
     from repro.experiments.scales import get_scale
     from repro.experiments.tables import print_table
+    from repro.faults import parse_service_spec, service_from_env
+    from repro.journal import JournalError
     from repro.resources.churn import ChurnConfig, parse_churn_spec
     from repro.selection.pipeline import PipelineConfig
     from repro.service import (
@@ -320,8 +329,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         synthesize_requests,
     )
 
+    if args.journal and args.resume:
+        raise CliError(
+            "--journal and --resume are mutually exclusive "
+            "(--resume verifies and then appends to the existing journal)"
+        )
     try:
         churn_config = parse_churn_spec(args.churn) if args.churn else ChurnConfig()
+        service_faults = (
+            parse_service_spec(args.faults) if args.faults else service_from_env()
+        )
         pipeline_config = PipelineConfig(
             max_respecs=args.max_respecs,
             max_retries=args.max_retries,
@@ -334,8 +351,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_inflight=args.max_inflight,
             interleave_seed=args.interleave_seed,
             pipeline=pipeline_config,
+            deadline_s=args.deadline if args.deadline is not None else math.inf,
+            brownout_threshold=args.brownout,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_s=args.breaker_cooldown,
         )
-    except ValueError as exc:
+    except (ValueError, ServiceError) as exc:
         raise CliError(str(exc)) from None
 
     platform = build_universe(get_scale(args.scale), args.seed)
@@ -349,11 +370,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     registry = observe.MetricsRegistry()
     with observe.use_registry(registry):
-        service = SelectionService(platform, churn_config, service_config)
+        service = SelectionService(
+            platform, churn_config, service_config, faults=service_faults
+        )
         try:
-            report = service.run(requests)
-        except ServiceError as exc:
+            report = service.run(
+                requests, journal_path=args.journal, resume_path=args.resume
+            )
+        except (ServiceError, JournalError) as exc:
             raise CliError(str(exc)) from None
+        except Exception as exc:
+            journal_file = args.resume or args.journal
+            if journal_file is None:
+                raise
+            # Every dispatcher batch was write-ahead journaled before it
+            # mutated shared state, so the run is recoverable: resuming
+            # replays the journaled prefix bit-identically and continues.
+            print(f"error: service crashed mid-run: {exc}", file=sys.stderr)
+            print(
+                f"the write-ahead journal {journal_file} is intact; "
+                f"re-run with --resume {journal_file} to recover",
+                file=sys.stderr,
+            )
+            return 3
 
     rows = []
     for o in report.outcomes:
@@ -387,8 +426,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     counters = registry.snapshot()["counters"]
     print(
         f"admitted={report.n_admitted} refused={report.n_refused} "
+        f"shed={report.n_shed} crashed={report.n_crashed} "
         f"fulfilled={report.n_fulfilled} "
         f"bind_conflicts={int(counters.get('service.bind_conflicts', 0))} "
+        f"breaker_trips={int(counters.get('service.breaker_trips', 0))} "
+        f"deadline_aborts={int(counters.get('service.deadline_aborts', 0))} "
         f"batches={int(counters.get('service.batches', 0))} "
         f"queue_wait_p99={report.fairness.get('queue_wait_p99', 0.0):.2f}s"
     )
@@ -401,8 +443,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"outcomes written to {args.outcome_out}")
     if args.trace:
         print(registry.render_table(), file=sys.stderr)
-    all_good = report.n_refused == 0 and report.n_fulfilled == len(report.outcomes)
-    return 0 if all_good else 1
+    if report.n_refused > 0:
+        # Admission control turned requests away (queue_full or shed):
+        # an operator capacity problem, distinct from ladder failures.
+        return 2
+    if report.n_fulfilled < len(report.outcomes):
+        return 1
+    return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -519,6 +566,18 @@ def main(argv: list[str] | None = None) -> int:
     p_srv = sub.add_parser(
         "serve",
         help="deterministic multi-tenant selection service over one shared platform",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  every request was admitted and fulfilled\n"
+            "  1  at least one admitted request finished unfulfilled\n"
+            "     (ladder exhausted, deadline exceeded, or tenant crash)\n"
+            "  2  admission control refused or shed requests at arrival,\n"
+            "     or a flag/spec was malformed (--churn, --faults, ...)\n"
+            "  3  the service crashed mid-run under --journal/--resume;\n"
+            "     the journal is intact and the run is recoverable with\n"
+            "     --resume PATH (replays bit-identically, then continues)"
+        ),
     )
     p_srv.add_argument(
         "--tenants",
@@ -570,6 +629,65 @@ def main(argv: list[str] | None = None) -> int:
     p_srv.add_argument(
         "--indexing", default="auto", choices=("on", "off", "auto"),
         help="candidate pruning in the selection backends",
+    )
+    p_srv.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request virtual-time budget from arrival; requests "
+        "still unfinished at the deadline abort with 'deadline_exceeded' "
+        "(default: unbounded)",
+    )
+    p_srv.add_argument(
+        "--brownout",
+        type=float,
+        default=1.0,
+        metavar="FRACTION",
+        help="occupancy fraction at which brownout sheds optional work "
+        "(alternative specs, preflight, baselines, index refreshes); "
+        "default 1.0 = only at full saturation",
+    )
+    p_srv.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="K",
+        help="consecutive backend failures that trip that backend's circuit "
+        "breaker open (default 3)",
+    )
+    p_srv.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="virtual seconds an open breaker waits before half-opening to "
+        "probe the backend (default 120)",
+    )
+    p_srv.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="seeded chaos spec, e.g. 'backend_error=0.3,fault_backend=vges,"
+        "seed=7' or 'crash_tenant=3,crash_stage=bound' (keys: tenant_crash, "
+        "backend_error, backend_hang, bind_stall, seed, crash_tenant, "
+        "crash_stage, fault_backend, until, stall_s, hang_s, kill_after, "
+        "crash_after, storm_at, storm_kill; also via $REPRO_SERVICE_FAULTS)",
+    )
+    p_srv.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write-ahead journal: every dispatcher batch is recorded "
+        "(flushed + fsynced) before it mutates shared state",
+    )
+    p_srv.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume from a journal written by --journal: the run replays "
+        "the journaled prefix (verifying each batch bit-for-bit), then "
+        "continues past the crash point to the uninterrupted final state",
     )
     p_srv.add_argument(
         "--outcome-out", default=None, metavar="PATH", help="write all outcomes as JSON"

@@ -40,11 +40,26 @@ builds the injector, :func:`from_env` reads the variable.
    With ``jobs=1`` the cell runs in the calling process: an injected
    ``kill`` terminates *that process*, and a ``hang`` cannot be timed
    out.  Use ``kill``/``hang`` injection only with ``jobs > 1``.
+
+Service-level injection
+-----------------------
+:class:`ServiceFaultInjector` extends the same seeded-injection idea to
+the multi-tenant selection service (:mod:`repro.service`): tenant
+coroutine crashes, backend exceptions and hangs, binder stalls, churn
+storms, and mid-run process kills/crashes for the crash-recovery tests.
+Every decision is a pure function of ``(seed, stable key)`` — no wall
+clock, no global state — so a chaos run replays bit-identically and the
+recovered service can be proven equal to an undisturbed one.  Spec
+strings live in the ``REPRO_SERVICE_FAULTS`` environment variable or the
+``repro serve --faults`` flag::
+
+    REPRO_SERVICE_FAULTS="backend_error=0.3,fault_backend=vges,seed=7"
 """
 
 from __future__ import annotations
 
 import hashlib
+import math
 import os
 import time
 from dataclasses import dataclass, replace
@@ -52,12 +67,18 @@ from dataclasses import dataclass, replace
 __all__ = [
     "FaultInjector",
     "InjectedFault",
+    "ServiceFaultInjector",
     "from_env",
     "parse_spec",
+    "parse_service_spec",
+    "service_from_env",
 ]
 
 #: Environment variable holding a fault spec string (see module docstring).
 ENV_VAR = "REPRO_FAULTS"
+
+#: Environment variable holding a *service* fault spec string.
+SERVICE_ENV_VAR = "REPRO_SERVICE_FAULTS"
 
 #: Exit status used by injected worker kills (distinguishable in logs
 #: from ordinary crashes).
@@ -143,6 +164,113 @@ class FaultInjector:
 
 
 # ----------------------------------------------------------------------
+# Service-level fault injection (the chaos harness of repro.service)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServiceFaultInjector:
+    """Seeded decider of service-level injected failures.
+
+    Probabilities are per *decision point*: ``tenant_crash_p`` per
+    admitted request, ``backend_error_p``/``backend_hang_p`` per select
+    operation, ``bind_stall_p`` per bind attempt.  Each draw is a pure
+    function of ``(seed, stable key)`` only, so the same spec faults the
+    same tenants/attempts on every run and across ``--resume``.
+
+    ``crash_tenant`` deterministically crashes one specific tenant id
+    (the isolation tests target a victim this way); ``crash_stage``
+    picks where tenant crashes fire: before admission (``admit``, i.e.
+    before the request ever touches shared state), before the first
+    selection (``select``), or right after a successful bind
+    (``bound``).  ``fault_backend`` restricts backend faults to one
+    backend; ``until_s`` silences every fault at or after that virtual
+    time (lets a "wedged" backend recover so half-open probes succeed).
+
+    ``kill_after``/``crash_after`` fire in the service dispatcher right
+    after journaling batch *N*: ``kill_after`` dies via ``os._exit``
+    (SIGKILL-like, for subprocess crash-recovery tests), ``crash_after``
+    raises :class:`InjectedFault` (in-process, exercises the
+    crashed-but-journal-recoverable exit path).  ``storm_at_s`` /
+    ``storm_kill`` inject a burst of ``storm_kill`` host failures at one
+    virtual instant (a churn storm).
+    """
+
+    tenant_crash_p: float = 0.0
+    backend_error_p: float = 0.0
+    backend_hang_p: float = 0.0
+    bind_stall_p: float = 0.0
+    seed: int = 0
+    crash_tenant: int = -1
+    crash_stage: str = "select"
+    fault_backend: str = ""
+    until_s: float = math.inf
+    stall_s: float = 30.0
+    hang_s: float = 3600.0
+    kill_after: int = 0
+    crash_after: int = 0
+    storm_at_s: float = -1.0
+    storm_kill: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("tenant_crash_p", "backend_error_p", "backend_hang_p", "bind_stall_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p!r}")
+        if self.backend_error_p + self.backend_hang_p > 1.0:
+            raise ValueError("backend fault probabilities must sum to at most 1")
+        if self.crash_stage not in ("admit", "select", "bound"):
+            raise ValueError(
+                f"crash_stage must be admit, select or bound, got {self.crash_stage!r}"
+            )
+        if self.stall_s < 0 or self.hang_s <= 0:
+            raise ValueError("stall_s must be >= 0 and hang_s > 0")
+        if self.kill_after < 0 or self.crash_after < 0:
+            raise ValueError("kill_after/crash_after must be >= 0 (0 = never)")
+        if self.storm_kill < 0:
+            raise ValueError("storm_kill must be >= 0")
+
+    # ------------------------------------------------------------------
+    def _draw(self, key: str) -> float:
+        """Uniform [0, 1) draw for a decision point — pure in (seed, key)."""
+        h = hashlib.sha256(f"svcfaults:{self.seed}:{key}".encode("utf-8")).digest()
+        return int.from_bytes(h[:8], "little") / 2**64
+
+    def tenant_crash(self, tenant: int, rid: int, stage: str, now: float) -> bool:
+        """Whether the tenant coroutine for request ``rid`` crashes here."""
+        if stage != self.crash_stage or now >= self.until_s:
+            return False
+        if tenant == self.crash_tenant:
+            return True
+        if self.tenant_crash_p <= 0.0:
+            return False
+        return self._draw(f"tcrash:{tenant}:{rid}") < self.tenant_crash_p
+
+    def backend_fault(
+        self, backend: str, tenant: int, rid: int, spec_index: int, attempt: int, now: float
+    ) -> str | None:
+        """The fault for one select op: ``"error"``, ``"hang"`` or None."""
+        if now >= self.until_s:
+            return None
+        if self.fault_backend and backend != self.fault_backend:
+            return None
+        u = self._draw(f"backend:{backend}:{tenant}:{rid}:{spec_index}:{attempt}")
+        if u < self.backend_error_p:
+            return "error"
+        if u < self.backend_error_p + self.backend_hang_p:
+            return "hang"
+        return None
+
+    def bind_stall(
+        self, tenant: int, rid: int, spec_index: int, attempt: int, now: float
+    ) -> float:
+        """Virtual seconds the binder stalls before this bind attempt."""
+        if now >= self.until_s or self.bind_stall_p <= 0.0:
+            return 0.0
+        if self._draw(f"stall:{tenant}:{rid}:{spec_index}:{attempt}") < self.bind_stall_p:
+            return self.stall_s
+        return 0.0
+
+
+# ----------------------------------------------------------------------
 # Spec parsing / environment activation
 # ----------------------------------------------------------------------
 _SPEC_KEYS = {
@@ -154,9 +282,28 @@ _SPEC_KEYS = {
     "hang_s": ("hang_s", float),
 }
 
+_SERVICE_SPEC_KEYS = {
+    "tenant_crash": ("tenant_crash_p", float),
+    "backend_error": ("backend_error_p", float),
+    "backend_hang": ("backend_hang_p", float),
+    "bind_stall": ("bind_stall_p", float),
+    "seed": ("seed", int),
+    "crash_tenant": ("crash_tenant", int),
+    "crash_stage": ("crash_stage", str),
+    "fault_backend": ("fault_backend", str),
+    "until": ("until_s", float),
+    "stall_s": ("stall_s", float),
+    "hang_s": ("hang_s", float),
+    "kill_after": ("kill_after", int),
+    "crash_after": ("crash_after", int),
+    "storm_at": ("storm_at_s", float),
+    "storm_kill": ("storm_kill", int),
+}
 
-def parse_spec(spec: str) -> FaultInjector:
-    """Build a :class:`FaultInjector` from a ``k=v,k=v`` spec string."""
+
+def _parse_kv_spec(spec: str, keys: dict, what: str) -> dict[str, object]:
+    """Parse ``k=v,k=v`` into constructor kwargs, or raise a one-line
+    :class:`ValueError` naming the offending key and the accepted set."""
     kwargs: dict[str, object] = {}
     for item in spec.split(","):
         item = item.strip()
@@ -164,17 +311,29 @@ def parse_spec(spec: str) -> FaultInjector:
             continue
         key, sep, value = item.partition("=")
         key = key.strip()
-        if not sep or key not in _SPEC_KEYS:
-            known = ", ".join(sorted(_SPEC_KEYS))
+        if not sep or key not in keys:
+            known = ", ".join(sorted(keys))
             raise ValueError(
-                f"bad fault spec item {item!r} (known keys: {known})"
+                f"unknown {what} spec key {key!r} (accepted keys: {known})"
             )
-        field, cast = _SPEC_KEYS[key]
+        field, cast = keys[key]
         try:
             kwargs[field] = cast(value.strip())
         except ValueError:
-            raise ValueError(f"bad value in fault spec item {item!r}") from None
-    return FaultInjector(**kwargs)  # type: ignore[arg-type]
+            raise ValueError(f"bad value in {what} spec item {item!r}") from None
+    return kwargs
+
+
+def parse_spec(spec: str) -> FaultInjector:
+    """Build a :class:`FaultInjector` from a ``k=v,k=v`` spec string."""
+    return FaultInjector(**_parse_kv_spec(spec, _SPEC_KEYS, "fault"))  # type: ignore[arg-type]
+
+
+def parse_service_spec(spec: str) -> ServiceFaultInjector:
+    """Build a :class:`ServiceFaultInjector` from a ``k=v,k=v`` string."""
+    return ServiceFaultInjector(
+        **_parse_kv_spec(spec, _SERVICE_SPEC_KEYS, "service fault")  # type: ignore[arg-type]
+    )
 
 
 def from_env() -> FaultInjector | None:
@@ -183,3 +342,11 @@ def from_env() -> FaultInjector | None:
     if not spec:
         return None
     return parse_spec(spec)
+
+
+def service_from_env() -> ServiceFaultInjector | None:
+    """The injector described by ``REPRO_SERVICE_FAULTS``, or ``None``."""
+    spec = os.environ.get(SERVICE_ENV_VAR, "").strip()
+    if not spec:
+        return None
+    return parse_service_spec(spec)

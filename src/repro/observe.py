@@ -54,6 +54,7 @@ __all__ = [
     "span",
     "inc",
     "gauge",
+    "counter",
     "snapshot",
     "reset",
     "to_json",
@@ -107,6 +108,16 @@ class MetricsRegistry:
         """Set the gauge ``name`` to ``value`` (last write wins)."""
         with self._lock:
             self._gauges[name] = value
+
+    def counter(self, name: str) -> float:
+        """Current value of the counter ``name`` (0 if never incremented).
+
+        Read access lets invariant checks (e.g. the chaos tests' "aborted
+        outcomes == failure counters" cross-check) interrogate a live
+        registry without taking a full snapshot.
+        """
+        with self._lock:
+            return self._counters.get(name, 0)
 
     def current_path(self) -> str:
         """The ``/``-joined path of spans active in this context."""
@@ -278,6 +289,11 @@ def inc(name: str, value: float = 1) -> None:
 def gauge(name: str, value: float) -> None:
     """Module-level :meth:`MetricsRegistry.gauge` on the active registry."""
     _active.gauge(name, value)
+
+
+def counter(name: str) -> float:
+    """Module-level :meth:`MetricsRegistry.counter` on the active registry."""
+    return _active.counter(name)
 
 
 def snapshot() -> dict[str, Any]:

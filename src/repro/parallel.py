@@ -90,6 +90,7 @@ import os
 import tempfile
 import time
 import traceback as _traceback
+import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -769,7 +770,7 @@ def map_cells(
     cache: ResultCache | None = None,
     namespace: str | None = None,
     key_extra: Any = None,
-    chunksize: int = 1,
+    chunksize: int | None = None,
     policy: FaultPolicy | None = None,
     injector: "faults.FaultInjector | None" = None,
 ) -> list[R]:
@@ -795,11 +796,19 @@ def map_cells(
 
     ``fn`` and the cells must be picklable for ``jobs > 1`` (module-level
     functions, ``functools.partial`` over them, plain-data cells).
-    ``chunksize`` is accepted for backwards compatibility and ignored —
-    the incremental dispatcher submits cells individually so it can
-    retry, time out, and checkpoint them individually.
+    ``chunksize`` is deprecated and has no effect — the incremental
+    dispatcher submits cells individually so it can retry, time out, and
+    checkpoint them individually.  Passing it emits a
+    :class:`DeprecationWarning`.
     """
-    del chunksize
+    if chunksize is not None:
+        warnings.warn(
+            "map_cells(chunksize=...) is deprecated and has no effect: "
+            "cells are dispatched individually for retry/timeout/"
+            "checkpoint granularity",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     cells = list(cells)
     jobs = resolve_jobs(jobs)
     if policy is None:

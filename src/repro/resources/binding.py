@@ -17,6 +17,7 @@ never returns busy or already-bound hosts.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from dataclasses import dataclass, field
 
@@ -119,6 +120,20 @@ class Binder:
         """Release every bound host."""
         with self._lock:
             self._bound.clear()
+
+    def bound_tuple(self) -> tuple[int, ...]:
+        """The bound set as a sorted tuple — a canonical snapshot."""
+        with self._lock:
+            return tuple(sorted(self._bound))
+
+    def state_digest(self) -> str:
+        """Short stable hex digest of the bound set.
+
+        Used by the service journal to checksum shared state per
+        dispatcher batch; two binders agree iff their digests do.
+        """
+        text = ",".join(str(h) for h in self.bound_tuple())
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
 def sample_busy_hosts(

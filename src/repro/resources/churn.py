@@ -47,6 +47,7 @@ __all__ = [
     "ChurnTrace",
     "ResourceChurn",
     "generate_churn_trace",
+    "inject_storm",
     "parse_churn_spec",
 ]
 
@@ -274,6 +275,45 @@ class ResourceChurn:
                 self.competitor_held -= held
 
 
+def inject_storm(
+    trace: ChurnTrace,
+    platform: Platform,
+    at_s: float,
+    n_hosts: int,
+    seed: int,
+) -> ChurnTrace:
+    """Merge a correlated failure burst into ``trace`` at one instant.
+
+    A *churn storm* — ``n_hosts`` distinct hosts all failing at ``at_s``
+    with no rejoin — models the correlated outages (rack power loss,
+    network partition) the chaos harness injects.  The victim set is a
+    pure function of ``(seed, at_s, n_hosts, platform.n_hosts)``; the
+    result is a new sorted :class:`ChurnTrace` sharing ``busy_hosts``.
+    """
+    if n_hosts <= 0:
+        return trace
+    if at_s < 0:
+        raise ValueError("storm time must be non-negative")
+    rng = np.random.default_rng(
+        np.random.SeedSequence(
+            [int(seed) & 0x7FFFFFFF, platform.n_hosts, int(at_s * 1000) & 0x7FFFFFFF]
+        )
+    )
+    k = min(int(n_hosts), platform.n_hosts)
+    victims = sorted(int(h) for h in rng.choice(platform.n_hosts, size=k, replace=False))
+    # Storm events get refs past any existing ref so sort order stays
+    # stable and join/release pairings in the base trace are untouched.
+    base_ref = max((e.ref for e in trace.events), default=-1) + 1
+    storm = [
+        ChurnEvent(float(at_s), "fail", (host,), ref=base_ref + i)
+        for i, host in enumerate(victims)
+    ]
+    merged = sorted(
+        list(trace.events) + storm, key=lambda e: (e.time, e.ref, e.kind)
+    )
+    return ChurnTrace(events=tuple(merged), busy_hosts=trace.busy_hosts)
+
+
 # ----------------------------------------------------------------------
 # Spec strings
 # ----------------------------------------------------------------------
@@ -300,7 +340,9 @@ def parse_churn_spec(spec: str) -> ChurnConfig:
         key = key.strip()
         if not sep or key not in _SPEC_KEYS:
             known = ", ".join(sorted(_SPEC_KEYS))
-            raise ValueError(f"bad churn spec item {item!r} (known keys: {known})")
+            raise ValueError(
+                f"unknown churn spec key {key!r} (accepted keys: {known})"
+            )
         name, cast = _SPEC_KEYS[key]
         try:
             kwargs[name] = cast(value.strip())

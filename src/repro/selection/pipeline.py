@@ -48,6 +48,7 @@ advances the virtual clock), so seeded replay stays bit-identical.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -109,12 +110,19 @@ class PipelineConfig:
     #: (see :mod:`repro.selection.index`).  All three settings produce
     #: bit-identical outcomes; only the selection wall-clock changes.
     indexing: str = "auto"
+    #: Virtual-time budget for the whole ladder.  When the churn clock
+    #: passes ``start + deadline_s`` the run aborts with a structured
+    #: ``deadline_exceeded`` outcome instead of climbing further rungs —
+    #: the overload-control contract of the multi-tenant service.
+    deadline_s: float = math.inf
 
     def __post_init__(self) -> None:
         if self.max_respecs < 0 or self.max_retries < 0:
             raise ValueError("ladder depths must be non-negative")
         if self.backoff_s < 0:
             raise ValueError("backoff_s must be non-negative")
+        if self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
         if not self.backends:
             raise ValueError("at least one backend is required")
         for b in self.backends:
@@ -183,6 +191,10 @@ class SelectionOutcome:
     #: Ladder alternatives skipped because the static preflight proved them
     #: unsatisfiable on the platform (mirrors ``pipeline.respecs_pruned``).
     respecs_pruned: int = 0
+    #: Why an unfulfilled run was cut short, if it was aborted rather than
+    #: exhausted: ``deadline_exceeded``, ``tenant_crash``, … ``None`` for
+    #: fulfilled runs and for ordinary ladder exhaustion.
+    abort_reason: str | None = None
 
     @property
     def penalty(self) -> float | None:
@@ -212,6 +224,7 @@ class SelectionOutcome:
             "baseline_turnaround_s": self.baseline_turnaround_s,
             "penalty": self.penalty,
             "respecs_pruned": self.respecs_pruned,
+            "abort_reason": self.abort_reason,
         }
 
 
@@ -241,6 +254,7 @@ def select_once(
     indexing: str = "auto",
     max_classad_machines: int = 400,
     engine_cache: dict | None = None,
+    deadline_remaining_s: float | None = None,
 ) -> tuple[np.ndarray | None, float]:
     """Run one selection backend; returns ``(host ids | None, latency)``.
 
@@ -253,7 +267,14 @@ def select_once(
     caller owns invalidation (the service keys its cache on a platform
     state epoch).  The engines keep no per-query state, so cached and
     fresh runs return bit-identical hosts and latencies.
+
+    ``deadline_remaining_s`` is the caller's remaining virtual-time
+    budget: when it is exhausted (``<= 0``) the backend is not consulted
+    at all — the call returns ``(None, 0.0)`` in zero virtual time so the
+    caller can convert the refusal into a ``deadline_exceeded`` abort.
     """
+    if deadline_remaining_s is not None and deadline_remaining_s <= 0:
+        return None, 0.0
     if backend == "vges":
         engine = None if engine_cache is None else engine_cache.get("vges")
         if engine is None:
@@ -335,7 +356,8 @@ class SelectionPipeline:
         return {h for h in range(self.platform.n_hosts) if h not in banned}
 
     def _select(
-        self, backend: str, spec: ResourceSpecification
+        self, backend: str, spec: ResourceSpecification,
+        deadline_remaining_s: float | None = None,
     ) -> tuple[np.ndarray | None, float]:
         """Run one backend; returns (host ids | None, selection latency)."""
         unavailable = self.churn.unavailable() | self.churn.binder.bound_hosts
@@ -346,6 +368,7 @@ class SelectionPipeline:
             unavailable,
             indexing=self.config.indexing,
             max_classad_machines=self.config.max_classad_machines,
+            deadline_remaining_s=deadline_remaining_s,
         )
 
     # ------------------------------------------------------------------
@@ -391,15 +414,17 @@ class SelectionPipeline:
         used_spec: ResourceSpecification | None = None
         used_index = 0
         churn.advance(churn.now)  # apply any events pending at t = now
+        deadline_at = churn.now + cfg.deadline_s
+        deadline_hit = False
         with observe.span("pipeline.run"):
             for b_idx, backend in enumerate(cfg.backends):
-                if bound is not None:
+                if bound is not None or deadline_hit:
                     break
                 if b_idx > 0:
                     counts["backend_fallbacks"] += 1
                     observe.inc("pipeline.backend_fallbacks")
                 for s_idx, sp in self._iter_ladder(dag, spec, counts):
-                    if bound is not None:
+                    if bound is not None or deadline_hit:
                         break
                     if s_idx > 0:
                         counts["respecifications"] += 1
@@ -409,7 +434,16 @@ class SelectionPipeline:
                             delay = cfg.backoff_s * 2 ** (k - 1)
                             delay *= _jitter(cfg.seed, backend, s_idx, k)
                             churn.advance(churn.now + delay)
-                        hosts, latency = self._select(backend, sp)
+                        if churn.now >= deadline_at:
+                            deadline_hit = True
+                            observe.inc("pipeline.deadline_aborts")
+                            attempts.append(SelectionAttempt(
+                                backend, s_idx, k, churn.now, "deadline_exceeded"
+                            ))
+                            break
+                        hosts, latency = self._select(
+                            backend, sp, deadline_at - churn.now
+                        )
                         # The selection window: churn races us to the bind.
                         churn.advance(churn.now + latency)
                         if hosts is None or hosts.size < sp.min_size:
@@ -449,6 +483,7 @@ class SelectionPipeline:
                     turnaround_s=None,
                     baseline_turnaround_s=None,
                     respecs_pruned=counts["respecs_pruned"],
+                    abort_reason="deadline_exceeded" if deadline_hit else None,
                 )
 
             segments, rescheduled, rebinds = self._execute(dag, used_spec, bound)

@@ -41,6 +41,28 @@ preflights and baseline turnarounds are cached and shared across
 tenants; same-instant operations are dispatched as one batch (one
 engine build serves every compatible queued request).
 
+Resilience
+----------
+Four layers keep the service degrading gracefully instead of failing:
+
+* **Overload control** — per-request virtual-time deadline budgets
+  (aborting with ``deadline_exceeded``), priority-tiered admission with
+  deterministic load shedding at queue saturation, and a brownout mode
+  that sheds optional work (alternative generation, preflight,
+  baselines, index mask refreshes) above an occupancy threshold.
+* **Circuit breakers** — one per backend, tripping open after K
+  consecutive injected failures, routing the ladder around the open
+  backend and half-opening on a deterministic virtual-time cooldown.
+* **Failure isolation** — tenant coroutines run under a supervisor (and
+  a kernel backstop) that converts any exception into a structured
+  aborted outcome and releases the dead tenant's slot and hosts; no
+  exception escapes the trampoline.  Chaos is injected via
+  :class:`~repro.faults.ServiceFaultInjector` (seeded, replayable).
+* **Crash recovery** — an optional write-ahead JSONL journal of
+  dispatcher batches (:mod:`repro.journal`); resume re-executes the run
+  deterministically while verifying every journaled batch, then
+  continues past the crash point, bit-identical to an uninterrupted run.
+
 Accounting
 ----------
 Fairness and starvation are observable through ``service.*`` counters
@@ -58,6 +80,8 @@ import contextvars
 import hashlib
 import heapq
 import json
+import math
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
@@ -69,8 +93,10 @@ from repro.core.alternatives import alternative_specifications
 from repro.core.generator import ResourceSpecification
 from repro.dag.graph import DAG
 from repro.dag.montage import montage_dag, montage_level_counts
+from repro.faults import KILL_EXIT_CODE, InjectedFault, ServiceFaultInjector
+from repro.journal import Journal, inputs_digest
 from repro.resources.binding import Binder
-from repro.resources.churn import ChurnConfig, ResourceChurn
+from repro.resources.churn import ChurnConfig, ResourceChurn, inject_storm
 from repro.resources.platform import Platform
 from repro.scheduling.base import schedule_dag
 from repro.selection.index import HostIndex
@@ -155,9 +181,14 @@ class ServiceFuture:
 class _Task:
     """One coroutine on the kernel heap, stepped in its own context."""
 
-    __slots__ = ("id", "coro", "tier", "name", "context", "finished", "result", "wakes")
+    __slots__ = (
+        "id", "coro", "tier", "name", "context", "finished", "result",
+        "wakes", "error", "critical",
+    )
 
-    def __init__(self, task_id: int, coro, tier: int, name: str) -> None:
+    def __init__(
+        self, task_id: int, coro, tier: int, name: str, critical: bool = False
+    ) -> None:
         self.id = task_id
         self.coro = coro
         self.tier = tier
@@ -168,6 +199,12 @@ class _Task:
         self.finished = False
         self.result: Any = None
         self.wakes = 0
+        #: Exception the kernel isolated (non-critical tasks only).
+        self.error: BaseException | None = None
+        #: Critical tasks (the dispatcher) propagate exceptions out of
+        #: ``run()`` instead of being isolated — a dispatcher failure is
+        #: a service failure, not a tenant failure.
+        self.critical = critical
 
 
 class _Kernel:
@@ -195,9 +232,17 @@ class _Kernel:
     def future(self) -> ServiceFuture:
         return ServiceFuture(self)
 
-    def spawn(self, coro, *, tier: int = 0, start_at: float = 0.0, name: str = "") -> _Task:
+    def spawn(
+        self,
+        coro,
+        *,
+        tier: int = 0,
+        start_at: float = 0.0,
+        name: str = "",
+        critical: bool = False,
+    ) -> _Task:
         self._n_tasks += 1
-        task = _Task(self._n_tasks, coro, tier, name)
+        task = _Task(self._n_tasks, coro, tier, name, critical)
         self._schedule(task, max(float(start_at), self.now))
         return task
 
@@ -223,12 +268,37 @@ class _Kernel:
                 self.now = time
             self._step(task)
 
+    def abort(self) -> None:
+        """Close every unfinished coroutine still on the heap.
+
+        Called when a critical task takes the kernel down (e.g. an
+        injected dispatcher crash): never-started tenant coroutines
+        would otherwise emit 'coroutine was never awaited' warnings at
+        garbage collection.
+        """
+        for _t, _tier, _shuf, _seq, task in self._heap:
+            if not task.finished:
+                task.finished = True
+                task.coro.close()
+        self._heap.clear()
+
     def _step(self, task: _Task) -> None:
         try:
             request = task.context.run(task.coro.send, None)
         except StopIteration as stop:
             task.finished = True
             task.result = stop.value
+            return
+        except Exception as exc:
+            # Failure isolation: a non-critical (tenant) coroutine that
+            # raises is terminated and recorded, never allowed to take the
+            # kernel — and with it every other tenant — down.  Critical
+            # tasks (the dispatcher) re-raise: their failure *is* the
+            # service failing, and callers need the real traceback.
+            if task.critical:
+                raise
+            task.finished = True
+            task.error = exc
             return
         if isinstance(request, _SleepUntil):
             self._schedule(task, max(request.time, self.now))
@@ -266,28 +336,45 @@ class VirtualClock:
 @dataclass(frozen=True)
 class TenantRequest:
     """One tenant's spec request: run ``dag`` under ``spec``, arriving
-    at virtual time ``arrival_s``."""
+    at virtual time ``arrival_s``.
+
+    ``priority`` orders admission under overload: lower values are more
+    important.  When the queue saturates, the *highest* ``(priority,
+    request id)`` waiter is deterministically shed; when a slot frees,
+    the lowest is granted.  ``deadline_s`` is this request's virtual-time
+    budget from arrival (``None`` = the service default).
+    """
 
     tenant: int
     dag: DAG
     spec: ResourceSpecification
     arrival_s: float = 0.0
+    priority: int = 1
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.tenant < 0:
             raise ServiceError("tenant ids must be non-negative")
         if self.arrival_s < 0:
             raise ServiceError("arrival_s must be non-negative")
+        if self.priority < 0:
+            raise ServiceError("priority must be non-negative")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ServiceError("deadline_s must be positive")
 
 
 @dataclass(frozen=True)
 class TenantOutcome:
     """What happened to one request.
 
-    ``admitted=False`` means admission control refused it (queue full) —
+    ``admitted=False`` with ``refusal_reason`` set means admission
+    control turned it away: ``queue_full`` (refused on arrival) or
+    ``shed`` (queued, then evicted by a higher-priority arrival) —
     ``outcome`` is then None.  An admitted request always carries a
     :class:`SelectionOutcome`; its ``turnaround_s`` is measured from
-    *arrival* (queue wait included), which is what the tenant feels.
+    *arrival* (queue wait included), which is what the tenant feels.  A
+    crashed tenant coroutine (chaos injection) carries an aborted
+    outcome with ``abort_reason="tenant_crash"`` instead.
     """
 
     tenant: int
@@ -297,6 +384,8 @@ class TenantOutcome:
     queue_wait_s: float | None
     outcome: SelectionOutcome | None
     completion_s: float | None
+    refusal_reason: str | None = None
+    priority: int = 1
 
     def to_dict(self) -> dict[str, object]:
         """Plain-JSON rendering (for ``--outcome-out`` and replay tests)."""
@@ -308,6 +397,8 @@ class TenantOutcome:
             "queue_wait_s": self.queue_wait_s,
             "outcome": None if self.outcome is None else self.outcome.to_dict(),
             "completion_s": self.completion_s,
+            "refusal_reason": self.refusal_reason,
+            "priority": self.priority,
         }
 
 
@@ -324,7 +415,20 @@ class ServiceReport:
 
     @property
     def n_refused(self) -> int:
-        return len(self.outcomes) - self.n_admitted
+        """Requests admission control turned away (refused or shed)."""
+        return sum(1 for o in self.outcomes if not o.admitted and o.outcome is None)
+
+    @property
+    def n_shed(self) -> int:
+        return sum(1 for o in self.outcomes if o.refusal_reason == "shed")
+
+    @property
+    def n_crashed(self) -> int:
+        return sum(
+            1
+            for o in self.outcomes
+            if o.outcome is not None and o.outcome.abort_reason == "tenant_crash"
+        )
 
     @property
     def n_fulfilled(self) -> int:
@@ -342,20 +446,43 @@ class ServiceReport:
 class ServiceConfig:
     """Admission control + determinism knobs for one service run."""
 
-    #: Requests allowed to wait for an execution slot; arrivals beyond
-    #: this are refused outright (``service.refusals``).
+    #: Requests allowed to wait for an execution slot; when the queue
+    #: saturates the highest ``(priority, request id)`` waiter is shed
+    #: (``service.refusals`` / ``service.sheds``).
     queue_capacity: int = 16
     #: Concurrent ladder/execution slots (admitted, not yet finished).
     max_inflight: int = 4
     #: Shuffles same-instant wakeup order only; outcomes are invariant.
     interleave_seed: int = 0
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    #: Default per-request virtual-time budget from arrival; a request
+    #: still unfinished at its deadline aborts with ``deadline_exceeded``.
+    deadline_s: float = math.inf
+    #: Occupancy fraction — ``(inflight + waiting) / (max_inflight +
+    #: queue_capacity)`` — at or above which brownout engages, shedding
+    #: optional work (alternative generation, preflight, baselines,
+    #: index refreshes).  Default 1.0: brownout only at full saturation.
+    brownout_threshold: float = 1.0
+    #: Consecutive backend failures (injected errors/hangs) that trip
+    #: that backend's circuit breaker open.
+    breaker_threshold: int = 3
+    #: Virtual seconds an open breaker waits before half-opening to
+    #: probe the backend again.
+    breaker_cooldown_s: float = 120.0
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 0:
             raise ServiceError("queue_capacity must be non-negative")
         if self.max_inflight < 1:
             raise ServiceError("max_inflight must be at least 1")
+        if self.deadline_s <= 0:
+            raise ServiceError("deadline_s must be positive")
+        if not 0.0 < self.brownout_threshold <= 1.0:
+            raise ServiceError("brownout_threshold must be in (0, 1]")
+        if self.breaker_threshold < 1:
+            raise ServiceError("breaker_threshold must be at least 1")
+        if self.breaker_cooldown_s <= 0:
+            raise ServiceError("breaker_cooldown_s must be positive")
 
 
 @dataclass
@@ -374,6 +501,28 @@ class _Op:
     seq: int
     payload: Any
     future: ServiceFuture
+
+
+def _aborted_outcome(reason: str) -> SelectionOutcome:
+    """A zeroed, unfulfilled :class:`SelectionOutcome` for aborts that
+    happen outside the ladder (tenant crashes, kernel isolation)."""
+    return SelectionOutcome(
+        fulfilled=False,
+        backend=None,
+        spec_index=0,
+        final_spec=None,
+        hosts=(),
+        attempts=(),
+        refusals=0,
+        respecifications=0,
+        backend_fallbacks=0,
+        rebinds=0,
+        segments=0,
+        tasks_rescheduled=0,
+        turnaround_s=None,
+        baseline_turnaround_s=None,
+        abort_reason=reason,
+    )
 
 
 def _spec_key(spec: ResourceSpecification) -> tuple:
@@ -412,9 +561,18 @@ class SelectionService:
     platform: Platform
     churn_config: ChurnConfig = field(default_factory=ChurnConfig)
     config: ServiceConfig = field(default_factory=ServiceConfig)
+    #: Optional chaos injector (tenant crashes, backend faults, binder
+    #: stalls, churn storms, mid-run kills) — all decisions seeded.
+    faults: ServiceFaultInjector | None = None
 
     # ------------------------------------------------------------------
-    def run(self, requests: Sequence[TenantRequest]) -> ServiceReport:
+    def run(
+        self,
+        requests: Sequence[TenantRequest],
+        *,
+        journal_path: str | None = None,
+        resume_path: str | None = None,
+    ) -> ServiceReport:
         """Serve every request to completion; return the full report.
 
         Tenants run concurrently on the virtual-time kernel: admission
@@ -422,6 +580,14 @@ class SelectionService:
         ladder against the shared churned platform, executes its DAG,
         and releases its hosts.  Deterministic: bit-identical outcomes
         and counters for fixed inputs, for any ``interleave_seed``.
+
+        ``journal_path`` write-ahead-journals every dispatcher batch;
+        ``resume_path`` re-executes the run while *verifying* each batch
+        against an existing journal (the deterministic kernel replays
+        the pre-crash prefix bit-identically; the first divergence is a
+        hard :class:`~repro.journal.JournalError`), then appends past
+        its end — so a killed-and-resumed run finishes in the exact
+        state of an uninterrupted one.
         """
         reqs = sorted(requests, key=lambda r: (r.arrival_s, r.tenant))
         if not reqs:
@@ -432,6 +598,19 @@ class SelectionService:
         self._churn = ResourceChurn.from_config(
             self.platform, self.churn_config, self._binder
         )
+        f = self.faults
+        if f is not None and f.storm_at_s >= 0 and f.storm_kill > 0:
+            self._churn = ResourceChurn(
+                platform=self.platform,
+                trace=inject_storm(
+                    self._churn.trace,
+                    self.platform,
+                    f.storm_at_s,
+                    f.storm_kill,
+                    f.seed,
+                ),
+                binder=self._binder,
+            )
         self._index = HostIndex.from_platform(
             self.platform, unavailable=self._churn.unavailable()
         )
@@ -451,6 +630,20 @@ class SelectionService:
         self._signal_fut: ServiceFuture | None = None
         self._queue_waits: dict[int, list[float]] = {}
         self._batch_sizes: list[int] = []
+        self._brownout = False
+        self._mask_dirty: set[int] = set()
+        self._breakers = {
+            b: {"state": "closed", "fails": 0, "opened_at": 0.0}
+            for b in self.config.pipeline.backends
+        }
+        self._held_by: dict[int, list[int]] = {}
+        self._admitted_live: set[int] = set()
+        self._batch_no = 0
+        self._journal: Journal | None = None
+        if resume_path is not None:
+            self._journal = Journal.resume(resume_path, self._inputs_digest(reqs))
+        elif journal_path is not None:
+            self._journal = Journal.create(journal_path, self._inputs_digest(reqs))
 
         self._kernel = _Kernel(self.config.interleave_seed, self._on_advance)
         self._clock = VirtualClock(self._kernel)
@@ -460,7 +653,9 @@ class SelectionService:
             self._state_epoch += 1
             self._refresh_mask(h for e in events for h in e.hosts)
 
-        self._kernel.spawn(self._dispatch_loop(), tier=1, name="dispatcher")
+        self._kernel.spawn(
+            self._dispatch_loop(), tier=1, name="dispatcher", critical=True
+        )
         tasks = [
             self._kernel.spawn(
                 self._tenant(req, rid),
@@ -470,26 +665,98 @@ class SelectionService:
             )
             for rid, req in enumerate(reqs)
         ]
-        with observe.span("service.run"):
-            self._kernel.run()
+        try:
+            with observe.span("service.run"):
+                self._kernel.run()
+        except BaseException:
+            self._kernel.abort()
+            raise
+        finally:
+            if self._journal is not None:
+                self._journal.close()
 
         stuck = [t.name for t in tasks if not t.finished]
         if stuck:
             raise ServiceError(f"tenants never completed (deadlock): {stuck}")
-        outcomes = tuple(t.result for t in tasks)
+        outcomes = tuple(
+            t.result
+            if t.error is None
+            else self._kernel_isolated_outcome(req, rid)
+            for rid, (t, req) in enumerate(zip(tasks, reqs))
+        )
         fairness = self._finalize_fairness()
         return ServiceReport(outcomes=outcomes, fairness=fairness)
+
+    def _inputs_digest(self, reqs: Sequence[TenantRequest]) -> str:
+        """Digest of everything that determines the dispatcher batch
+        sequence.  Deliberately *excludes* ``interleave_seed`` — batch
+        contents are proven interleave-invariant, so a journal written
+        under one seed must replay under any other."""
+        cfg = self.config
+        return inputs_digest(
+            [
+                hashlib.sha256(self.platform.host_clock.tobytes()).hexdigest(),
+                hashlib.sha256(
+                    np.asarray(self.platform.host_cluster).tobytes()
+                ).hexdigest(),
+                repr(self.churn_config),
+                repr(
+                    (
+                        cfg.queue_capacity,
+                        cfg.max_inflight,
+                        cfg.deadline_s,
+                        cfg.brownout_threshold,
+                        cfg.breaker_threshold,
+                        cfg.breaker_cooldown_s,
+                        cfg.pipeline,
+                    )
+                ),
+                repr(self.faults),
+                ";".join(
+                    f"{r.tenant}:{r.arrival_s}:{r.priority}:{r.deadline_s}:"
+                    f"{_spec_key(r.spec)}:{r.dag.n}"
+                    for r in reqs
+                ),
+            ]
+        )
+
+    def _kernel_isolated_outcome(self, req: TenantRequest, rid: int) -> TenantOutcome:
+        """Outcome for a tenant whose coroutine the kernel had to isolate
+        (its own supervisor failed) — the backstop of the no-exception-
+        escapes guarantee."""
+        observe.inc("service.kernel_isolated")
+        return TenantOutcome(
+            tenant=req.tenant,
+            request_id=rid,
+            arrival_s=req.arrival_s,
+            admitted=rid in getattr(self, "_admitted_live", set()),
+            queue_wait_s=None,
+            outcome=_aborted_outcome("tenant_crash"),
+            completion_s=None,
+            priority=req.priority,
+        )
 
     # ------------------------------------------------------------------
     # Kernel hooks
     # ------------------------------------------------------------------
     def _on_advance(self, to_time: float) -> None:
-        """Apply churn up to ``to_time`` before any task at that time."""
+        """Apply churn up to ``to_time`` before any task at that time.
+
+        Under brownout the index mask refresh — optional work: the mask
+        only powers a conservative short-circuit, which is disabled
+        while any deferral is outstanding — is postponed and the touched
+        hosts are re-derived from ground truth when brownout lifts.
+        """
         events = self._churn.advance(to_time)
         if events:
             self._state_epoch += 1
             observe.inc("service.churn_events", len(events))
-            self._refresh_mask(h for e in events for h in e.hosts)
+            touched = [int(h) for e in events for h in e.hosts]
+            if self._brownout:
+                self._mask_dirty.update(touched)
+                observe.inc("service.brownout_mask_deferrals")
+            else:
+                self._refresh_mask(touched)
 
     def _refresh_mask(self, host_ids: Iterable[int]) -> None:
         """Re-derive the index availability of ``host_ids`` from ground
@@ -533,11 +800,75 @@ class SelectionService:
                 self._pending_ops, key=lambda op: (op.tenant, op.rid, op.seq)
             )
             self._pending_ops.clear()
+            self._batch_no += 1
+            self._journal_batch(batch)
             observe.inc("service.batches")
             observe.inc("service.batched_ops", len(batch))
             self._batch_sizes.append(len(batch))
             for op in batch:
                 self._process_op(op)
+            self._update_brownout()
+
+    def _journal_batch(self, batch: list[_Op]) -> None:
+        """Write-ahead (or replay-verify) one batch, then fire any
+        armed kill/crash fault.
+
+        The record is written *before* the batch mutates state, so its
+        ``sha`` digests the pre-batch state; a crash between journaling
+        and applying leaves the classic WAL window the resume path
+        closes by re-executing.  ``kill_after``/``crash_after`` fire
+        only on freshly *written* batches — a replayed batch was
+        journaled before the original death, so resume sails past it.
+        """
+        replayed = self._journal is not None and self._journal.replaying
+        if self._journal is not None:
+            self._journal.append(
+                {
+                    "kind": "batch",
+                    "i": self._batch_no - 1,
+                    "t": self._kernel.now,
+                    "ops": [[op.kind, op.tenant, op.rid] for op in batch],
+                    "sha": self._state_digest(),
+                }
+            )
+        f = self.faults
+        if f is not None and not replayed:
+            if f.kill_after and self._batch_no == f.kill_after:
+                os._exit(KILL_EXIT_CODE)
+            if f.crash_after and self._batch_no == f.crash_after:
+                raise InjectedFault(
+                    f"injected dispatcher crash after journaling batch "
+                    f"{self._batch_no}"
+                )
+
+    def _state_digest(self) -> str:
+        """Digest of the dispatcher-owned shared state, for the journal's
+        per-batch divergence check."""
+        parts = [
+            self._binder.state_digest(),
+            str(self._churn._cursor),
+            ",".join(str(h) for h in sorted(self._churn.dead)),
+            ",".join(str(h) for h in sorted(self._churn.competitor_held)),
+            str(self._inflight),
+            ";".join(f"{o.tenant}.{o.rid}" for o in self._waiting),
+        ]
+        return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:16]
+
+    def _update_brownout(self) -> None:
+        """Re-evaluate brownout at the batch boundary (the only place
+        occupancy changes), keeping the flag interleave-invariant."""
+        cap = self.config.max_inflight + self.config.queue_capacity
+        occupancy = (self._inflight + len(self._waiting)) / cap if cap else 1.0
+        engaged = occupancy >= self.config.brownout_threshold
+        if engaged and not self._brownout:
+            observe.inc("service.brownout_entries")
+        if not engaged and self._brownout and self._mask_dirty:
+            # Brownout lifted: resync the deferred hosts from ground
+            # truth so the short-circuit becomes safe to use again.
+            self._refresh_mask(self._mask_dirty)
+            self._mask_dirty.clear()
+        self._brownout = engaged
+        observe.gauge("service.brownout", 1.0 if engaged else 0.0)
 
     def _process_op(self, op: _Op) -> None:
         handler = getattr(self, f"_op_{op.kind}", None)
@@ -547,28 +878,79 @@ class SelectionService:
 
     # -- operations ------------------------------------------------------
     def _op_admit(self, op: _Op) -> None:
-        if self._inflight < self.config.max_inflight:
-            self._grant(op)
-        elif len(self._waiting) >= self.config.queue_capacity:
-            observe.inc("service.refusals")
-            op.future.resolve(None)
-        else:
-            self._waiting.append(op)
+        """Priority-tiered admission with deterministic load shedding.
+
+        The arrival joins the wait pool, free slots are granted to the
+        lowest ``(priority, request id)`` waiters, and if the pool still
+        exceeds capacity the *highest* ``(priority, rid)`` waiter is
+        shed — which with uniform priorities reduces to refusing the
+        newest request, the pre-priority behavior.
+        """
+        self._waiting.append(op)
+        self._pump_admissions()
+        if len(self._waiting) > self.config.queue_capacity:
+            victim = max(self._waiting, key=lambda o: (o.payload, o.rid))
+            self._waiting.remove(victim)
+            if victim is op:
+                observe.inc("service.refusals")
+                victim.future.resolve("queue_full")
+            else:
+                observe.inc("service.sheds")
+                victim.future.resolve("shed")
+
+    def _pump_admissions(self) -> None:
+        while self._waiting and self._inflight < self.config.max_inflight:
+            best = min(self._waiting, key=lambda o: (o.payload, o.rid))
+            self._waiting.remove(best)
+            self._grant(best)
 
     def _grant(self, op: _Op) -> None:
         self._inflight += 1
+        self._admitted_live.add(op.rid)
         observe.inc("service.admissions")
         op.future.resolve(self._kernel.now)
 
     def _op_select(self, op: _Op) -> None:
-        backend, spec = op.payload
+        backend, spec, s_idx, attempt, remaining = op.payload
+        now = self._kernel.now
+        breaker = self._breakers[backend]
+        if breaker["state"] == "open":
+            if now >= breaker["opened_at"] + self.config.breaker_cooldown_s:
+                # Deterministic half-open schedule: the first select op
+                # arriving after the virtual cooldown becomes the probe.
+                breaker["state"] = "half_open"
+                observe.inc("service.breaker_half_opens")
+            else:
+                observe.inc("service.breaker_skips")
+                op.future.resolve((None, 0.0, "breaker_open"))
+                return
+        if self.faults is not None:
+            fault = self.faults.backend_fault(
+                backend, op.tenant, op.rid, s_idx, attempt, now
+            )
+            if fault is not None:
+                latency = (
+                    self.faults.hang_s
+                    if fault == "hang"
+                    else self._miss_latency(backend)
+                )
+                observe.inc(f"service.backend_{fault}s")
+                self._breaker_failure(backend)
+                op.future.resolve((None, latency, f"backend_{fault}"))
+                return
         band = self._clock_mhz >= spec.clock_min_mhz
-        if self._index.available_count(band) < spec.min_size:
+        if (
+            not self._brownout
+            and not self._mask_dirty
+            and self._index.available_count(band) < spec.min_size
+        ):
             # No backend can produce min_size hosts in the clock band —
             # all three treat the lower clock bound as hard — so skip
             # engine construction and reproduce the exact miss latency.
+            # (Disabled while brownout defers mask refreshes: a stale
+            # mask would make the short-circuit non-conservative.)
             observe.inc("service.index_shortcircuits")
-            op.future.resolve((None, self._miss_latency(backend)))
+            op.future.resolve((None, self._miss_latency(backend), None))
             return
         if self._engine_epoch != self._state_epoch:
             self._engines = {}
@@ -585,8 +967,31 @@ class SelectionService:
             indexing=cfg.indexing,
             max_classad_machines=cfg.max_classad_machines,
             engine_cache=self._engines,
+            deadline_remaining_s=remaining,
         )
-        op.future.resolve((hosts, latency))
+        self._breaker_success(backend)
+        op.future.resolve((hosts, latency, None))
+
+    def _breaker_failure(self, backend: str) -> None:
+        breaker = self._breakers[backend]
+        breaker["fails"] += 1
+        if (
+            breaker["state"] == "half_open"
+            or breaker["fails"] >= self.config.breaker_threshold
+        ):
+            # A failed half-open probe reopens immediately; a closed
+            # breaker trips after K consecutive failures.
+            observe.inc("service.breaker_trips")
+            breaker["state"] = "open"
+            breaker["opened_at"] = self._kernel.now
+            breaker["fails"] = 0
+
+    def _breaker_success(self, backend: str) -> None:
+        breaker = self._breakers[backend]
+        if breaker["state"] == "half_open":
+            observe.inc("service.breaker_closes")
+            breaker["state"] = "closed"
+        breaker["fails"] = 0
 
     def _miss_latency(self, backend: str) -> float:
         """Selection latency of a refused query, without the engine.
@@ -610,6 +1015,9 @@ class SelectionService:
         elif hosts.size:
             self._state_epoch += 1
             self._index.mark_unavailable(int(h) for h in hosts.ravel())
+            # Track what each live request holds so a crashed tenant's
+            # supervisor can hand the exact set back to ``finish``.
+            self._held_by[op.rid] = [int(h) for h in hosts.ravel()]
         op.future.resolve(conflicts)
 
     def _op_rebind(self, op: _Op) -> None:
@@ -628,6 +1036,9 @@ class SelectionService:
                 raise ServiceError(f"rebind conflicts on free hosts: {conflicts}")
             self._state_epoch += 1
             self._index.mark_unavailable(replacements)
+            self._held_by.setdefault(op.rid, []).extend(
+                int(h) for h in replacements
+            )
         op.future.resolve([int(h) for h in replacements])
 
     def _op_finish(self, op: _Op) -> None:
@@ -636,10 +1047,11 @@ class SelectionService:
             self._binder.release(np.asarray(held, dtype=np.int64))
             self._state_epoch += 1
             self._refresh_mask(held)
+        self._held_by.pop(op.rid, None)
+        self._admitted_live.discard(op.rid)
         self._inflight -= 1
         observe.inc("service.completions")
-        if self._waiting and self._inflight < self.config.max_inflight:
-            self._grant(self._waiting.pop(0))
+        self._pump_admissions()
         op.future.resolve(None)
 
     # ------------------------------------------------------------------
@@ -650,6 +1062,12 @@ class SelectionService:
         key = (id(dag), _spec_key(spec))
         alts = self._ladder_cache.get(key)
         if alts is None:
+            if self._brownout:
+                # Brownout: alternative generation is optional work — an
+                # overloaded service serves original specs only.  Not
+                # cached, so the ladder reappears when pressure lifts.
+                observe.inc("service.brownout_skips")
+                return []
             clocks = tuple(
                 sorted({c.clock_ghz for c in self.platform.clusters}, reverse=True)
             )
@@ -672,6 +1090,11 @@ class SelectionService:
         key = (spec.size, spec.min_size, spec.clock_min_mhz)
         ok = self._preflight_cache.get(key)
         if ok is None:
+            if self._brownout:
+                # Optional work: skip the static check, let the ladder
+                # discover unsatisfiability the expensive way.
+                observe.inc("service.brownout_skips")
+                return True
             ok = preflight_specification(spec, self.platform).satisfiable
             self._preflight_cache[key] = ok
         else:
@@ -682,6 +1105,9 @@ class SelectionService:
         key = (id(dag), _spec_key(spec))
         if key in self._baseline_cache:
             observe.inc("service.baseline_shared_hits")
+        elif self._brownout:
+            observe.inc("service.brownout_skips")
+            return None
         else:
             pipe = SelectionPipeline(
                 platform=self.platform,
@@ -706,11 +1132,48 @@ class SelectionService:
     # The per-tenant coroutine
     # ------------------------------------------------------------------
     async def _tenant(self, req: TenantRequest, request_id: int) -> TenantOutcome:
+        """Supervisor: isolate any crash of the tenant body.
+
+        A tenant coroutine raising (chaos injection, or a real bug) must
+        not leak its admission slot or bound hosts, and must surface as
+        a structured aborted outcome — every other tenant keeps being
+        served.  The cleanup uses the dispatcher-tracked live-admission
+        and held-host records, so it releases exactly what the dead
+        tenant owned.
+        """
+        try:
+            return await self._tenant_body(req, request_id)
+        except Exception:
+            observe.inc("service.tenant_crashes")
+            was_admitted = request_id in self._admitted_live
+            if was_admitted:
+                held = tuple(self._held_by.get(request_id, ()))
+                await self._call("finish", req.tenant, request_id, held)
+            return TenantOutcome(
+                tenant=req.tenant,
+                request_id=request_id,
+                arrival_s=req.arrival_s,
+                admitted=was_admitted,
+                queue_wait_s=None,
+                outcome=_aborted_outcome("tenant_crash"),
+                completion_s=self._clock.now,
+                priority=req.priority,
+            )
+
+    async def _tenant_body(self, req: TenantRequest, request_id: int) -> TenantOutcome:
         cfg = self.config.pipeline
         clock = self._clock
+        faults = self.faults
 
-        admit_at = await self._call("admit", req.tenant, request_id, None)
-        if admit_at is None:
+        if faults is not None and faults.tenant_crash(
+            req.tenant, request_id, "admit", clock.now
+        ):
+            raise InjectedFault(
+                f"injected tenant crash (admit) tenant={req.tenant} rid={request_id}"
+            )
+
+        admit_at = await self._call("admit", req.tenant, request_id, req.priority)
+        if not isinstance(admit_at, float):
             return TenantOutcome(
                 tenant=req.tenant,
                 request_id=request_id,
@@ -719,9 +1182,24 @@ class SelectionService:
                 queue_wait_s=None,
                 outcome=None,
                 completion_s=None,
+                refusal_reason=admit_at if admit_at else "queue_full",
+                priority=req.priority,
             )
         wait = admit_at - req.arrival_s
         self._queue_waits.setdefault(req.tenant, []).append(wait)
+
+        if faults is not None and faults.tenant_crash(
+            req.tenant, request_id, "select", clock.now
+        ):
+            raise InjectedFault(
+                f"injected tenant crash (select) tenant={req.tenant} rid={request_id}"
+            )
+
+        deadline_budget = (
+            req.deadline_s if req.deadline_s is not None else self.config.deadline_s
+        )
+        deadline_at = req.arrival_s + deadline_budget
+        abort_reason: str | None = None
 
         attempts: list[SelectionAttempt] = []
         counts = {
@@ -746,13 +1224,14 @@ class SelectionService:
         # different amounts instead of colliding forever.
         jitter_tag = f"@tenant{req.tenant}.{request_id}"
         for b_idx, backend in enumerate(cfg.backends):
-            if bound is not None:
+            if bound is not None or abort_reason is not None:
                 break
             if b_idx > 0:
                 counts["backend_fallbacks"] += 1
                 observe.inc("pipeline.backend_fallbacks")
+            backend_down = False
             for s_idx, sp in self._iter_ladder(req.dag, req.spec, counts):
-                if bound is not None:
+                if bound is not None or abort_reason is not None or backend_down:
                     break
                 if s_idx > 0:
                     counts["respecifications"] += 1
@@ -762,12 +1241,34 @@ class SelectionService:
                         delay = cfg.backoff_s * 2 ** (k - 1)
                         delay *= backoff_jitter(cfg.seed, backend + jitter_tag, s_idx, k)
                         await clock.sleep(delay)
-                    hosts, latency = await self._call(
-                        "select", req.tenant, request_id, (backend, sp)
+                    if clock.now >= deadline_at:
+                        abort_reason = "deadline_exceeded"
+                        observe.inc("service.deadline_aborts")
+                        attempts.append(SelectionAttempt(
+                            backend, s_idx, k, clock.now, "deadline_exceeded"
+                        ))
+                        break
+                    remaining = (
+                        None if deadline_at == math.inf else deadline_at - clock.now
+                    )
+                    hosts, latency, fail_reason = await self._call(
+                        "select",
+                        req.tenant,
+                        request_id,
+                        (backend, sp, s_idx, k, remaining),
                     )
                     # The selection window: churn and the other tenants
                     # race us to the bind.
                     await clock.sleep(latency)
+                    if fail_reason == "breaker_open":
+                        # Route around the open backend: straight to the
+                        # next rung of the backend ladder.
+                        refuse(backend, s_idx, k, "breaker_open")
+                        backend_down = True
+                        break
+                    if fail_reason is not None:  # backend_error | backend_hang
+                        refuse(backend, s_idx, k, fail_reason)
+                        continue
                     if hosts is None or hosts.size < sp.min_size:
                         refuse(backend, s_idx, k, "insufficient",
                                0 if hosts is None else int(hosts.size))
@@ -775,6 +1276,18 @@ class SelectionService:
                     if set(int(h) for h in hosts) & self._churn.dead:
                         refuse(backend, s_idx, k, "host_lost", int(hosts.size))
                         continue
+                    if faults is not None:
+                        stall = faults.bind_stall(
+                            req.tenant, request_id, s_idx, k, clock.now
+                        )
+                        if stall > 0:
+                            # A stalled binder widens the selection window,
+                            # inviting races and host loss.
+                            observe.inc("service.bind_stalls")
+                            await clock.sleep(stall)
+                            if set(int(h) for h in hosts) & self._churn.dead:
+                                refuse(backend, s_idx, k, "host_lost", int(hosts.size))
+                                continue
                     conflicts = await self._call("bind", req.tenant, request_id, hosts)
                     if conflicts:
                         refuse(backend, s_idx, k, "race", int(hosts.size))
@@ -806,6 +1319,7 @@ class SelectionService:
                 turnaround_s=None,
                 baseline_turnaround_s=None,
                 respecs_pruned=counts["respecs_pruned"],
+                abort_reason=abort_reason,
             )
             return TenantOutcome(
                 tenant=req.tenant,
@@ -815,14 +1329,22 @@ class SelectionService:
                 queue_wait_s=wait,
                 outcome=outcome,
                 completion_s=clock.now,
+                priority=req.priority,
             )
 
         assert used_spec is not None
-        held, segments, rescheduled, aborted = await self._run_dag(
-            req, request_id, used_spec, bound, counts
+        if faults is not None and faults.tenant_crash(
+            req.tenant, request_id, "bound", clock.now
+        ):
+            raise InjectedFault(
+                f"injected tenant crash (bound) tenant={req.tenant} rid={request_id}"
+            )
+        held, segments, rescheduled, exec_abort = await self._run_dag(
+            req, request_id, used_spec, bound, counts, deadline_at
         )
-        if aborted:
+        if exec_abort == "host_exhaustion":
             observe.inc("service.execution_aborts")
+        aborted = exec_abort is not None
         baseline = None
         if not aborted:
             baseline = self._baseline(
@@ -846,6 +1368,7 @@ class SelectionService:
             turnaround_s=None if aborted else clock.now - req.arrival_s,
             baseline_turnaround_s=baseline,
             respecs_pruned=counts["respecs_pruned"],
+            abort_reason=exec_abort,
         )
         return TenantOutcome(
             tenant=req.tenant,
@@ -855,6 +1378,7 @@ class SelectionService:
             queue_wait_s=wait,
             outcome=outcome,
             completion_s=clock.now,
+            priority=req.priority,
         )
 
     async def _run_dag(
@@ -864,14 +1388,17 @@ class SelectionService:
         spec: ResourceSpecification,
         bound: np.ndarray,
         counts: dict,
-    ) -> tuple[list[int], int, int, bool]:
+        deadline_at: float = math.inf,
+    ) -> tuple[list[int], int, int, str | None]:
         """Async mirror of ``SelectionPipeline._execute``.
 
-        Returns ``(held hosts, segments, tasks_rescheduled, aborted)``.
+        Returns ``(held hosts, segments, tasks_rescheduled, abort
+        reason)`` — reason ``None`` on success, ``host_exhaustion`` when
+        every host failed with no free replacement, ``deadline_exceeded``
+        when a segment cannot finish inside the request's budget.
         Unlike the pipeline — whose single tenant crashing is fine to
-        surface as an exception — losing every host with no free
-        replacement is reported as an aborted outcome so the service
-        keeps serving the other tenants.
+        surface as an exception — both aborts are reported as outcomes
+        so the service keeps serving the other tenants.
         """
         clock = self._clock
         churn = self._churn
@@ -887,10 +1414,15 @@ class SelectionService:
             schedule = schedule_dag(spec.heuristic, sub, rc)
             t0 = clock.now
             end = t0 + schedule.makespan
+            if end > deadline_at:
+                # The segment cannot finish inside the budget: abort now
+                # rather than burn shared capacity past the deadline.
+                observe.inc("service.deadline_aborts")
+                return hosts, segments, rescheduled, "deadline_exceeded"
             fail = churn.next_failure(set(hosts), until=end)
             if fail is None:
                 await clock.sleep_until(end)
-                return hosts, segments, rescheduled, False
+                return hosts, segments, rescheduled, None
 
             elapsed = fail.time - t0
             unfinished = np.flatnonzero(schedule.finish > elapsed)
@@ -905,10 +1437,10 @@ class SelectionService:
                 counts["rebinds"] += 1
                 observe.inc("pipeline.rebinds")
             if not hosts:
-                return hosts, segments, rescheduled, True
+                return hosts, segments, rescheduled, "host_exhaustion"
             if unfinished.size == 0:
                 # The failure hit after the last task finished on our hosts.
-                return hosts, segments, rescheduled, False
+                return hosts, segments, rescheduled, None
             rescheduled += int(unfinished.size)
             observe.inc("pipeline.tasks_rescheduled", int(unfinished.size))
             sub, orig_ids = _induced_subdag(sub, orig_ids, unfinished)

@@ -165,7 +165,7 @@ def test_parse_churn_spec_roundtrip():
         seed=7,
     )
     assert parse_churn_spec("") == ChurnConfig()
-    with pytest.raises(ValueError, match="known keys"):
+    with pytest.raises(ValueError, match="'frequency'.*accepted keys"):
         parse_churn_spec("frequency=2")
     with pytest.raises(ValueError, match="bad value"):
         parse_churn_spec("fail=often")

@@ -307,7 +307,7 @@ def test_serve_end_to_end_smoke(capsys):
     out = capsys.readouterr().out
     assert "Service outcomes (4 requests)" in out
     assert "fulfilled:" in out
-    assert "admitted=4 refused=0 fulfilled=4" in out
+    assert "admitted=4 refused=0 shed=0 crashed=0 fulfilled=4" in out
 
 
 def test_serve_with_request_file_and_outcome_out(tmp_path, capsys):
@@ -330,13 +330,49 @@ def test_serve_with_request_file_and_outcome_out(tmp_path, capsys):
     assert "queue_wait_p99" in dumped["fairness"]
 
 
-def test_serve_refusals_exit_1(capsys):
+def test_serve_refusals_exit_2(capsys):
+    # Admission-control refusals are an operator capacity problem and get
+    # their own exit code (2), distinct from admitted-but-unfulfilled (1).
     rc = main([
         "serve", "--scale", "smoke", "--tenants", "6", "--seed", "0",
         "--max-inflight", "1", "--queue-capacity", "0",
     ])
-    assert rc == 1
+    assert rc == 2
     assert "REFUSED" in capsys.readouterr().out
+
+
+def test_serve_unfulfilled_exit_1(capsys):
+    # A microscopic deadline lets everyone through admission but aborts
+    # the ladders: admitted-yet-unfulfilled is exit code 1.
+    rc = main([
+        "serve", "--scale", "smoke", "--tenants", "4", "--seed", "3",
+        "--deadline", "0.001",
+    ])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "refused=0" in out
+    assert "deadline_aborts=" in out
+
+
+def test_serve_bad_faults_spec_exits_2(capsys):
+    # Satellite guarantee: a malformed chaos key fails fast with one
+    # readable line naming the key and the accepted set — no traceback.
+    rc = main(["serve", "--scale", "smoke", "--faults", "fial=0.1"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "fial" in err
+    assert "accepted keys" in err
+    assert "Traceback" not in err
+
+
+def test_serve_journal_and_resume_are_mutually_exclusive(tmp_path, capsys):
+    rc = main([
+        "serve", "--scale", "smoke",
+        "--journal", str(tmp_path / "j.jsonl"),
+        "--resume", str(tmp_path / "j.jsonl"),
+    ])
+    assert rc == 2
+    assert "mutually exclusive" in capsys.readouterr().err
 
 
 def test_serve_malformed_request_file_exits_2(tmp_path, capsys):

@@ -129,6 +129,79 @@ def test_env_injector_reaches_map_cells(monkeypatch):
 
 
 # ----------------------------------------------------------------------
+# Service-level injector (repro.service chaos harness)
+# ----------------------------------------------------------------------
+from repro.faults import (  # noqa: E402
+    ServiceFaultInjector,
+    parse_service_spec,
+    service_from_env,
+)
+
+
+def test_service_decisions_are_pure_functions_of_seed_and_key():
+    inj = ServiceFaultInjector(
+        tenant_crash_p=0.5, backend_error_p=0.3, bind_stall_p=0.4, seed=7
+    )
+    # Same key, same answer — regardless of virtual "now".
+    assert inj.tenant_crash(1, 0, "select", 0.0) == inj.tenant_crash(
+        1, 0, "select", 123.0
+    )
+    assert inj.backend_fault("vges", 1, 0, 0, 0, 5.0) == inj.backend_fault(
+        "vges", 1, 0, 0, 0, 99.0
+    )
+    assert inj.bind_stall(1, 0, 0, 0, 5.0) == inj.bind_stall(1, 0, 0, 0, 99.0)
+    # Different attempts draw independently.
+    draws = {inj.backend_fault("vges", 1, 0, 0, a, 0.0) for a in range(20)}
+    assert len(draws) > 1
+
+
+def test_service_targeted_crash_and_stage_gate():
+    inj = ServiceFaultInjector(crash_tenant=3, crash_stage="bound")
+    assert inj.tenant_crash(3, 0, "bound", 0.0)
+    assert not inj.tenant_crash(3, 0, "admit", 0.0)  # wrong stage
+    assert not inj.tenant_crash(2, 0, "bound", 0.0)  # wrong tenant
+
+
+def test_service_until_window_expires_faults():
+    inj = ServiceFaultInjector(
+        backend_error_p=1.0, fault_backend="vges", until_s=40.0
+    )
+    assert inj.backend_fault("vges", 0, 0, 0, 0, 39.9) == "error"
+    assert inj.backend_fault("vges", 0, 0, 0, 0, 40.0) is None  # window over
+    assert inj.backend_fault("classad", 0, 0, 0, 0, 0.0) is None  # other backend
+
+
+def test_service_injector_validation():
+    with pytest.raises(ValueError):
+        ServiceFaultInjector(tenant_crash_p=1.5)
+    with pytest.raises(ValueError):
+        ServiceFaultInjector(backend_error_p=0.7, backend_hang_p=0.7)  # sum > 1
+    with pytest.raises(ValueError):
+        ServiceFaultInjector(crash_stage="binding")  # not a known stage
+    with pytest.raises(ValueError):
+        ServiceFaultInjector(kill_after=-1)
+
+
+def test_parse_service_spec_roundtrip_and_errors(monkeypatch):
+    inj = parse_service_spec(
+        "backend_error=0.2, fault_backend=vges, seed=5, until=40, kill_after=3"
+    )
+    assert inj == ServiceFaultInjector(
+        backend_error_p=0.2, fault_backend="vges", seed=5, until_s=40.0, kill_after=3
+    )
+    # The satellite guarantee: a typo'd key gets one line naming the
+    # bad key and the accepted set.
+    with pytest.raises(ValueError, match="'fial'.*accepted keys"):
+        parse_service_spec("fial=0.1")
+    with pytest.raises(ValueError, match="bad value"):
+        parse_service_spec("backend_error=lots")
+    monkeypatch.delenv("REPRO_SERVICE_FAULTS", raising=False)
+    assert service_from_env() is None
+    monkeypatch.setenv("REPRO_SERVICE_FAULTS", "tenant_crash=0.1,seed=2")
+    assert service_from_env() == ServiceFaultInjector(tenant_crash_p=0.1, seed=2)
+
+
+# ----------------------------------------------------------------------
 # (a) retry-then-succeed is bit-identical to a clean run, any jobs value
 # ----------------------------------------------------------------------
 def test_retry_recovers_injected_raises_serial(clean):

@@ -257,6 +257,35 @@ def test_original_spec_is_never_pruned(platform, small_montage, spec):
     assert outcome.respecs_pruned == 0
 
 
+# ----------------------------------------------------------------------
+# Deadline budgets: the ladder aborts instead of grinding on.
+# ----------------------------------------------------------------------
+def test_deadline_budget_aborts_ladder_with_structured_outcome(platform, small_montage, spec):
+    impossible = dataclasses.replace(
+        spec, size=platform.n_hosts + 50, min_size=platform.n_hosts + 10
+    )
+    churn = _quiet(platform)
+    # Generous retries would normally burn virtual time across 3
+    # backends; a tiny deadline cuts the ladder short instead.
+    pipeline = SelectionPipeline(
+        platform, churn, PipelineConfig(max_retries=5, deadline_s=1e-6), alternatives=[]
+    )
+    with observe.use_registry(observe.MetricsRegistry()) as reg:
+        outcome = pipeline.run(small_montage, impossible)
+    assert not outcome.fulfilled
+    assert outcome.abort_reason == "deadline_exceeded"
+    assert outcome.attempts[-1].result == "deadline_exceeded"
+    assert reg.snapshot()["counters"]["pipeline.deadline_aborts"] == 1
+    assert outcome.to_dict()["abort_reason"] == "deadline_exceeded"
+
+
+def test_unbounded_deadline_is_the_default_and_changes_nothing(platform, small_montage, spec):
+    bounded = _clean_run(platform, small_montage, spec, deadline_s=1e9)
+    unbounded = _clean_run(platform, small_montage, spec)
+    assert bounded.to_dict() == unbounded.to_dict()
+    assert unbounded.abort_reason is None
+
+
 def test_replay_bit_identical_with_preflight_enabled(platform, small_montage, spec):
     # Seeded churn + an unsatisfiable alternative in the ladder: the
     # analyzer consults only the static platform, so replay stays

@@ -136,7 +136,12 @@ def test_counters_cross_check_outcomes(small_platform):
     requests = synthesize_requests(small_platform, 8, seed=3)
     report, counters = _serve(small_platform, requests)
     assert counters["service.admissions"] == report.n_admitted
-    assert counters.get("service.refusals", 0) == report.n_refused
+    # n_refused counts everything admission control turned away — both
+    # hard refusals (queue_full at arrival) and load sheds.
+    assert (
+        counters.get("service.refusals", 0) + counters.get("service.sheds", 0)
+        == report.n_refused
+    )
     assert counters["service.completions"] == report.n_admitted
     assert counters.get("service.bind_conflicts", 0) == _race_attempts(report)
     # Queue-wait gauges equal percentiles of the outcomes' own waits.

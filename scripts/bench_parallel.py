@@ -25,6 +25,7 @@ import subprocess
 import time
 
 from repro.core.size_model import build_observation_knees
+from repro.durability import atomic_write_json
 from repro.experiments import chapter5 as c5
 from repro.experiments.scales import get_scale
 
@@ -91,9 +92,7 @@ def main() -> int:
         "identical_output": True,
         "workload": "build_observation_knees + knee_vs_size + knee_vs_ccr (cache off)",
     }
-    with open(args.output, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    atomic_write_json(args.output, report, indent=2)
     print(json.dumps(report, indent=2))
     return 0
 

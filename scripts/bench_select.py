@@ -30,6 +30,7 @@ import time
 
 import numpy as np
 
+from repro.durability import atomic_write_json
 from repro.resources.binding import Binder
 from repro.resources.churn import ChurnConfig, ResourceChurn
 from repro.resources.generator import ClusterSpec
@@ -247,9 +248,7 @@ def main() -> int:
         "pipeline_replay_identical": replay_ok,
         "results": results,
     }
-    with open(args.output, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    atomic_write_json(args.output, report, indent=2)
     print(json.dumps(report, indent=2))
     return 0
 

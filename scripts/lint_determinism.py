@@ -24,6 +24,13 @@ discipline usually erodes:
   machine's, never the event loop's), and ``loop.time()`` (the event
   loop's wall clock) outside ``observe.py``.  ``asyncio.sleep(0)`` — a
   pure yield point — is allowed.
+* **DET005 — bare durable writes.**  ``*.write_text(...)`` or
+  ``json.dump(...)`` straight to a file, outside ``durability.py`` (the
+  module that owns the write path).  A crash mid-write leaves a torn,
+  unchecksummed file; route through
+  :func:`repro.durability.atomic_write_text` /
+  :func:`~repro.durability.atomic_write_json` /
+  :func:`~repro.durability.write_json_artifact` instead.
 
 A finding is suppressed by a ``# lint: allow`` comment on the offending
 line (optionally with a reason after it).  Run from the repo root::
@@ -44,6 +51,10 @@ from pathlib import Path
 
 #: Files (by name) allowed to read the wall clock: timing is their job.
 WALL_CLOCK_EXEMPT_FILES = {"observe.py"}
+
+#: Files (by name) allowed to write files directly: they *are* the
+#: hardened write path everything else must route through.
+DURABLE_WRITE_EXEMPT_FILES = {"durability.py"}
 
 #: ``module.attr`` call targets that read the wall clock.
 WALL_CLOCK_CALLS = {
@@ -116,6 +127,7 @@ class _Linter(ast.NodeVisitor):
         self.findings: list[Finding] = []
         self._lines = source.splitlines()
         self._wall_clock_ok = path.name in WALL_CLOCK_EXEMPT_FILES
+        self._durable_write_ok = path.name in DURABLE_WRITE_EXEMPT_FILES
         # Parents let DET003 exempt comprehensions fed straight to sorted().
         self._parent: dict[ast.AST, ast.AST] = {}
 
@@ -141,7 +153,36 @@ class _Linter(ast.NodeVisitor):
         target = _dotted(node.func)
         if target is not None:
             self._check_call(node, target)
+        self._check_durable_write(node)
         self.generic_visit(node)
+
+    # -- DET005: unhardened file writes --------------------------------
+
+    def _check_durable_write(self, node: ast.Call) -> None:
+        if self._durable_write_ok:
+            return
+        func = node.func
+        # Any attribute call named write_text — the receiver may be a
+        # name (p.write_text) or an expression (Path(x).write_text), so
+        # match the attribute itself, not a resolvable dotted chain.
+        if isinstance(func, ast.Attribute) and func.attr == "write_text":
+            self._flag(
+                "DET005",
+                node,
+                "bare write_text() is a torn-write hazard (no temp file, "
+                "no fsync, no checksum); use "
+                "repro.durability.atomic_write_text",
+            )
+        elif isinstance(func, ast.Attribute) and func.attr == "dump":
+            target = _dotted(func)
+            if target is not None and tuple(target.split("."))[-2:] == ("json", "dump"):
+                self._flag(
+                    "DET005",
+                    node,
+                    "bare json.dump() to a file is a torn-write hazard; use "
+                    "repro.durability.atomic_write_json (or "
+                    "write_json_artifact for checksummed state)",
+                )
 
     def _check_call(self, node: ast.Call, target: str) -> None:
         parts = tuple(target.split("."))

@@ -33,6 +33,12 @@ Commands
     SWORD XML): contradictions, dead clauses, type errors, unknown
     attributes — optionally with a platform satisfiability preflight.
     Exit code 0 when clean (warnings allowed), 1 on error-level findings.
+``fsck``
+    Verify everything repro keeps on disk — result-cache directories,
+    model files, write-ahead journals — against their checksums and
+    report a per-artifact verdict.  Exit code 0 clean, 1 damage the
+    system recovers from by itself (recompute / resume), 2 damage that
+    needs operator attention (e.g. a corrupt model file).
 """
 
 from __future__ import annotations
@@ -299,9 +305,10 @@ def _cmd_select(args: argparse.Namespace) -> int:
         f"respecs_pruned={outcome.respecs_pruned}"
     )
     if args.outcome_out:
+        from repro.durability import atomic_write_json
+
         try:
-            with open(args.outcome_out, "w", encoding="utf-8") as fh:
-                json.dump(outcome.to_dict(), fh, indent=2)
+            atomic_write_json(args.outcome_out, outcome.to_dict(), indent=2)
         except OSError as exc:
             raise CliError(f"cannot write outcome to {args.outcome_out}: {exc}") from None
         print(f"outcome written to {args.outcome_out}")
@@ -435,9 +442,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"queue_wait_p99={report.fairness.get('queue_wait_p99', 0.0):.2f}s"
     )
     if args.outcome_out:
+        from repro.durability import atomic_write_json
+
         try:
-            with open(args.outcome_out, "w", encoding="utf-8") as fh:
-                json.dump(report.to_dict(), fh, indent=2)
+            atomic_write_json(args.outcome_out, report.to_dict(), indent=2)
         except OSError as exc:
             raise CliError(f"cannot write outcomes to {args.outcome_out}: {exc}") from None
         print(f"outcomes written to {args.outcome_out}")
@@ -450,6 +458,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if report.n_fulfilled < len(report.outcomes):
         return 1
     return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.durability import fsck_exit_code, fsck_paths
+
+    findings = fsck_paths(args.paths, do_quarantine=args.quarantine)
+    if args.json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        shown = [f for f in findings if args.verbose or f.verdict != "skipped"]
+        for finding in shown:
+            print(finding.format())
+        counts = {v: sum(1 for f in findings if f.verdict == v) for v in (
+            "ok", "legacy", "recoverable", "unrecoverable", "skipped")}
+        print(
+            f"checked {len(findings)} file(s): {counts['ok']} ok, "
+            f"{counts['legacy']} legacy, {counts['recoverable']} recoverable, "
+            f"{counts['unrecoverable']} unrecoverable, {counts['skipped']} skipped"
+        )
+    return fsck_exit_code(findings)
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -721,6 +749,40 @@ def main(argv: list[str] | None = None) -> int:
         "--json", action="store_true", help="emit diagnostics as JSON instead of text"
     )
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_fsck = sub.add_parser(
+        "fsck",
+        help="verify on-disk state (caches, journals, model files) against checksums",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  every artifact verified clean\n"
+            "  1  damage the system recovers from on its own: corrupt or\n"
+            "     quarantined cache entries (recomputed on the next run),\n"
+            "     torn journal tails (truncated on --resume), orphaned\n"
+            "     temp files\n"
+            "  2  damage needing operator attention: a corrupt model file\n"
+            "     or mid-journal corruption with no intact copy to fall\n"
+            "     back to, or a path that does not exist"
+        ),
+    )
+    p_fsck.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="files or directories to verify (directories are walked recursively)",
+    )
+    p_fsck.add_argument(
+        "--json", action="store_true", help="emit findings as JSON instead of text"
+    )
+    p_fsck.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="also rename damaged JSON artifacts to *.corrupt so they can "
+        "never be loaded (the same thing the loaders do on first touch)",
+    )
+    p_fsck.add_argument(
+        "--verbose", action="store_true", help="also list skipped (non-artifact) files"
+    )
+    p_fsck.set_defaults(fn=_cmd_fsck)
 
     p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_exp.add_argument("--chapter", type=int, choices=(4, 5, 6, 7), default=None)

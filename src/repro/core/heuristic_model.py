@@ -12,7 +12,6 @@ is small enough that MCP's scheduling time is not amortised).
 from __future__ import annotations
 
 import functools
-import json
 import math
 import warnings
 from dataclasses import dataclass, field
@@ -275,9 +274,24 @@ class HeuristicPredictionModel:
         )
 
     def save(self, path: str | Path) -> None:
-        """Write the model as JSON."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        """Write the model as checksummed JSON, atomically.
+
+        Routed through :mod:`repro.durability` so a crash mid-save never
+        destroys the only copy and disk corruption is caught at
+        :meth:`load` time instead of silently changing predictions.
+        """
+        from repro import durability
+
+        durability.write_json_artifact(path, self.to_dict(), kind="heuristic-model")
 
     @classmethod
     def load(cls, path: str | Path) -> "HeuristicPredictionModel":
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        """Load a model saved by :meth:`save` (verifying its checksum).
+
+        Raises :class:`repro.durability.CorruptArtifactError` — after
+        quarantining the file as ``*.corrupt`` — if the file is damaged.
+        Pre-envelope model files load unchanged.
+        """
+        from repro import durability
+
+        return cls.from_dict(durability.read_json_artifact(path, kind="heuristic-model"))

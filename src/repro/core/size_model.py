@@ -24,7 +24,6 @@ heterogeneity in the observation runs (§V.4).
 from __future__ import annotations
 
 import functools
-import json
 import math
 import warnings
 from dataclasses import dataclass, field
@@ -422,12 +421,29 @@ class SizePredictionModel:
         )
 
     def save(self, path: str | Path) -> None:
-        """Write the model as JSON."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        """Write the model as checksummed JSON, atomically.
+
+        A trained model can be the product of hours of profiling runs,
+        so the write goes through :mod:`repro.durability`: a crash
+        mid-save leaves the previous file intact, and on-disk corruption
+        is detected (and the file quarantined) at :meth:`load` time
+        rather than silently mispredicting.
+        """
+        from repro import durability
+
+        durability.write_json_artifact(path, self.to_dict(), kind="size-model")
 
     @classmethod
     def load(cls, path: str | Path) -> "SizePredictionModel":
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        """Load a model saved by :meth:`save` (verifying its checksum).
+
+        Raises :class:`repro.durability.CorruptArtifactError` — after
+        quarantining the file as ``*.corrupt`` — if the file is damaged.
+        Pre-envelope model files load unchanged.
+        """
+        from repro import durability
+
+        return cls.from_dict(durability.read_json_artifact(path, kind="size-model"))
 
 
 def _bracket(values: tuple, x: float) -> tuple[float, float, float]:

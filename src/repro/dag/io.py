@@ -113,8 +113,14 @@ def _check_acyclic(name: str, n: int, rows: list[tuple[int, int, float]]) -> Non
 
 
 def save_dag(dag: DAG, path: str | Path) -> None:
-    """Write ``dag`` to ``path`` as JSON."""
-    Path(path).write_text(json.dumps(dag_to_dict(dag)))
+    """Atomically write ``dag`` to ``path`` as JSON.
+
+    The format stays plain JSON (no checksum envelope): DAG files are a
+    hand-editable interchange format, not internal state.
+    """
+    from repro.durability import atomic_write_json
+
+    atomic_write_json(path, dag_to_dict(dag))
 
 
 def load_dag(path: str | Path) -> DAG:

@@ -1,0 +1,501 @@
+"""Durable storage: checksummed, atomic persistence for every artifact.
+
+Everything long-running in this reproduction leans on disk — the sweep
+:class:`~repro.parallel.ResultCache` and its per-cell checkpoints,
+trained model files, ``SelectionOutcome``/metrics exports, and the
+service's write-ahead journal.  This module is the single layer all of
+them write through, with two invariants:
+
+**Atomicity — a reader sees the old file or the new file, never a mix.**
+:func:`atomic_write_bytes` (and the text/JSON wrappers) writes a temp
+file *in the target directory*, flushes and ``fsync``\\ s it, renames it
+over the target with ``os.replace``, then ``fsync``\\ s the directory so
+the rename itself is durable.  A crash at any step leaves either the old
+content (plus, at worst, a ``*.tmp`` dropping) or the complete new
+content.
+
+**Verifiability — corruption is detected, quarantined, and recovered
+from; it is never silently read.**  :func:`write_json_artifact` frames a
+JSON payload with a schema-versioned envelope carrying a sha256 over the
+payload's canonical encoding; :func:`read_json_artifact` verifies it and,
+on mismatch, renames the damaged file to ``*.corrupt``
+(:func:`quarantine`) and raises :class:`CorruptArtifactError` — the
+caller recomputes (cache), retrains (models), or reports (``repro
+fsck``).  Pre-envelope ("legacy") files remain readable.
+
+Fault injection: :func:`use_disk_faults` installs a
+:class:`repro.faults.DiskFaultInjector` on the write path — torn writes,
+seeded bit flips, ``ENOSPC``/``EIO``, crash-before-rename, and
+fsync-dropped power cuts — so the chaos suite can prove the invariants
+above for every persistence surface.
+
+:func:`fsck_paths` implements ``repro fsck``: it classifies every file
+under the given paths (cache entries, journals, model files, temp/
+quarantine droppings), verifies checksums, and reports per-artifact
+verdicts.  Exit-code convention (:func:`fsck_exit_code`): 0 clean,
+1 corrupt-but-recoverable, 2 unrecoverable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.faults import DiskFaultInjector, InjectedCrash, disk_from_env
+
+__all__ = [
+    "ArtifactKindError",
+    "CorruptArtifactError",
+    "FRAMING_VERSION",
+    "FsckFinding",
+    "active_injector",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "frame_payload",
+    "fsck_exit_code",
+    "fsck_paths",
+    "payload_digest",
+    "quarantine",
+    "read_json_artifact",
+    "unframe_payload",
+    "use_disk_faults",
+    "write_json_artifact",
+]
+
+#: Bump when the envelope schema changes incompatibly.
+FRAMING_VERSION = 1
+
+#: Envelope field names — deliberately verbose so they can never collide
+#: with a payload's own keys (models, cache entries, reports).
+KIND_KEY = "repro_artifact"
+VERSION_KEY = "repro_format_version"
+SHA_KEY = "repro_sha256"
+_ENVELOPE_KEYS = (KIND_KEY, VERSION_KEY, SHA_KEY)
+
+#: Suffix quarantined artifacts are renamed to.
+CORRUPT_SUFFIX = ".corrupt"
+
+
+class CorruptArtifactError(ValueError):
+    """An on-disk artifact failed checksum / framing verification."""
+
+
+class ArtifactKindError(CorruptArtifactError):
+    """A valid artifact of the wrong kind (e.g. a heuristic-model file
+    passed where a size model was expected).  The file itself is intact,
+    so it is *not* quarantined."""
+
+
+# ----------------------------------------------------------------------
+# Disk-fault hook
+# ----------------------------------------------------------------------
+# Subprocess-level chaos: exporting REPRO_DISK_FAULTS (see
+# repro.faults.parse_disk_spec) arms an injector for the whole process,
+# which is how the CLI-driving chaos tests reach in-process write paths.
+_injector: DiskFaultInjector | None = disk_from_env()
+
+
+def active_injector() -> DiskFaultInjector | None:
+    """The disk-fault injector currently installed, or ``None``."""
+    return _injector
+
+
+@contextmanager
+def use_disk_faults(injector: DiskFaultInjector) -> Iterator[DiskFaultInjector]:
+    """Install ``injector`` on the durable write path for the duration.
+
+    Every :func:`atomic_write_bytes` call (and every
+    :class:`repro.journal.Journal` append) inside the context consults
+    it.  Used by the chaos suite; never active in production runs unless
+    ``REPRO_DISK_FAULTS`` is exported deliberately.
+    """
+    global _injector
+    previous = _injector
+    _injector = injector
+    try:
+        yield injector
+    finally:
+        _injector = previous
+
+
+# ----------------------------------------------------------------------
+# Atomic writers
+# ----------------------------------------------------------------------
+def _fsync_dir(dirpath: Path) -> None:
+    """Fsync a directory so a just-committed rename is durable.
+
+    Best-effort: platforms that cannot open directories (Windows) skip
+    it — the rename is still atomic there, just not power-cut-proof.
+    """
+    try:
+        fd = os.open(dirpath, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, *, mkdir: bool = False) -> Path:
+    """Crash-safe whole-file write; returns the target path.
+
+    Temp file in the target directory → write → flush + ``fsync`` →
+    ``os.replace`` → directory ``fsync``.  Concurrent readers and any
+    post-crash reader see either the complete old file or the complete
+    new file.  On an ordinary failure (e.g. ``ENOSPC``) the temp file is
+    removed and the error propagates; on an injected crash the droppings
+    stay, as they would after a real kill.
+
+    ``mkdir`` creates missing parent directories first; the default
+    (off) keeps a mistyped output path an error, not a surprise tree.
+    """
+    path = Path(path)
+    if mkdir:
+        path.parent.mkdir(parents=True, exist_ok=True)
+    inj = _injector
+    if inj is not None:
+        inj.begin_write(str(path))
+        data = inj.mutate(str(path), data)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            if inj is not None:
+                inj.check_write(str(path))
+            fh.write(data)
+            fh.flush()
+            if inj is None or inj.fsync_ok():
+                os.fsync(fh.fileno())
+        if inj is not None:
+            inj.fire_commit_crash(str(path))
+        os.replace(tmp, path)
+    except InjectedCrash:
+        raise  # a crash leaves its droppings, exactly like a real one
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
+    if inj is not None:
+        inj.fire_power_cut(str(path), path)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> Path:
+    """Crash-safe replacement for ``Path.write_text``."""
+    return atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(
+    path: str | Path,
+    obj: Any,
+    *,
+    indent: int | None = None,
+    sort_keys: bool = False,
+) -> Path:
+    """Crash-safe replacement for ``json.dump`` straight to a file.
+
+    The output ends in a newline.  Use this for plain exports consumed
+    by other tools (outcomes, metrics, benchmark reports); use
+    :func:`write_json_artifact` when the file will be read back by this
+    codebase and should be checksum-verified.
+    """
+    body = json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
+    return atomic_write_bytes(path, body.encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Checksummed, schema-versioned framing
+# ----------------------------------------------------------------------
+def payload_digest(payload: Any) -> str:
+    """sha256 hex digest of the canonical JSON encoding of ``payload``."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def frame_payload(payload: dict, kind: str) -> dict:
+    """``payload`` with the checksum envelope folded in (flat, readable).
+
+    The envelope adds three reserved keys (artifact kind, framing
+    version, sha256 over the canonical encoding of the payload alone);
+    the payload's own keys stay at the top level so framed files remain
+    human-readable and diff-friendly.
+    """
+    if not isinstance(payload, dict):
+        raise TypeError(f"framed payloads must be dicts, got {type(payload).__name__}")
+    clash = [k for k in _ENVELOPE_KEYS if k in payload]
+    if clash:
+        raise ValueError(f"payload uses reserved envelope key(s): {clash}")
+    return {
+        KIND_KEY: kind,
+        VERSION_KEY: FRAMING_VERSION,
+        SHA_KEY: payload_digest(payload),
+        **payload,
+    }
+
+
+def unframe_payload(
+    obj: Any, kind: str | None = None, *, source: str = "artifact"
+) -> tuple[dict, str]:
+    """Verify and strip the envelope; returns ``(payload, kind)``.
+
+    Raises :class:`CorruptArtifactError` on a missing/mangled envelope,
+    an unknown framing version, or a checksum mismatch — and
+    :class:`ArtifactKindError` when the artifact is intact but its kind
+    is not the expected one.
+    """
+    if not isinstance(obj, dict) or KIND_KEY not in obj:
+        if isinstance(obj, dict) and any(k in obj for k in _ENVELOPE_KEYS):
+            raise CorruptArtifactError(
+                f"{source}: damaged envelope (the {KIND_KEY!r} tag is missing "
+                f"but other envelope keys are present)"
+            )
+        raise CorruptArtifactError(f"{source}: missing checksum envelope")
+    version = obj.get(VERSION_KEY)
+    if version != FRAMING_VERSION:
+        raise CorruptArtifactError(
+            f"{source}: framing version {version!r}, expected {FRAMING_VERSION}"
+        )
+    found_kind = str(obj[KIND_KEY])
+    payload = {k: v for k, v in obj.items() if k not in _ENVELOPE_KEYS}
+    digest = payload_digest(payload)
+    if obj.get(SHA_KEY) != digest:
+        raise CorruptArtifactError(
+            f"{source}: checksum mismatch (stored {str(obj.get(SHA_KEY))[:12]}…, "
+            f"computed {digest[:12]}…) — the file was corrupted on disk"
+        )
+    if kind is not None and found_kind != kind:
+        raise ArtifactKindError(
+            f"{source}: artifact kind {found_kind!r}, expected {kind!r}"
+        )
+    return payload, found_kind
+
+
+def quarantine(path: str | Path) -> Path | None:
+    """Rename a damaged artifact to ``*.corrupt``; returns the new path.
+
+    Quarantining (rather than deleting) preserves the evidence for
+    ``repro fsck`` and post-mortems while guaranteeing the artifact can
+    never be loaded again.  Best-effort: returns ``None`` if the rename
+    itself fails.
+    """
+    path = Path(path)
+    target = path.with_name(path.name + CORRUPT_SUFFIX)
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    return target
+
+
+def write_json_artifact(
+    path: str | Path, payload: dict, kind: str, *, indent: int | None = 2, mkdir: bool = False
+) -> Path:
+    """Atomically persist ``payload`` under a checksummed envelope."""
+    body = json.dumps(frame_payload(payload, kind), indent=indent) + "\n"
+    return atomic_write_bytes(path, body.encode("utf-8"), mkdir=mkdir)
+
+
+def read_json_artifact(
+    path: str | Path,
+    kind: str | None = None,
+    *,
+    legacy_ok: bool = True,
+    quarantine_on_error: bool = True,
+) -> dict:
+    """Load and verify an artifact written by :func:`write_json_artifact`.
+
+    Corruption (unparseable JSON, bad checksum, wrong framing version)
+    quarantines the file as ``*.corrupt`` and raises
+    :class:`CorruptArtifactError`.  With ``legacy_ok`` (the default), a
+    valid JSON document without an envelope is returned as-is — the
+    pre-durability format stays loadable.  A kind mismatch raises
+    :class:`ArtifactKindError` without quarantining (the file is fine,
+    the caller asked for the wrong thing).  ``FileNotFoundError`` and
+    other ``OSError``\\ s propagate untouched.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    try:
+        obj = json.loads(raw)
+    except ValueError as exc:
+        if quarantine_on_error:
+            quarantine(path)
+        raise CorruptArtifactError(f"{path}: unparseable JSON ({exc})") from None
+    # Any envelope key counts as "framed": a bit flip that mangles the
+    # kind tag itself must read as corruption, not as a legacy file.
+    if isinstance(obj, dict) and any(k in obj for k in _ENVELOPE_KEYS):
+        try:
+            payload, _ = unframe_payload(obj, kind, source=str(path))
+        except ArtifactKindError:
+            raise
+        except CorruptArtifactError:
+            if quarantine_on_error:
+                quarantine(path)
+            raise
+        return payload
+    if legacy_ok:
+        return obj
+    if quarantine_on_error:
+        quarantine(path)
+    raise CorruptArtifactError(f"{path}: missing checksum envelope")
+
+
+# ----------------------------------------------------------------------
+# fsck: offline verification of everything on disk
+# ----------------------------------------------------------------------
+#: Artifact kinds whose loss is absorbed by recomputation.
+_RECOVERABLE_KINDS = {"cache-entry"}
+
+#: ``<sha256>.json`` — the result cache's entry naming scheme.
+_CACHE_ENTRY_NAME = re.compile(r"^[0-9a-f]{64}\.json$")
+
+
+@dataclass(frozen=True)
+class FsckFinding:
+    """One artifact's verdict from :func:`fsck_paths`.
+
+    ``verdict`` is one of ``ok`` (verified), ``legacy`` (valid but
+    unchecksummed, pre-durability format), ``recoverable`` (damaged but
+    the system recomputes/resumes around it), ``unrecoverable`` (damaged
+    and irreplaceable — e.g. a corrupt model file), or ``skipped`` (not
+    a repro artifact).
+    """
+
+    path: Path
+    verdict: str
+    kind: str
+    detail: str
+
+    def format(self) -> str:
+        """Render as ``path: VERDICT kind (detail)`` for the CLI."""
+        v = self.verdict.upper() if self.verdict in ("recoverable", "unrecoverable") else self.verdict
+        return f"{self.path}: {v} {self.kind} ({self.detail})"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (``repro fsck --json``)."""
+        return {
+            "path": str(self.path),
+            "verdict": self.verdict,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+
+def _fsck_journal(path: Path) -> FsckFinding:
+    from repro.journal import JournalError
+    from repro.journal import load as load_journal
+
+    try:
+        loaded = load_journal(str(path))
+    except JournalError as exc:
+        return FsckFinding(path, "unrecoverable", "journal", str(exc))
+    size = path.stat().st_size
+    if loaded.clean_bytes < size:
+        return FsckFinding(
+            path,
+            "recoverable",
+            "journal",
+            f"torn tail ({size - loaded.clean_bytes} bytes past the last intact "
+            f"record; truncated on --resume), {len(loaded.batches)} clean batch(es)",
+        )
+    return FsckFinding(
+        path, "ok", "journal", f"header + {len(loaded.batches)} checksummed batch record(s)"
+    )
+
+
+def _fsck_json(path: Path, *, do_quarantine: bool) -> FsckFinding:
+    raw = path.read_bytes()
+    try:
+        obj = json.loads(raw)
+    except ValueError as exc:
+        if _CACHE_ENTRY_NAME.match(path.name):
+            verdict, kind, tail = "recoverable", "cache-entry", "recomputed on next run"
+        else:
+            verdict, kind, tail = "unrecoverable", "json", "no intact copy to fall back to"
+        if do_quarantine:
+            quarantine(path)
+        return FsckFinding(path, verdict, kind, f"unparseable JSON ({exc}); {tail}")
+    if isinstance(obj, dict) and any(k in obj for k in _ENVELOPE_KEYS):
+        kind = str(obj.get(KIND_KEY, "unknown"))
+        try:
+            unframe_payload(obj, source=str(path))
+        except CorruptArtifactError as exc:
+            recoverable = kind in _RECOVERABLE_KINDS or bool(
+                _CACHE_ENTRY_NAME.match(path.name)
+            )
+            verdict = "recoverable" if recoverable else "unrecoverable"
+            if do_quarantine:
+                quarantine(path)
+            return FsckFinding(path, verdict, kind, str(exc))
+        return FsckFinding(path, "ok", kind, "checksum verified")
+    return FsckFinding(
+        path, "legacy", "json", "valid JSON without a checksum envelope (pre-durability)"
+    )
+
+
+def _fsck_file(path: Path, *, do_quarantine: bool) -> FsckFinding:
+    name = path.name
+    if name.endswith(CORRUPT_SUFFIX):
+        return FsckFinding(
+            path, "recoverable", "quarantined",
+            "already quarantined by a previous run; delete once investigated",
+        )
+    if name.endswith(".tmp"):
+        return FsckFinding(
+            path, "recoverable", "temp",
+            "orphaned temp file from an interrupted write; safe to delete "
+            "(the cache prunes these automatically)",
+        )
+    if name.endswith(".jsonl"):
+        return _fsck_journal(path)
+    if name.endswith(".json"):
+        return _fsck_json(path, do_quarantine=do_quarantine)
+    return FsckFinding(path, "skipped", "unknown", "not a repro artifact")
+
+
+def fsck_paths(
+    paths: Sequence[str | Path] | Iterable[str | Path], *, do_quarantine: bool = False
+) -> list[FsckFinding]:
+    """Verify every artifact under ``paths``; returns one finding each.
+
+    Directories are walked recursively (sorted, so output is stable);
+    ``do_quarantine`` additionally renames damaged JSON artifacts to
+    ``*.corrupt`` so they can never be loaded again.
+    """
+    findings: list[FsckFinding] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            files = sorted(q for q in p.rglob("*") if q.is_file())
+        elif p.is_file():
+            files = [p]
+        else:
+            findings.append(
+                FsckFinding(p, "unrecoverable", "missing", "no such file or directory")
+            )
+            continue
+        for f in files:
+            findings.append(_fsck_file(f, do_quarantine=do_quarantine))
+    return findings
+
+
+def fsck_exit_code(findings: Sequence[FsckFinding]) -> int:
+    """0 clean / 1 corrupt-but-recoverable / 2 unrecoverable."""
+    if any(f.verdict == "unrecoverable" for f in findings):
+        return 2
+    if any(f.verdict == "recoverable" for f in findings):
+        return 1
+    return 0

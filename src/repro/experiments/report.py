@@ -74,7 +74,7 @@ class Report:
         return "\n\n".join([f"# {self.title}"] + self._sections) + "\n"
 
     def write(self, path: str | Path) -> Path:
-        """Write the document to ``path`` and return it."""
-        p = Path(path)
-        p.write_text(self.render())
-        return p
+        """Atomically write the document to ``path`` and return it."""
+        from repro.durability import atomic_write_text
+
+        return atomic_write_text(path, self.render())

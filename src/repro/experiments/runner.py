@@ -33,7 +33,6 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from pathlib import Path
 
 import repro.observe as observe
 from repro.core.heuristic_model import HeuristicPredictionModel
@@ -308,12 +307,25 @@ def main(argv: list[str] | None = None) -> int:
                             run_chapter7(scale, seed=args.seed, jobs=args.jobs, cache_dir=cache_dir)
                     print(f"===== Chapter {ch} done in {time.perf_counter() - t0:.1f}s =====\n")
         finally:
+            metrics_failed = False
             if args.metrics_out:
-                Path(args.metrics_out).write_text(registry.to_json())
-                print(f"[metrics] written to {args.metrics_out}", file=sys.stderr)
+                from repro.durability import atomic_write_text
+
+                try:
+                    atomic_write_text(args.metrics_out, registry.to_json())
+                except OSError as exc:
+                    # A full disk at the end of an hours-long sweep should
+                    # cost one readable line, not a traceback.
+                    print(
+                        f"error: cannot write metrics to {args.metrics_out}: {exc}",
+                        file=sys.stderr,
+                    )
+                    metrics_failed = True
+                else:
+                    print(f"[metrics] written to {args.metrics_out}", file=sys.stderr)
             if args.trace:
                 print(registry.render_table(), file=sys.stderr)
-    return 0
+    return 1 if metrics_failed else 0
 
 
 if __name__ == "__main__":

@@ -54,21 +54,47 @@ strings live in the ``REPRO_SERVICE_FAULTS`` environment variable or the
 ``repro serve --faults`` flag::
 
     REPRO_SERVICE_FAULTS="backend_error=0.3,fault_backend=vges,seed=7"
+
+Disk-level injection
+--------------------
+:class:`DiskFaultInjector` simulates the failure modes of the storage
+underneath every durable artifact (result cache, checkpoints, model
+files, exports, the service journal).  It is consulted by the write path
+of :mod:`repro.durability` when installed with
+:func:`repro.durability.use_disk_faults`: torn writes (a crash after N
+bytes), seeded single-bit flips (silent media corruption), ``ENOSPC`` /
+``EIO`` on the K-th write, a crash between writing and renaming, and a
+"power cut" that drops ``fsync`` so a committed file loses its tail.
+Crashes surface as :class:`InjectedCrash` — raised *instead of* letting
+the interpreter continue, exactly where a real kill would stop it — and
+leave the same on-disk droppings a real crash leaves (temp files, torn
+journal tails).  The chaos suite (``tests/test_disk_faults.py``) uses it
+to prove every persistence surface yields either the old state or the
+new state, never a silently wrong read.  The bit-flip position is a pure
+function of ``(seed, artifact name, payload length)`` — deterministic
+like every other injector in this module.  Spec strings follow the same
+``k=v,k=v`` shape via :func:`parse_disk_spec` or the
+``REPRO_DISK_FAULTS`` environment variable.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import math
 import os
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 __all__ = [
+    "DiskFaultInjector",
     "FaultInjector",
+    "InjectedCrash",
     "InjectedFault",
     "ServiceFaultInjector",
+    "disk_from_env",
     "from_env",
+    "parse_disk_spec",
     "parse_spec",
     "parse_service_spec",
     "service_from_env",
@@ -80,6 +106,9 @@ ENV_VAR = "REPRO_FAULTS"
 #: Environment variable holding a *service* fault spec string.
 SERVICE_ENV_VAR = "REPRO_SERVICE_FAULTS"
 
+#: Environment variable holding a *disk* fault spec string.
+DISK_ENV_VAR = "REPRO_DISK_FAULTS"
+
 #: Exit status used by injected worker kills (distinguishable in logs
 #: from ordinary crashes).
 KILL_EXIT_CODE = 43
@@ -87,6 +116,18 @@ KILL_EXIT_CODE = 43
 
 class InjectedFault(RuntimeError):
     """Raised by a ``raise``-kind injected fault."""
+
+
+class InjectedCrash(RuntimeError):
+    """A simulated process death during a durable write.
+
+    Raised by :class:`DiskFaultInjector` at the exact point a real crash
+    would stop the interpreter (mid temp-file write, before the rename,
+    or in the un-fsynced window after it).  The write path deliberately
+    does *not* clean up after this exception — droppings (temp files,
+    torn journal tails) stay on disk, just as a real kill leaves them,
+    so recovery and ``repro fsck`` can be exercised against them.
+    """
 
 
 @dataclass(frozen=True)
@@ -271,6 +312,129 @@ class ServiceFaultInjector:
 
 
 # ----------------------------------------------------------------------
+# Disk-level fault injection (the chaos harness of repro.durability)
+# ----------------------------------------------------------------------
+@dataclass
+class DiskFaultInjector:
+    """Seeded injector of disk failures for the durable write path.
+
+    Installed with :func:`repro.durability.use_disk_faults`; every
+    durable write (atomic file replace, journal append) then consults
+    it.  ``on_write`` selects which write the fault arms on (1-based
+    count of durable writes seen by this injector; ``0`` = every
+    write), so a chaos test can target e.g. "the checkpoint of the
+    third sweep cell" precisely and deterministically.
+
+    Fault kinds (any combination, all gated on ``on_write``):
+
+    ``torn_after=N``
+        The write is cut after ``N`` bytes and the process "dies"
+        (:class:`InjectedCrash`) before the rename/commit — the classic
+        crash mid-``write``.  For atomic writers the target file keeps
+        its old content and a ``*.tmp`` dropping is left; for the
+        append-only journal the torn bytes become the torn tail that
+        :func:`repro.journal.load` truncates on resume.
+    ``flip_bit=1``
+        One bit of the written payload is flipped at a position derived
+        purely from ``(seed, artifact name, payload length)`` — silent
+        media corruption that only checksum verification can catch.
+    ``err=enospc`` / ``err=eio`` (``err_kind``)
+        The write raises the corresponding :class:`OSError` instead of
+        writing — a full disk or a dying device.  No crash: the caller
+        is expected to surface a clean one-line error.
+    ``crash_before_rename=1``
+        The temp file is fully written and fsynced, then the process
+        dies before ``os.replace`` — old state must survive.
+    ``drop_fsync=1`` + ``power_cut_keep=N``
+        ``fsync`` calls are silently dropped and, right after the
+        commit, a power cut truncates the *final* file to ``N`` bytes —
+        the un-flushed page-cache tail is lost.  This deliberately
+        violates atomicity to prove the *read* side detects and
+        quarantines the damage instead of serving it.
+    """
+
+    seed: int = 0
+    on_write: int = 1
+    torn_after: int = -1
+    flip_bit: bool = False
+    err_kind: str = ""
+    crash_before_rename: bool = False
+    drop_fsync: bool = False
+    power_cut_keep: int = -1
+    _writes: int = field(default=0, repr=False, compare=False)
+    _armed: bool = field(default=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.err_kind not in ("", "enospc", "eio"):
+            raise ValueError(f"err_kind must be '', 'enospc' or 'eio', got {self.err_kind!r}")
+        if self.on_write < 0:
+            raise ValueError(f"on_write must be >= 0 (0 = every write), got {self.on_write!r}")
+        if self.power_cut_keep >= 0 and not self.drop_fsync:
+            raise ValueError(
+                "power_cut_keep requires drop_fsync: with fsync honoured the "
+                "payload is durable before the rename, so no tail can be lost"
+            )
+
+    # ------------------------------------------------------------------
+    def begin_write(self, name: str) -> None:
+        """Count one durable write and arm the faults if it is targeted."""
+        self._writes += 1
+        self._armed = self.on_write == 0 or self._writes == self.on_write
+
+    def mutate(self, name: str, data: bytes) -> bytes:
+        """The bytes that actually hit the disk for this write."""
+        if not self._armed:
+            return data
+        if 0 <= self.torn_after < len(data):
+            data = data[: self.torn_after]
+        if self.flip_bit and data:
+            # Key on the basename, not the full path: cache entries and
+            # model files have content-derived/fixed names, so the flip
+            # position is reproducible across scratch directories.
+            base = name.replace("\\", "/").rsplit("/", 1)[-1]
+            h = hashlib.sha256(
+                f"diskflip:{self.seed}:{base}:{len(data)}".encode("utf-8")
+            ).digest()
+            pos = int.from_bytes(h[:8], "little") % (len(data) * 8)
+            flipped = bytearray(data)
+            flipped[pos // 8] ^= 1 << (pos % 8)
+            data = bytes(flipped)
+        return data
+
+    def check_write(self, name: str) -> None:
+        """Raise the configured ``OSError`` (ENOSPC/EIO) if armed."""
+        if self._armed and self.err_kind:
+            code = errno.ENOSPC if self.err_kind == "enospc" else errno.EIO
+            raise OSError(code, os.strerror(code), name)
+
+    def fsync_ok(self) -> bool:
+        """Whether fsync is honoured for the current write."""
+        return not (self._armed and self.drop_fsync)
+
+    def fire_commit_crash(self, name: str) -> None:
+        """Die (if armed) at the point just before the commit/rename."""
+        if not self._armed:
+            return
+        if self.torn_after >= 0:
+            raise InjectedCrash(
+                f"injected torn write: crashed after {self.torn_after} bytes of {name}"
+            )
+        if self.crash_before_rename:
+            raise InjectedCrash(f"injected crash before rename of {name}")
+
+    def fire_power_cut(self, name: str, path: "os.PathLike[str] | str") -> None:
+        """Apply the post-commit power cut (if armed): truncate + die."""
+        if not (self._armed and self.power_cut_keep >= 0):
+            return
+        with open(path, "r+b") as fh:
+            fh.truncate(self.power_cut_keep)
+        raise InjectedCrash(
+            f"injected power cut after commit of {name}: fsync was dropped, "
+            f"only the first {self.power_cut_keep} bytes survived"
+        )
+
+
+# ----------------------------------------------------------------------
 # Spec parsing / environment activation
 # ----------------------------------------------------------------------
 _SPEC_KEYS = {
@@ -324,9 +488,38 @@ def _parse_kv_spec(spec: str, keys: dict, what: str) -> dict[str, object]:
     return kwargs
 
 
+def _as_bool(value: str) -> bool:
+    """``1/true/yes/on`` → True; ``0/false/no/off`` → False."""
+    v = value.strip().lower()
+    if v in ("1", "true", "yes", "on"):
+        return True
+    if v in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"expected a boolean, got {value!r}")
+
+
+_DISK_SPEC_KEYS = {
+    "seed": ("seed", int),
+    "on_write": ("on_write", int),
+    "torn_after": ("torn_after", int),
+    "flip_bit": ("flip_bit", _as_bool),
+    "err": ("err_kind", str),
+    "crash_before_rename": ("crash_before_rename", _as_bool),
+    "drop_fsync": ("drop_fsync", _as_bool),
+    "power_cut_keep": ("power_cut_keep", int),
+}
+
+
 def parse_spec(spec: str) -> FaultInjector:
     """Build a :class:`FaultInjector` from a ``k=v,k=v`` spec string."""
     return FaultInjector(**_parse_kv_spec(spec, _SPEC_KEYS, "fault"))  # type: ignore[arg-type]
+
+
+def parse_disk_spec(spec: str) -> DiskFaultInjector:
+    """Build a :class:`DiskFaultInjector` from a ``k=v,k=v`` string."""
+    return DiskFaultInjector(
+        **_parse_kv_spec(spec, _DISK_SPEC_KEYS, "disk fault")  # type: ignore[arg-type]
+    )
 
 
 def parse_service_spec(spec: str) -> ServiceFaultInjector:
@@ -350,3 +543,11 @@ def service_from_env() -> ServiceFaultInjector | None:
     if not spec:
         return None
     return parse_service_spec(spec)
+
+
+def disk_from_env() -> DiskFaultInjector | None:
+    """The injector described by ``REPRO_DISK_FAULTS``, or ``None``."""
+    spec = os.environ.get(DISK_ENV_VAR, "").strip()
+    if not spec:
+        return None
+    return parse_disk_spec(spec)

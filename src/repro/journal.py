@@ -9,9 +9,9 @@ state, then keep serving.  The proof obligation (tested in
 ``tests/test_service_chaos.py``) is that a killed-and-resumed run ends
 bit-identical to an uninterrupted same-seed run.
 
-File format — JSON Lines, one record per line:
+File format v2 — JSON Lines, one checksummed record per line:
 
-``{"kind": "header", "version": 1, "inputs": "<sha256>"}``
+``{"kind": "header", "version": 2, "inputs": "<sha256>", "crc": "<16 hex>"}``
     First line.  ``inputs`` digests everything that determines the
     batch sequence (platform, churn, requests, service config, fault
     spec) *except* the interleave seed, which provably does not affect
@@ -19,17 +19,26 @@ File format — JSON Lines, one record per line:
     not match the current invocation: replaying ops against different
     inputs would silently corrupt state.
 
-``{"kind": "batch", "i": N, "t": <virtual s>, "ops": [[kind, tenant, rid], ...], "sha": "<state digest>"}``
+``{"kind": "batch", "i": N, "t": <virtual s>, "ops": [[kind, tenant, rid], ...], "sha": "<state digest>", "crc": "<16 hex>"}``
     One dispatcher batch.  ``sha`` is the digest of shared state as the
     batch is *about to apply* (write-ahead: the record is durable before
     any op mutates state); replay verifies it per batch, so any
     divergence is caught at the first bad batch, not at the end.
 
+Every record additionally carries ``crc`` — the first 16 hex chars of
+sha256 over the record's canonical encoding *without* the ``crc`` field
+— so a bit flip anywhere in the file is detected on load, not replayed
+into state.  v1 journals (no ``crc``) are refused with a version
+diagnostic; delete and re-run, or keep the old binary to replay them.
+
 Durability: each record is written and flushed (``flush`` + ``fsync``)
 before the batch mutates state — write-ahead in the WAL sense.  A
 process killed mid-write leaves at most one torn final line;
 :func:`load` tolerates exactly that (the torn tail is truncated on
-resume) and treats any earlier corruption as a hard error.
+resume) and treats any earlier corruption as a hard error naming the
+offending line and batch record.  Writes route through the disk-fault
+hook in :mod:`repro.durability` so the chaos suite can tear, flip, and
+power-cut journal appends.
 """
 
 from __future__ import annotations
@@ -42,7 +51,11 @@ from typing import IO, Any
 
 __all__ = ["Journal", "JournalError", "JOURNAL_VERSION"]
 
-JOURNAL_VERSION = 1
+JOURNAL_VERSION = 2
+
+#: Per-record checksum field.  Batch records already use ``sha`` for the
+#: shared-state digest, so the line-level checksum gets its own name.
+_CRC_KEY = "crc"
 
 
 class JournalError(RuntimeError):
@@ -53,6 +66,17 @@ def _dumps(record: dict[str, Any]) -> str:
     # Canonical encoding: sorted keys, no whitespace — byte-stable so the
     # divergence check below can compare records, not re-parsed dicts.
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _crc(record: dict[str, Any]) -> str:
+    # 16 hex chars of sha256 over the canonical record (sans crc field):
+    # plenty to catch disk corruption, short enough to keep lines lean.
+    return hashlib.sha256(_dumps(record).encode("utf-8")).hexdigest()[:16]
+
+
+def _frame(record: dict[str, Any]) -> str:
+    """Canonical line for ``record`` with its checksum folded in."""
+    return _dumps({**record, _CRC_KEY: _crc(record)})
 
 
 @dataclass
@@ -88,6 +112,7 @@ def load(path: str) -> LoadedJournal:
     records: list[dict[str, Any]] = []
     offset = 0
     for lineno, line in enumerate(lines, start=1):
+        where = f"line {lineno}" if lineno == 1 else f"line {lineno} (batch record {lineno - 2})"
         try:
             rec = json.loads(line)
         except ValueError:
@@ -96,7 +121,27 @@ def load(path: str) -> LoadedJournal:
                 # tail case (e.g. killed after newline of a partial rec).
                 break
             raise JournalError(
-                f"journal {path!r} corrupt at line {lineno}"
+                f"journal {path!r} corrupt at {where}: unparseable record"
+            ) from None
+        stored = rec.pop(_CRC_KEY, None) if isinstance(rec, dict) else None
+        if not isinstance(rec, dict) or stored != _crc(rec):
+            if (
+                isinstance(rec, dict)
+                and rec.get("kind") == "header"
+                and rec.get("version") != JOURNAL_VERSION
+            ):
+                raise JournalError(
+                    f"journal {path!r} has version {rec.get('version')!r}, "
+                    f"expected {JOURNAL_VERSION} (records are checksummed "
+                    f"from v2 on; re-run without --resume to start fresh)"
+                )
+            if lineno == len(lines) and not torn:
+                # A corrupt final line is indistinguishable from a torn
+                # write that happened to end at a newline — tolerate it.
+                break
+            raise JournalError(
+                f"journal {path!r} corrupt at {where}: checksum mismatch "
+                f"(stored {stored!r}) — refusing to replay damaged state"
             ) from None
         records.append(rec)
         offset += len(line) + 1
@@ -195,10 +240,21 @@ class Journal:
         self._write(record)
 
     def _write(self, record: dict[str, Any]) -> None:
+        from repro import durability
+
         assert self._fh is not None
-        self._fh.write(_dumps(record).encode("utf-8") + b"\n")
+        data = _frame(record).encode("utf-8") + b"\n"
+        inj = durability.active_injector()
+        if inj is not None:
+            inj.begin_write(self.path)
+            data = inj.mutate(self.path, data)
+            inj.check_write(self.path)
+        self._fh.write(data)
         self._fh.flush()
-        os.fsync(self._fh.fileno())
+        if inj is None or inj.fsync_ok():
+            os.fsync(self._fh.fileno())
+        if inj is not None:
+            inj.fire_commit_crash(self.path)
 
     def close(self) -> None:
         """Close the underlying file handle (idempotent)."""

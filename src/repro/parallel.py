@@ -53,8 +53,10 @@ serially.  This module provides the primitives every sweep is ported onto:
 ``ResultCache``
     Content-keyed on-disk JSON cache.  Keys are sha256 digests of a
     canonical encoding of (namespace, version tag, key parts); any change
-    to a cell parameter or to the version tag is a miss.  Corrupted or
-    truncated entries are discarded and recomputed, never fatal.
+    to a cell parameter or to the version tag is a miss.  Entries are
+    checksummed and written atomically (:mod:`repro.durability`);
+    corrupted ones are quarantined as ``*.corrupt`` and recomputed,
+    never served and never fatal.
     ``map_cells`` checkpoints each cell *as it completes* — not after the
     whole batch — so an interrupted sweep (Ctrl-C, OOM kill, machine
     reboot) resumes from cache with only in-flight cells lost.
@@ -87,7 +89,6 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 import time
 import traceback as _traceback
 import warnings
@@ -101,6 +102,7 @@ from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 import numpy as np
 
+import repro.durability as durability
 import repro.faults as faults
 import repro.observe as observe
 
@@ -221,6 +223,12 @@ class ResultCache:
     canonical key string and the payload; the key string is re-checked on
     load, so a (vanishingly unlikely) digest collision or a stale file
     written by other code degrades to a miss, never to wrong results.
+
+    Entries are written through :mod:`repro.durability`: atomic
+    temp-write + rename + fsync, framed with a checksum envelope.  A
+    checksum failure on load quarantines the entry as ``*.corrupt`` and
+    misses — the cell recomputes; a damaged entry is never served.
+    Pre-envelope (legacy) entries remain readable.
     """
 
     root: Path
@@ -255,16 +263,23 @@ class ResultCache:
     def get(self, namespace: str, key: Any) -> Any:
         """The cached payload, or :data:`MISS`.
 
-        Unreadable, truncated, or mismatched entries are deleted and
-        reported as misses so the caller transparently recomputes them.
+        Checksum-corrupt entries are quarantined as ``*.corrupt``;
+        unreadable or mismatched ones are deleted — either way the call
+        misses and the caller transparently recomputes.
         """
         path = self.path_for(namespace, key)
         try:
-            data = json.loads(path.read_text())
+            data = durability.read_json_artifact(path, kind="cache-entry")
         except FileNotFoundError:
             self._count(namespace, hit=False)
             return MISS
-        except (OSError, ValueError, UnicodeDecodeError):
+        except durability.CorruptArtifactError:
+            # Already quarantined as *.corrupt by the reader — keep the
+            # evidence for `repro fsck`, recompute the cell.
+            observe.inc("cache.corrupt_quarantined")
+            self._count(namespace, hit=False)
+            return MISS
+        except (OSError, UnicodeDecodeError):
             self._discard(path)
             self._count(namespace, hit=False)
             return MISS
@@ -286,19 +301,19 @@ class ResultCache:
         observe.inc(f"cache.{kind}.{namespace}")
 
     def store(self, namespace: str, key: Any, payload: Any) -> Path:
-        """Atomically persist ``payload`` (must be JSON-serialisable)."""
-        path = self.path_for(namespace, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        body = json.dumps({"key": self._key_string(namespace, key), "payload": payload})
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as f:
-                f.write(body)
-            os.replace(tmp, path)
-        except BaseException:
-            self._discard(Path(tmp))
-            raise
-        return path
+        """Durably persist ``payload`` (must be JSON-serialisable).
+
+        Atomic (temp + rename + fsync) and checksummed, so a crash
+        mid-store leaves the old entry (or none) and a later bit flip is
+        detected on load instead of being served as a result.
+        """
+        return durability.write_json_artifact(
+            self.path_for(namespace, key),
+            {"key": self._key_string(namespace, key), "payload": payload},
+            kind="cache-entry",
+            indent=None,
+            mkdir=True,
+        )
 
     def prune_tmp(self, max_age_s: float | None = None) -> int:
         """Delete orphaned ``*.tmp`` files older than ``max_age_s`` seconds.

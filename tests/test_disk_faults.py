@@ -1,0 +1,320 @@
+"""Disk-fault chaos matrix: every persistence surface, every fault kind.
+
+The proof obligation for :mod:`repro.durability` is per-surface:
+
+* an injected torn write / ``ENOSPC`` / ``EIO`` / crash-before-rename
+  leaves **old state or new state, never a half state**;
+* a fault that *does* land damage on disk (seeded bit flip, fsync-dropped
+  power cut) is **detected and quarantined on read, never served**;
+* an interrupted sweep or service **resumes bit-identical** to an
+  uninterrupted run.
+
+Surfaces covered: the sweep :class:`~repro.parallel.ResultCache` and its
+per-cell checkpoints, both trained-model files, the service write-ahead
+journal, and the CLI outcome/metrics exports.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.heuristic_model import HeuristicObservation, HeuristicPredictionModel
+from repro.durability import CorruptArtifactError, use_disk_faults
+from repro.faults import DiskFaultInjector, InjectedCrash, parse_disk_spec
+from repro.journal import Journal, JournalError, load as load_journal
+from repro.parallel import MISS, ResultCache, map_cells
+
+# Module-level so map_cells can pickle it for multi-worker runs.
+def _square_cell(cell: int) -> dict:
+    return {"cell": cell, "value": cell * cell}
+
+
+FAULT_KINDS = {
+    "torn": DiskFaultInjector(torn_after=9),
+    "enospc": DiskFaultInjector(err_kind="enospc"),
+    "eio": DiskFaultInjector(err_kind="eio"),
+    "crash_before_rename": DiskFaultInjector(crash_before_rename=True),
+}
+
+
+# ----------------------------------------------------------------------
+# Cache + checkpoint surface
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", sorted(FAULT_KINDS))
+def test_cache_store_faults_leave_old_state(tmp_path, kind):
+    import dataclasses
+
+    cache = ResultCache(tmp_path)
+    cache.store("ns", {"c": 1}, {"gen": "old"})
+    inj = dataclasses.replace(FAULT_KINDS[kind])
+    with use_disk_faults(inj):
+        with pytest.raises((OSError, InjectedCrash)):
+            cache.store("ns", {"c": 1}, {"gen": "new"})
+    assert cache.get("ns", {"c": 1}) == {"gen": "old"}
+
+
+def test_cache_bit_flip_quarantined_never_served(tmp_path):
+    cache = ResultCache(tmp_path)
+    with use_disk_faults(DiskFaultInjector(flip_bit=True, seed=5)):
+        cache.store("ns", {"c": 1}, {"gen": "flipped"})
+    # The damaged entry misses (quarantined), never returns wrong data.
+    assert cache.get("ns", {"c": 1}) is MISS
+    assert list(tmp_path.rglob("*.corrupt"))
+    # Recompute-and-store heals the surface.
+    cache.store("ns", {"c": 1}, {"gen": "good"})
+    assert cache.get("ns", {"c": 1}) == {"gen": "good"}
+
+
+def test_cache_power_cut_quarantined_never_served(tmp_path):
+    cache = ResultCache(tmp_path)
+    with use_disk_faults(DiskFaultInjector(drop_fsync=True, power_cut_keep=12)):
+        with pytest.raises(InjectedCrash):
+            cache.store("ns", {"c": 1}, {"gen": "cut"})
+    assert cache.get("ns", {"c": 1}) is MISS
+
+
+def test_interrupted_sweep_resumes_bit_identical(tmp_path):
+    cells = list(range(8))
+    reference = map_cells(
+        _square_cell, cells, cache=ResultCache(tmp_path / "ref"), namespace="sq"
+    )
+
+    # The chaos run dies while checkpointing cell 4 (the 5th store).
+    crashed_cache = ResultCache(tmp_path / "crash")
+    with use_disk_faults(DiskFaultInjector(crash_before_rename=True, on_write=5)):
+        with pytest.raises(InjectedCrash):
+            map_cells(_square_cell, cells, cache=crashed_cache, namespace="sq")
+    done_before = len(list((tmp_path / "crash").rglob("*.json")))
+    assert 0 < done_before < len(cells)
+
+    # Resume with the same cache: completed cells come back from disk,
+    # the rest recompute, and the table is bit-identical to the
+    # uninterrupted run.
+    resumed = map_cells(_square_cell, cells, cache=crashed_cache, namespace="sq")
+    assert json.dumps(resumed, sort_keys=True) == json.dumps(reference, sort_keys=True)
+
+
+def test_sweep_rides_through_quarantined_checkpoint(tmp_path):
+    cells = list(range(4))
+    cache = ResultCache(tmp_path)
+    with use_disk_faults(DiskFaultInjector(flip_bit=True, on_write=2, seed=11)):
+        first = map_cells(_square_cell, cells, cache=cache, namespace="sq")
+    # One checkpoint carries flipped bits; the next run must detect it,
+    # recompute that cell, and still produce the right table.
+    second = map_cells(_square_cell, cells, cache=cache, namespace="sq")
+    assert first == second == [_square_cell(c) for c in cells]
+    assert list(tmp_path.rglob("*.corrupt"))
+
+
+# ----------------------------------------------------------------------
+# Model surface (crash-simulation regression for save/load)
+# ----------------------------------------------------------------------
+def _tiny_heuristic_model() -> HeuristicPredictionModel:
+    obs = HeuristicObservation(
+        size=40, ccr=0.1, parallelism=0.5, regularity=0.5,
+        best_turnaround={"mcp": 1.0, "dls": 2.0}, best_size={"mcp": 8, "dls": 6},
+    )
+    return HeuristicPredictionModel(observations=[obs], heuristics=("mcp", "dls"))
+
+
+@pytest.mark.parametrize("kind", sorted(FAULT_KINDS))
+def test_size_model_save_crash_keeps_old_copy(tmp_path, tiny_size_model, kind):
+    import dataclasses
+
+    path = tmp_path / "model.json"
+    tiny_size_model.save(path)
+    reference = type(tiny_size_model).load(path).to_dict()
+
+    with use_disk_faults(dataclasses.replace(FAULT_KINDS[kind])):
+        with pytest.raises((OSError, InjectedCrash)):
+            tiny_size_model.save(path)
+    # The only copy survives the crash mid-save, byte-exact.
+    assert type(tiny_size_model).load(path).to_dict() == reference
+
+
+def test_size_model_corruption_detected_on_load(tmp_path, tiny_size_model):
+    path = tmp_path / "model.json"
+    with use_disk_faults(DiskFaultInjector(flip_bit=True, seed=2)):
+        tiny_size_model.save(path)
+    with pytest.raises(CorruptArtifactError):
+        type(tiny_size_model).load(path)
+    assert (tmp_path / "model.json.corrupt").exists()
+
+
+def test_heuristic_model_save_crash_keeps_old_copy(tmp_path):
+    model = _tiny_heuristic_model()
+    path = tmp_path / "h.json"
+    model.save(path)
+    with use_disk_faults(DiskFaultInjector(torn_after=15)):
+        with pytest.raises(InjectedCrash):
+            model.save(path)
+    loaded = HeuristicPredictionModel.load(path)
+    assert loaded.observations == model.observations
+    assert loaded.heuristics == model.heuristics
+
+
+def test_heuristic_model_power_cut_detected(tmp_path):
+    model = _tiny_heuristic_model()
+    path = tmp_path / "h.json"
+    with use_disk_faults(DiskFaultInjector(drop_fsync=True, power_cut_keep=20)):
+        with pytest.raises(InjectedCrash):
+            model.save(path)
+    with pytest.raises(CorruptArtifactError):
+        HeuristicPredictionModel.load(path)
+
+
+def test_model_files_cross_load_is_kind_error(tmp_path, tiny_size_model):
+    # A size model passed where a heuristic model is expected fails with
+    # a kind diagnostic, not a KeyError deep in from_dict.
+    from repro.durability import ArtifactKindError
+
+    path = tmp_path / "model.json"
+    tiny_size_model.save(path)
+    with pytest.raises(ArtifactKindError):
+        HeuristicPredictionModel.load(path)
+    assert path.exists()  # intact file is not quarantined
+
+
+# ----------------------------------------------------------------------
+# Journal surface
+# ----------------------------------------------------------------------
+INPUTS = "a" * 64
+
+
+def _batch(i: int) -> dict:
+    return {"kind": "batch", "i": i, "t": float(i), "ops": [["op", i]], "sha": f"s{i}"}
+
+
+def test_journal_torn_append_resumes_cleanly(tmp_path):
+    path = tmp_path / "j.jsonl"
+    j = Journal.create(str(path), inputs=INPUTS)
+    j.append(_batch(0))
+    with use_disk_faults(DiskFaultInjector(torn_after=11, on_write=1)):
+        with pytest.raises(InjectedCrash):
+            j.append(_batch(1))
+    j.close()
+    # Old state: the intact prefix.  The torn tail is tolerated on load
+    # and truncated on resume; the run then continues past the crash.
+    loaded = load_journal(str(path))
+    assert [b["i"] for b in loaded.batches] == [0]
+    resumed = Journal.resume(str(path), inputs=INPUTS)
+    resumed.append(_batch(0))  # replay verifies against the record
+    resumed.append(_batch(1))  # ... then extends past the crash point
+    resumed.close()
+    assert [b["i"] for b in load_journal(str(path)).batches] == [0, 1]
+
+
+def test_journal_enospc_append_keeps_prefix(tmp_path):
+    path = tmp_path / "j.jsonl"
+    j = Journal.create(str(path), inputs=INPUTS)
+    j.append(_batch(0))
+    with use_disk_faults(DiskFaultInjector(err_kind="enospc", on_write=1)):
+        with pytest.raises(OSError):
+            j.append(_batch(1))
+    j.close()
+    assert [b["i"] for b in load_journal(str(path)).batches] == [0]
+
+
+def test_journal_bit_flip_refused_on_load(tmp_path):
+    path = tmp_path / "j.jsonl"
+    j = Journal.create(str(path), inputs=INPUTS)
+    with use_disk_faults(DiskFaultInjector(flip_bit=True, on_write=1, seed=4)):
+        j.append(_batch(0))
+    j.append(_batch(1))
+    j.close()
+    # Mid-file damage (a later record exists) is a hard, named error:
+    # replaying a flipped op would silently diverge the service state.
+    with pytest.raises(JournalError, match="batch record 0"):
+        load_journal(str(path))
+    with pytest.raises(JournalError):
+        Journal.resume(str(path), inputs=INPUTS)
+
+
+# ----------------------------------------------------------------------
+# CLI export surface (outcome / metrics): one-line errors, no traceback
+# ----------------------------------------------------------------------
+def test_serve_outcome_out_enospc_one_line_error(tmp_path, capsys):
+    from repro.cli import main
+
+    reqs = tmp_path / "requests.json"
+    reqs.write_text(  # lint: allow — test fixture
+        json.dumps([{"tenant": 0, "arrival_s": 0.0, "size": 5}])
+    )
+    out_path = tmp_path / "outcomes.json"
+    with use_disk_faults(DiskFaultInjector(err_kind="enospc", on_write=0)):
+        rc = main([
+            "serve", "--scale", "smoke", "--seed", "3",
+            "--requests", str(reqs), "--outcome-out", str(out_path),
+        ])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot write outcomes to")
+    assert "Traceback" not in err
+    assert not out_path.exists()
+
+
+def test_runner_metrics_out_enospc_one_line_error(tmp_path, capsys, monkeypatch):
+    from repro.experiments import runner
+
+    monkeypatch.setattr(runner, "run_chapter4", lambda scale, seed=0, jobs=None: None)
+    metrics = tmp_path / "metrics.json"
+    with use_disk_faults(DiskFaultInjector(err_kind="eio", on_write=0)):
+        rc = runner.main(
+            ["--chapter", "4", "--scale", "smoke", "--metrics-out", str(metrics)]
+        )
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "error: cannot write metrics to" in err
+    assert "Traceback" not in err
+    assert not metrics.exists()
+
+
+@pytest.mark.slow
+def test_select_outcome_out_enospc_one_line_error(tmp_path, capsys):
+    from repro.cli import main
+    from repro.core.generator import ResourceSpecification
+
+    spec = ResourceSpecification(
+        heuristic="mcp", size=24, min_size=20, clock_min_mhz=2000.0,
+        clock_max_mhz=4000.0, connectivity="loose", threshold=0.001,
+        dag_name="montage",
+    )
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec.to_dict()))  # lint: allow — fixture
+    out_path = tmp_path / "outcome.json"
+    with use_disk_faults(DiskFaultInjector(err_kind="enospc", on_write=0)):
+        rc = main([
+            "select", "--scale", "smoke", "--seed", "1",
+            "--spec", str(spec_path), "--outcome-out", str(out_path),
+        ])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "error: cannot write outcome to" in err
+    assert "Traceback" not in err
+
+
+# ----------------------------------------------------------------------
+# Spec parsing / environment activation
+# ----------------------------------------------------------------------
+def test_parse_disk_spec_round_trip():
+    inj = parse_disk_spec("err=eio,on_write=3,seed=7")
+    assert (inj.err_kind, inj.on_write, inj.seed) == ("eio", 3, 7)
+    inj = parse_disk_spec("drop_fsync=1,power_cut_keep=16")
+    assert inj.drop_fsync and inj.power_cut_keep == 16
+
+
+def test_parse_disk_spec_rejects_unknown_key():
+    with pytest.raises(ValueError, match="unknown disk fault spec key"):
+        parse_disk_spec("warp_drive=1")
+
+
+def test_disk_from_env(monkeypatch):
+    from repro.faults import DISK_ENV_VAR, disk_from_env
+
+    monkeypatch.delenv(DISK_ENV_VAR, raising=False)
+    assert disk_from_env() is None
+    monkeypatch.setenv(DISK_ENV_VAR, "torn_after=5")
+    inj = disk_from_env()
+    assert inj is not None and inj.torn_after == 5

@@ -1,0 +1,366 @@
+"""Tests for repro.durability: atomic writes, checksum framing, fsck.
+
+The disk-fault chaos matrix that drives these primitives through every
+persistence surface (cache, models, journal, CLI exports) lives in
+``tests/test_disk_faults.py``; this file proves the layer itself.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.durability import (
+    ArtifactKindError,
+    CorruptArtifactError,
+    FRAMING_VERSION,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    frame_payload,
+    fsck_exit_code,
+    fsck_paths,
+    payload_digest,
+    quarantine,
+    read_json_artifact,
+    unframe_payload,
+    use_disk_faults,
+    write_json_artifact,
+)
+from repro.faults import DiskFaultInjector, InjectedCrash
+
+
+# ----------------------------------------------------------------------
+# Atomic writers
+# ----------------------------------------------------------------------
+def test_atomic_write_text_round_trip(tmp_path):
+    p = tmp_path / "out.txt"
+    atomic_write_text(p, "héllo\n")
+    assert p.read_text(encoding="utf-8") == "héllo\n"
+
+
+def test_atomic_write_replaces_existing(tmp_path):
+    p = tmp_path / "out.txt"
+    p.write_text("old")
+    atomic_write_text(p, "new")
+    assert p.read_text() == "new"
+
+
+def test_atomic_write_leaves_no_droppings(tmp_path):
+    atomic_write_bytes(tmp_path / "a.bin", b"abc")
+    assert [f.name for f in tmp_path.iterdir()] == ["a.bin"]
+
+
+def test_atomic_write_json_appends_newline(tmp_path):
+    p = atomic_write_json(tmp_path / "o.json", {"a": 1})
+    text = p.read_text()
+    assert text.endswith("\n")
+    assert json.loads(text) == {"a": 1}
+
+
+def test_atomic_write_missing_dir_is_error(tmp_path):
+    # mkdir is opt-in: a mistyped output path must stay an error.
+    with pytest.raises(OSError):
+        atomic_write_text(tmp_path / "no" / "such" / "f.txt", "x")
+
+
+def test_atomic_write_mkdir_opt_in(tmp_path):
+    p = tmp_path / "deep" / "tree" / "f.txt"
+    atomic_write_bytes(p, b"x", mkdir=True)
+    assert p.read_bytes() == b"x"
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def test_frame_unframe_round_trip():
+    payload = {"sizes": [1, 2], "nested": {"a": "b"}}
+    framed = frame_payload(payload, "size-model")
+    assert framed["repro_artifact"] == "size-model"
+    assert framed["repro_format_version"] == FRAMING_VERSION
+    assert framed["sizes"] == [1, 2]  # flat: payload keys stay top-level
+    out, kind = unframe_payload(framed, "size-model")
+    assert out == payload
+    assert kind == "size-model"
+
+
+def test_unframe_detects_payload_tamper():
+    framed = frame_payload({"v": 1}, "cache-entry")
+    framed["v"] = 2
+    with pytest.raises(CorruptArtifactError, match="checksum mismatch"):
+        unframe_payload(framed, "cache-entry")
+
+
+def test_unframe_detects_wrong_version():
+    framed = frame_payload({"v": 1}, "cache-entry")
+    framed["repro_format_version"] = 99
+    with pytest.raises(CorruptArtifactError, match="framing version"):
+        unframe_payload(framed)
+
+
+def test_unframe_kind_mismatch_is_distinct_error():
+    framed = frame_payload({"v": 1}, "size-model")
+    with pytest.raises(ArtifactKindError, match="expected 'heuristic-model'"):
+        unframe_payload(framed, "heuristic-model")
+
+
+def test_reserved_envelope_keys_rejected():
+    with pytest.raises(ValueError, match="reserved"):
+        frame_payload({"repro_sha256": "boom"}, "cache-entry")
+
+
+def test_payload_digest_is_key_order_invariant():
+    assert payload_digest({"a": 1, "b": 2}) == payload_digest({"b": 2, "a": 1})
+
+
+# ----------------------------------------------------------------------
+# read/write artifact + quarantine
+# ----------------------------------------------------------------------
+def test_artifact_round_trip(tmp_path):
+    p = tmp_path / "m.json"
+    write_json_artifact(p, {"x": [1, 2]}, kind="size-model")
+    assert read_json_artifact(p, kind="size-model") == {"x": [1, 2]}
+
+
+def test_corrupt_artifact_is_quarantined_not_loaded(tmp_path):
+    p = tmp_path / "m.json"
+    write_json_artifact(p, {"x": 1}, kind="size-model")
+    body = p.read_text().replace('"x": 1', '"x": 2')
+    p.write_text(body)  # lint: allow — deliberately corrupting a fixture
+    with pytest.raises(CorruptArtifactError):
+        read_json_artifact(p, kind="size-model")
+    assert not p.exists()
+    assert (tmp_path / "m.json.corrupt").exists()
+
+
+def test_unparseable_artifact_is_quarantined(tmp_path):
+    p = tmp_path / "m.json"
+    p.write_text('{"half a rec')  # lint: allow — fixture
+    with pytest.raises(CorruptArtifactError, match="unparseable"):
+        read_json_artifact(p)
+    assert (tmp_path / "m.json.corrupt").exists()
+
+
+def test_kind_mismatch_does_not_quarantine(tmp_path):
+    p = tmp_path / "m.json"
+    write_json_artifact(p, {"x": 1}, kind="size-model")
+    with pytest.raises(ArtifactKindError):
+        read_json_artifact(p, kind="heuristic-model")
+    assert p.exists()  # intact file, wrong ask — keep it
+
+
+def test_legacy_unenveloped_artifact_loads(tmp_path):
+    p = tmp_path / "old.json"
+    p.write_text('{"sizes": [1]}')  # lint: allow — legacy-format fixture
+    assert read_json_artifact(p, kind="size-model") == {"sizes": [1]}
+
+
+def test_legacy_refused_when_disallowed(tmp_path):
+    p = tmp_path / "old.json"
+    p.write_text('{"sizes": [1]}')  # lint: allow — fixture
+    with pytest.raises(CorruptArtifactError, match="envelope"):
+        read_json_artifact(p, legacy_ok=False, quarantine_on_error=False)
+    assert p.exists()
+
+
+def test_mangled_kind_tag_is_corruption_not_legacy(tmp_path):
+    # A bit flip inside the "repro_artifact" key name must not let the
+    # file masquerade as a pre-envelope legacy artifact: the remaining
+    # envelope keys prove it was framed, so it is corrupt.
+    p = tmp_path / "m.json"
+    write_json_artifact(p, {"sizes": [1]}, kind="size-model")
+    p.write_bytes(p.read_bytes().replace(b"repro_artifact", b"repro_artifacX"))
+    with pytest.raises(CorruptArtifactError, match="damaged envelope"):
+        read_json_artifact(p, kind="size-model")
+    assert not p.exists()
+    assert p.with_name(p.name + ".corrupt").exists()
+
+
+def test_missing_artifact_raises_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        read_json_artifact(tmp_path / "nope.json")
+
+
+def test_quarantine_returns_target(tmp_path):
+    p = tmp_path / "f.json"
+    p.write_text("x")  # lint: allow — fixture
+    target = quarantine(p)
+    assert target == tmp_path / "f.json.corrupt"
+    assert target.exists() and not p.exists()
+
+
+# ----------------------------------------------------------------------
+# Injected disk faults against the atomic writer
+# ----------------------------------------------------------------------
+def _write_old(tmp_path):
+    p = tmp_path / "state.json"
+    write_json_artifact(p, {"gen": "old"}, kind="size-model")
+    return p
+
+
+def test_enospc_keeps_old_state_and_cleans_tmp(tmp_path):
+    p = _write_old(tmp_path)
+    with use_disk_faults(DiskFaultInjector(err_kind="enospc")):
+        with pytest.raises(OSError) as exc:
+            write_json_artifact(p, {"gen": "new"}, kind="size-model")
+    assert "No space left" in str(exc.value)
+    assert read_json_artifact(p)["gen"] == "old"
+    assert not list(tmp_path.glob("*.tmp"))  # ordinary failure: tmp removed
+
+
+def test_torn_write_crash_keeps_old_state(tmp_path):
+    p = _write_old(tmp_path)
+    with use_disk_faults(DiskFaultInjector(torn_after=7)):
+        with pytest.raises(InjectedCrash):
+            write_json_artifact(p, {"gen": "new"}, kind="size-model")
+    assert read_json_artifact(p)["gen"] == "old"
+    # A real kill leaves its droppings; prune/fsck deal with them.
+    assert len(list(tmp_path.glob("*.tmp"))) == 1
+
+
+def test_crash_before_rename_keeps_old_state(tmp_path):
+    p = _write_old(tmp_path)
+    with use_disk_faults(DiskFaultInjector(crash_before_rename=True)):
+        with pytest.raises(InjectedCrash):
+            write_json_artifact(p, {"gen": "new"}, kind="size-model")
+    assert read_json_artifact(p)["gen"] == "old"
+
+
+def test_bit_flip_is_detected_on_read(tmp_path):
+    p = _write_old(tmp_path)
+    with use_disk_faults(DiskFaultInjector(flip_bit=True, seed=3)):
+        write_json_artifact(p, {"gen": "new"}, kind="size-model")
+    # The flipped write committed — but it can never be *read* wrong.
+    with pytest.raises(CorruptArtifactError):
+        read_json_artifact(p, kind="size-model")
+    assert (tmp_path / "state.json.corrupt").exists()
+
+
+def test_bit_flip_is_deterministic(tmp_path):
+    # Position derives from (seed, artifact name, length) only — the same
+    # write under the same seed corrupts the same bit on every run.
+    p = tmp_path / "x.json"
+    outs = []
+    for _run in range(2):
+        with use_disk_faults(DiskFaultInjector(flip_bit=True, seed=9)):
+            atomic_write_bytes(p, b"A" * 64)
+        outs.append(p.read_bytes())
+    assert outs[0] == outs[1] != b"A" * 64
+
+
+def test_power_cut_truncation_is_detected(tmp_path):
+    p = _write_old(tmp_path)
+    with use_disk_faults(DiskFaultInjector(drop_fsync=True, power_cut_keep=10)):
+        with pytest.raises(InjectedCrash):
+            write_json_artifact(p, {"gen": "new"}, kind="size-model")
+    assert p.stat().st_size == 10  # atomicity was genuinely violated ...
+    with pytest.raises(CorruptArtifactError):  # ... and the read catches it
+        read_json_artifact(p, kind="size-model")
+
+
+def test_on_write_targets_kth_write(tmp_path):
+    inj = DiskFaultInjector(err_kind="eio", on_write=3)
+    with use_disk_faults(inj):
+        atomic_write_text(tmp_path / "a", "1")
+        atomic_write_text(tmp_path / "b", "2")
+        with pytest.raises(OSError):
+            atomic_write_text(tmp_path / "c", "3")
+        atomic_write_text(tmp_path / "d", "4")  # disarmed again
+    assert (tmp_path / "a").exists() and (tmp_path / "d").exists()
+    assert not (tmp_path / "c").exists()
+
+
+def test_injector_uninstalled_after_context(tmp_path):
+    from repro.durability import active_injector
+
+    with use_disk_faults(DiskFaultInjector(err_kind="eio")):
+        assert active_injector() is not None
+    assert active_injector() is None
+    atomic_write_text(tmp_path / "ok.txt", "fine")  # no fault fires
+
+
+# ----------------------------------------------------------------------
+# fsck
+# ----------------------------------------------------------------------
+def test_fsck_clean_tree_exits_0(tmp_path):
+    write_json_artifact(tmp_path / "m.json", {"a": 1}, kind="size-model")
+    findings = fsck_paths([tmp_path])
+    assert [f.verdict for f in findings] == ["ok"]
+    assert fsck_exit_code(findings) == 0
+
+
+def test_fsck_corrupt_cache_entry_is_recoverable(tmp_path):
+    name = "a" * 64 + ".json"
+    (tmp_path / name).write_text("garbage{{{")  # lint: allow — fixture
+    findings = fsck_paths([tmp_path])
+    assert [f.verdict for f in findings] == ["recoverable"]
+    assert fsck_exit_code(findings) == 1
+
+
+def test_fsck_corrupt_model_is_unrecoverable(tmp_path):
+    p = tmp_path / "model.json"
+    write_json_artifact(p, {"a": 1}, kind="size-model")
+    raw = p.read_bytes().replace(b'"a": 1', b'"a": 7')
+    p.write_bytes(raw)
+    findings = fsck_paths([tmp_path])
+    assert [f.verdict for f in findings] == ["unrecoverable"]
+    assert fsck_exit_code(findings) == 2
+
+
+def test_fsck_legacy_json_is_reported_not_failed(tmp_path):
+    (tmp_path / "old.json").write_text('{"plain": true}')  # lint: allow
+    findings = fsck_paths([tmp_path])
+    assert [f.verdict for f in findings] == ["legacy"]
+    assert fsck_exit_code(findings) == 0
+
+
+def test_fsck_tmp_and_corrupt_droppings_are_recoverable(tmp_path):
+    (tmp_path / "x.json.tmp").write_text("partial")  # lint: allow — fixture
+    (tmp_path / "y.json.corrupt").write_text("bad")  # lint: allow — fixture
+    findings = fsck_paths([tmp_path])
+    assert sorted(f.verdict for f in findings) == ["recoverable", "recoverable"]
+    assert fsck_exit_code(findings) == 1
+
+
+def test_fsck_missing_path_is_unrecoverable(tmp_path):
+    findings = fsck_paths([tmp_path / "ghost"])
+    assert [f.verdict for f in findings] == ["unrecoverable"]
+    assert fsck_exit_code(findings) == 2
+
+
+def test_fsck_quarantine_renames_damage(tmp_path):
+    p = tmp_path / "model.json"
+    p.write_text("junk!!!")  # lint: allow — fixture
+    fsck_paths([tmp_path], do_quarantine=True)
+    assert not p.exists()
+    assert (tmp_path / "model.json.corrupt").exists()
+
+
+def test_fsck_journal_verdicts(tmp_path):
+    from repro.journal import Journal
+
+    clean = tmp_path / "clean.jsonl"
+    j = Journal.create(str(clean), inputs="d" * 64)
+    j.append({"kind": "batch", "i": 0, "t": 0.0, "ops": [], "sha": "s"})
+    j.append({"kind": "batch", "i": 1, "t": 1.0, "ops": [], "sha": "t"})
+    j.close()
+    torn = tmp_path / "torn.jsonl"
+    torn.write_bytes(clean.read_bytes() + b'{"kind": "ba')
+    bad = tmp_path / "bad.jsonl"
+    # Corrupt the *first* batch — mid-file damage, not a tolerable tail.
+    bad.write_bytes(clean.read_bytes().replace(b'"i":0', b'"i":9'))
+
+    by_name = {f.path.name: f for f in fsck_paths([tmp_path])}
+    assert by_name["clean.jsonl"].verdict == "ok"
+    assert by_name["torn.jsonl"].verdict == "recoverable"
+    assert by_name["bad.jsonl"].verdict == "unrecoverable"
+    assert fsck_exit_code(list(by_name.values())) == 2
+
+
+def test_fsck_finding_format_and_dict(tmp_path):
+    p = tmp_path / "m.json"
+    write_json_artifact(p, {"a": 1}, kind="size-model")
+    [finding] = fsck_paths([p])
+    assert str(p) in finding.format()
+    assert finding.to_dict()["verdict"] == "ok"

@@ -1,0 +1,94 @@
+"""CLI-level tests for ``repro fsck`` (exit codes, output modes)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.durability import write_json_artifact
+from repro.parallel import ResultCache
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.store("ns", {"cell": 1}, {"value": 41})
+    cache.store("ns", {"cell": 2}, {"value": 42})
+    return tmp_path / "cache"
+
+
+def test_fsck_clean_cache_exits_0(cache_dir, capsys):
+    assert main(["fsck", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "2 ok" in out and "0 recoverable" in out
+
+
+def test_fsck_corrupt_cache_entry_exits_1(cache_dir, capsys):
+    entry = sorted((cache_dir / "ns").glob("*.json"))[0]
+    entry.write_bytes(entry.read_bytes().replace(b'"value"', b'"vandal"'))
+    assert main(["fsck", str(cache_dir)]) == 1
+    out = capsys.readouterr().out
+    assert "RECOVERABLE" in out and "1 ok" in out
+
+
+def test_fsck_corrupt_model_exits_2(tmp_path, capsys):
+    p = tmp_path / "model.json"
+    write_json_artifact(p, {"sizes": [1]}, kind="size-model")
+    p.write_bytes(p.read_bytes().replace(b"[", b"{", 1))
+    assert main(["fsck", str(tmp_path)]) == 2
+    assert "UNRECOVERABLE" in capsys.readouterr().out
+
+
+def test_fsck_missing_path_exits_2(tmp_path, capsys):
+    assert main(["fsck", str(tmp_path / "ghost")]) == 2
+    assert "no such file" in capsys.readouterr().out
+
+
+def test_fsck_json_output(cache_dir, capsys):
+    assert main(["fsck", "--json", str(cache_dir)]) == 0
+    findings = json.loads(capsys.readouterr().out)
+    assert len(findings) == 2
+    assert {f["verdict"] for f in findings} == {"ok"}
+    assert {f["kind"] for f in findings} == {"cache-entry"}
+
+
+def test_fsck_quarantine_flag_renames(cache_dir, capsys):
+    entry = sorted((cache_dir / "ns").glob("*.json"))[0]
+    entry.write_text("junk")  # lint: allow — deliberately corrupting a fixture
+    assert main(["fsck", "--quarantine", str(cache_dir)]) == 1
+    assert not entry.exists()
+    assert entry.with_name(entry.name + ".corrupt").exists()
+    # A second pass sees the quarantined file, still recoverable.
+    assert main(["fsck", str(cache_dir)]) == 1
+
+
+def test_fsck_mixed_tree_reports_worst(cache_dir, tmp_path, capsys):
+    model = tmp_path / "model.json"
+    write_json_artifact(model, {"a": 1}, kind="size-model")
+    model.write_bytes(model.read_bytes()[:-5])
+    assert main(["fsck", str(cache_dir), str(model)]) == 2
+
+
+def test_fsck_verbose_lists_skipped(tmp_path, capsys):
+    (tmp_path / "notes.txt").write_text("hi")  # lint: allow — fixture
+    assert main(["fsck", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "notes.txt" not in out  # skipped files hidden by default
+    assert main(["fsck", "--verbose", str(tmp_path)]) == 0
+    assert "notes.txt" in capsys.readouterr().out
+
+
+def test_fsck_after_cache_get_quarantines_then_recovers(cache_dir):
+    # End-to-end recovery: corrupt entry -> get() quarantines and misses
+    # -> recompute/store -> fsck shows the quarantined evidence only.
+    cache = ResultCache(cache_dir)
+    entry = cache.path_for("ns", {"cell": 1})
+    entry.write_text("{broken")  # lint: allow — fixture
+    from repro.parallel import MISS
+
+    assert cache.get("ns", {"cell": 1}) is MISS
+    assert main(["fsck", str(cache_dir)]) == 1  # the .corrupt dropping
+    cache.store("ns", {"cell": 1}, {"value": 41})
+    assert cache.get("ns", {"cell": 1}) == {"value": 41}

@@ -1,0 +1,167 @@
+"""Edge-case tests for the write-ahead journal (repro.journal).
+
+The service-level journal behaviour (write-ahead ordering, kill/resume
+bit-identity) is proven in ``tests/test_service_chaos.py``; this file
+drives :func:`repro.journal.load` and :class:`repro.journal.Journal`
+through the corruption geometries a real crash or failing disk produces:
+torn tails (including ones cut mid multi-byte UTF-8 sequence), mid-file
+bit flips, stale checksums, and empty / header-only files.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.journal import JOURNAL_VERSION, Journal, JournalError, load
+
+INPUTS = "f" * 64
+
+
+def _make(tmp_path, n_batches=2, name="j.jsonl"):
+    path = tmp_path / name
+    j = Journal.create(str(path), inputs=INPUTS)
+    for i in range(n_batches):
+        j.append(
+            {"kind": "batch", "i": i, "t": float(i), "ops": [["bind", f"tén-{i}", i]], "sha": f"s{i}"}
+        )
+    j.close()
+    return path
+
+
+def test_round_trip(tmp_path):
+    path = _make(tmp_path, n_batches=3)
+    loaded = load(str(path))
+    assert loaded.inputs == INPUTS
+    assert [b["i"] for b in loaded.batches] == [0, 1, 2]
+    assert loaded.clean_bytes == path.stat().st_size
+
+
+def test_records_carry_crc_on_disk(tmp_path):
+    path = _make(tmp_path, n_batches=1)
+    lines = path.read_bytes().decode("utf-8").splitlines()
+    for line in lines:
+        rec = json.loads(line)
+        assert len(rec["crc"]) == 16
+
+
+def test_torn_tail_tolerated(tmp_path):
+    path = _make(tmp_path, n_batches=2)
+    intact = path.stat().st_size
+    path.write_bytes(path.read_bytes() + b'{"kind":"batch","i":2')
+    loaded = load(str(path))
+    assert [b["i"] for b in loaded.batches] == [0, 1]
+    assert loaded.clean_bytes == intact
+
+
+def test_torn_tail_cut_mid_utf8_sequence(tmp_path):
+    # Kill the process mid-write of a record containing "tén-…": the tail
+    # ends inside the 2-byte UTF-8 encoding of "é".  load must neither
+    # crash on the decode nor lose the intact prefix.
+    path = _make(tmp_path, n_batches=1)
+    intact = path.stat().st_size
+    partial = '{"kind":"batch","i":1,"ops":[["bind","tén'.encode("utf-8")
+    cut = partial[:-1]
+    assert 0x80 <= cut[-1] <= 0xBF  # really ends inside a multi-byte char
+    path.write_bytes(path.read_bytes() + cut)
+    loaded = load(str(path))
+    assert [b["i"] for b in loaded.batches] == [0]
+    assert loaded.clean_bytes == intact
+
+
+def test_mid_file_bit_flip_names_the_record(tmp_path):
+    path = _make(tmp_path, n_batches=3)
+    raw = path.read_bytes()
+    # Flip a bit inside batch record 1 (line 3 of the file).
+    lines = raw.split(b"\n")
+    target = bytearray(lines[2])
+    target[len(target) // 2] ^= 0x01
+    lines[2] = bytes(target)
+    path.write_bytes(b"\n".join(lines))
+    with pytest.raises(JournalError, match=r"line 3 \(batch record 1\)"):
+        load(str(path))
+
+
+def test_tampered_field_with_stale_crc_rejected(tmp_path):
+    # Semantic tamper, syntactically valid JSON: the crc is stale.
+    path = _make(tmp_path, n_batches=2)
+    raw = path.read_bytes().replace(b'"i":0', b'"i":5')
+    path.write_bytes(raw)
+    with pytest.raises(JournalError, match="checksum mismatch"):
+        load(str(path))
+
+
+def test_corrupt_final_complete_line_is_torn_tail(tmp_path):
+    # A newline-terminated but damaged final record is indistinguishable
+    # from a torn write that happened to end at '\n' — tolerated.
+    path = _make(tmp_path, n_batches=2)
+    lines = path.read_bytes().split(b"\n")
+    lines[2] = lines[2].replace(b'"i":1', b'"i":8')
+    path.write_bytes(b"\n".join(lines))
+    loaded = load(str(path))
+    assert [b["i"] for b in loaded.batches] == [0]
+
+
+def test_zero_length_file_is_a_clear_error(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_bytes(b"")
+    with pytest.raises(JournalError, match="empty"):
+        load(str(path))
+
+
+def test_header_only_file_loads_with_no_batches(tmp_path):
+    path = tmp_path / "h.jsonl"
+    Journal.create(str(path), inputs=INPUTS).close()
+    loaded = load(str(path))
+    assert loaded.batches == []
+    assert loaded.inputs == INPUTS
+
+
+def test_header_only_file_resumes(tmp_path):
+    path = tmp_path / "h.jsonl"
+    Journal.create(str(path), inputs=INPUTS).close()
+    j = Journal.resume(str(path), inputs=INPUTS)
+    assert not j.replaying
+    j.append({"kind": "batch", "i": 0, "t": 0.0, "ops": [], "sha": "s"})
+    j.close()
+    assert [b["i"] for b in load(str(path)).batches] == [0]
+
+
+def test_v1_journal_refused_with_version_message(tmp_path):
+    path = tmp_path / "v1.jsonl"
+    path.write_bytes(
+        json.dumps({"kind": "header", "version": 1, "inputs": INPUTS}).encode() + b"\n"
+    )
+    with pytest.raises(JournalError, match="version 1"):
+        load(str(path))
+
+
+def test_resume_truncates_torn_tail(tmp_path):
+    path = _make(tmp_path, n_batches=2)
+    intact = path.stat().st_size
+    path.write_bytes(path.read_bytes() + b'{"torn')
+    j = Journal.resume(str(path), inputs=INPUTS)
+    j.close()
+    assert path.stat().st_size == intact
+
+
+def test_resume_refuses_different_inputs(tmp_path):
+    path = _make(tmp_path)
+    with pytest.raises(JournalError, match="different inputs"):
+        Journal.resume(str(path), inputs="0" * 64)
+
+
+def test_replay_divergence_detected(tmp_path):
+    path = _make(tmp_path, n_batches=1)
+    j = Journal.resume(str(path), inputs=INPUTS)
+    assert j.replaying
+    with pytest.raises(JournalError, match="divergence"):
+        j.append({"kind": "batch", "i": 0, "t": 0.0, "ops": [["other"]], "sha": "x"})
+    j.close()
+
+
+def test_version_is_2():
+    # The crc framing shipped with format v2; a silent downgrade would
+    # resurrect unchecksummed journals.
+    assert JOURNAL_VERSION == 2

@@ -121,6 +121,33 @@ def test_syntax_error_is_det000(det, tmp_path):
     assert [f.code for f in findings] == ["DET000"]
 
 
+def test_bare_write_text_flagged(det, tmp_path):
+    src = "from pathlib import Path\nPath('out.json').write_text('{}')\n"
+    findings = _lint(det, tmp_path, src)
+    assert [f.code for f in findings] == ["DET005"]
+
+
+def test_bare_json_dump_flagged(det, tmp_path):
+    src = "import json\nwith open('out.json', 'w') as fh:\n    json.dump({}, fh)\n"
+    findings = _lint(det, tmp_path, src)
+    assert [f.code for f in findings] == ["DET005"]
+
+
+def test_json_dumps_is_clean(det, tmp_path):
+    # dumps returns a string — no file is written, nothing to tear.
+    assert _lint(det, tmp_path, "import json\ns = json.dumps({})\n") == []
+
+
+def test_write_text_allowed_in_durability(det, tmp_path):
+    src = "from pathlib import Path\nPath('x').write_text('y')\n"
+    assert _lint(det, tmp_path, src, name="durability.py") == []
+
+
+def test_write_text_allow_comment_suppresses(det, tmp_path):
+    src = "from pathlib import Path\nPath('x').write_text('y')  # lint: allow\n"
+    assert _lint(det, tmp_path, src) == []
+
+
 def test_repo_tree_is_clean(det):
     # The real gate: src/repro must carry no unsuppressed findings.
     root = SCRIPT.parent.parent / "src" / "repro"

@@ -4,7 +4,9 @@
 Times :meth:`repro.selection.classad.Matchmaker.match` and the vgDL
 cluster scan over synthetic platforms of growing host count (1e2–1e5 at
 ``--scale full``), with ``indexing="on"`` versus ``indexing="off"``, and
-writes specs/sec plus p50/p99 per-query latency to ``BENCH_select.json``.
+writes specs/sec plus p50/p99 per-query latency to ``BENCH_select.json``,
+alongside a static-analysis throughput column (specs/sec linted through
+the shared constraint IR, per document language).
 Every timed configuration first asserts that the indexed and naive paths
 return **bit-identical ordered match lists** — a divergence aborts the run
 with a non-zero exit code — and the report additionally replays a seeded
@@ -176,6 +178,47 @@ def bench_vgdl(platform: Platform, reps: int) -> dict:
     return row
 
 
+def bench_lint(reps: int) -> list[dict]:
+    """Static-analysis throughput: specs/sec through the shared IR path.
+
+    Lints one representative specification in every supported document
+    language (the three renderings plus the JSON form).  Each lint is a
+    full frontend-lowering plus the semantic pass pipeline, so the
+    ``specs_per_sec`` column tracks the cost of the typed constraint IR
+    end to end; every document must analyze clean.
+    """
+    from repro.analysis import lint_text
+    from repro.core.generator import ResourceSpecification
+
+    spec = ResourceSpecification(
+        heuristic="mcp",
+        size=24,
+        min_size=20,
+        clock_min_mhz=2000.0,
+        clock_max_mhz=4000.0,
+        connectivity="loose",
+        threshold=0.001,
+        dag_name="bench",
+    )
+    documents = {
+        "vgdl": spec.to_vgdl(),
+        "classad": spec.to_classad(),
+        "sword": spec.to_sword_xml(),
+        "json": json.dumps(spec.to_dict()),
+    }
+    rows = []
+    for lang, text in documents.items():
+        report = lint_text(text, lang=lang)
+        if len(report):
+            raise SystemExit(
+                f"FATAL: benchmark specification lints dirty ({lang}):\n"
+                f"{report.render()}"
+            )
+        timing = _time_queries(lambda t=text, lg=lang: lint_text(t, lang=lg), reps)
+        rows.append({"workload": "lint_ir", "lang": lang, "clean": True, **timing})
+    return rows
+
+
 def pipeline_replay_identical() -> bool:
     """Seeded SelectionPipeline outcome, indexing on vs off, under churn."""
     from repro.core.generator import ResourceSpecification
@@ -233,6 +276,9 @@ def main() -> int:
         results.append(bench_vgdl(platform, cfg["reps"]))
         print(f"... {n_hosts} hosts done", flush=True)
 
+    lint_rows = bench_lint(max(cfg["reps"] * 20, 100))
+    print("... lint throughput done", flush=True)
+
     replay_ok = pipeline_replay_identical()
     if not replay_ok:
         raise SystemExit(
@@ -247,6 +293,7 @@ def main() -> int:
         "identical_output": True,
         "pipeline_replay_identical": replay_ok,
         "results": results,
+        "lint_throughput": lint_rows,
     }
     atomic_write_json(args.output, report, indent=2)
     print(json.dumps(report, indent=2))

@@ -31,6 +31,13 @@ discipline usually erodes:
   :func:`repro.durability.atomic_write_text` /
   :func:`~repro.durability.atomic_write_json` /
   :func:`~repro.durability.write_json_artifact` instead.
+* **DET006 — identity-keyed state.**  ``id(obj)`` used as a dict key,
+  in a tuple key, or as a sort key (``key=id``).  CPython ``id`` values
+  are allocation addresses: they vary across processes and can be
+  *reused* after garbage collection, so any ordering or keying derived
+  from them is nondeterministic across replays.  Key on a stable field
+  (a name, a seed, an index) instead, or justify with ``# lint: allow``
+  when the keyed object's lifetime provably spans the mapping's.
 
 A finding is suppressed by a ``# lint: allow`` comment on the offending
 line (optionally with a reason after it).  Run from the repo root::
@@ -221,6 +228,31 @@ class _Linter(ast.NodeVisitor):
                 "(repro.service.VirtualClock), and a pure yield point is "
                 "asyncio.sleep(0)",
             )
+            return
+        # DET006: id(obj) is an allocation address — process-varying and
+        # reusable after GC.  Any value derived from it (dict keys, sort
+        # keys, tuple keys) is unstable across replays.
+        if target == "id" and node.args:
+            self._flag(
+                "DET006",
+                node,
+                "id() yields an allocation address (process-varying, "
+                "reusable after GC); key on a stable field instead",
+            )
+            return
+        # DET006 (sort-key form): sorted(xs, key=id) / xs.sort(key=id).
+        for kw in node.keywords:
+            if (
+                kw.arg == "key"
+                and isinstance(kw.value, ast.Name)
+                and kw.value.id == "id"
+            ):
+                self._flag(
+                    "DET006",
+                    node,
+                    "sorting with key=id orders by allocation address; "
+                    "the order is nondeterministic across processes",
+                )
 
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:

@@ -1,16 +1,24 @@
 """Static analysis over resource specifications (the ``repro lint`` engine).
 
-The subsystem has four layers:
+The subsystem is a staged compiler pipeline:
 
 * :mod:`repro.analysis.diagnostics` — the shared :class:`Diagnostic`
   record (stable ``SPEC###`` codes, severity, message, source span);
-* :mod:`repro.analysis.expr` — interval analysis, type inference and
-  dead-clause detection over the ClassAd expression AST;
-* per-language checkers (:mod:`~repro.analysis.classad`,
+* :mod:`repro.analysis.expr` — the shared expression utilities: interval
+  arithmetic, type inference, constant folding and the clause fact
+  extractors over the ClassAd expression AST;
+* :mod:`repro.analysis.ir` — the typed constraint IR plus the
+  per-language frontends (ClassAds, vgDL, SWORD XML, JSON specification
+  documents) that lower every language into it with spans preserved;
+* :mod:`repro.analysis.passes` — every semantic analysis, written once
+  over the IR: SPEC101–SPEC133, the SPEC140 cross-language render
+  equivalence check and the SPEC141 ladder subsumption pass;
+* thin per-language compatibility shims (:mod:`~repro.analysis.classad`,
   :mod:`~repro.analysis.vgdl`, :mod:`~repro.analysis.sword`) plus the
   language-detecting front door :func:`lint_text`;
-* :mod:`repro.analysis.preflight` — platform-aware satisfiability:
-  which clause eliminates the last host, without binding anything.
+* :mod:`repro.analysis.preflight` — platform-aware satisfiability over
+  lowered documents: which clause eliminates the last host, without
+  binding anything.
 
 Everything is deterministic and side-effect free, so the selection
 pipeline can consult it without perturbing seeded replay.
@@ -23,6 +31,7 @@ from repro.analysis.diagnostics import (
     Diagnostic,
     DiagnosticReport,
     Span,
+    render_code_table,
 )
 from repro.analysis.expr import (
     DEFAULT_VOCABULARY,
@@ -30,6 +39,31 @@ from repro.analysis.expr import (
     Interval,
     analyze_constraint,
     infer_type,
+)
+from repro.analysis.ir import (
+    Clause,
+    Constraint,
+    Document,
+    Scope,
+    lower_classad,
+    lower_classad_text,
+    lower_document,
+    lower_expression,
+    lower_json_text,
+    lower_spec_dict,
+    lower_specification,
+    lower_sword,
+    lower_sword_text,
+    lower_vgdl,
+    lower_vgdl_text,
+)
+from repro.analysis.passes import (
+    check_constraint,
+    check_document,
+    check_render_equivalence,
+    check_subsumption,
+    normalized_facts,
+    subsumes,
 )
 from repro.analysis.preflight import (
     PreflightResult,
@@ -54,11 +88,33 @@ __all__ = [
     "Diagnostic",
     "DiagnosticReport",
     "Span",
+    "render_code_table",
     "Interval",
     "DEFAULT_VOCABULARY",
     "NONNEGATIVE_ATTRIBUTES",
     "analyze_constraint",
     "infer_type",
+    "Clause",
+    "Constraint",
+    "Document",
+    "Scope",
+    "lower_expression",
+    "lower_classad",
+    "lower_classad_text",
+    "lower_vgdl",
+    "lower_vgdl_text",
+    "lower_sword",
+    "lower_sword_text",
+    "lower_specification",
+    "lower_spec_dict",
+    "lower_json_text",
+    "lower_document",
+    "check_constraint",
+    "check_document",
+    "normalized_facts",
+    "check_render_equivalence",
+    "subsumes",
+    "check_subsumption",
     "analyze_classad_text",
     "analyze_classad_request",
     "analyze_vgdl_text",

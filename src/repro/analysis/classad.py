@@ -1,48 +1,35 @@
-"""Static analyzer for Condor ClassAd requests (Gangmatch and bilateral).
+"""Static analyzer for Condor ClassAd requests (thin IR shim).
 
-Parses the document with the existing :mod:`repro.selection.classad`
-parser, then checks every port of a Gangmatch request (Fig. VII-3) — the
-``Count``, ``Rank`` and ``Constraint`` attributes — plus bilateral
-``Requirements``/``Rank`` pairs, using the shared expression engine in
-:mod:`repro.analysis.expr` for contradiction, dead-clause, type and
-unknown-attribute findings.
+The per-language analysis logic that used to live here was folded into
+the typed constraint IR: :func:`repro.analysis.ir.lower_classad` lowers
+the parsed ad (every Gangmatch port of Fig. VII-3 plus the bilateral
+``Requirements``/``Rank`` pair) into scoped IR nodes with source spans,
+and :func:`repro.analysis.passes.check_document` runs the shared
+semantic passes over it.  These entry points survive for compatibility.
 """
 
 from __future__ import annotations
 
-from repro.analysis.diagnostics import DiagnosticReport, Span
-from repro.analysis.expr import analyze_constraint, infer_type
-from repro.selection.classad.lexer import ClassAdParseError
-from repro.selection.classad.parser import (
-    AttrRef,
-    ClassAd,
-    Expr,
-    ListExpr,
-    Literal,
-    RecordExpr,
-    parse_classad,
-)
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.ir import lower_classad, lower_classad_text
+from repro.analysis.passes import check_document
+from repro.selection.classad.parser import ClassAd
 
 __all__ = ["analyze_classad_text", "analyze_classad_request"]
-
-_LANG = "classad"
 
 
 def analyze_classad_text(text: str) -> DiagnosticReport:
     """Parse and analyze a ClassAd request document.
 
     A document that does not parse yields a single SPEC001 diagnostic with
-    the parser's source span; otherwise the parsed ad is handed to
-    :func:`analyze_classad_request`.
+    the parser's source span; otherwise the lowered document runs through
+    the IR semantic passes.
     """
     report = DiagnosticReport()
-    try:
-        ad = parse_classad(text)
-    except ClassAdParseError as exc:
-        span = None if exc.pos is None else Span.from_pos(text, exc.pos)
-        report.add("SPEC001", "error", exc.message, _LANG, span=span)
-        return report
-    return analyze_classad_request(ad, text=text, report=report)
+    doc = lower_classad_text(text, report)
+    if doc is not None:
+        check_document(doc, report)
+    return report
 
 
 def analyze_classad_request(
@@ -57,64 +44,4 @@ def analyze_classad_request(
     bilateral requests (top-level ``Requirements``/``Rank``).
     """
     report = DiagnosticReport() if report is None else report
-    ports = ad.get("Ports")
-    if isinstance(ports, ListExpr):
-        for port in ports.items:
-            if isinstance(port, RecordExpr):
-                _analyze_port(port.ad, text, report)
-    _analyze_constraint_attr(ad, "Requirements", text, report)
-    _analyze_rank(ad, text, report)
-    return report
-
-
-def _span_of(expr: Expr, text: str | None) -> Span | None:
-    if text is None or expr.pos is None:
-        return None
-    return Span.from_pos(text, expr.pos)
-
-
-def _analyze_port(port: ClassAd, text: str | None, report: DiagnosticReport) -> None:
-    """Check one Gangmatch port record: Count, Rank, Constraint."""
-    count = port.get("Count")
-    if isinstance(count, Literal):
-        v = count.value
-        ok = isinstance(v, int) and not isinstance(v, bool) and v >= 1
-        if not ok:
-            report.add(
-                "SPEC110",
-                "error",
-                f"port Count must be a positive integer, got {count.unparse()}",
-                _LANG,
-                span=_span_of(count, text),
-                attr="Count",
-            )
-    _analyze_constraint_attr(port, "Constraint", text, report)
-    _analyze_rank(port, text, report)
-
-
-def _analyze_constraint_attr(
-    ad: ClassAd, name: str, text: str | None, report: DiagnosticReport
-) -> None:
-    expr = ad.get(name)
-    if expr is not None:
-        analyze_constraint(expr, lang=_LANG, text=text, report=report)
-
-
-def _analyze_rank(ad: ClassAd, text: str | None, report: DiagnosticReport) -> None:
-    rank = ad.get("Rank")
-    if rank is None:
-        return
-    # A bare scoped/port reference (cpu.Clock) or number is fine; string
-    # ranks order lexically, which is almost never intended.
-    if isinstance(rank, AttrRef) and rank.scope is not None:
-        return
-    if infer_type(rank) == "string":
-        report.add(
-            "SPEC120",
-            "warning",
-            f"Rank expression {rank.unparse()} is a string; ranks should be "
-            "numeric (higher = better)",
-            _LANG,
-            span=_span_of(rank, text),
-            attr="Rank",
-        )
+    return check_document(lower_classad(ad, text=text), report)

@@ -26,6 +26,7 @@ __all__ = [
     "Span",
     "Diagnostic",
     "DiagnosticReport",
+    "render_code_table",
 ]
 
 #: Severities in decreasing order of gravity.  ``error`` findings make a
@@ -49,9 +50,27 @@ DIAGNOSTIC_CODES: dict[str, str] = {
     "SPEC130": "non-positive SWORD resource budget",
     "SPEC131": "contradictory duplicate SWORD requirements for one attribute",
     "SPEC133": "latency bound below the platform model's intra-cluster floor",
+    "SPEC140": "renderer drift: rendered languages disagree on the normalized constraint facts",
+    "SPEC141": "alternative specification dominated by an earlier ladder rung",
     "SPEC201": "a clause eliminates every host of the platform snapshot",
     "SPEC202": "too few matching hosts in the platform snapshot",
 }
+
+
+def render_code_table() -> str:
+    """Render the diagnostic registry as a markdown table.
+
+    This is the generator behind the SPEC### table in the docs — the
+    registry above is the single source of truth, the committed table is
+    its output, and ``tests/test_docs_quality.py`` asserts they match.
+    """
+    lines = [
+        "| Code | Meaning |",
+        "| --- | --- |",
+    ]
+    for code in sorted(DIAGNOSTIC_CODES):
+        lines.append(f"| `{code}` | {DIAGNOSTIC_CODES[code]} |")
+    return "\n".join(lines) + "\n"
 
 
 @dataclass(frozen=True)

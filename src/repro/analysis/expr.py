@@ -21,7 +21,7 @@ import re
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.analysis.diagnostics import DiagnosticReport, Span
+from repro.analysis.diagnostics import DiagnosticReport
 from repro.selection.classad.evaluator import (
     ErrorValue,
     EvalContext,
@@ -366,266 +366,6 @@ def _attr_display(ref: AttrRef) -> str:
     return f"{ref.scope}.{ref.name}" if ref.scope else ref.name
 
 
-class _ConstraintAnalyzer:
-    """Single-pass analyzer over one boolean constraint expression."""
-
-    def __init__(
-        self,
-        *,
-        lang: str,
-        text: str | None,
-        vocab: dict[str, str],
-        nonneg: frozenset[str],
-        vgdl_bare_strings: bool,
-        report: DiagnosticReport,
-    ) -> None:
-        self.lang = lang
-        self.text = text
-        self.vocab = vocab
-        self.nonneg = nonneg
-        self.vgdl_bare_strings = vgdl_bare_strings
-        self.report = report
-        self.intervals: dict[tuple[str, str], Interval] = {}
-        self.interval_names: dict[tuple[str, str], str] = {}
-        self.string_eq: dict[tuple[str, str], str] = {}
-
-    # -- span helper ---------------------------------------------------
-    def span(self, node: Expr) -> Span | None:
-        """Span of a node's first token, when source text is available."""
-        if self.text is None or node.pos is None:
-            return None
-        return Span.from_pos(self.text, node.pos)
-
-    # -- entry ---------------------------------------------------------
-    def analyze(self, expr: Expr) -> None:
-        """Analyze one constraint expression top-down."""
-        for conj in iter_conjuncts(expr):
-            self._conjunct(conj)
-
-    # -- per-conjunct pipeline -----------------------------------------
-    def _conjunct(self, conj: Expr) -> None:
-        suppressed = self._check_types(conj)
-        self._check_attr_refs(conj)
-        if suppressed:
-            return
-        if isinstance(conj, BinaryOp) and conj.op == "||":
-            self._disjunction(conj)
-            return
-        folded = fold_constant(conj)
-        if folded is not None:
-            self._constant(conj, folded)
-            return
-        bound = numeric_bound(conj)
-        if bound is not None:
-            self._numeric(conj, *bound)
-            return
-        eq = string_equality(conj)
-        if eq is not None:
-            self._string(conj, *eq)
-
-    def _check_types(self, conj: Expr) -> bool:
-        """Emit SPEC103 (or the vgDL bare-string SPEC104 variant) for every
-        type-mismatched comparison in the subtree.  Returns True when a
-        finding was emitted, so downstream checks don't cascade."""
-        emitted = False
-        for node in _walk(conj):
-            if not (isinstance(node, BinaryOp) and node.op in _COMPARISON_OPS):
-                continue
-            lt = infer_type(node.left, self.vocab)
-            rt = infer_type(node.right, self.vocab)
-            if self.vgdl_bare_strings and self._bare_string_numeric(node, lt, rt):
-                emitted = True
-                continue
-            concrete = {"number", "string", "bool"}
-            if lt in concrete and rt in concrete and lt != rt:
-                self.report.add(
-                    "SPEC103",
-                    "error",
-                    f"comparison {node.unparse()} mixes {lt} and {rt}; "
-                    "it always evaluates to ERROR and never matches",
-                    self.lang,
-                    span=self.span(node),
-                )
-                emitted = True
-        return emitted
-
-    def _bare_string_numeric(self, node: BinaryOp, lt: str, rt: str) -> bool:
-        """vgDL rewrites unknown bare identifiers to string literals, so
-        ``Speed >= 3`` reaches the AST as ``"Speed" >= 3``.  Surface that as
-        an unknown-attribute finding with a hint, not a bare type error."""
-        for side, side_t, other_t in ((node.left, lt, rt), (node.right, rt, lt)):
-            if (
-                isinstance(side, Literal)
-                and isinstance(side.value, str)
-                and _IDENT_RE.match(side.value)
-                and other_t == "number"
-            ):
-                self.report.add(
-                    "SPEC104",
-                    "error",
-                    f"{side.value!r} is not a known attribute; vgDL treats "
-                    "unknown identifiers as string literals, so "
-                    f"{node.unparse()} compares a string with a number and "
-                    "never matches",
-                    self.lang,
-                    span=self.span(node),
-                    attr=side.value,
-                )
-                return True
-        return False
-
-    def _check_attr_refs(self, conj: Expr) -> None:
-        """SPEC104 for references to attributes no backend advertises."""
-        for ref in attr_refs(conj):
-            if ref.name.lower() not in self.vocab:
-                self.report.add(
-                    "SPEC104",
-                    "warning",
-                    f"attribute {_attr_display(ref)!r} is not provided by any "
-                    "backend; it evaluates to UNDEFINED",
-                    self.lang,
-                    span=self.span(ref),
-                    attr=ref.name,
-                )
-
-    def _disjunction(self, conj: BinaryOp) -> None:
-        """Analyze each OR-branch independently; a contradictory branch is a
-        dead disjunct (SPEC106), all branches dead is SPEC105."""
-        branches = list(iter_disjuncts(conj))
-        dead = 0
-        for branch in branches:
-            sub = _ConstraintAnalyzer(
-                lang=self.lang,
-                text=self.text,
-                vocab=self.vocab,
-                nonneg=self.nonneg,
-                vgdl_bare_strings=self.vgdl_bare_strings,
-                report=DiagnosticReport(),
-            )
-            sub.analyze(branch)
-            branch_dead = any(d.code in ("SPEC101", "SPEC105") for d in sub.report)
-            if branch_dead:
-                dead += 1
-                self.report.add(
-                    "SPEC106",
-                    "warning",
-                    f"OR-branch {branch.unparse()} is unsatisfiable on its own "
-                    "(dead disjunct)",
-                    self.lang,
-                    span=self.span(branch),
-                )
-            # Surface non-contradiction findings (type errors, unknown
-            # attributes) from inside the branch; suppress the branch-local
-            # contradiction codes already summarised as SPEC106.
-            for d in sub.report:
-                if d.code not in ("SPEC101", "SPEC105", "SPEC102"):
-                    self.report.diagnostics.append(d)
-        if branches and dead == len(branches):
-            self.report.add(
-                "SPEC105",
-                "error",
-                f"every branch of {conj.unparse()} is unsatisfiable; the "
-                "clause can never hold",
-                self.lang,
-                span=self.span(conj),
-            )
-
-    def _constant(self, conj: Expr, value: object) -> None:
-        """Classify an attribute-free conjunct by its folded value."""
-        is_plain_number = isinstance(value, (int, float)) and not isinstance(value, bool)
-        if value is False or (is_plain_number and value == 0):
-            self.report.add(
-                "SPEC105",
-                "error",
-                f"clause {conj.unparse()} is constant false; the constraint "
-                "can never hold",
-                self.lang,
-                span=self.span(conj),
-            )
-        elif value is True or (is_plain_number and value != 0):
-            self.report.add(
-                "SPEC102",
-                "warning",
-                f"clause {conj.unparse()} is constant true (dead clause)",
-                self.lang,
-                span=self.span(conj),
-            )
-        elif isinstance(value, ErrorValue):
-            self.report.add(
-                "SPEC103",
-                "error",
-                f"clause {conj.unparse()} always evaluates to ERROR",
-                self.lang,
-                span=self.span(conj),
-            )
-
-    def _numeric(self, conj: Expr, ref: AttrRef, op: str, value: float) -> None:
-        """Fold ``attr OP value`` into the running interval for ``attr``."""
-        attr_t = self.vocab.get(ref.name.lower())
-        if attr_t is not None and attr_t != "number":
-            # Already reported as SPEC103 by _check_types.
-            return
-        new = Interval.from_comparison(op, value)
-        if new is None:
-            return
-        key = _attr_key(ref)
-        name = _attr_display(ref)
-        if key not in self.intervals and ref.name.lower() in self.nonneg:
-            self.intervals[key] = Interval(lo=0.0)
-        old = self.intervals.get(key, Interval())
-        merged = old.intersect(new)
-        self.interval_names[key] = name
-        if merged.is_empty and not old.is_empty:
-            self.report.add(
-                "SPEC101",
-                "error",
-                f"contradictory constraints on {name}: {conj.unparse()} leaves "
-                f"no value in {old.describe(name)}",
-                self.lang,
-                span=self.span(conj),
-                attr=ref.name,
-            )
-        elif merged == old and not old.is_empty:
-            self.report.add(
-                "SPEC102",
-                "warning",
-                f"clause {conj.unparse()} is implied by the domain or earlier "
-                f"constraints ({old.describe(name)}); dead clause",
-                self.lang,
-                span=self.span(conj),
-                attr=ref.name,
-            )
-        self.intervals[key] = merged
-
-    def _string(self, conj: Expr, ref: AttrRef, value: str) -> None:
-        """Track ``attr == "value"`` equalities; conflicting duplicates are
-        contradictions."""
-        key = _attr_key(ref)
-        name = _attr_display(ref)
-        prev = self.string_eq.get(key)
-        if prev is None:
-            self.string_eq[key] = value.lower()
-        elif prev != value.lower():
-            self.report.add(
-                "SPEC101",
-                "error",
-                f"contradictory constraints on {name}: it cannot equal both "
-                f"{prev!r} and {value!r}",
-                self.lang,
-                span=self.span(conj),
-                attr=ref.name,
-            )
-        else:
-            self.report.add(
-                "SPEC102",
-                "warning",
-                f"clause {conj.unparse()} repeats an earlier equality (dead "
-                "clause)",
-                self.lang,
-                span=self.span(conj),
-                attr=ref.name,
-            )
-
 
 def analyze_constraint(
     expr: Expr,
@@ -639,20 +379,28 @@ def analyze_constraint(
 ) -> DiagnosticReport:
     """Statically analyze one boolean constraint expression.
 
-    Emits SPEC101 (contradictory numeric/string constraints), SPEC102
-    (dead clauses), SPEC103 (type-mismatched comparisons), SPEC104
-    (unknown attributes; with a vgDL-specific hint when
-    ``vgdl_bare_strings`` is set), SPEC105 (constant-false clauses) and
-    SPEC106 (dead OR-branches) into ``report`` (a fresh one when omitted)
-    and returns it.  ``text`` is the original source, used to attach spans.
+    Thin compatibility shim over the typed constraint IR: the expression
+    is lowered with :func:`repro.analysis.ir.lower_expression` and the
+    semantic pass :func:`repro.analysis.passes.check_constraint` emits
+    SPEC101 (contradictory numeric/string constraints), SPEC102 (dead
+    clauses), SPEC103 (type-mismatched comparisons), SPEC104 (unknown
+    attributes; with a vgDL-specific hint when ``vgdl_bare_strings`` is
+    set), SPEC105 (constant-false clauses) and SPEC106 (dead OR-branches)
+    into ``report`` (a fresh one when omitted) and returns it.  ``text``
+    is the original source, used to attach spans at lowering time.
     """
-    analyzer = _ConstraintAnalyzer(
+    # Imported lazily: ir imports this module for the shared utilities.
+    from repro.analysis.ir import lower_expression
+    from repro.analysis.passes import check_constraint
+
+    constraint = lower_expression(
+        expr,
         lang=lang,
         text=text,
-        vocab=DEFAULT_VOCABULARY if vocab is None else vocab,
-        nonneg=NONNEGATIVE_ATTRIBUTES if nonneg is None else nonneg,
+        vocab=vocab,
+        nonneg=nonneg,
         vgdl_bare_strings=vgdl_bare_strings,
-        report=DiagnosticReport() if report is None else report,
     )
-    analyzer.analyze(expr)
-    return analyzer.report
+    return check_constraint(
+        constraint, DiagnosticReport() if report is None else report
+    )

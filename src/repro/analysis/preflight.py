@@ -1,4 +1,4 @@
-"""Platform-aware satisfiability preflight.
+"""Platform-aware satisfiability preflight over the constraint IR.
 
 Given a platform snapshot, answer *statically* — without binding anything
 or advancing any clock — whether a specification can possibly be
@@ -9,6 +9,13 @@ host*.  The checks are deliberately sound-only:
   (clusters are homogeneous, so one evaluation per cluster covers every
   host), and
 * capacity — do enough matching hosts exist at all?
+
+Documents of any frontend language (vgDL, ClassAds, SWORD XML, JSON
+specification documents) are first lowered into
+:class:`repro.analysis.ir.Document`; the preflight then walks the lowered
+scopes generically — ClassAd-expression scopes evaluate clause by clause
+against the cluster ads, SWORD group scopes eliminate clusters through
+their 5-tuple required ranges and hard categoricals.
 
 Connectivity, latency-zone packing and contention are *not* modelled
 here: a spec this module calls unsatisfiable is genuinely hopeless on the
@@ -24,21 +31,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.analysis.diagnostics import DiagnosticReport
-from repro.analysis.expr import iter_conjuncts
+from repro.analysis import ir
 from repro.selection.classad.evaluator import EvalContext, evaluate
-from repro.selection.classad.lexer import ClassAdParseError
-from repro.selection.classad.parser import (
-    AttrRef,
-    ClassAd,
-    Expr,
-    ListExpr,
-    Literal,
-    RecordExpr,
-    parse_classad,
-    parse_expression,
-)
-from repro.selection.sword import SwordError, parse_sword_query
-from repro.selection.vgdl import VgdlError, parse_vgdl
+from repro.selection.classad.parser import ClassAd, Expr, parse_expression
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.generator import ResourceSpecification
@@ -109,30 +104,22 @@ def cluster_ads(platform: "Platform") -> list[tuple[ClassAd, int]]:
     return out
 
 
-def preflight_constraint(
-    constraint: Expr,
+def _preflight_clauses(
+    clauses: tuple[ir.Clause, ...],
     platform: "Platform",
     *,
-    min_hosts: int = 1,
-    label: str | None = None,
-    lang: str = "classad",
-    report: DiagnosticReport | None = None,
+    min_hosts: int,
+    label: str | None,
+    lang: str,
+    report: DiagnosticReport,
 ) -> PreflightResult:
-    """Eliminate hosts clause by clause against the platform snapshot.
-
-    ``label`` is the Gangmatch port label when the constraint references
-    the candidate through a scope (``cpu.Clock``); without it the
-    candidate ad is the evaluation subject itself (vgDL style).  Emits
-    SPEC201 when a clause eliminates the last host and SPEC202 when the
-    survivors number fewer than ``min_hosts``.
-    """
-    report = DiagnosticReport() if report is None else report
+    """Clause-by-clause host elimination over lowered IR clauses."""
     ads = cluster_ads(platform)
     empty = ClassAd()
     alive = list(range(len(ads)))
     trace: list[tuple[str, int]] = []
     eliminating: str | None = None
-    for conj in iter_conjuncts(constraint):
+    for clause in clauses:
         survivors = []
         for idx in alive:
             ad = ads[idx][0]
@@ -140,17 +127,17 @@ def preflight_constraint(
                 ctx = EvalContext(my=ad)
             else:
                 ctx = EvalContext(my=empty, bindings={label: ad})
-            if evaluate(conj, ctx) is True:
+            if evaluate(clause.expr, ctx) is True:
                 survivors.append(idx)
         hosts = sum(ads[i][1] for i in survivors)
-        clause = conj.unparse()
-        trace.append((clause, hosts))
+        rendered = clause.expr.unparse()
+        trace.append((rendered, hosts))
         if not survivors and alive:
-            eliminating = clause
+            eliminating = rendered
             report.add(
                 "SPEC201",
                 "error",
-                f"clause {clause} eliminates every host of the platform "
+                f"clause {rendered} eliminates every host of the platform "
                 f"snapshot ({platform.n_hosts} hosts in "
                 f"{platform.n_clusters} clusters)",
                 lang,
@@ -177,12 +164,41 @@ def preflight_constraint(
     )
 
 
+def preflight_constraint(
+    constraint: Expr,
+    platform: "Platform",
+    *,
+    min_hosts: int = 1,
+    label: str | None = None,
+    lang: str = "classad",
+    report: DiagnosticReport | None = None,
+) -> PreflightResult:
+    """Eliminate hosts clause by clause against the platform snapshot.
+
+    ``label`` is the Gangmatch port label when the constraint references
+    the candidate through a scope (``cpu.Clock``); without it the
+    candidate ad is the evaluation subject itself (vgDL style).  Emits
+    SPEC201 when a clause eliminates the last host and SPEC202 when the
+    survivors number fewer than ``min_hosts``.
+    """
+    report = DiagnosticReport() if report is None else report
+    lowered = ir.lower_expression(constraint, lang=lang, deep=False)
+    return _preflight_clauses(
+        lowered.clauses,
+        platform,
+        min_hosts=min_hosts,
+        label=label,
+        lang=lang,
+        report=report,
+    )
+
+
 def preflight_specification(
     spec: "ResourceSpecification", platform: "Platform"
 ) -> PreflightResult:
     """Preflight a generated :class:`ResourceSpecification`.
 
-    Checks the *weakest common* hard requirements of the three rendered
+    Checks the *weakest common* hard requirements of the rendered
     languages — the clock floor and the minimum host count — so the
     verdict is sound for every backend: unsatisfiable here means no
     backend can ever fulfill the spec on this platform.
@@ -201,42 +217,57 @@ def preflight_document(
 ) -> PreflightResult:
     """Preflight a specification *document* against a platform snapshot.
 
-    Dispatches on ``lang`` (``vgdl``/``classad``/``sword``).  Parse errors
-    surface as SPEC001; otherwise each aggregate/port/group is preflighted
-    and the first unsatisfiable one determines the verdict.
+    Lowers the document with the ``lang`` frontend
+    (``vgdl``/``classad``/``sword``/``json``) and preflights the lowered
+    scopes.  Parse errors surface as SPEC001; otherwise each
+    aggregate/port/group is preflighted and the first unsatisfiable one
+    determines the verdict.
     """
     report = DiagnosticReport()
+    doc = ir.lower_document(text, lang, report)
+    if doc is None:
+        return PreflightResult(
+            satisfiable=False, matching_hosts=0, required_hosts=0, report=report
+        )
     if lang == "vgdl":
-        return _preflight_vgdl(text, platform, report)
+        return _preflight_vgdl_doc(doc, platform, report)
     if lang == "classad":
-        return _preflight_classad(text, platform, report)
+        return _preflight_classad_doc(doc, platform, report)
     if lang == "sword":
-        return _preflight_sword(text, platform, report)
-    raise ValueError(f"unknown specification language {lang!r}")
-
-
-def _parse_failure(report: DiagnosticReport, message: str, lang: str) -> PreflightResult:
-    report.add("SPEC001", "error", message, lang)
+        return _preflight_sword_doc(doc, platform, report)
+    # JSON specification documents carry the spec itself; preflight the
+    # weakest-common hard requirements exactly like a generated spec.
+    spec = doc.source
+    result = preflight_specification(spec, platform)
+    report.extend(result.report)
     return PreflightResult(
-        satisfiable=False, matching_hosts=0, required_hosts=0, report=report
+        satisfiable=result.satisfiable,
+        matching_hosts=result.matching_hosts,
+        required_hosts=result.required_hosts,
+        report=report,
+        eliminating_clause=result.eliminating_clause,
+        trace=result.trace,
     )
 
 
-def _preflight_vgdl(
-    text: str, platform: "Platform", report: DiagnosticReport
+def _preflight_vgdl_doc(
+    doc: ir.Document, platform: "Platform", report: DiagnosticReport
 ) -> PreflightResult:
-    try:
-        spec = parse_vgdl(text)
-    except VgdlError as exc:
-        return _parse_failure(report, str(exc), "vgdl")
+    """Preflight every aggregate scope; the worst one is the verdict.
+
+    The combined size floor is also checked: aggregates are disjoint
+    collections, so their lower bounds add up.
+    """
     worst: PreflightResult | None = None
     total_lo = 0
-    for agg in spec.aggregates:
-        total_lo += agg.lo
-        res = preflight_constraint(
-            agg.constraint,
+    for scope in doc.scopes:
+        total_lo += scope.min_hosts
+        assert scope.constraint is not None  # every aggregate carries one
+        res = _preflight_clauses(
+            scope.constraint.clauses,
             platform,
-            min_hosts=agg.lo,
+            min_hosts=scope.min_hosts,
+            label=None,
             lang="vgdl",
             report=report,
         )
@@ -261,56 +292,41 @@ def _preflight_vgdl(
     )
 
 
-def _port_label(port: ClassAd) -> str | None:
-    label = port.get("Label")
-    if isinstance(label, AttrRef) and label.scope is None:
-        return label.name
-    if isinstance(label, Literal) and isinstance(label.value, str):
-        return label.value
-    return None
-
-
-def _preflight_classad(
-    text: str, platform: "Platform", report: DiagnosticReport
+def _preflight_classad_doc(
+    doc: ir.Document, platform: "Platform", report: DiagnosticReport
 ) -> PreflightResult:
-    try:
-        ad = parse_classad(text)
-    except ClassAdParseError as exc:
-        return _parse_failure(report, exc.message, "classad")
+    """Preflight every Gangmatch port scope, falling back to the
+    bilateral ``Requirements`` when no port carries a constraint."""
     worst: PreflightResult | None = None
-    ports = ad.get("Ports")
-    port_ads = (
-        [p.ad for p in ports.items if isinstance(p, RecordExpr)]
-        if isinstance(ports, ListExpr)
-        else []
-    )
-    for port in port_ads:
-        constraint = port.get("Constraint")
-        if constraint is None:
+    request_scope: ir.Scope | None = None
+    for scope in doc.scopes:
+        if scope.kind == "request":
+            request_scope = scope
             continue
-        count = port.get("Count")
-        need = (
-            int(count.value)
-            if isinstance(count, Literal)
-            and isinstance(count.value, int)
-            and not isinstance(count.value, bool)
-            and count.value >= 1
-            else 1
-        )
-        res = preflight_constraint(
-            constraint,
+        if scope.constraint is None:
+            continue
+        res = _preflight_clauses(
+            scope.constraint.clauses,
             platform,
-            min_hosts=need,
-            label=_port_label(port),
+            min_hosts=scope.min_hosts,
+            label=scope.label,
             lang="classad",
             report=report,
         )
         if worst is None or (not res.satisfiable and worst.satisfiable):
             worst = res
-    requirements = ad.get("Requirements")
-    if worst is None and requirements is not None:
-        worst = preflight_constraint(
-            requirements, platform, min_hosts=1, lang="classad", report=report
+    if (
+        worst is None
+        and request_scope is not None
+        and request_scope.constraint is not None
+    ):
+        worst = _preflight_clauses(
+            request_scope.constraint.clauses,
+            platform,
+            min_hosts=1,
+            label=None,
+            lang="classad",
+            report=report,
         )
     if worst is None:
         return PreflightResult(
@@ -329,22 +345,21 @@ def _preflight_classad(
     )
 
 
-def _preflight_sword(
-    text: str, platform: "Platform", report: DiagnosticReport
+def _preflight_sword_doc(
+    doc: ir.Document, platform: "Platform", report: DiagnosticReport
 ) -> PreflightResult:
-    try:
-        query = parse_sword_query(text)
-    except SwordError as exc:
-        return _parse_failure(report, str(exc), "sword")
+    """Eliminate clusters through each group's 5-tuple required ranges
+    and hard categoricals; soft (penalised) requirements never prune."""
     matching = platform.n_hosts
     required = 0
     eliminating: str | None = None
     trace: list[tuple[str, int]] = []
-    for group in query.groups:
-        required = max(required, group.num_machines)
+    for scope in doc.scopes:
+        group_need = scope.min_hosts
+        required = max(required, group_need)
         alive = list(range(platform.n_clusters))
         hosts = platform.n_hosts
-        for req in group.numeric:
+        for fact in scope.ranges:
             survivors = []
             for cid in alive:
                 spec = platform.clusters[cid]
@@ -355,13 +370,13 @@ def _preflight_sword(
                     "clock": spec.clock_ghz * 1000.0,
                     "num_cpus": 1.0,
                 }
-                v = values.get(req.attr)
-                if v is None or (req.required_lo <= v <= req.required_hi):
+                v = values.get(fact.attr)
+                if v is None or (fact.required_lo <= v <= fact.required_hi):
                     survivors.append(cid)
             hosts = sum(platform.clusters[c].n_hosts for c in survivors)
             clause = (
-                f"{req.attr} in [{req.required_lo}, {req.required_hi}] "
-                f"(group {group.name!r})"
+                f"{fact.attr} in [{fact.required_lo}, {fact.required_hi}] "
+                f"(group {scope.name!r})"
             )
             trace.append((clause, hosts))
             if not survivors and alive:
@@ -376,7 +391,7 @@ def _preflight_sword(
                 alive = survivors
                 break
             alive = survivors
-        for cat in group.categorical:
+        for cat in scope.categoricals:
             if eliminating is not None or cat.penalty_rate > 0:
                 continue
             survivors = []
@@ -391,7 +406,7 @@ def _preflight_sword(
                 if actual is None or actual.lower() == cat.value.lower():
                     survivors.append(cid)
             hosts = sum(platform.clusters[c].n_hosts for c in survivors)
-            clause = f"{cat.attr} == {cat.value!r} (group {group.name!r})"
+            clause = f"{cat.attr} == {cat.value!r} (group {scope.name!r})"
             trace.append((clause, hosts))
             if not survivors and alive:
                 eliminating = clause
@@ -403,12 +418,12 @@ def _preflight_sword(
                     "sword",
                 )
             alive = survivors
-        if eliminating is None and hosts < group.num_machines:
+        if eliminating is None and hosts < group_need:
             report.add(
                 "SPEC202",
                 "error",
-                f"only {hosts} hosts satisfy group {group.name!r} but it "
-                f"needs {group.num_machines}",
+                f"only {hosts} hosts satisfy group {scope.name!r} but it "
+                f"needs {group_need}",
                 "sword",
             )
         matching = min(matching, hosts)

@@ -1,21 +1,27 @@
 """Whole-specification linting: language detection and multi-language checks.
 
 :func:`lint_text` is the entry point behind ``repro lint``: it detects (or
-is told) the document language and dispatches to the right analyzer.
-:func:`analyze_specification` renders a generated
-:class:`~repro.core.generator.ResourceSpecification` in all three
-languages and lints each rendering — the generator's self-check: an
-error-level finding in its own output is a bug, not user input.
+is told) the document language, lowers the document into the typed
+constraint IR with the matching frontend, and runs the shared semantic
+passes.  Four frontends are wired in — vgDL, ClassAds, SWORD XML, and
+plain JSON :meth:`~repro.core.generator.ResourceSpecification.to_dict`
+documents, which lint directly without rendering first.
+
+:func:`analyze_specification` is the generator's self-check: it renders
+a generated :class:`~repro.core.generator.ResourceSpecification` in all
+three languages, lints each rendering plus the JSON document form, and
+runs the SPEC140 cross-language equivalence pass proving every rendering
+lowers to the same normalized IR — an error-level finding in the
+generator's own output is a bug, not user input.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.analysis.classad import analyze_classad_text
 from repro.analysis.diagnostics import DiagnosticReport
-from repro.analysis.sword import analyze_sword_text
-from repro.analysis.vgdl import analyze_vgdl_text
+from repro.analysis.ir import lower_document, lower_spec_dict
+from repro.analysis.passes import check_document, check_render_equivalence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.generator import ResourceSpecification
@@ -28,7 +34,8 @@ __all__ = [
     "analyze_specification",
 ]
 
-#: The specification languages the linter understands.
+#: The specification languages the generator renders.  The linter
+#: additionally understands plain JSON ``to_dict()`` documents.
 LANGUAGES = ("vgdl", "classad", "sword")
 
 #: File-name suffix → language, for CLI convenience.
@@ -38,6 +45,7 @@ _SUFFIXES = {
     ".ad": "classad",
     ".xml": "sword",
     ".sword": "sword",
+    ".json": "json",
 }
 
 
@@ -61,7 +69,8 @@ def detect_language(text: str, filename: str | None = None) -> str:
 
     The file suffix wins when recognised; otherwise the first
     non-whitespace character decides: ``<`` is SWORD XML, ``[`` is a
-    ClassAd, anything else is vgDL.
+    ClassAd, ``{`` is a JSON specification document, anything else is
+    vgDL.
     """
     if filename is not None:
         for suffix, lang in _SUFFIXES.items():
@@ -72,6 +81,8 @@ def detect_language(text: str, filename: str | None = None) -> str:
         return "sword"
     if stripped.startswith("["):
         return "classad"
+    if stripped.startswith("{"):
+        return "json"
     return "vgdl"
 
 
@@ -79,26 +90,48 @@ def lint_text(text: str, lang: str | None = None, filename: str | None = None) -
     """Statically analyze one specification document.
 
     ``lang`` forces the language; otherwise it is detected from
-    ``filename``/``text`` via :func:`detect_language`.
+    ``filename``/``text`` via :func:`detect_language`.  The document is
+    lowered into the typed constraint IR by the language's frontend and
+    checked by the shared semantic passes.
     """
     lang = detect_language(text, filename) if lang is None else lang
-    if lang == "vgdl":
-        return analyze_vgdl_text(text)
-    if lang == "classad":
-        return analyze_classad_text(text)
-    if lang == "sword":
-        return analyze_sword_text(text)
-    raise ValueError(f"unknown specification language {lang!r} (known: {LANGUAGES})")
+    if lang not in LANGUAGES and lang != "json":
+        raise ValueError(
+            f"unknown specification language {lang!r} (known: {LANGUAGES})"
+        )
+    report = DiagnosticReport()
+    doc = lower_document(text, lang, report)
+    if doc is not None:
+        check_document(doc, report)
+    return report
 
 
 def analyze_specification(spec: "ResourceSpecification") -> DiagnosticReport:
-    """Lint a generated specification in all three output languages.
+    """Lint a generated specification in every output form.
 
-    Returns the merged report; error-level findings mean the rendered
-    documents themselves are broken (the generator self-check's trigger).
+    Renders the specification in all three languages plus the JSON
+    document form, lowers each once, runs the semantic passes over each
+    lowered document, and finally runs the SPEC140 cross-language
+    equivalence pass over the same lowered documents (each rendering
+    must carry the same normalized facts — a disagreement is renderer
+    drift).  Returns the merged report; error-level findings mean the
+    rendered documents themselves are broken (the generator self-check's
+    trigger).
     """
     report = DiagnosticReport()
-    report.extend(analyze_vgdl_text(spec.to_vgdl()))
-    report.extend(analyze_classad_text(spec.to_classad()))
-    report.extend(analyze_sword_text(spec.to_sword_xml()))
+    docs = {}
+    renderings = {
+        "vgdl": spec.to_vgdl(),
+        "classad": spec.to_classad(),
+        "sword": spec.to_sword_xml(),
+    }
+    for lang in LANGUAGES:
+        doc = lower_document(renderings[lang], lang, report)
+        if doc is not None:
+            check_document(doc, report)
+            docs[lang] = doc
+    json_doc = lower_spec_dict(spec.to_dict())
+    check_document(json_doc, report)
+    docs["json"] = json_doc
+    check_render_equivalence(spec, report, docs)
     return report

@@ -1,54 +1,32 @@
-"""Static analyzer for SWORD XML queries.
+"""Static analyzer for SWORD XML queries (thin IR shim).
 
-Parses with :func:`repro.selection.sword.parse_sword_query` and checks
-the parsed query for non-positive resource budgets, contradictory
-duplicate requirements on one attribute, and latency bounds below the
-platform model's intra-cluster floor (no zone in the synthetic platform
-can ever satisfy them).
-
-XML carries no character offsets through ElementTree, so spans are
-recovered best-effort by locating the offending tag's text in the source
-document.
+The per-language analysis logic that used to live here was folded into
+the typed constraint IR: :func:`repro.analysis.ir.lower_sword` lowers
+budgets, per-group 5-tuple requirements, categoricals and latency links
+into scoped IR nodes (XML carries no character offsets through
+ElementTree, so spans are recovered best-effort by locating the
+offending tag's text), and :func:`repro.analysis.passes.check_document`
+runs the shared semantic passes over it.  These entry points survive for
+compatibility.
 """
 
 from __future__ import annotations
 
-from repro.analysis.diagnostics import DiagnosticReport, Span
-from repro.resources.platform import LATENCY_INTRA_CLUSTER_MS
-from repro.selection.sword import (
-    NumericRequirement,
-    SwordError,
-    SwordQuery,
-    parse_sword_query,
-)
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.ir import lower_sword, lower_sword_text
+from repro.analysis.passes import check_document
+from repro.selection.sword import SwordQuery
 
 __all__ = ["analyze_sword_text", "analyze_sword_query"]
-
-_LANG = "sword"
-
-
-def _tag_span(text: str | None, tag: str, occurrence: int = 0) -> Span | None:
-    """Best-effort span of the ``occurrence``-th ``<tag>`` in the source."""
-    if text is None:
-        return None
-    needle = f"<{tag}>"
-    pos = -1
-    for _ in range(occurrence + 1):
-        pos = text.find(needle, pos + 1)
-        if pos < 0:
-            return None
-    return Span.from_pos(text, pos)
 
 
 def analyze_sword_text(text: str) -> DiagnosticReport:
     """Parse and analyze a SWORD XML query document."""
     report = DiagnosticReport()
-    try:
-        query = parse_sword_query(text)
-    except SwordError as exc:
-        report.add("SPEC001", "error", str(exc), _LANG)
-        return report
-    return analyze_sword_query(query, text=text, report=report)
+    doc = lower_sword_text(text, report)
+    if doc is not None:
+        check_document(doc, report)
+    return report
 
 
 def analyze_sword_query(
@@ -59,94 +37,4 @@ def analyze_sword_query(
 ) -> DiagnosticReport:
     """Analyze an already-parsed SWORD query."""
     report = DiagnosticReport() if report is None else report
-    for name, value in (
-        ("dist_query_budget", query.dist_query_budget),
-        ("optimizer_budget", query.optimizer_budget),
-    ):
-        if value < 1:
-            report.add(
-                "SPEC130",
-                "error",
-                f"{name} must be positive, got {value}; the optimizer would "
-                "visit no zones and the query can never be answered",
-                _LANG,
-                span=_tag_span(text, name),
-                attr=name,
-            )
-    for group in query.groups:
-        _analyze_group(group, text, report)
-    for c in query.constraints:
-        if c.latency.required_hi < LATENCY_INTRA_CLUSTER_MS:
-            report.add(
-                "SPEC133",
-                "error",
-                f"inter-group latency bound {c.latency.required_hi}ms between "
-                f"{c.group_names[0]!r} and {c.group_names[1]!r} is below the "
-                f"platform's intra-cluster floor "
-                f"({LATENCY_INTRA_CLUSTER_MS}ms); no host pair can satisfy it",
-                _LANG,
-                span=_tag_span(text, "constraint"),
-            )
-    return report
-
-
-def _analyze_group(group, text: str | None, report: DiagnosticReport) -> None:
-    if group.num_machines < 1:
-        report.add(
-            "SPEC110",
-            "error",
-            f"group {group.name!r} requests {group.num_machines} machines; "
-            "num_machines must be a positive integer",
-            _LANG,
-            attr=group.name,
-        )
-    # Duplicate numeric requirements on one attribute: the engine applies
-    # them all, so disjoint required ranges are a contradiction.
-    merged: dict[str, NumericRequirement] = {}
-    for req in group.numeric:
-        prev = merged.get(req.attr)
-        if prev is not None:
-            lo = max(prev.required_lo, req.required_lo)
-            hi = min(prev.required_hi, req.required_hi)
-            if lo > hi:
-                report.add(
-                    "SPEC131",
-                    "error",
-                    f"group {group.name!r} has contradictory {req.attr} "
-                    f"requirements: [{prev.required_lo}, {prev.required_hi}] "
-                    f"and [{req.required_lo}, {req.required_hi}] do not "
-                    "intersect",
-                    _LANG,
-                    span=_tag_span(text, req.attr, occurrence=1),
-                    attr=req.attr,
-                )
-        merged[req.attr] = req
-    # Duplicate hard categorical requirements with different values.
-    hard: dict[str, str] = {}
-    for cat in group.categorical:
-        if cat.penalty_rate > 0:
-            continue
-        prev = hard.get(cat.attr)
-        if prev is not None and prev != cat.value.lower():
-            report.add(
-                "SPEC131",
-                "error",
-                f"group {group.name!r} hard-requires {cat.attr} to equal both "
-                f"{prev!r} and {cat.value!r}",
-                _LANG,
-                span=_tag_span(text, cat.attr, occurrence=1),
-                attr=cat.attr,
-            )
-        hard[cat.attr] = cat.value.lower()
-    if group.latency is not None and group.latency.required_hi < LATENCY_INTRA_CLUSTER_MS:
-        report.add(
-            "SPEC133",
-            "error",
-            f"group {group.name!r} bounds intra-group latency at "
-            f"{group.latency.required_hi}ms, below the platform's "
-            f"intra-cluster floor ({LATENCY_INTRA_CLUSTER_MS}ms); no zone "
-            "can satisfy it",
-            _LANG,
-            span=_tag_span(text, "latency"),
-            attr="latency",
-        )
+    return check_document(lower_sword(query, text=text), report)

@@ -1,39 +1,36 @@
-"""Static analyzer for vgDL resource-collection specifications.
+"""Static analyzer for vgDL specifications (thin IR shim).
 
-Parses with :func:`repro.selection.vgdl.parse_vgdl` and checks every
-aggregate's size range, rank expression, and attribute constraint.  The
-constraint analysis runs with ``vgdl_bare_strings`` enabled: vgDL rewrites
-unknown bare identifiers into string literals (``Speed >= 3`` becomes
-``"Speed" >= 3``), and the analyzer surfaces those as unknown-attribute
-findings with an explanatory hint rather than opaque type errors.
+The per-language analysis logic that used to live here was folded into
+the typed constraint IR: :func:`repro.analysis.ir.lower_vgdl` lowers
+every aggregate (size range, rank, constraint — with the
+``vgdl_bare_strings`` rewrite rule that turns ``Speed >= 3`` into a
+string/number comparison) into scoped IR nodes, and
+:func:`repro.analysis.passes.check_document` runs the shared semantic
+passes over it.  These entry points survive for compatibility.
 """
 
 from __future__ import annotations
 
-from repro.analysis.diagnostics import DiagnosticReport, Span
-from repro.analysis.expr import analyze_constraint, infer_type
-from repro.selection.vgdl import VgdlError, VgdlSpec, parse_vgdl
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.ir import lower_vgdl, lower_vgdl_text
+from repro.analysis.passes import check_document
+from repro.selection.vgdl import VgdlSpec
 
 __all__ = ["analyze_vgdl_text", "analyze_vgdl_spec"]
-
-_LANG = "vgdl"
 
 
 def analyze_vgdl_text(text: str) -> DiagnosticReport:
     """Parse and analyze a vgDL document.
 
     A document that does not parse yields a single SPEC001 diagnostic with
-    the parser's source span; otherwise the parsed spec is handed to
-    :func:`analyze_vgdl_spec`.
+    the parser's source span; otherwise the lowered document runs through
+    the IR semantic passes.
     """
     report = DiagnosticReport()
-    try:
-        spec = parse_vgdl(text)
-    except VgdlError as exc:
-        span = None if exc.pos is None else Span.from_pos(text, exc.pos)
-        report.add("SPEC001", "error", str(exc), _LANG, span=span)
-        return report
-    return analyze_vgdl_spec(spec, text=text, report=report)
+    doc = lower_vgdl_text(text, report)
+    if doc is not None:
+        check_document(doc, report)
+    return report
 
 
 def analyze_vgdl_spec(
@@ -44,37 +41,4 @@ def analyze_vgdl_spec(
 ) -> DiagnosticReport:
     """Analyze an already-parsed vgDL specification."""
     report = DiagnosticReport() if report is None else report
-    for agg in spec.aggregates:
-        # The parser enforces 1 <= lo <= hi, but hand-built VgdlAggregate
-        # objects can carry anything.
-        if agg.lo < 1 or agg.hi < agg.lo:
-            report.add(
-                "SPEC110",
-                "error",
-                f"aggregate {agg.var!r} has an invalid size range "
-                f"[{agg.lo}:{agg.hi}]",
-                _LANG,
-                attr=agg.var,
-            )
-        if agg.rank is not None and infer_type(agg.rank) == "string":
-            report.add(
-                "SPEC120",
-                "warning",
-                f"rank expression {agg.rank.unparse()} of aggregate "
-                f"{agg.var!r} is a string; ranks should be numeric",
-                _LANG,
-                span=(
-                    None
-                    if text is None or agg.rank.pos is None
-                    else Span.from_pos(text, agg.rank.pos)
-                ),
-                attr=agg.var,
-            )
-        analyze_constraint(
-            agg.constraint,
-            lang=_LANG,
-            text=text,
-            vgdl_bare_strings=True,
-            report=report,
-        )
-    return report
+    return check_document(lower_vgdl(spec, text=text), report)

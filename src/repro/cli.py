@@ -731,7 +731,7 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.add_argument("files", nargs="+", metavar="FILE", help="spec documents to analyze")
     p_lint.add_argument(
         "--lang",
-        choices=("vgdl", "classad", "sword"),
+        choices=("vgdl", "classad", "sword", "json"),
         default=None,
         help="force the specification language (default: detect per file)",
     )

@@ -33,12 +33,32 @@ from repro.core.knee import DEFAULT_KNEE_THRESHOLD
 from repro.core.size_model import SizePredictionModel, recommend_single_host
 from repro.resources.collection import REFERENCE_CLOCK_GHZ
 
-__all__ = ["ResourceSpecification", "ResourceSpecificationGenerator", "sanitize_dag_name"]
+__all__ = [
+    "ResourceSpecification",
+    "ResourceSpecificationGenerator",
+    "sanitize_dag_name",
+    "TARGET_OS",
+    "SWORD_LATENCY_TUPLES",
+]
 
 #: CCR below which communication is negligible and a LooseBag suffices
 #: (Ch. IV: the naïve abstraction only works "when communication costs are
 #: minimal").
 LOOSE_CCR_THRESHOLD = 0.05
+
+#: The operating system every rendering constrains the hosts to.  Shared
+#: by the ClassAd and SWORD renderers and by the SPEC140 cross-language
+#: equivalence reference, so a renderer can't drift alone.
+TARGET_OS = "LINUX"
+
+#: SWORD intra-group latency 5-tuples (required_lo, desired_lo,
+#: desired_hi, required_hi, rate) per connectivity class: tight
+#: connectivity = intra-domain scale.  Shared with the SPEC140 reference
+#: (the hard cap is the tuple's fourth field).
+SWORD_LATENCY_TUPLES = {
+    "tight": "0.0, 0.0, 10.0, 20.0, 0.5",
+    "loose": "0.0, 0.0, 50.0, 100.0, 0.1",
+}
 
 #: Characters allowed to survive :func:`sanitize_dag_name` unchanged.
 _NAME_UNSAFE = re.compile(r"[^0-9A-Za-z_.-]+")
@@ -153,7 +173,7 @@ class ResourceSpecification:
             "      Label = cpu;\n"
             f"      Count = {self.size};\n"
             "      Rank = cpu.Clock;\n"
-            '      Constraint = cpu.Type == "Machine" && cpu.OpSys == "LINUX" &&\n'
+            f'      Constraint = cpu.Type == "Machine" && cpu.OpSys == "{TARGET_OS}" &&\n'
             f"                   cpu.Clock >= {self.clock_min_mhz:.0f}\n"
             "    ]\n"
             "  }\n"
@@ -167,12 +187,7 @@ class ResourceSpecification:
         (``fork join & <x>``) and must never yield an ill-formed document
         our own :func:`~repro.selection.sword.parse_sword_query` rejects.
         """
-        # Intra-group latency: tight connectivity = intra-domain scale.
-        lat = (
-            "0.0, 0.0, 10.0, 20.0, 0.5"
-            if self.connectivity == "tight"
-            else "0.0, 0.0, 50.0, 100.0, 0.1"
-        )
+        lat = SWORD_LATENCY_TUPLES[self.connectivity]
         return (
             "<request>\n"
             "  <dist_query_budget>50</dist_query_budget>\n"
@@ -184,7 +199,7 @@ class ResourceSpecification:
             f"MAX, MAX, 0.01</clock>\n"
             "    <cpu_load>0.5, 0.1, 0.1, 0.0, 0.0</cpu_load>\n"
             f"    <latency>{lat}</latency>\n"
-            "    <os><value>LINUX, 0.0</value></os>\n"
+            f"    <os><value>{TARGET_OS}, 0.0</value></os>\n"
             "  </group>\n"
             "</request>"
         )

@@ -15,8 +15,8 @@ indexed answer in two pieces:
 
 :func:`plan_constraint`
     A constraint-to-index planner consuming the typed clause facts the
-    static analyzer already extracts (:func:`repro.analysis.expr.numeric_bound`
-    and :func:`~repro.analysis.expr.string_equality`): range/equality
+    constraint IR extracts (a shallow
+    :func:`repro.analysis.ir.lower_expression` pass): range/equality
     conjuncts on machine-side attributes become interval/equality probes
     answered in O(log n) by :meth:`HostIndex.candidates`; everything else
     (Rank, Gangmatch cross-port references, disjunctions, request-shadowed
@@ -77,21 +77,16 @@ _EMPTY = np.empty(0, dtype=np.int64)
 
 
 def _clause_facts():
-    """The analyzer's clause-fact extractors, imported lazily.
+    """The IR's clause-fact lowering, imported lazily.
 
     ``repro.analysis`` imports the selection front ends, which import this
     module — a top-level import here would close that cycle during package
     initialisation.  By first call everything is initialised.
     """
-    from repro.analysis.expr import (
-        Interval,
-        fold_constant,
-        iter_conjuncts,
-        numeric_bound,
-        string_equality,
-    )
+    from repro.analysis.expr import Interval
+    from repro.analysis.ir import lower_expression
 
-    return Interval, fold_constant, iter_conjuncts, numeric_bound, string_equality
+    return Interval, lower_expression
 
 
 def validate_indexing(mode: str) -> str:
@@ -223,44 +218,46 @@ def plan_constraint(
     resolve to the machine being tested.  A ``None`` constraint yields an
     empty plan (matches every row, nothing indexed).
     """
-    Interval, fold_constant, iter_conjuncts, numeric_bound, string_equality = _clause_facts()
+    Interval, lower_expression = _clause_facts()
     plan = IndexPlan()
     if expr is None:
         return plan
     scopes = frozenset(s.lower() for s in machine_scopes)
-    plan.strict = not (isinstance(expr, BinaryOp) and expr.op == "&&")
-    for conj in iter_conjuncts(expr):
-        folded = fold_constant(conj)
-        if folded is not None:
+    # Shallow lowering extracts exactly the planner's clause facts —
+    # folded constant, numeric bound (with its interval), string
+    # equality — in the planner's precedence order, with no spans or
+    # analysis-only facts on the hot path.
+    lowered = lower_expression(expr, deep=False)
+    plan.strict = lowered.strict
+    for clause in lowered.clauses:
+        if clause.folded is not None:
+            folded = clause.folded
             truthy = folded is True if plan.strict else as_logical(folded) is True
             plan.indexed_clauses += 1
             if not truthy:
                 plan.contradiction = True
             continue
-        bound = numeric_bound(conj)
-        if bound is not None and _machine_side(bound[0], request, scopes):
-            ref, op, value = bound
-            interval = Interval.from_comparison(op, value)
-            if interval is not None:
-                key = ref.name.lower()
-                merged = plan.intervals.get(key, Interval()).intersect(interval)
+        bound = clause.bound
+        if bound is not None and _machine_side(bound.ref, request, scopes):
+            if bound.interval is not None:
+                key = bound.ref.name.lower()
+                merged = plan.intervals.get(key, Interval()).intersect(bound.interval)
                 plan.intervals[key] = merged
                 plan.indexed_clauses += 1
                 if merged.is_empty:
                     plan.contradiction = True
                 continue
-        eq = string_equality(conj)
-        if eq is not None and _machine_side(eq[0], request, scopes):
-            ref, value = eq
-            key = ref.name.lower()
+        eq = clause.eq
+        if eq is not None and _machine_side(eq.ref, request, scopes):
+            key = eq.ref.name.lower()
             prev = plan.equalities.get(key)
             if prev is None:
-                plan.equalities[key] = value.lower()
-            elif prev != value.lower():
+                plan.equalities[key] = eq.value.lower()
+            elif prev != eq.value.lower():
                 plan.contradiction = True
             plan.indexed_clauses += 1
             continue
-        plan.residual.append(conj)
+        plan.residual.append(clause.expr)
     return plan
 
 

@@ -423,8 +423,14 @@ class SelectionPipeline:
                 if b_idx > 0:
                     counts["backend_fallbacks"] += 1
                     observe.inc("pipeline.backend_fallbacks")
-                for s_idx, sp in self._iter_ladder(dag, spec, counts):
-                    if bound is not None or deadline_hit:
+                # Advanced by hand: a for-statement would pull (and price —
+                # preflight, subsumption) the next rung before noticing a
+                # successful bind ended the climb.
+                ladder = self._iter_ladder(dag, spec, counts)
+                while bound is None and not deadline_hit:
+                    try:
+                        s_idx, sp = next(ladder)
+                    except StopIteration:
                         break
                     if s_idx > 0:
                         counts["respecifications"] += 1
@@ -515,18 +521,30 @@ class SelectionPipeline:
         Fig. VII-6 sweeps.
 
         Alternatives the static preflight proves unsatisfiable on the
-        platform are skipped (their index stays burnt, so ``spec_index`` in
-        attempts/outcomes still names the ladder position) and counted in
+        platform, and alternatives an earlier (already-tried) rung subsumes
+        (SPEC141: every platform satisfying the alternative would have
+        satisfied the failed earlier rung, so retrying is pointless), are
+        skipped — their index stays burnt, so ``spec_index`` in
+        attempts/outcomes still names the ladder position — and counted in
         ``counts["respecs_pruned"]`` / ``pipeline.respecs_pruned``.  The
         original specification (index 0) is never pruned.
         """
+        from repro.analysis.passes import subsumes
+
         yield 0, spec
+        tried = [spec]
         for s_idx, alt in enumerate(self._spec_ladder(dag, spec)[1:], start=1):
+            if any(subsumes(earlier, alt) for earlier in tried):
+                if counts is not None:
+                    counts["respecs_pruned"] += 1
+                observe.inc("pipeline.respecs_pruned")
+                continue
             if not self._preflight(alt):
                 if counts is not None:
                     counts["respecs_pruned"] += 1
                 observe.inc("pipeline.respecs_pruned")
                 continue
+            tried.append(alt)
             yield s_idx, alt
 
     def _preflight(self, spec: ResourceSpecification) -> bool:

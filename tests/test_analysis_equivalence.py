@@ -1,0 +1,174 @@
+"""Tests for SPEC140 (cross-language equivalence) and SPEC141 (subsumption).
+
+SPEC140 is the renderer-drift net: every rendering of a specification —
+vgDL, ClassAds, SWORD XML, and the JSON document form — must lower to
+the same normalized constraint facts (each compared over the subset its
+syntax can express).  SPEC141 flags respecification-ladder rungs that an
+earlier rung dominates, the same predicate the selection pipeline uses
+to skip pointless retries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import (
+    analyze_specification,
+    check_render_equivalence,
+    check_subsumption,
+    lower_document,
+    normalized_facts,
+    subsumes,
+)
+from repro.core.generator import ResourceSpecification
+
+
+@pytest.fixture
+def spec():
+    return ResourceSpecification(
+        heuristic="mcp",
+        size=24,
+        min_size=20,
+        clock_min_mhz=2000.0,
+        clock_max_mhz=4000.0,
+        connectivity="loose",
+        threshold=0.001,
+        dag_name="montage",
+    )
+
+
+# ----------------------------------------------------------------------
+# SPEC140: cross-language equivalence
+# ----------------------------------------------------------------------
+def test_clean_spec_has_no_renderer_drift(spec):
+    report = check_render_equivalence(spec)
+    assert len(report) == 0, report.render()
+
+
+def test_normalized_facts_agree_across_languages(spec):
+    by_lang = {
+        lang: normalized_facts(lower_document(text, lang))
+        for lang, text in (
+            ("vgdl", spec.to_vgdl()),
+            ("classad", spec.to_classad()),
+            ("sword", spec.to_sword_xml()),
+        )
+    }
+    for facts in by_lang.values():
+        assert facts["count_hi"] == 24.0
+        assert facts["clock_floor_mhz"] == 2000.0
+    assert by_lang["vgdl"]["count_lo"] == 20.0
+    assert by_lang["vgdl"]["connectivity"] == "loose"
+    assert by_lang["classad"]["os"] == "linux"
+    assert by_lang["sword"]["os"] == "linux"
+    assert by_lang["sword"]["clock_desired_mhz"] == 4000.0
+
+
+def test_drifted_clock_renderer_is_detected(spec, monkeypatch):
+    # Simulate renderer drift: to_classad silently renders a different
+    # clock floor than the specification carries.
+    drifted = dataclasses.replace(spec, clock_min_mhz=3000.0)
+    true_render = ResourceSpecification.to_classad
+    monkeypatch.setattr(
+        ResourceSpecification,
+        "to_classad",
+        lambda self, **kw: true_render(drifted, **kw),
+    )
+    report = check_render_equivalence(spec)
+    drift = [d for d in report.diagnostics if d.code == "SPEC140"]
+    assert drift and all(d.severity == "error" for d in drift)
+    assert any(d.lang == "classad" and d.attr == "clock_floor_mhz" for d in drift)
+    # The other languages keep rendering faithfully.
+    assert all(d.lang == "classad" for d in drift)
+
+
+def test_unparseable_rendering_is_spec140(spec, monkeypatch):
+    monkeypatch.setattr(
+        ResourceSpecification, "to_vgdl", lambda self: "rc = TightBagOf("
+    )
+    report = check_render_equivalence(spec)
+    assert any(
+        d.code == "SPEC140" and d.lang == "vgdl" and "does not parse" in d.message
+        for d in report.diagnostics
+    )
+
+
+def test_json_document_participates_in_equivalence(spec, monkeypatch):
+    # Drift confined to the JSON document form: to_dict swallows the
+    # desired clock ceiling.
+    true_dict = ResourceSpecification.to_dict
+    monkeypatch.setattr(
+        ResourceSpecification,
+        "to_dict",
+        lambda self: {**true_dict(self), "clock_max_mhz": self.clock_min_mhz},
+    )
+    report = check_render_equivalence(spec)
+    drift = [d for d in report.diagnostics if d.code == "SPEC140"]
+    assert drift and all(d.lang == "json" for d in drift)
+    assert any(d.attr == "clock_desired_mhz" for d in drift)
+
+
+def test_analyze_specification_runs_the_equivalence_check(spec, monkeypatch):
+    # The generator self-check path surfaces SPEC140, not only lint_text.
+    monkeypatch.setattr(
+        ResourceSpecification, "to_vgdl", lambda self: "rc = TightBagOf("
+    )
+    report = analyze_specification(spec)
+    assert any(d.code == "SPEC140" for d in report.diagnostics)
+    assert report.has_errors
+
+
+# ----------------------------------------------------------------------
+# SPEC141: ladder subsumption
+# ----------------------------------------------------------------------
+def test_subsumes_reflexive_and_dominance(spec):
+    assert subsumes(spec, spec)  # identical rung is redundant
+    narrowed = dataclasses.replace(
+        spec, size=26, min_size=22, clock_min_mhz=2500.0, clock_max_mhz=3500.0
+    )
+    assert subsumes(spec, narrowed)
+    assert not subsumes(narrowed, spec)
+
+
+def test_subsumes_respects_each_axis(spec):
+    # Stricter connectivity on the earlier rung blocks domination...
+    tight = dataclasses.replace(spec, connectivity="tight")
+    assert not subsumes(tight, spec)
+    # ...but a loose earlier rung dominates a tight later one.
+    assert subsumes(spec, tight)
+    # A wider clock band on the later rung blocks domination.
+    wider = dataclasses.replace(spec, clock_min_mhz=1500.0)
+    assert not subsumes(spec, wider)
+    # A smaller request on the later rung blocks domination.
+    smaller = dataclasses.replace(spec, size=16, min_size=12)
+    assert not subsumes(spec, smaller)
+
+
+def test_check_subsumption_flags_dominated_rung(spec):
+    dominated = dataclasses.replace(spec, size=26, min_size=22)
+    report = check_subsumption([spec, dominated])
+    [diag] = report.diagnostics
+    assert diag.code == "SPEC141" and diag.severity == "warning"
+    assert "rung 1" in diag.message and "rung 0" in diag.message
+    assert "size=[22:26]" in diag.message
+
+
+def test_check_subsumption_clean_on_a_real_ladder(spec):
+    # A genuinely descending ladder (each rung asks for less) is clean.
+    ladder = [
+        spec,
+        dataclasses.replace(spec, size=16, min_size=12),
+        dataclasses.replace(spec, size=8, min_size=6, clock_min_mhz=1000.0),
+    ]
+    assert len(check_subsumption(ladder)) == 0
+
+
+def test_check_subsumption_reports_first_dominator_only(spec):
+    dominated = dataclasses.replace(spec, size=26, min_size=22)
+    report = check_subsumption([spec, spec, dominated])
+    # spec[1] dominated by spec[0]; dominated by both, reported once.
+    messages = [d.message for d in report.diagnostics]
+    assert len(messages) == 2
+    assert all("rung 0" in m for m in messages)

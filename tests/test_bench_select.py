@@ -42,6 +42,12 @@ def test_bench_select_smoke_runs_and_outputs_are_identical(tmp_path):
     for row in report["results"]:
         assert row["identical_output"] is True
         assert row["naive"]["p50_ms"] > 0 and row["indexed"]["p50_ms"] > 0
+    # Lint throughput: every document language analyzed through the IR.
+    lint_rows = {r["lang"]: r for r in report["lint_throughput"]}
+    assert set(lint_rows) == {"vgdl", "classad", "sword", "json"}
+    for row in lint_rows.values():
+        assert row["clean"] is True
+        assert row["specs_per_sec"] > 0
 
 
 def test_checked_in_report_has_provenance_and_speedup():

@@ -256,6 +256,39 @@ def test_lint_json_output(spec_files, capsys):
     assert entry["diagnostics"][0]["span"]["line"] == 7
 
 
+def test_lint_json_spec_autodetects(spec_files, capsys):
+    # A .json specification document lints without rendering: the JSON
+    # frontend lowers ResourceSpecification.to_dict() output directly.
+    rc = main(["lint", spec_files["spec.json"]])
+    assert rc == 0
+    assert "clean (json)" in capsys.readouterr().out
+
+
+def test_lint_json_lang_can_be_forced(spec_files, capsys):
+    rc = main(["lint", "--lang", "json", spec_files["spec.json"]])
+    assert rc == 0
+    assert "clean (json)" in capsys.readouterr().out
+
+
+def test_lint_invalid_json_spec_exits_1(tmp_path, capsys):
+    p = tmp_path / "broken.json"
+    p.write_text('{"heuristic": "mcp", "size": -3}')
+    rc = main(["lint", str(p)])
+    assert rc == 1
+    assert "SPEC001" in capsys.readouterr().out
+
+
+def test_lint_json_with_platform_preflight(spec_files, capsys):
+    rc = main(["lint", "--platform", "smoke", spec_files["spec.json"]])
+    assert rc == 0
+    assert "clean" in capsys.readouterr().out
+
+    rc = main(["lint", "--platform", "smoke", spec_files["unsat.json"]])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "SPEC201" in out or "SPEC202" in out
+
+
 def test_lint_with_platform_preflight(spec_files, capsys):
     rc = main(["lint", "--platform", "smoke", spec_files["ok.vgdl"]])
     assert rc == 0

@@ -1,12 +1,25 @@
-"""Documentation hygiene: every public item carries a docstring."""
+"""Documentation hygiene: docstrings, and docs that match the registry.
+
+Beyond the docstring sweep, this module pins the documentation to the
+diagnostic-code registry: ``docs/diagnostics.md`` is generated from
+``DIAGNOSTIC_CODES`` (stale pages fail), and the README's hand-written
+code table must name every registered code — including the SPEC140
+renderer-drift and SPEC141 ladder-subsumption checks — and no others.
+"""
 
 import importlib
+import importlib.util
 import inspect
 import pkgutil
+import re
+import sys
+from pathlib import Path
 
 import pytest
 
 import repro
+
+REPO = Path(__file__).resolve().parent.parent
 
 MODULES = [
     name
@@ -42,3 +55,53 @@ def test_public_callables_documented(module_name):
                     if meth_name.startswith("_") or meth.__module__ != module_name:
                         continue
                     assert meth.__doc__, f"{module_name}.{name}.{meth_name}"
+
+
+# ----------------------------------------------------------------------
+# Docs ↔ diagnostic-registry consistency
+# ----------------------------------------------------------------------
+def _registry():
+    from repro.analysis.diagnostics import DIAGNOSTIC_CODES
+
+    return DIAGNOSTIC_CODES
+
+
+def test_generated_diagnostics_page_is_current():
+    # docs/diagnostics.md is derived from the registry by
+    # scripts/gen_diagnostics_docs.py; a code added without regenerating
+    # the page must fail here, not drift silently.
+    script = REPO / "scripts" / "gen_diagnostics_docs.py"
+    spec = importlib.util.spec_from_file_location("gen_diagnostics_docs", script)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["gen_diagnostics_docs"] = module
+    try:
+        spec.loader.exec_module(module)
+        expected = module.render_page()
+    finally:
+        sys.modules.pop("gen_diagnostics_docs", None)
+    page = REPO / "docs" / "diagnostics.md"
+    assert page.exists(), "docs/diagnostics.md missing; run gen_diagnostics_docs.py"
+    assert page.read_text() == expected, (
+        "docs/diagnostics.md is stale; regenerate with "
+        "PYTHONPATH=src python scripts/gen_diagnostics_docs.py"
+    )
+
+
+def test_readme_code_table_matches_registry():
+    # The README table is hand-written (it adds severities and footnotes)
+    # but must cover exactly the registered codes.
+    readme = (REPO / "README.md").read_text()
+    in_table = set(re.findall(r"^\| (SPEC\d{3}) \|", readme, flags=re.MULTILINE))
+    assert in_table == set(_registry()), (
+        f"README table out of sync with DIAGNOSTIC_CODES: "
+        f"missing {sorted(set(_registry()) - in_table)}, "
+        f"stale {sorted(in_table - set(_registry()))}"
+    )
+
+
+def test_new_generator_guards_are_registered_and_documented():
+    registry = _registry()
+    assert "SPEC140" in registry and "SPEC141" in registry
+    page = (REPO / "docs" / "diagnostics.md").read_text()
+    for code in ("SPEC140", "SPEC141"):
+        assert code in page

@@ -148,6 +148,37 @@ def test_write_text_allow_comment_suppresses(det, tmp_path):
     assert _lint(det, tmp_path, src) == []
 
 
+def test_id_dict_key_flagged(det, tmp_path):
+    findings = _lint(det, tmp_path, "cache = {}\ncache[id(obj)] = 1\n")
+    assert [f.code for f in findings] == ["DET006"]
+
+
+def test_id_tuple_key_flagged(det, tmp_path):
+    findings = _lint(det, tmp_path, "key = (id(dag), name)\n")
+    assert [f.code for f in findings] == ["DET006"]
+
+
+def test_sort_key_id_flagged(det, tmp_path):
+    findings = _lint(det, tmp_path, "out = sorted(items, key=id)\n")
+    assert [f.code for f in findings] == ["DET006"]
+
+
+def test_sort_method_key_id_flagged(det, tmp_path):
+    findings = _lint(det, tmp_path, "items.sort(key=id)\n")
+    assert [f.code for f in findings] == ["DET006"]
+
+
+def test_id_allow_comment_suppresses(det, tmp_path):
+    src = "key = (id(dag), name)  # lint: allow DET006 (in-process cache)\n"
+    assert _lint(det, tmp_path, src) == []
+
+
+def test_shadowed_id_attribute_clean(det, tmp_path):
+    # obj.id(...) is a method named id, not the builtin — stays clean.
+    findings = _lint(det, tmp_path, "x = record.id()\nkey = row.id\n")
+    assert findings == []
+
+
 def test_repo_tree_is_clean(det):
     # The real gate: src/repro must carry no unsuppressed findings.
     root = SCRIPT.parent.parent / "src" / "repro"

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 import repro.observe as observe
+from repro.analysis.passes import subsumes
 from repro.core.generator import ResourceSpecification
 from repro.experiments.chapter4 import build_universe
 from repro.experiments.scales import SMOKE
@@ -240,6 +241,83 @@ def test_unsatisfiable_alternative_is_pruned_not_submitted(platform, small_monta
     counters = reg.snapshot()["counters"]
     assert counters["pipeline.respecs_pruned"] == outcome.respecs_pruned
     assert "respecs_pruned" in outcome.to_dict()
+
+
+def test_dominated_rung_after_the_bind_is_never_reached(platform, small_montage, spec):
+    # The ladder is lazy: a dominated rung sitting *after* the fulfilling
+    # one is never even examined, so nothing is counted as pruned.
+    impossible = dataclasses.replace(
+        spec, size=platform.n_hosts + 50, min_size=platform.n_hosts + 10
+    )
+    dominated = dataclasses.replace(
+        spec, size=26, min_size=22, clock_min_mhz=2500.0, clock_max_mhz=3500.0
+    )
+    churn = _quiet(platform)
+    pipeline = SelectionPipeline(
+        platform,
+        churn,
+        PipelineConfig(max_retries=0),
+        alternatives=[spec, dominated],
+    )
+    with observe.use_registry(observe.MetricsRegistry()):
+        outcome = pipeline.run(small_montage, impossible)
+    assert outcome.fulfilled and outcome.spec_index == 1
+    assert outcome.respecs_pruned == 0
+
+
+def test_subsumption_pruning_skips_dominated_rung(platform, small_montage, spec):
+    # The original is tried and refused (raced), then the ladder climbs:
+    # the first alternative is dominated by the original, so it is pruned;
+    # the second fulfills at its burnt-index position.
+    clean = _clean_run(platform, small_montage, spec)
+    trace = ChurnTrace(
+        events=(ChurnEvent(1e-7, "bind", tuple(sorted(clean.hosts)[:10]), ref=0),)
+    )
+    churn = ResourceChurn(platform, trace, Binder(platform))
+    dominated = dataclasses.replace(
+        spec, size=26, min_size=22, clock_min_mhz=2500.0, clock_max_mhz=3500.0
+    )
+    assert subsumes(spec, dominated)
+    pipeline = SelectionPipeline(
+        platform,
+        churn,
+        PipelineConfig(max_retries=0),
+        alternatives=[dominated, _smaller(spec)],
+    )
+    with observe.use_registry(observe.MetricsRegistry()) as reg:
+        outcome = pipeline.run(small_montage, spec)
+
+    assert outcome.fulfilled
+    assert outcome.spec_index == 2 and outcome.final_spec == _smaller(spec)
+    assert [a.spec_index for a in outcome.attempts] == [0, 2]
+    assert outcome.respecs_pruned == 1
+    counters = reg.snapshot()["counters"]
+    assert counters["pipeline.respecs_pruned"] == 1
+
+
+def test_subsumption_pruning_preserves_seeded_replay(platform, small_montage, spec):
+    # Bit-identity net: with a seeded churn trace, a ladder carrying a
+    # dominated (pruned) rung selects exactly what the same ladder without
+    # it selects — pruning burns the index but never perturbs the outcome.
+    config = ChurnConfig(fail_rate=0.002, competitor_rate=0.01, utilization=0.25, seed=9)
+    dominated = dataclasses.replace(spec, size=26, min_size=22)
+
+    def run(alternatives):
+        churn = ResourceChurn.from_config(platform, config)
+        return SelectionPipeline(platform, churn, alternatives=alternatives).run(
+            small_montage, spec
+        )
+
+    with_pruned = run([dominated, _smaller(spec)]).to_dict()
+    without = run([_smaller(spec)]).to_dict()
+    # The only admissible difference is the pruning counter and the burnt
+    # ladder indices; strip both and demand bit-identity.
+    for d in (with_pruned, without):
+        d.pop("respecs_pruned")
+        d.pop("spec_index")
+        d.pop("attempts")
+        d.pop("final_spec")
+    assert with_pruned == without
 
 
 def test_original_spec_is_never_pruned(platform, small_montage, spec):
